@@ -1,0 +1,107 @@
+/// Ablation study of the performance model's mechanisms (DESIGN.md §5):
+/// for a fixed instance, re-tune with each mechanism switched off and
+/// report how the predicted optimum moves. This quantifies which parts of
+/// the model carry the paper's findings:
+///
+///  - no-local-memory: reuse must come from caches (the Phi's situation);
+///  - no-reuse: streaming traffic only — the Eq. 2 regime;
+///  - perfect-hiding: latency hiding assumed free (hiding_half → 0);
+///  - no-overheads: kernel launch and group scheduling cost nothing;
+///  - fma-peak: pretend accumulates fuse (instr_per_flop halved) — the
+///    §VI argument about the 50%-of-peak claim.
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+#include "sky/observation.hpp"
+#include "tuner/tuner.hpp"
+
+namespace {
+
+using namespace ddmc;
+
+struct Ablation {
+  std::string name;
+  std::function<ocl::DeviceModel(ocl::DeviceModel)> mutate;
+};
+
+double tuned_gflops(const ocl::DeviceModel& dev,
+                    const ocl::PlanAnalysis& analysis) {
+  return tuner::tune(dev, analysis).best.perf.gflops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ablation_model",
+          "ablations of the device-model mechanisms");
+  cli.add_option("dms", "number of trial DMs", "1024");
+  cli.add_flag("csv", "emit only CSV output");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+
+  const std::vector<Ablation> ablations = {
+      {"baseline", [](ocl::DeviceModel d) { return d; }},
+      {"no-local-memory",
+       [](ocl::DeviceModel d) {
+         d.has_local_memory = false;
+         d.local_mem_per_group_bytes = 0;
+         d.local_mem_per_cu_bytes = 0;
+         return d;
+       }},
+      {"no-reuse",
+       [](ocl::DeviceModel d) {
+         d.has_local_memory = false;
+         d.local_mem_per_group_bytes = 0;
+         d.local_mem_per_cu_bytes = 0;
+         d.cache_per_cu_bytes = 0;
+         return d;
+       }},
+      {"perfect-hiding",
+       [](ocl::DeviceModel d) {
+         d.hiding_half = 0.0;
+         return d;
+       }},
+      {"no-overheads",
+       [](ocl::DeviceModel d) {
+         d.launch_overhead_us = 0.0;
+         d.group_overhead_cycles = 0.0;
+         return d;
+       }},
+      {"fma-peak",
+       [](ocl::DeviceModel d) {
+         d.instr_per_flop /= 2.0;
+         return d;
+       }},
+  };
+
+  for (const sky::Observation& obs : {sky::apertif(), sky::lofar()}) {
+    const ocl::PlanAnalysis analysis((dedisp::Plan(obs, dms)));
+    std::vector<std::string> header = {"ablation"};
+    for (const auto& dev : ocl::table1_devices()) header.push_back(dev.name);
+    TextTable table(header);
+    for (const Ablation& ab : ablations) {
+      std::vector<std::string> row = {ab.name};
+      for (const auto& dev : ocl::table1_devices()) {
+        row.push_back(TextTable::num(tuned_gflops(ab.mutate(dev), analysis),
+                                     1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "== model ablations, " << obs.name() << " at " << dms
+              << " DMs (tuned GFLOP/s) ==\n";
+    if (cli.get_flag("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

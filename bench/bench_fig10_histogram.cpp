@@ -1,0 +1,76 @@
+/// Reproduces **Fig. 10**: the distribution of all meaningful
+/// configurations over achieved GFLOP/s (the paper shows the HD7970 on
+/// Apertif), with the population average marked.
+///
+/// Paper's qualitative claims this bench should reproduce:
+///  - a long-tailed distribution whose bulk sits far below the optimum;
+///  - exactly one (or very few) configurations reach the best bin.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+#include "sky/observation.hpp"
+#include "tuner/tuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddmc;
+  Cli cli("bench_fig10_histogram",
+          "Fig. 10: histogram of configurations over GFLOP/s");
+  cli.add_option("device", "device preset (HD7970, XeonPhi, GTX680, K20, "
+                           "Titan)", "HD7970");
+  cli.add_option("setup", "observational setup: apertif or lofar", "apertif");
+  cli.add_option("dms", "number of trial DMs", "1024");
+  cli.add_option("bins", "number of histogram bins", "40");
+  cli.add_flag("csv", "emit only CSV output");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const ocl::DeviceModel device = ocl::device_by_name(cli.get("device"));
+  const sky::Observation obs =
+      cli.get("setup") == "lofar" ? sky::lofar() : sky::apertif();
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+  const auto bins = static_cast<std::size_t>(cli.get_int("bins"));
+
+  const ocl::PlanAnalysis analysis((dedisp::Plan(obs, dms)));
+  tuner::TuningOptions opt;
+  opt.keep_population = true;
+  const tuner::TuningResult result = tuner::tune(device, analysis, opt);
+
+  std::vector<double> gflops;
+  gflops.reserve(result.population.size());
+  for (const auto& cp : result.population) gflops.push_back(cp.perf.gflops);
+  const Histogram hist = make_histogram(gflops, bins, 0.0, result.stats.max);
+
+  std::cout << "== Fig. 10: configuration histogram, " << device.name
+            << " / " << obs.name() << " / " << dms << " DMs ==\n"
+            << "configurations: " << result.evaluated
+            << " (skipped as invalid: " << result.skipped << ")\n"
+            << "mean: " << TextTable::num(result.stats.mean, 1)
+            << " GFLOP/s   best: " << TextTable::num(result.stats.max, 1)
+            << " GFLOP/s   SNR of optimum: "
+            << TextTable::num(result.snr_of_optimum(), 2) << "\n"
+            << "best configuration: " << result.best.config.to_string()
+            << "\n\n";
+
+  TextTable table({"GFLOP/s bin", "configs", "bar"});
+  const std::size_t peak =
+      *std::max_element(hist.counts.begin(), hist.counts.end());
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const std::size_t width =
+        peak == 0 ? 0 : hist.counts[b] * 50 / std::max<std::size_t>(peak, 1);
+    table.add_row({TextTable::num(hist.bin_center(b), 1),
+                   std::to_string(hist.counts[b]),
+                   std::string(width, '#')});
+  }
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

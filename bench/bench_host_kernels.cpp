@@ -1,0 +1,125 @@
+/// Real measured throughput (google-benchmark) of the host kernels on this
+/// machine: the sequential reference, the §V-D-style CPU baseline, and the
+/// tiled kernel with and without row staging, across representative kernel
+/// configurations. This is the "actually runs" half of the repository —
+/// unlike the figure benches, these numbers are wall-clock, not modeled.
+///
+/// The workload is a reduced Apertif instance (full channel count, reduced
+/// output window) so a run completes in seconds on a laptop-class CPU.
+
+#include <benchmark/benchmark.h>
+
+#include "common/array2d.hpp"
+#include "common/random.hpp"
+#include "dedisp/cpu_baseline.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/reference.hpp"
+#include "sky/observation.hpp"
+
+namespace {
+
+using namespace ddmc;
+
+struct Workload {
+  dedisp::Plan plan;
+  Array2D<float> input;
+  Array2D<float> output;
+};
+
+/// Reduced Apertif: 1,024 channels, 2,000-sample window, 32 trials.
+Workload make_workload(std::size_t dms = 32, std::size_t out_samples = 2000) {
+  dedisp::Plan plan =
+      dedisp::Plan::with_output_samples(sky::apertif(), dms, out_samples);
+  Array2D<float> input(plan.channels(), plan.in_samples());
+  Rng rng(1234);
+  for (std::size_t ch = 0; ch < input.rows(); ++ch) {
+    for (auto& v : input.row(ch)) v = rng.next_float(-1.0f, 1.0f);
+  }
+  Array2D<float> output(plan.dms(), plan.out_samples());
+  return {std::move(plan), std::move(input), std::move(output)};
+}
+
+void set_rate_counters(benchmark::State& state, const dedisp::Plan& plan) {
+  const double flop = plan.total_flop();
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flop * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["GB/s(in)"] = benchmark::Counter(
+      4.0 * flop * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Reference(benchmark::State& state) {
+  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dedisp::dedisperse_reference(w.plan, w.input.cview(), w.output.view());
+    benchmark::DoNotOptimize(w.output.view().data());
+  }
+  set_rate_counters(state, w.plan);
+}
+BENCHMARK(BM_Reference)->Arg(8)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_CpuBaseline(benchmark::State& state) {
+  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  dedisp::CpuBaselineOptions opt;
+  opt.threads = 0;  // machine-sized pool
+  for (auto _ : state) {
+    dedisp::dedisperse_cpu_baseline(w.plan, w.input.cview(), w.output.view(),
+                                    opt);
+    benchmark::DoNotOptimize(w.output.view().data());
+  }
+  set_rate_counters(state, w.plan);
+}
+BENCHMARK(BM_CpuBaseline)->Arg(8)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Tiled kernel, staged rows: args = (dms, wi_time, wi_dm, et, ed).
+void BM_TiledStaged(benchmark::State& state) {
+  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const dedisp::KernelConfig cfg{
+      static_cast<std::size_t>(state.range(1)),
+      static_cast<std::size_t>(state.range(2)),
+      static_cast<std::size_t>(state.range(3)),
+      static_cast<std::size_t>(state.range(4))};
+  dedisp::CpuKernelOptions opt;
+  opt.stage_rows = true;
+  for (auto _ : state) {
+    dedisp::dedisperse_cpu(w.plan, cfg, w.input.cview(), w.output.view(),
+                           opt);
+    benchmark::DoNotOptimize(w.output.view().data());
+  }
+  set_rate_counters(state, w.plan);
+}
+BENCHMARK(BM_TiledStaged)
+    ->Args({32, 100, 1, 1, 1})   // thin tiles, no reuse window
+    ->Args({32, 100, 1, 4, 4})   // 4x4 elements per item
+    ->Args({32, 25, 4, 4, 4})    // square-ish tile
+    ->Args({32, 10, 8, 10, 4})   // DM-deep tile, maximal reuse window
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TiledUnstaged(benchmark::State& state) {
+  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const dedisp::KernelConfig cfg{
+      static_cast<std::size_t>(state.range(1)),
+      static_cast<std::size_t>(state.range(2)),
+      static_cast<std::size_t>(state.range(3)),
+      static_cast<std::size_t>(state.range(4))};
+  dedisp::CpuKernelOptions opt;
+  opt.stage_rows = false;
+  for (auto _ : state) {
+    dedisp::dedisperse_cpu(w.plan, cfg, w.input.cview(), w.output.view(),
+                           opt);
+    benchmark::DoNotOptimize(w.output.view().data());
+  }
+  set_rate_counters(state, w.plan);
+}
+BENCHMARK(BM_TiledUnstaged)
+    ->Args({32, 100, 1, 4, 4})
+    ->Args({32, 25, 4, 4, 4})
+    ->Args({32, 10, 8, 10, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

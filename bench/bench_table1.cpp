@@ -1,0 +1,53 @@
+/// Reproduces **Table I**: characteristics of the used many-core
+/// accelerators (compute elements, peak GFLOP/s, peak GB/s), extended with
+/// the execution limits and the calibration constants the device models add
+/// on top of the paper's three columns.
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "ocl/device_presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddmc;
+  Cli cli("bench_table1", "Table I: characteristics of the accelerators");
+  cli.add_flag("csv", "emit only CSV output");
+  cli.add_flag("extended", "also print execution limits and calibration");
+  if (!cli.parse(argc, argv)) return 0;
+
+  TextTable table({"Platform", "CEs", "GFLOP/s", "GB/s"});
+  for (const ocl::DeviceModel& dev : ocl::table1_devices()) {
+    table.add_row({dev.vendor + " " + dev.name,
+                   std::to_string(dev.lanes_per_cu) + " x " +
+                       std::to_string(dev.compute_units),
+                   TextTable::num(dev.peak_gflops, 0),
+                   TextTable::num(dev.peak_bandwidth_gbs, 0)});
+  }
+  std::cout << "== Table I: characteristics of the many-core accelerators ==\n";
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (cli.get_flag("extended")) {
+    TextTable ext({"Platform", "max WG", "regs/item", "local KiB", "mem GB",
+                   "instr/flop", "bw eff"});
+    for (const ocl::DeviceModel& dev : ocl::table1_devices()) {
+      ext.add_row({dev.name, std::to_string(dev.max_work_group_size),
+                   std::to_string(dev.max_regs_per_item),
+                   TextTable::num(dev.local_mem_per_group_bytes / 1024.0, 0),
+                   TextTable::num(dev.memory_gb, 0),
+                   TextTable::num(dev.instr_per_flop, 1),
+                   TextTable::num(dev.bw_efficiency, 2)});
+    }
+    std::cout << "\nexecution limits and calibration constants\n";
+    if (cli.get_flag("csv")) {
+      ext.print_csv(std::cout);
+    } else {
+      ext.print(std::cout);
+    }
+  }
+  return 0;
+}

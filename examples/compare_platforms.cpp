@@ -1,0 +1,58 @@
+/// Platform shoot-out (§V's "comparison of modern accelerators based on a
+/// real scientific application"): tune every Table I device on both setups
+/// at a chosen instance and print the full comparison, including the
+/// real-time verdict and the speedup over the E5-2620 CPU baseline.
+///
+///   ./compare_platforms [--dms 1024]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+#include "sky/observation.hpp"
+#include "tuner/tuner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddmc;
+  Cli cli("compare_platforms",
+          "tuned comparison of all Table I accelerators");
+  cli.add_option("dms", "number of trial DMs", "1024");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+
+  const ocl::DeviceModel cpu = ocl::intel_xeon_e5_2620();
+  for (const sky::Observation& obs : {sky::apertif(), sky::lofar()}) {
+    const dedisp::Plan plan(obs, dms);
+    const ocl::PlanAnalysis analysis(plan);
+    const double rt = ocl::real_time_gflops(obs, dms);
+    const double cpu_gflops = ocl::estimate_cpu_baseline(cpu, plan).gflops;
+
+    std::cout << "== " << obs.name() << ", " << dms
+              << " DMs (real-time needs " << TextTable::num(rt, 1)
+              << " GFLOP/s; CPU baseline " << TextTable::num(cpu_gflops, 1)
+              << " GFLOP/s) ==\n";
+    TextTable table({"platform", "best config", "GFLOP/s", "t(1s data)",
+                     "real-time", "vs CPU", "bound"});
+    for (const ocl::DeviceModel& dev : ocl::table1_devices()) {
+      if (!ocl::fits_in_memory(dev, plan)) {
+        table.add_row({dev.name, "out of device memory", "-", "-", "-", "-",
+                       "-"});
+        continue;
+      }
+      const tuner::TuningResult r = tuner::tune(dev, analysis);
+      table.add_row(
+          {dev.name, r.best.config.to_string(),
+           TextTable::num(r.best.perf.gflops, 1),
+           TextTable::num(r.best.perf.seconds * 1e3, 1) + " ms",
+           r.best.perf.gflops >= rt ? "yes" : "NO",
+           TextTable::num(r.best.perf.gflops / cpu_gflops, 1) + "x",
+           r.best.perf.memory_bound ? "mem" : "compute"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Quickstart: plan → tune → dedisperse → detect, in ~40 lines of API use.
+///
+/// Generates one second of a synthetic Apertif-like observation containing
+/// a dispersed pulsar, auto-tunes the kernel for a chosen device model,
+/// dedisperses on the tiled host backend and reports the recovered DM.
+///
+///   ./quickstart [--device HD7970] [--dms 64] [--dm 4.5]
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "ocl/device_presets.hpp"
+#include "pipeline/dedisperser.hpp"
+#include "sky/delay.hpp"
+#include "sky/detection.hpp"
+#include "sky/signal.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddmc;
+  Cli cli("quickstart", "dedisperse a synthetic pulsar and recover its DM");
+  cli.add_option("device", "device model to tune for", "HD7970");
+  cli.add_option("dms", "number of trial DMs", "64");
+  cli.add_option("dm", "true pulsar dispersion measure [pc/cm^3]", "4.5");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sky::Observation obs = sky::apertif();
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+  const double true_dm = cli.get_double("dm");
+
+  // 1. Plan the instance (one second of data) and tune for the device.
+  pipeline::Dedisperser dd(obs, dms, pipeline::Backend::kCpuTiled);
+  const ocl::DeviceModel device = ocl::device_by_name(cli.get("device"));
+  const tuner::TuningResult tuned = dd.tune_for(device);
+  std::cout << "tuned for " << device.name << ": "
+            << tuned.best.config.to_string() << "\n"
+            << "modeled: " << tuned.best.perf.gflops << " GFLOP/s over "
+            << tuned.evaluated << " configurations\n";
+
+  // 2. Synthesize the observation: noise + a dispersed pulsar. The pulse
+  // must be narrow to localize the DM: a w-sample boxcar tolerates ±w
+  // samples of delay error, and one Apertif DM step shifts the band edge by
+  // only ~3 samples.
+  sky::PulsarParams pulsar;
+  pulsar.dm = true_dm;
+  pulsar.period_s = 0.25;
+  pulsar.width_s = 0.0002;  // 4 samples at 20 k samples/s
+  pulsar.amplitude = 2.0;
+  sky::NoiseParams noise;
+  noise.sigma = 1.0;
+  const Array2D<float> data = sky::make_observation_data(
+      obs, dd.plan().in_samples(), pulsar, noise);
+
+  // 3. Dedisperse on the real host kernel and time it.
+  Stopwatch clock;
+  const Array2D<float> out = dd.dedisperse(data.cview());
+  std::cout << "host dedispersion of " << dms << " trials x "
+            << dd.plan().out_samples() << " samples took "
+            << clock.milliseconds() << " ms\n";
+
+  // 4. Detect: the brute-force search over trial DMs (§II).
+  const sky::DetectionResult res = sky::detect_best_dm(out.cview());
+  const double found_dm = obs.dm_value(res.best_trial);
+  // DM localization is physically limited by the pulse width: a w-second
+  // boxcar cannot distinguish trials whose band-edge delays differ by < w.
+  const double sweep_per_dm =
+      sky::dispersion_delay_seconds(1.0, obs.f_min_mhz(), obs.f_max_mhz());
+  const double dm_tolerance =
+      std::max(obs.dm_step(), pulsar.width_s / sweep_per_dm);
+  std::cout << "best trial: " << res.best_trial << " (DM " << found_dm
+            << " pc/cm^3) with peak S/N " << res.best_snr << "\n"
+            << "injected DM: " << true_dm << " (tolerance +-" << dm_tolerance
+            << ") -> "
+            << ((std::abs(found_dm - true_dm) <= dm_tolerance) ? "recovered"
+                                                               : "MISSED")
+            << "\n";
+  return 0;
+}

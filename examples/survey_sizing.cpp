@@ -1,0 +1,51 @@
+/// Reproduces the §V-D deployment analysis: "Apertif will need to
+/// dedisperse in real-time 2,000 DMs, for 450 different beams … dedispersion
+/// for Apertif could be implemented today with just 50 GPUs, instead of the
+/// 1,800 CPUs that would be necessary otherwise."
+///
+///   ./survey_sizing [--dms 2000] [--beams 450]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "ocl/device_presets.hpp"
+#include "pipeline/survey.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddmc;
+  Cli cli("survey_sizing", "how many accelerators does a survey need?");
+  cli.add_option("dms", "trial DMs per beam", "2000");
+  cli.add_option("beams", "simultaneous beams", "450");
+  cli.add_option("setup", "apertif or lofar", "apertif");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const sky::Observation obs =
+      cli.get("setup") == "lofar" ? sky::lofar() : sky::apertif();
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+  const auto beams = static_cast<std::size_t>(cli.get_int("beams"));
+
+  std::cout << "== real-time survey sizing: " << obs.name() << ", " << dms
+            << " DMs x " << beams << " beams ==\n\n";
+
+  TextTable table({"platform", "t(1s, 1 beam)", "beams/dev (compute)",
+                   "beams/dev (memory)", "devices needed"});
+  for (const ocl::DeviceModel& dev : ocl::table1_devices()) {
+    const pipeline::SurveySizing s =
+        pipeline::size_survey(dev, obs, dms, beams);
+    table.add_row(
+        {dev.name, TextTable::num(s.seconds_per_beam * 1e3, 1) + " ms",
+         std::to_string(s.beams_per_device_compute),
+         std::to_string(s.beams_per_device_memory),
+         s.feasible ? std::to_string(s.devices_needed) : "infeasible"});
+  }
+  table.print(std::cout);
+
+  const std::size_t cpus =
+      pipeline::cpus_needed(ocl::intel_xeon_e5_2620(), obs, dms, beams);
+  std::cout << "\nCPU-only deployment (E5-2620 baseline): " << cpus
+            << " CPUs\n"
+            << "(the paper quotes ~50 HD7970 GPUs vs ~1,800 CPUs for this "
+               "survey)\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+#pragma once
+/// \file array2d.hpp
+/// \brief Owning pitched 2-D array and non-owning views.
+///
+/// The channelized time series (channels × time) and the dedispersed output
+/// (DMs × samples) are both dense row-major matrices. Rows are padded to the
+/// cache-line pitch so that row starts are aligned — the same layout device
+/// runtimes give to image/buffer rows and the layout the memory-traffic model
+/// assumes.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/expect.hpp"
+
+namespace ddmc {
+
+/// Non-owning mutable view over a pitched row-major matrix.
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, std::size_t rows, std::size_t cols, std::size_t pitch)
+      : data_(data), rows_(rows), cols_(cols), pitch_(pitch) {
+    DDMC_REQUIRE(pitch >= cols, "pitch must cover a full row");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t pitch() const { return pitch_; }
+  T* data() const { return data_; }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * pitch_ + c];
+  }
+
+  /// Checked element access (tests and debug paths).
+  T& at(std::size_t r, std::size_t c) const {
+    DDMC_REQUIRE(r < rows_ && c < cols_, "index out of range");
+    return (*this)(r, c);
+  }
+
+  std::span<T> row(std::size_t r) const {
+    DDMC_REQUIRE(r < rows_, "row out of range");
+    return std::span<T>(data_ + r * pitch_, cols_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t pitch_ = 0;
+};
+
+/// Non-owning const view over a pitched row-major matrix.
+template <typename T>
+class ConstView2D {
+ public:
+  ConstView2D() = default;
+  ConstView2D(const T* data, std::size_t rows, std::size_t cols,
+              std::size_t pitch)
+      : data_(data), rows_(rows), cols_(cols), pitch_(pitch) {
+    DDMC_REQUIRE(pitch >= cols, "pitch must cover a full row");
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): views convert like spans.
+  ConstView2D(View2D<T> v)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), pitch_(v.pitch()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t pitch() const { return pitch_; }
+  const T* data() const { return data_; }
+
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * pitch_ + c];
+  }
+
+  const T& at(std::size_t r, std::size_t c) const {
+    DDMC_REQUIRE(r < rows_ && c < cols_, "index out of range");
+    return (*this)(r, c);
+  }
+
+  std::span<const T> row(std::size_t r) const {
+    DDMC_REQUIRE(r < rows_, "row out of range");
+    return std::span<const T>(data_ + r * pitch_, cols_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t pitch_ = 0;
+};
+
+/// Owning pitched row-major matrix with cache-line aligned rows.
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+
+  /// Construct a rows×cols matrix, zero-initialized, rows padded so every
+  /// row start is cache-line aligned.
+  Array2D(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        pitch_(round_up(cols * sizeof(T), kCacheLineBytes) / sizeof(T)),
+        storage_(rows * pitch_, T{}) {
+    DDMC_REQUIRE(rows > 0 && cols > 0, "empty matrix");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t pitch() const { return pitch_; }
+  std::size_t size_bytes() const { return storage_.size() * sizeof(T); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    return storage_[r * pitch_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return storage_[r * pitch_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) { return view().at(r, c); }
+  const T& at(std::size_t r, std::size_t c) const { return cview().at(r, c); }
+
+  std::span<T> row(std::size_t r) { return view().row(r); }
+  std::span<const T> row(std::size_t r) const { return cview().row(r); }
+
+  View2D<T> view() { return View2D<T>(storage_.data(), rows_, cols_, pitch_); }
+  ConstView2D<T> cview() const {
+    return ConstView2D<T>(storage_.data(), rows_, cols_, pitch_);
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator ConstView2D<T>() const { return cview(); }
+
+  void fill(const T& v) { storage_.assign(storage_.size(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t pitch_ = 0;
+  std::vector<T, AlignedAllocator<T>> storage_;
+};
+
+}  // namespace ddmc

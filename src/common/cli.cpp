@@ -1,0 +1,107 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace ddmc {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_option(const std::string& name, const std::string& help,
+                     const std::string& default_value) {
+  DDMC_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{help, default_value, /*is_flag=*/false, false};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  DDMC_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{help, "0", /*is_flag=*/true, false};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    DDMC_REQUIRE(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    DDMC_REQUIRE(it != options_.end(), "unknown option: --" + arg);
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      DDMC_REQUIRE(!has_value, "flag --" + arg + " takes no value");
+      opt.value = "1";
+    } else {
+      if (!has_value) {
+        DDMC_REQUIRE(i + 1 < argc, "missing value for --" + arg);
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name) const {
+  auto it = options_.find(name);
+  DDMC_REQUIRE(it != options_.end(), "option not registered: " + name);
+  return it->second;
+}
+
+std::string Cli::get(const std::string& name) const { return find(name).value; }
+
+long long Cli::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  DDMC_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+               "option --" + name + " is not an integer: " + v);
+  return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  DDMC_REQUIRE(end != nullptr && *end == '\0' && !v.empty(),
+               "option --" + name + " is not a number: " + v);
+  return out;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const Option& opt = find(name);
+  DDMC_REQUIRE(opt.is_flag, "option --" + name + " is not a flag");
+  return opt.value == "1";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream ss;
+  ss << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    ss << "  --" << name;
+    if (!opt.is_flag) ss << " <value>";
+    ss << "\n      " << opt.help;
+    if (!opt.is_flag) ss << " (default: " << opt.value << ")";
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace ddmc

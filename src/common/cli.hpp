@@ -1,0 +1,52 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line option parser for examples and benches.
+///
+/// Supports `--name value`, `--name=value` and boolean `--flag` options with
+/// typed accessors and generated usage text. Deliberately tiny: the harness
+/// binaries need a handful of options, not a framework.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ddmc {
+
+class Cli {
+ public:
+  /// \param description one-line program description for --help output.
+  Cli(std::string program, std::string description);
+
+  /// Register an option before parse(). \p help is shown in usage output.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) when --help is given.
+  /// Throws ddmc::invalid_argument on unknown options or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace ddmc

@@ -1,0 +1,61 @@
+#pragma once
+/// \file expect.hpp
+/// \brief Error-handling primitives shared by every module.
+///
+/// The library reports contract violations with typed exceptions rather than
+/// assertions so that callers (tuner sweeps in particular) can skip invalid
+/// kernel configurations without terminating the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace ddmc {
+
+/// Thrown when a function argument violates its documented contract.
+class invalid_argument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a kernel configuration is not executable on a device or
+/// observation (the paper's notion of a non-"meaningful" configuration).
+class config_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_expect_failed(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  if (std::string(kind) == "precondition") throw invalid_argument(full);
+  throw internal_error(full);
+}
+}  // namespace detail
+
+}  // namespace ddmc
+
+/// Precondition check: throws ddmc::invalid_argument with location info.
+#define DDMC_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ddmc::detail::throw_expect_failed("precondition", #expr, __FILE__,  \
+                                          __LINE__, (msg));                 \
+  } while (false)
+
+/// Internal invariant check: throws ddmc::internal_error with location info.
+#define DDMC_ENSURE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ddmc::detail::throw_expect_failed("invariant", #expr, __FILE__,     \
+                                          __LINE__, (msg));                 \
+  } while (false)

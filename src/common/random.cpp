@@ -1,0 +1,26 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ddmc {
+
+double Rng::next_normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller: u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_ = radius * std::sin(angle);
+  have_spare_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace ddmc

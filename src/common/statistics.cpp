@@ -1,0 +1,108 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ddmc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+StatsSummary summarize(std::span<const double> values) {
+  DDMC_REQUIRE(!values.empty(), "cannot summarize an empty population");
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  StatsSummary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.snr_of_max = snr(s.max, s.mean, s.stddev);
+  return s;
+}
+
+double snr(double value, double mean, double stddev) {
+  if (stddev <= 0.0) return 0.0;
+  return (value - mean) / stddev;
+}
+
+double chebyshev_bound(double k) {
+  if (k <= 1.0) return 1.0;
+  return 1.0 / (k * k);
+}
+
+double Histogram::bin_width() const {
+  if (counts.empty()) return 0.0;
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  DDMC_REQUIRE(i < counts.size(), "bin out of range");
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+Histogram make_histogram(std::span<const double> values, std::size_t bins,
+                         double lo, double hi) {
+  DDMC_REQUIRE(bins > 0, "need at least one bin");
+  DDMC_REQUIRE(hi > lo, "histogram range must be non-empty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+Histogram make_histogram(std::span<const double> values, std::size_t bins) {
+  DDMC_REQUIRE(!values.empty(), "cannot bin an empty population");
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi == lo) hi = lo + 1.0;  // degenerate population: single bin span
+  return make_histogram(values, bins, lo, hi);
+}
+
+}  // namespace ddmc

@@ -1,0 +1,80 @@
+#pragma once
+/// \file statistics.hpp
+/// \brief Descriptive statistics used by the auto-tuner analysis.
+///
+/// The paper quantifies auto-tuning impact through the signal-to-noise ratio
+/// of the optimum — the distance of the best configuration from the mean of
+/// all configurations in units of standard deviation (Figs. 8–10) — and
+/// bounds the probability of guessing a near-optimal configuration with
+/// Chebyshev's inequality.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ddmc {
+
+/// Numerically stable (Welford) accumulator for mean and variance.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (the paper's SNR uses the full population of
+  /// configurations, not a sample).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a population of configuration performances.
+struct StatsSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// (max - mean) / stddev; 0 when stddev == 0.
+  double snr_of_max = 0.0;
+};
+
+/// Compute the summary of \p values. Throws ddmc::invalid_argument if empty.
+StatsSummary summarize(std::span<const double> values);
+
+/// Signal-to-noise ratio of \p value against a population with \p mean and
+/// \p stddev; returns 0 when stddev == 0.
+double snr(double value, double mean, double stddev);
+
+/// Chebyshev upper bound on P(|X - mean| >= k*stddev) = 1/k², clamped to 1.
+/// The paper quotes <39% (k≈1.6) best case and <5% (k≈4.5) worst case.
+double chebyshev_bound(double k);
+
+/// Fixed-width histogram over [lo, hi] with \p bins bins; values outside the
+/// range are clamped into the edge bins (matches the paper's Fig. 10 view).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  double bin_width() const;
+  /// Center of bin \p i, for plotting.
+  double bin_center(std::size_t i) const;
+};
+
+Histogram make_histogram(std::span<const double> values, std::size_t bins,
+                         double lo, double hi);
+
+/// Convenience: histogram spanning [min(values), max(values)].
+Histogram make_histogram(std::span<const double> values, std::size_t bins);
+
+}  // namespace ddmc

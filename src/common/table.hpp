@@ -1,0 +1,39 @@
+#pragma once
+/// \file table.hpp
+/// \brief Text table / CSV emitters for bench harness output.
+///
+/// Every figure bench prints (a) an aligned human-readable table and (b) a
+/// machine-readable CSV block, so results can be eyeballed or re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddmc {
+
+/// Column-aligned text table with an optional title, built row by row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with \p precision significant decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with padded columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows), comma-separated, no quoting (cells are
+  /// generated internally and contain no commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ddmc

@@ -1,0 +1,63 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief RAII worker pool and blocked parallel_for.
+///
+/// Follows the C++ Core Guidelines concurrency rules: threads are joined in
+/// the destructor (no detached threads), work is expressed through a
+/// higher-level facility instead of raw std::thread management, and
+/// exceptions thrown by tasks are propagated to the caller.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddmc {
+
+/// Fixed-size worker pool. Submit tasks with run(); parallel_for() blocks
+/// until the whole index range has been processed and rethrows the first
+/// task exception, if any.
+class ThreadPool {
+ public:
+  /// \param workers number of worker threads; 0 selects hardware concurrency.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue one task. Tasks must not themselves block on this pool.
+  void run(std::function<void()> task);
+
+  /// Block until every task enqueued so far has finished; rethrows the first
+  /// captured task exception.
+  void wait_idle();
+
+  /// Process [begin, end) in contiguous blocks of at most block size,
+  /// invoking fn(block_begin, block_end) on pool workers. Blocks until done.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t block,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Singleton pool sized to the machine, for library-internal parallelism.
+ThreadPool& global_pool();
+
+}  // namespace ddmc

@@ -1,0 +1,26 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Steady-clock stopwatch used by the real host-kernel benchmarks.
+
+#include <chrono>
+
+namespace ddmc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ddmc

@@ -1,0 +1,121 @@
+#include "dedisp/cpu_kernel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ddmc::dedisp {
+
+namespace {
+
+/// Process one work-group tile: trials [dm0, dm0+tile_dm) × samples
+/// [t0, t0+tile_time). Channel-major accumulation matches the reference.
+void process_tile(const Plan& plan, const KernelConfig& config,
+                  ConstView2D<float> in, View2D<float> out, std::size_t dm0,
+                  std::size_t t0, bool stage_rows,
+                  std::vector<float>& staging) {
+  const sky::DelayTable& delays = plan.delays();
+  const std::size_t tile_dm = config.tile_dm();
+  const std::size_t tile_time = config.tile_time();
+  const std::size_t channels = plan.channels();
+
+  // Accumulators for the whole tile — the union of every work-item's
+  // register file in this group.
+  std::vector<float> acc(tile_dm * tile_time, 0.0f);
+
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const auto base = static_cast<std::size_t>(delays.delay(dm0, ch));
+    if (stage_rows) {
+      // Collaborative load: the span [t0+Δ(ch,dm0), t0+Δ(ch,dm_hi)+tile_time)
+      // covers every read any work-item in this group performs for ch.
+      const auto last =
+          static_cast<std::size_t>(delays.delay(dm0 + tile_dm - 1, ch));
+      const std::size_t span = (last - base) + tile_time;
+      staging.resize(span);
+      const float* src = &in(ch, t0 + base);
+      std::copy(src, src + span, staging.begin());
+      for (std::size_t dm = 0; dm < tile_dm; ++dm) {
+        const auto shift =
+            static_cast<std::size_t>(delays.delay(dm0 + dm, ch)) - base;
+        float* a = &acc[dm * tile_time];
+        const float* s = &staging[shift];
+        for (std::size_t t = 0; t < tile_time; ++t) a[t] += s[t];
+      }
+    } else {
+      for (std::size_t dm = 0; dm < tile_dm; ++dm) {
+        const auto shift =
+            static_cast<std::size_t>(delays.delay(dm0 + dm, ch));
+        float* a = &acc[dm * tile_time];
+        const float* s = &in(ch, t0 + shift);
+        for (std::size_t t = 0; t < tile_time; ++t) a[t] += s[t];
+      }
+    }
+  }
+
+  for (std::size_t dm = 0; dm < tile_dm; ++dm) {
+    float* dst = &out(dm0 + dm, t0);
+    const float* a = &acc[dm * tile_time];
+    std::copy(a, a + tile_time, dst);
+  }
+}
+
+void check_shapes(const Plan& plan, ConstView2D<float> in,
+                  View2D<float> out) {
+  DDMC_REQUIRE(in.rows() == plan.channels(), "input rows != channels");
+  DDMC_REQUIRE(in.cols() >= plan.in_samples(),
+               "input too short for the plan's largest delay");
+  DDMC_REQUIRE(out.rows() == plan.dms(), "output rows != trial DMs");
+  DDMC_REQUIRE(out.cols() >= plan.out_samples(), "output too short");
+}
+
+}  // namespace
+
+void dedisperse_cpu(const Plan& plan, const KernelConfig& config,
+                    ConstView2D<float> in, View2D<float> out,
+                    const CpuKernelOptions& options) {
+  config.validate(plan);
+  check_shapes(plan, in, out);
+
+  const std::size_t groups_dm = config.groups_dm(plan);
+  const std::size_t groups_time = config.groups_time(plan);
+  const std::size_t total = groups_dm * groups_time;
+
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<float> staging;  // reused across tiles on this worker
+    for (std::size_t g = begin; g < end; ++g) {
+      const std::size_t gd = g / groups_time;
+      const std::size_t gt = g % groups_time;
+      process_tile(plan, config, in, out, gd * config.tile_dm(),
+                   gt * config.tile_time(), options.stage_rows, staging);
+    }
+  };
+
+  if (options.threads == 1) {
+    run_range(0, total);
+    return;
+  }
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned;
+  if (options.threads == 0) {
+    pool = &global_pool();
+  } else {
+    owned = std::make_unique<ThreadPool>(options.threads);
+    pool = owned.get();
+  }
+  const std::size_t block =
+      std::max<std::size_t>(1, total / (pool->worker_count() * 4));
+  pool->parallel_for(0, total, block, run_range);
+}
+
+Array2D<float> dedisperse_cpu(const Plan& plan, const KernelConfig& config,
+                              ConstView2D<float> in,
+                              const CpuKernelOptions& options) {
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  dedisperse_cpu(plan, config, in, out.view(), options);
+  return out;
+}
+
+}  // namespace ddmc::dedisp

@@ -1,0 +1,40 @@
+#pragma once
+/// \file cpu_kernel.hpp
+/// \brief Tiled, threaded host implementation of the many-core kernel.
+///
+/// This is the host-side twin of the OpenCL kernel of §III-B: the iteration
+/// space is tiled exactly like the device work-groups (tile_dm × tile_time),
+/// accumulators are register-resident scalars, and an optional staging path
+/// copies each (channel, DM-tile) input row span into a local buffer first —
+/// the moral equivalent of collaborative local-memory loading. Tiles are
+/// independent and are distributed over a thread pool.
+///
+/// Running the same KernelConfig here and on the simulator produces
+/// bit-identical output, which is what the equivalence test suite checks.
+
+#include "common/array2d.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+
+namespace ddmc::dedisp {
+
+struct CpuKernelOptions {
+  /// Stage each (channel, dm-tile) input span into a thread-local buffer
+  /// before accumulating (mirrors the device local-memory path).
+  bool stage_rows = true;
+  /// Worker threads; 0 = use the global pool sized to the machine,
+  /// 1 = run inline on the calling thread (deterministic profiling).
+  std::size_t threads = 0;
+};
+
+/// Execute the tiled kernel. \p config must validate against \p plan.
+void dedisperse_cpu(const Plan& plan, const KernelConfig& config,
+                    ConstView2D<float> in, View2D<float> out,
+                    const CpuKernelOptions& options = {});
+
+/// Convenience allocating the output matrix.
+Array2D<float> dedisperse_cpu(const Plan& plan, const KernelConfig& config,
+                              ConstView2D<float> in,
+                              const CpuKernelOptions& options = {});
+
+}  // namespace ddmc::dedisp

@@ -1,0 +1,33 @@
+#include "dedisp/kernel_config.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace ddmc::dedisp {
+
+void KernelConfig::validate(const Plan& plan) const {
+  if (wi_time == 0 || wi_dm == 0 || elem_time == 0 || elem_dm == 0) {
+    throw config_error("kernel parameters must all be positive: " +
+                       to_string());
+  }
+  if (plan.out_samples() % tile_time() != 0) {
+    throw config_error("time tile " + std::to_string(tile_time()) +
+                       " does not divide output samples " +
+                       std::to_string(plan.out_samples()));
+  }
+  if (plan.dms() % tile_dm() != 0) {
+    throw config_error("DM tile " + std::to_string(tile_dm()) +
+                       " does not divide trial count " +
+                       std::to_string(plan.dms()));
+  }
+}
+
+std::string KernelConfig::to_string() const {
+  std::ostringstream ss;
+  ss << "{wi_time=" << wi_time << ", wi_dm=" << wi_dm
+     << ", elem_time=" << elem_time << ", elem_dm=" << elem_dm << "}";
+  return ss.str();
+}
+
+}  // namespace ddmc::dedisp

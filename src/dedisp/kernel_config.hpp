@@ -1,0 +1,68 @@
+#pragma once
+/// \file kernel_config.hpp
+/// \brief The four user-controlled parameters of the many-core kernel.
+///
+/// §III-B: "The general structure of the algorithm can be specifically
+/// instantiated by configuring four user-controlled parameters. Two
+/// parameters control the number of work-items per work-group in the time
+/// and DM dimensions, regulating the amount of available parallelism. The
+/// other two control the number of elements a single work-item computes,
+/// also in the time and DM dimensions, regulating the amount of work per
+/// work-item."
+///
+/// A work-group owns a tile of `tile_dm() = wi_dm*elem_dm` trial DMs by
+/// `tile_time() = wi_time*elem_time` output samples; each work-item keeps
+/// its `elem_dm*elem_time` accumulators in registers.
+
+#include <cstddef>
+#include <string>
+
+#include "dedisp/plan.hpp"
+
+namespace ddmc::dedisp {
+
+struct KernelConfig {
+  std::size_t wi_time = 1;    ///< work-items per work-group, time dimension
+  std::size_t wi_dm = 1;      ///< work-items per work-group, DM dimension
+  std::size_t elem_time = 1;  ///< output samples computed per work-item
+  std::size_t elem_dm = 1;    ///< trial DMs computed per work-item
+
+  /// Output samples covered by one work-group.
+  std::size_t tile_time() const { return wi_time * elem_time; }
+  /// Trial DMs covered by one work-group.
+  std::size_t tile_dm() const { return wi_dm * elem_dm; }
+  /// Work-items per work-group (the quantity plotted in Figs. 2–3).
+  std::size_t work_group_size() const { return wi_time * wi_dm; }
+  /// Accumulator registers per work-item (the quantity plotted in
+  /// Figs. 4–5): one register per output element a work-item produces.
+  std::size_t accumulators_per_item() const { return elem_time * elem_dm; }
+
+  /// Grid extent for a plan (work-groups in each dimension).
+  std::size_t groups_time(const Plan& plan) const {
+    return plan.out_samples() / tile_time();
+  }
+  std::size_t groups_dm(const Plan& plan) const {
+    return plan.dms() / tile_dm();
+  }
+  std::size_t total_groups(const Plan& plan) const {
+    return groups_time(plan) * groups_dm(plan);
+  }
+
+  /// True when both tile dimensions evenly divide the plan (the generated
+  /// kernel has no remainder handling, as in the paper's implementation).
+  bool divides(const Plan& plan) const {
+    return tile_time() != 0 && tile_dm() != 0 &&
+           plan.out_samples() % tile_time() == 0 &&
+           plan.dms() % tile_dm() == 0;
+  }
+
+  /// Throws ddmc::config_error with a precise reason when the config cannot
+  /// run on \p plan (zero parameter or non-dividing tiles).
+  void validate(const Plan& plan) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+}  // namespace ddmc::dedisp

@@ -1,0 +1,34 @@
+#include "dedisp/plan.hpp"
+
+namespace ddmc::dedisp {
+
+Plan::Plan(const sky::Observation& obs, std::size_t dms, std::size_t seconds)
+    : Plan(obs, dms, obs.samples_per_second() * seconds,
+           /*round_to_seconds=*/true) {
+  DDMC_REQUIRE(seconds > 0, "need at least one second of output");
+}
+
+Plan Plan::with_output_samples(const sky::Observation& obs, std::size_t dms,
+                               std::size_t out_samples) {
+  return Plan(obs, dms, out_samples, /*round_to_seconds=*/false);
+}
+
+Plan::Plan(const sky::Observation& obs, std::size_t dms,
+           std::size_t out_samples, bool round_to_seconds)
+    : obs_(obs),
+      dms_(dms),
+      out_samples_(out_samples),
+      in_samples_(0),
+      delays_(std::make_shared<const sky::DelayTable>(obs, dms)) {
+  DDMC_REQUIRE(dms > 0, "need at least one trial DM");
+  DDMC_REQUIRE(out_samples > 0, "need at least one output sample");
+  const auto max_delay = static_cast<std::size_t>(delays_->max_delay());
+  in_samples_ = out_samples_ + max_delay;
+  if (round_to_seconds) {
+    in_samples_ = round_up(in_samples_, obs.samples_per_second());
+  }
+  DDMC_ENSURE(in_samples_ >= out_samples_ + max_delay,
+              "input must cover the largest shifted read");
+}
+
+}  // namespace ddmc::dedisp

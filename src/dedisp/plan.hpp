@@ -1,0 +1,75 @@
+#pragma once
+/// \file plan.hpp
+/// \brief Dedispersion plan: dimensions + precomputed delay table.
+///
+/// A plan fixes the problem instance of Algorithm 1:
+///  - input: channels × in_samples matrix (the paper's c × t; t is a
+///    multiple of the samples-per-second and covers the largest trial delay),
+///  - output: dms × out_samples matrix (the paper's d × s),
+///  - Δ: the DelayTable.
+/// The plan never allocates the data matrices themselves — instances with
+/// thousands of DMs are analyzed by the tuner without touching gigabytes.
+
+#include <cstddef>
+#include <memory>
+
+#include "common/aligned.hpp"
+#include "sky/delay.hpp"
+#include "sky/observation.hpp"
+
+namespace ddmc::dedisp {
+
+class Plan {
+ public:
+  /// Plan for dedispersing \p seconds of data (default: the paper's one
+  /// second) into \p dms trial series.
+  ///
+  /// in_samples = out_samples + max_delay, rounded up to a whole multiple of
+  /// the samples-per-second (the paper: "t is always a multiple of the
+  /// number of samples per second").
+  Plan(const sky::Observation& obs, std::size_t dms, std::size_t seconds = 1);
+
+  /// Plan with an explicit output length in samples (used by tests and the
+  /// real host benchmarks, where a full second would be needlessly large).
+  /// in_samples = out_samples + max_delay (no rounding).
+  static Plan with_output_samples(const sky::Observation& obs,
+                                  std::size_t dms,
+                                  std::size_t out_samples);
+
+  const sky::Observation& observation() const { return obs_; }
+  const sky::DelayTable& delays() const { return *delays_; }
+
+  std::size_t dms() const { return dms_; }
+  std::size_t channels() const { return obs_.channels(); }
+  std::size_t out_samples() const { return out_samples_; }
+  std::size_t in_samples() const { return in_samples_; }
+
+  /// Total single-precision FLOPs the paper credits this instance with:
+  /// one accumulate per (dm, sample, channel).
+  double total_flop() const {
+    return static_cast<double>(dms_) * static_cast<double>(out_samples_) *
+           static_cast<double>(channels());
+  }
+
+  /// Bytes of the (unpadded) input/output matrices, for device-memory checks.
+  double input_bytes() const {
+    return static_cast<double>(channels()) *
+           static_cast<double>(in_samples_) * sizeof(float);
+  }
+  double output_bytes() const {
+    return static_cast<double>(dms_) * static_cast<double>(out_samples_) *
+           sizeof(float);
+  }
+
+ private:
+  Plan(const sky::Observation& obs, std::size_t dms, std::size_t out_samples,
+       bool round_to_seconds);
+
+  sky::Observation obs_;
+  std::size_t dms_;
+  std::size_t out_samples_;
+  std::size_t in_samples_;
+  std::shared_ptr<const sky::DelayTable> delays_;  // immutable, shared
+};
+
+}  // namespace ddmc::dedisp

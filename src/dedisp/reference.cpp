@@ -1,0 +1,44 @@
+#include "dedisp/reference.hpp"
+
+#include "common/expect.hpp"
+
+namespace ddmc::dedisp {
+
+namespace {
+void check_shapes(const Plan& plan, ConstView2D<float> in,
+                  View2D<float> out) {
+  DDMC_REQUIRE(in.rows() == plan.channels(), "input rows != channels");
+  DDMC_REQUIRE(in.cols() >= plan.in_samples(),
+               "input too short for the plan's largest delay");
+  DDMC_REQUIRE(out.rows() == plan.dms(), "output rows != trial DMs");
+  DDMC_REQUIRE(out.cols() >= plan.out_samples(), "output too short");
+}
+}  // namespace
+
+void dedisperse_reference(const Plan& plan, ConstView2D<float> in,
+                          View2D<float> out) {
+  check_shapes(plan, in, out);
+  const sky::DelayTable& delays = plan.delays();
+  const std::size_t dms = plan.dms();
+  const std::size_t samples = plan.out_samples();
+  const std::size_t channels = plan.channels();
+
+  for (std::size_t dm = 0; dm < dms; ++dm) {
+    for (std::size_t t = 0; t < samples; ++t) {
+      float acc = 0.0f;
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        const auto shift = static_cast<std::size_t>(delays.delay(dm, ch));
+        acc += in(ch, t + shift);
+      }
+      out(dm, t) = acc;
+    }
+  }
+}
+
+Array2D<float> dedisperse_reference(const Plan& plan, ConstView2D<float> in) {
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  dedisperse_reference(plan, in, out.view());
+  return out;
+}
+
+}  // namespace ddmc::dedisp

@@ -1,0 +1,23 @@
+#pragma once
+/// \file reference.hpp
+/// \brief Algorithm 1 — the sequential reference dedispersion.
+///
+/// Every other implementation in this library (tiled host kernel, simulator
+/// kernel, generated OpenCL mirror) is tested for bit-identical output
+/// against this triple loop. Accumulation order is channel-major for every
+/// implementation, so float results match exactly, not just approximately.
+
+#include "common/array2d.hpp"
+#include "dedisp/plan.hpp"
+
+namespace ddmc::dedisp {
+
+/// out(dm, t) = Σ_ch in(ch, t + Δ(ch, dm)), for every trial and sample.
+/// \pre in is channels × in_samples, out is dms × out_samples.
+void dedisperse_reference(const Plan& plan, ConstView2D<float> in,
+                          View2D<float> out);
+
+/// Convenience allocating the output matrix.
+Array2D<float> dedisperse_reference(const Plan& plan, ConstView2D<float> in);
+
+}  // namespace ddmc::dedisp

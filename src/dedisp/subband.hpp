@@ -1,0 +1,51 @@
+#pragma once
+/// \file subband.hpp
+/// \brief Two-stage (subband) dedispersion.
+///
+/// The standard algorithmic optimization in this family of codes (used by
+/// PRESTO and the authors' later AMBER pipeline, and the natural "future
+/// work" extension of the paper's brute-force kernel): instead of shifting
+/// every channel for every trial DM (O(d·s·c)), first dedisperse groups of
+/// adjacent channels ("subbands") at a coarse grid of DMs — within a narrow
+/// subband the delay varies slowly — then combine the subband series with
+/// inter-subband shifts for every fine trial (O(d_coarse·s·c + d·s·n_sub)).
+///
+/// The result is an approximation: each fine trial reuses the intra-subband
+/// shifts of its nearest coarse trial, smearing the signal by at most the
+/// intra-subband delay error. With one channel per subband and a coarse
+/// step of one the method degenerates to exact brute force, which is the
+/// equivalence anchor the tests use.
+
+#include "common/array2d.hpp"
+#include "dedisp/plan.hpp"
+
+namespace ddmc::dedisp {
+
+struct SubbandConfig {
+  /// Number of subbands; must divide the observation's channel count.
+  std::size_t subbands = 32;
+  /// Fine trials per coarse trial; must divide the plan's trial count.
+  std::size_t coarse_step = 16;
+};
+
+/// Floating point operations of the two-stage method for \p plan
+/// (stage 1: d/coarse_step · s · c; stage 2: d · s · subbands).
+double subband_flop(const Plan& plan, const SubbandConfig& config);
+
+/// Largest intra-subband delay error in samples introduced by reusing a
+/// coarse trial's shifts — the smearing bound of the approximation.
+std::int64_t subband_max_delay_error(const Plan& plan,
+                                     const SubbandConfig& config);
+
+/// Two-stage dedispersion into \p out (dms × out_samples). The input must
+/// provide in_samples + 2 columns of padding (delay splitting rounds the
+/// intra and inter shifts separately, costing up to two extra samples).
+void dedisperse_subband(const Plan& plan, const SubbandConfig& config,
+                        ConstView2D<float> in, View2D<float> out);
+
+/// Convenience allocating the output.
+Array2D<float> dedisperse_subband(const Plan& plan,
+                                  const SubbandConfig& config,
+                                  ConstView2D<float> in);
+
+}  // namespace ddmc::dedisp

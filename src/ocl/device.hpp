@@ -1,0 +1,72 @@
+#pragma once
+/// \file device.hpp
+/// \brief Parameterized model of a many-core accelerator.
+///
+/// There is no physical GPU in this environment, so the five accelerators of
+/// Table I are reproduced as *device models*: the architectural parameters a
+/// real OpenCL runtime would report (compute units, work-group limits,
+/// register files, local memory, cache lines) plus a small set of documented
+/// calibration constants used by the analytic performance model
+/// (perf_model.hpp). The functional simulator (sim_engine.hpp) enforces the
+/// same limits when executing kernels, so a configuration that is invalid on
+/// a device model fails the same way in both paths.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ddmc::ocl {
+
+struct DeviceModel {
+  std::string name;
+  std::string vendor;
+
+  // ---- Table I characteristics -------------------------------------------
+  std::size_t compute_units = 1;   ///< CUs / SMXs / cores
+  std::size_t lanes_per_cu = 1;    ///< compute elements per CU
+  double clock_ghz = 1.0;
+  double peak_gflops = 0.0;        ///< single-precision peak (with FMA)
+  double peak_bandwidth_gbs = 0.0; ///< peak DRAM bandwidth
+  double memory_gb = 0.0;          ///< device memory capacity
+
+  // ---- Execution limits (what clGetDeviceInfo/occupancy rules expose) ----
+  std::size_t max_work_group_size = 256;
+  std::size_t max_groups_per_cu = 16;
+  std::size_t max_items_per_cu = 2048;     ///< resident work-items per CU
+  std::size_t register_file_per_cu = 65536;///< 32-bit registers per CU
+  std::size_t max_regs_per_item = 255;     ///< hardware/compiler per-thread cap
+  std::size_t reg_overhead_per_item = 12;  ///< regs beyond the accumulators
+  std::size_t local_mem_per_group_bytes = 32768;
+  std::size_t local_mem_per_cu_bytes = 65536;
+  bool has_local_memory = true;   ///< false: "local" is emulated in cache
+  bool serial_group_execution = false; ///< Phi-style: group = 1 instr stream
+  std::size_t simd_width = 32;    ///< warp / wavefront / vector width
+  std::size_t cache_line_bytes = 64;
+  std::size_t cache_per_cu_bytes = 16384; ///< reuse budget without local mem
+  /// Fraction of the potential inter-trial reuse a hardware cache actually
+  /// realizes when the working set fits (caches capture opportunistically;
+  /// collaborative local-memory staging captures deterministically).
+  double cache_capture_eff = 0.5;
+  double lds_bytes_per_cu_per_clock = 128.0; ///< local-memory throughput
+
+  // ---- Calibration constants (fitted once; see device_presets.cpp) -------
+  double instr_per_flop = 5.0;     ///< issued instructions per accumulate
+  double bw_efficiency = 0.8;      ///< achievable fraction of peak bandwidth
+  double compute_efficiency = 1.0; ///< achievable fraction of peak issue rate
+  double hiding_half = 6.0;        ///< hiding units giving 50% latency hiding
+  double launch_overhead_us = 10.0;///< fixed per-kernel launch cost
+  double group_overhead_cycles = 300.0; ///< per-work-group scheduling cost
+
+  // ---- Derived helpers ----------------------------------------------------
+  /// Total scalar lanes on the device.
+  std::size_t total_lanes() const { return compute_units * lanes_per_cu; }
+  /// Peak instruction issue rate in Gops (no FMA credit: dedispersion's
+  /// accumulates cannot be fused, which alone halves the headline peak —
+  /// the §VI argument against the 50%-of-peak claim).
+  double peak_instr_gops() const {
+    return static_cast<double>(total_lanes()) * clock_ghz;
+  }
+  double memory_bytes() const { return memory_gb * 1e9; }
+};
+
+}  // namespace ddmc::ocl

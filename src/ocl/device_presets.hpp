@@ -1,0 +1,36 @@
+#pragma once
+/// \file device_presets.hpp
+/// \brief The accelerators of Table I plus the §V-D comparison CPU.
+///
+/// Architectural numbers come from vendor documentation for the exact parts
+/// the paper used; the calibration constants are fitted once against the
+/// paper's measured plateaus (see the comment block in device_presets.cpp)
+/// and are identical across every experiment in this repository.
+
+#include <vector>
+
+#include "ocl/device.hpp"
+
+namespace ddmc::ocl {
+
+DeviceModel amd_hd7970();        ///< AMD Radeon HD7970 (GCN Tahiti)
+DeviceModel intel_xeon_phi();    ///< Intel Xeon Phi 5110P (KNC)
+DeviceModel nvidia_gtx680();     ///< NVIDIA GTX 680 (GK104 Kepler)
+DeviceModel nvidia_k20();        ///< NVIDIA K20 (GK110 Kepler)
+DeviceModel nvidia_gtx_titan();  ///< NVIDIA GTX Titan (GK110 Kepler)
+
+/// The five many-core accelerators of Table I, in the paper's order.
+std::vector<DeviceModel> table1_devices();
+
+/// Intel Xeon E5-2620 (Sandy Bridge, 6 cores, AVX) — the CPU of §V-D.
+DeviceModel intel_xeon_e5_2620();
+
+/// Look up a preset by (case-insensitive) name; throws ddmc::invalid_argument
+/// for unknown names. Accepts "HD7970", "XeonPhi", "GTX680", "K20", "Titan",
+/// "E5-2620".
+DeviceModel device_by_name(const std::string& name);
+
+/// Names accepted by device_by_name, for CLI help text.
+std::vector<std::string> preset_names();
+
+}  // namespace ddmc::ocl

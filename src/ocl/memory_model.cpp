@@ -1,0 +1,115 @@
+#include "ocl/memory_model.hpp"
+
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace ddmc::ocl {
+
+std::string to_string(ReuseCapture capture) {
+  switch (capture) {
+    case ReuseCapture::kLocalMemory: return "local-memory";
+    case ReuseCapture::kCache: return "cache";
+    case ReuseCapture::kNone: return "none";
+  }
+  return "unknown";
+}
+
+double line_quantized_bytes(double bytes, std::size_t line) {
+  return bytes + static_cast<double>(line) - 1.0;
+}
+
+TrafficEstimate estimate_traffic(const DeviceModel& device,
+                                 const dedisp::Plan& plan,
+                                 const dedisp::KernelConfig& config,
+                                 const sky::SpreadStats& spreads) {
+  config.validate(plan);
+  TrafficEstimate t;
+
+  const double d = static_cast<double>(plan.dms());
+  const double s = static_cast<double>(plan.out_samples());
+  const double c = static_cast<double>(plan.channels());
+  const double tile_time = static_cast<double>(config.tile_time());
+  const double tiles_time = static_cast<double>(config.groups_time(plan));
+  const std::size_t line = device.cache_line_bytes;
+  const double naive_reads = d * s * c;
+
+  // Distinct input elements under the tiling (independent of capture).
+  t.unique_input_floats =
+      tiles_time * (static_cast<double>(spreads.rows) * tile_time +
+                    spreads.total_spread);
+
+  const bool wants_staging = device.has_local_memory && config.tile_dm() > 1;
+  if (wants_staging) {
+    t.capture = ReuseCapture::kLocalMemory;
+    t.staging_bytes_per_group =
+        (config.tile_time() + static_cast<std::size_t>(spreads.max_spread)) *
+        sizeof(float);
+  } else if (config.tile_dm() > 1) {
+    // Direct variant: reuse only materializes if a tile's working set stays
+    // resident in the CU's cache while its trials stream through it. We
+    // require two spans of headroom so concurrent groups do not thrash.
+    const double avg_spread =
+        spreads.rows == 0 ? 0.0
+                          : spreads.total_spread /
+                                static_cast<double>(spreads.rows);
+    const double span_bytes = (tile_time + avg_spread) * sizeof(float);
+    t.capture = (2.0 * span_bytes <=
+                 static_cast<double>(device.cache_per_cu_bytes))
+                    ? ReuseCapture::kCache
+                    : ReuseCapture::kNone;
+  } else {
+    t.capture = ReuseCapture::kNone;  // a single trial has nothing to reuse
+  }
+
+  // Streaming traffic: every (trial, time-tile, channel) fetches its own
+  // row of tile_time contiguous floats, unaligned ⇒ line-quantized per row.
+  const double streaming_bytes =
+      d * tiles_time * c * line_quantized_bytes(4.0 * tile_time, line);
+  // Captured traffic: each (channel, DM-tile, time-tile) row fetched once.
+  const double captured_bytes =
+      4.0 * t.unique_input_floats +
+      tiles_time * static_cast<double>(spreads.rows) *
+          (static_cast<double>(line) - 1.0);
+
+  switch (t.capture) {
+    case ReuseCapture::kNone:
+      t.input_bytes = streaming_bytes;
+      break;
+    case ReuseCapture::kLocalMemory:
+      t.input_bytes = captured_bytes;
+      break;
+    case ReuseCapture::kCache:
+      // Caches capture reuse opportunistically: only a device-specific
+      // fraction of the potential saving materializes.
+      t.input_bytes = captured_bytes +
+                      (1.0 - device.cache_capture_eff) *
+                          std::max(0.0, streaming_bytes - captured_bytes);
+      break;
+  }
+
+  if (t.capture == ReuseCapture::kLocalMemory) {
+    // Staged traffic through local memory: one store per staged element and
+    // one load per accumulate.
+    t.lds_bytes = 4.0 * (t.unique_input_floats + plan.total_flop());
+  }
+
+  // Output stores: a SIMD bundle writes wi_time consecutive samples per DM
+  // row, so narrow wi_time scatters one instruction's stores across many
+  // rows — each partial row costs a full line ((§III-B's coalescing
+  // requirement). Traffic = 4·d·s · (1 + (L−1)/(4·wi_time)).
+  t.output_bytes =
+      4.0 * d * s *
+      (1.0 + (static_cast<double>(line) - 1.0) /
+                 (4.0 * static_cast<double>(config.wi_time)));
+  // Δ table: read once (it stays cached across groups — it is tiny compared
+  // to the signal data and shared by every group on the same DM tile).
+  t.delay_bytes = 4.0 * d * c;
+
+  t.total_bytes = t.input_bytes + t.output_bytes + t.delay_bytes;
+  t.reuse_factor = 4.0 * naive_reads / t.input_bytes;
+  DDMC_ENSURE(t.reuse_factor > 0.0, "reuse factor must be positive");
+  return t;
+}
+
+}  // namespace ddmc::ocl

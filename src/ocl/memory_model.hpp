@@ -1,0 +1,58 @@
+#pragma once
+/// \file memory_model.hpp
+/// \brief Analytic DRAM / local-memory traffic for a (plan, config, device).
+///
+/// §III-B's memory reasoning, made quantitative:
+///  - reads are coalesced but not aligned (the delay function fixes the
+///    offsets), so a contiguous read of b bytes at an effectively random
+///    offset touches (b + L − 1)/L cache lines in expectation — which
+///    degenerates to the paper's "at most a factor two" for single-line
+///    rows and vanishes for long rows;
+///  - when the staged (local-memory) variant captures reuse, each
+///    (channel, DM-tile, time-tile) row is fetched once: tile_time + spread
+///    distinct floats;
+///  - when reuse is not captured (direct variant with a working set larger
+///    than the cache), every trial re-reads its own span.
+
+#include <cstddef>
+
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+#include "sky/delay.hpp"
+
+namespace ddmc::ocl {
+
+/// How inter-DM reuse is realized on the device for a given config.
+enum class ReuseCapture {
+  kLocalMemory,  ///< staged variant, rows fit the local-memory budget
+  kCache,        ///< direct variant, rows co-resident in the cache
+  kNone,         ///< every trial streams its own data
+};
+
+std::string to_string(ReuseCapture capture);
+
+struct TrafficEstimate {
+  ReuseCapture capture = ReuseCapture::kNone;
+  double unique_input_floats = 0.0;  ///< distinct input elements touched
+  double input_bytes = 0.0;          ///< DRAM bytes for input (line-quantized)
+  double output_bytes = 0.0;         ///< DRAM bytes for output
+  double delay_bytes = 0.0;          ///< DRAM bytes for the Δ table (cold)
+  double total_bytes = 0.0;
+  double lds_bytes = 0.0;            ///< local-memory traffic (staged only)
+  double reuse_factor = 1.0;         ///< naive reads / DRAM-served reads
+  std::size_t staging_bytes_per_group = 0;  ///< local array size (staged)
+};
+
+/// Estimate DRAM and local-memory traffic. \p spreads must come from
+/// plan.delays().tile_spreads(config.tile_dm()).
+TrafficEstimate estimate_traffic(const DeviceModel& device,
+                                 const dedisp::Plan& plan,
+                                 const dedisp::KernelConfig& config,
+                                 const sky::SpreadStats& spreads);
+
+/// Expected cache lines touched by a contiguous read of \p bytes at a
+/// uniformly random offset, times the line size: bytes + line − 1.
+double line_quantized_bytes(double bytes, std::size_t line);
+
+}  // namespace ddmc::ocl

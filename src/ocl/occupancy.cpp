@@ -1,0 +1,68 @@
+#include "ocl/occupancy.hpp"
+
+#include <algorithm>
+
+namespace ddmc::ocl {
+
+std::string to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kGroupCap: return "group-cap";
+    case OccupancyLimiter::kItemCap: return "item-cap";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kLocalMemory: return "local-memory";
+    case OccupancyLimiter::kInvalid: return "invalid";
+  }
+  return "unknown";
+}
+
+Occupancy compute_occupancy(const DeviceModel& device,
+                            const dedisp::KernelConfig& config,
+                            std::size_t local_bytes_per_group) {
+  Occupancy occ;
+  occ.regs_per_item =
+      config.accumulators_per_item() + device.reg_overhead_per_item;
+
+  const std::size_t wg = config.work_group_size();
+  if (wg == 0 || wg > device.max_work_group_size ||
+      occ.regs_per_item > device.max_regs_per_item) {
+    occ.limiter = OccupancyLimiter::kInvalid;
+    return occ;
+  }
+  if (device.has_local_memory &&
+      local_bytes_per_group > device.local_mem_per_group_bytes) {
+    occ.limiter = OccupancyLimiter::kInvalid;
+    return occ;
+  }
+
+  // Candidate limits, each paired with its limiter tag.
+  struct Limit {
+    std::size_t groups;
+    OccupancyLimiter tag;
+  };
+  Limit limits[4] = {
+      {device.max_groups_per_cu, OccupancyLimiter::kGroupCap},
+      {device.max_items_per_cu / wg, OccupancyLimiter::kItemCap},
+      {device.register_file_per_cu / (occ.regs_per_item * wg),
+       OccupancyLimiter::kRegisters},
+      {device.has_local_memory && local_bytes_per_group > 0
+           ? device.local_mem_per_cu_bytes / local_bytes_per_group
+           : device.max_groups_per_cu,
+       OccupancyLimiter::kLocalMemory},
+  };
+
+  Limit binding = limits[0];
+  for (const Limit& l : limits) {
+    if (l.groups < binding.groups) binding = l;
+  }
+  occ.groups_per_cu = binding.groups;
+  occ.limiter = binding.groups == 0 ? OccupancyLimiter::kInvalid : binding.tag;
+  occ.items_per_cu = binding.groups * wg;
+  occ.fraction = device.max_items_per_cu == 0
+                     ? 0.0
+                     : static_cast<double>(occ.items_per_cu) /
+                           static_cast<double>(device.max_items_per_cu);
+  occ.fraction = std::min(occ.fraction, 1.0);
+  return occ;
+}
+
+}  // namespace ddmc::ocl

@@ -1,0 +1,46 @@
+#pragma once
+/// \file occupancy.hpp
+/// \brief Occupancy calculator: how many groups/items a CU can keep resident.
+///
+/// The paper's tuner trades work-group size against registers per work-item
+/// (Figs. 2–5); the mechanism behind the trade is occupancy — registers,
+/// local memory, the resident-group cap and the resident-item cap all bound
+/// how much latency-hiding parallelism a compute unit holds. This module
+/// reproduces the standard occupancy computation from those limits.
+
+#include <cstddef>
+#include <string>
+
+#include "dedisp/kernel_config.hpp"
+#include "ocl/device.hpp"
+
+namespace ddmc::ocl {
+
+enum class OccupancyLimiter {
+  kGroupCap,     ///< device max groups per CU
+  kItemCap,      ///< device max resident items per CU
+  kRegisters,    ///< register file exhausted
+  kLocalMemory,  ///< local memory exhausted
+  kInvalid,      ///< config cannot run at all (0 resident groups)
+};
+
+std::string to_string(OccupancyLimiter limiter);
+
+struct Occupancy {
+  std::size_t regs_per_item = 0;     ///< accumulators + fixed overhead
+  std::size_t groups_per_cu = 0;     ///< resident groups per CU
+  std::size_t items_per_cu = 0;      ///< resident work-items per CU
+  double fraction = 0.0;             ///< items_per_cu / max_items_per_cu
+  OccupancyLimiter limiter = OccupancyLimiter::kInvalid;
+
+  bool valid() const { return groups_per_cu > 0; }
+};
+
+/// Compute occupancy of \p config on \p device given the kernel's local
+/// memory appetite (\p local_bytes_per_group; 0 for the direct variant).
+/// Never throws: an impossible config reports limiter == kInvalid.
+Occupancy compute_occupancy(const DeviceModel& device,
+                            const dedisp::KernelConfig& config,
+                            std::size_t local_bytes_per_group);
+
+}  // namespace ddmc::ocl

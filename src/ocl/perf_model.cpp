@@ -1,0 +1,194 @@
+#include "ocl/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ddmc::ocl {
+
+PlanAnalysis::PlanAnalysis(dedisp::Plan plan) : plan_(std::move(plan)) {}
+
+const sky::SpreadStats& PlanAnalysis::spreads(std::size_t tile_dm) const {
+  auto it = cache_.find(tile_dm);
+  if (it == cache_.end()) {
+    it = cache_.emplace(tile_dm, plan_.delays().tile_spreads(tile_dm)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Saturating latency-hiding curve: 0 at no parallelism, 1 asymptotically.
+double hiding_efficiency(double units, double half) {
+  if (units <= 0.0) return 0.0;
+  return units / (units + half);
+}
+
+PerfEstimate assemble(const DeviceModel& dev, const dedisp::Plan& plan,
+                      const TrafficEstimate& traffic, const Occupancy& occ,
+                      std::size_t total_groups, double instr_per_flop,
+                      std::size_t work_group_size) {
+  PerfEstimate p;
+  p.traffic = traffic;
+  p.occupancy = occ;
+
+  const double cu = static_cast<double>(dev.compute_units);
+  const double cus_used =
+      std::min(cu, static_cast<double>(std::max<std::size_t>(total_groups, 1)));
+  p.busy_fraction = cus_used / cu;
+
+  // Parallelism actually resident on a busy CU: bounded both by occupancy
+  // and by how many groups the grid can offer each CU.
+  const double groups_available =
+      std::ceil(static_cast<double>(total_groups) / cus_used);
+  const double resident_groups = std::min(
+      static_cast<double>(occ.groups_per_cu), std::max(1.0, groups_available));
+  const double resident_items =
+      resident_groups * static_cast<double>(occ.items_per_cu) /
+      std::max<double>(1.0, static_cast<double>(occ.groups_per_cu));
+  p.hiding_units = dev.serial_group_execution
+                       ? resident_groups
+                       : resident_items /
+                             static_cast<double>(dev.simd_width);
+  p.hiding_efficiency = hiding_efficiency(p.hiding_units, dev.hiding_half);
+
+  const double flop = plan.total_flop();
+
+  // DRAM: shared device-wide; partially-busy devices cannot saturate it.
+  const double dram_rate = dev.peak_bandwidth_gbs * 1e9 * dev.bw_efficiency *
+                           p.hiding_efficiency * p.busy_fraction;
+  p.mem_seconds = traffic.total_bytes / dram_rate;
+
+  // Instruction issue: ~2 streams per CU suffice to fill the pipelines.
+  // Work-groups execute in SIMD bundles of simd_width lanes; a group whose
+  // size is not a multiple wastes the tail bundle's idle lanes.
+  const double simd = static_cast<double>(dev.simd_width);
+  const double wg = static_cast<double>(std::max<std::size_t>(
+      work_group_size, 1));
+  const double lane_waste = std::ceil(wg / simd) * simd / wg;
+  const double issue_fill = std::min(1.0, p.hiding_units / 2.0);
+  const double issue_rate = dev.peak_instr_gops() * 1e9 *
+                            dev.compute_efficiency * p.busy_fraction *
+                            std::max(issue_fill, 1e-3);
+  p.instr_seconds = flop * instr_per_flop * lane_waste / issue_rate;
+
+  // Local-memory throughput (staged variant only).
+  if (traffic.lds_bytes > 0.0) {
+    const double lds_rate = dev.lds_bytes_per_cu_per_clock * dev.clock_ghz *
+                            1e9 * cus_used;
+    p.lds_seconds = traffic.lds_bytes / lds_rate;
+  }
+
+  // Launch + per-group scheduling overhead (groups dispatch per-CU).
+  const double groups_per_cu_total =
+      static_cast<double>(total_groups) / cus_used;
+  p.overhead_seconds = dev.launch_overhead_us * 1e-6 +
+                       groups_per_cu_total * dev.group_overhead_cycles /
+                           (dev.clock_ghz * 1e9);
+
+  const double ceiling =
+      std::max({p.mem_seconds, p.instr_seconds, p.lds_seconds});
+  p.memory_bound = p.mem_seconds >= std::max(p.instr_seconds, p.lds_seconds);
+
+  // Phase serialization: the staged kernel alternates a DRAM-bound load
+  // phase and an ALU/LDS-bound accumulate phase separated by barriers. With
+  // a single resident group per CU nothing overlaps the other phase, so the
+  // components add up; every extra resident group hides more of the
+  // non-dominant phases behind the dominant one.
+  double exec = ceiling;
+  if (traffic.capture == ReuseCapture::kLocalMemory) {
+    const double sum = p.mem_seconds + p.instr_seconds + p.lds_seconds;
+    exec = ceiling + (sum - ceiling) / std::max(1.0, resident_groups);
+  }
+  p.seconds = exec + p.overhead_seconds;
+  p.gflops = flop / p.seconds * 1e-9;
+  return p;
+}
+
+}  // namespace
+
+PerfEstimate estimate_performance(const DeviceModel& device,
+                                  const PlanAnalysis& analysis,
+                                  const dedisp::KernelConfig& config) {
+  const dedisp::Plan& plan = analysis.plan();
+  config.validate(plan);  // throws config_error on non-dividing tiles
+
+  const sky::SpreadStats& spreads = analysis.spreads(config.tile_dm());
+  const TrafficEstimate traffic =
+      estimate_traffic(device, plan, config, spreads);
+
+  if (traffic.capture == ReuseCapture::kLocalMemory &&
+      traffic.staging_bytes_per_group > device.local_mem_per_group_bytes) {
+    throw config_error(
+        "staged rows need " + std::to_string(traffic.staging_bytes_per_group) +
+        " bytes of local memory; device allows " +
+        std::to_string(device.local_mem_per_group_bytes));
+  }
+
+  const Occupancy occ = compute_occupancy(
+      device, config,
+      traffic.capture == ReuseCapture::kLocalMemory
+          ? traffic.staging_bytes_per_group
+          : 0);
+  if (!occ.valid()) {
+    throw config_error("configuration " + config.to_string() +
+                       " cannot be resident on " + device.name + " (" +
+                       to_string(occ.limiter) + ")");
+  }
+
+  return assemble(device, plan, traffic, occ, config.total_groups(plan),
+                  device.instr_per_flop, config.work_group_size());
+}
+
+PerfEstimate estimate_cpu_baseline(const DeviceModel& cpu,
+                                   const dedisp::Plan& plan) {
+  // The baseline processes (trial, time-block) units with no inter-trial
+  // reuse: model it as a degenerate tiling of one trial by 512 samples,
+  // executed by one "work-item" per core.
+  constexpr std::size_t kBlock = 512;
+  TrafficEstimate traffic;
+  traffic.capture = ReuseCapture::kNone;
+  const double d = static_cast<double>(plan.dms());
+  const double s = static_cast<double>(plan.out_samples());
+  const double c = static_cast<double>(plan.channels());
+  const double blocks = std::ceil(s / static_cast<double>(kBlock));
+  traffic.unique_input_floats =
+      static_cast<double>(plan.channels()) *
+      static_cast<double>(plan.in_samples());
+  traffic.input_bytes =
+      d * blocks * c *
+      line_quantized_bytes(4.0 * static_cast<double>(kBlock),
+                           cpu.cache_line_bytes);
+  traffic.output_bytes = 4.0 * d * s;
+  traffic.delay_bytes = 4.0 * d * c;
+  traffic.total_bytes =
+      traffic.input_bytes + traffic.output_bytes + traffic.delay_bytes;
+  traffic.reuse_factor = 4.0 * d * s * c / traffic.input_bytes;
+
+  Occupancy occ;
+  occ.regs_per_item = 16;
+  occ.groups_per_cu = cpu.max_groups_per_cu;
+  occ.items_per_cu = cpu.max_groups_per_cu;
+  occ.fraction = 1.0;
+  occ.limiter = OccupancyLimiter::kGroupCap;
+
+  const auto total_units = static_cast<std::size_t>(d * blocks);
+  return assemble(cpu, plan, traffic, occ, total_units, cpu.instr_per_flop,
+                  cpu.simd_width);
+}
+
+bool fits_in_memory(const DeviceModel& device, const dedisp::Plan& plan) {
+  const double needed =
+      plan.input_bytes() + plan.output_bytes() +
+      4.0 * static_cast<double>(plan.dms()) *
+          static_cast<double>(plan.channels());
+  // Keep 10% headroom for the runtime, as a real deployment would.
+  return needed <= 0.9 * device.memory_bytes();
+}
+
+double real_time_gflops(const sky::Observation& obs, std::size_t dms) {
+  return static_cast<double>(dms) * obs.flop_per_dm_per_second() * 1e-9;
+}
+
+}  // namespace ddmc::ocl

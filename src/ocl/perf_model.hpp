@@ -1,0 +1,81 @@
+#pragma once
+/// \file perf_model.hpp
+/// \brief Analytic execution-time model for the dedispersion kernel.
+///
+/// The timing half of the accelerator substitution (DESIGN.md §2/§5). For a
+/// (device, plan, config) it combines:
+///  - DRAM time from the memory model, scaled by achievable bandwidth and a
+///    latency-hiding efficiency that saturates with resident parallelism,
+///  - instruction-issue time (dedispersion cannot use FMAs, and every
+///    accumulate drags address arithmetic and a local-memory access along),
+///  - local-memory (LDS) throughput time for the staged variant — the
+///    hardware ceiling that §V-C shows caps even perfect-reuse scenarios,
+///  - fixed launch plus per-work-group scheduling overheads, and CU
+///    under-utilization for grids smaller than the device.
+///
+/// The model is fully deterministic and closed-form; a tuner sweep over
+/// thousands of configurations costs microseconds per point.
+
+#include <cstddef>
+#include <map>
+
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+#include "ocl/memory_model.hpp"
+#include "ocl/occupancy.hpp"
+
+namespace ddmc::ocl {
+
+/// Memoizes per-tile-size spread statistics of a plan's delay table; the
+/// spread scan is the only non-trivial cost in a model evaluation.
+/// Not thread-safe (the sweeps are sequential by design).
+class PlanAnalysis {
+ public:
+  explicit PlanAnalysis(dedisp::Plan plan);
+
+  const dedisp::Plan& plan() const { return plan_; }
+  const sky::SpreadStats& spreads(std::size_t tile_dm) const;
+
+ private:
+  dedisp::Plan plan_;
+  mutable std::map<std::size_t, sky::SpreadStats> cache_;
+};
+
+struct PerfEstimate {
+  double seconds = 0.0;
+  double gflops = 0.0;          ///< paper metric: d·s·c FLOP / seconds
+  double mem_seconds = 0.0;     ///< DRAM-bound component
+  double instr_seconds = 0.0;   ///< issue-bound component
+  double lds_seconds = 0.0;     ///< local-memory-throughput component
+  double overhead_seconds = 0.0;
+  double busy_fraction = 0.0;   ///< CUs with work / CUs
+  double hiding_units = 0.0;    ///< resident warps (or groups on serial CUs)
+  double hiding_efficiency = 0.0;
+  bool memory_bound = false;    ///< DRAM time dominates the other ceilings
+  Occupancy occupancy;
+  TrafficEstimate traffic;
+};
+
+/// Estimate the kernel execution time. Throws ddmc::config_error when the
+/// configuration is not "meaningful" on this device/plan (non-dividing
+/// tiles, work-group too large, register or local-memory overflow).
+PerfEstimate estimate_performance(const DeviceModel& device,
+                                  const PlanAnalysis& analysis,
+                                  const dedisp::KernelConfig& config);
+
+/// Model of the §V-D CPU implementation (threads over DMs and time blocks,
+/// 8-wide chunks, no inter-trial reuse) on a CPU device model.
+PerfEstimate estimate_cpu_baseline(const DeviceModel& cpu,
+                                   const dedisp::Plan& plan);
+
+/// True when input + output + delay table fit the device memory (the paper:
+/// "due to memory constraints, some platforms may not be able to compute
+/// results for all the input instances").
+bool fits_in_memory(const DeviceModel& device, const dedisp::Plan& plan);
+
+/// GFLOP/s needed to dedisperse one second of data in one second of compute
+/// — the "real-time" line of Figs. 6–7.
+double real_time_gflops(const sky::Observation& obs, std::size_t dms);
+
+}  // namespace ddmc::ocl

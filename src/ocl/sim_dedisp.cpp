@@ -1,0 +1,173 @@
+#include "ocl/sim_dedisp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace ddmc::ocl {
+
+namespace {
+
+void check_shapes(const dedisp::Plan& plan, ConstView2D<float> in,
+                  View2D<float> out) {
+  DDMC_REQUIRE(in.rows() == plan.channels(), "input rows != channels");
+  DDMC_REQUIRE(in.cols() >= plan.in_samples(), "input too short");
+  DDMC_REQUIRE(out.rows() == plan.dms(), "output rows != trial DMs");
+  DDMC_REQUIRE(out.cols() >= plan.out_samples(), "output too short");
+}
+
+/// Staged (local-memory) kernel: collaborative load → barrier → accumulate.
+void run_staged(const DeviceModel& device, const dedisp::Plan& plan,
+                const dedisp::KernelConfig& cfg, ConstView2D<float> in,
+                View2D<float> out, MemCounters& totals) {
+  const sky::DelayTable& delays = plan.delays();
+  const std::size_t tile_time = cfg.tile_time();
+  const std::size_t tile_dm = cfg.tile_dm();
+  const std::size_t epi = cfg.accumulators_per_item();
+
+  NDRange range{cfg.groups_time(plan), cfg.groups_dm(plan), cfg.wi_time,
+                cfg.wi_dm};
+
+  auto program = [&](GroupContext& ctx) {
+    GlobalReadBuffer input(in, ctx.counters());
+    GlobalWriteBuffer output(out, ctx.counters());
+    const std::size_t dm0 = ctx.group_y() * tile_dm;
+    const std::size_t t0 = ctx.group_x() * tile_time;
+    const std::size_t group_size = ctx.group_size();
+
+    // Static local allocation: the largest staged span of this group's tile
+    // (the generated OpenCL kernel sizes its __local array the same way).
+    std::size_t max_span = 0;
+    for (std::size_t ch = 0; ch < plan.channels(); ++ch) {
+      const auto spread = static_cast<std::size_t>(
+          delays.delay(dm0 + tile_dm - 1, ch) - delays.delay(dm0, ch));
+      max_span = std::max(max_span, tile_time + spread);
+    }
+    LocalSpan staged = ctx.local_alloc(max_span);
+
+    // Register accumulators: epi values per work-item.
+    std::vector<float> accs(group_size * epi, 0.0f);
+
+    for (std::size_t ch = 0; ch < plan.channels(); ++ch) {
+      const auto base = static_cast<std::size_t>(delays.delay(dm0, ch));
+      const auto last =
+          static_cast<std::size_t>(delays.delay(dm0 + tile_dm - 1, ch));
+      const std::size_t span = tile_time + (last - base);
+
+      // Phase 1: the whole group loads the union of shifted spans once.
+      ctx.phase([&](const ItemId& item) {
+        for (std::size_t i = item.linear(cfg.wi_time); i < span;
+             i += group_size) {
+          staged.store(i, input.load(ch, t0 + base + i));
+        }
+      });
+
+      // Phase 2: accumulate from local memory into registers.
+      ctx.phase([&](const ItemId& item) {
+        float* acc = &accs[item.linear(cfg.wi_time) * epi];
+        for (std::size_t j = 0; j < cfg.elem_dm; ++j) {
+          const std::size_t dm = dm0 + item.y * cfg.elem_dm + j;
+          const auto shift =
+              static_cast<std::size_t>(delays.delay(dm, ch)) - base;
+          for (std::size_t i = 0; i < cfg.elem_time; ++i) {
+            const std::size_t t = item.x + i * cfg.wi_time;
+            acc[j * cfg.elem_time + i] += staged.load(shift + t);
+            ++ctx.counters().flops;
+          }
+        }
+      });
+    }
+
+    // Final phase: coalesced writes (consecutive items → adjacent samples).
+    ctx.phase([&](const ItemId& item) {
+      const float* acc = &accs[item.linear(cfg.wi_time) * epi];
+      for (std::size_t j = 0; j < cfg.elem_dm; ++j) {
+        const std::size_t dm = dm0 + item.y * cfg.elem_dm + j;
+        for (std::size_t i = 0; i < cfg.elem_time; ++i) {
+          const std::size_t t = t0 + item.x + i * cfg.wi_time;
+          output.store(dm, t, acc[j * cfg.elem_time + i]);
+        }
+      }
+    });
+  };
+
+  totals += execute_ndrange(range, device.local_mem_per_group_bytes,
+                            device.max_work_group_size, program);
+}
+
+/// Direct kernel: no local memory, every work-item reads global memory.
+void run_direct(const DeviceModel& device, const dedisp::Plan& plan,
+                const dedisp::KernelConfig& cfg, ConstView2D<float> in,
+                View2D<float> out, MemCounters& totals) {
+  const sky::DelayTable& delays = plan.delays();
+  const std::size_t tile_time = cfg.tile_time();
+  const std::size_t tile_dm = cfg.tile_dm();
+  const std::size_t epi = cfg.accumulators_per_item();
+
+  NDRange range{cfg.groups_time(plan), cfg.groups_dm(plan), cfg.wi_time,
+                cfg.wi_dm};
+
+  auto program = [&](GroupContext& ctx) {
+    GlobalReadBuffer input(in, ctx.counters());
+    GlobalWriteBuffer output(out, ctx.counters());
+    const std::size_t dm0 = ctx.group_y() * tile_dm;
+    const std::size_t t0 = ctx.group_x() * tile_time;
+
+    ctx.phase([&](const ItemId& item) {
+      std::vector<float> acc(epi, 0.0f);
+      for (std::size_t ch = 0; ch < plan.channels(); ++ch) {
+        for (std::size_t j = 0; j < cfg.elem_dm; ++j) {
+          const std::size_t dm = dm0 + item.y * cfg.elem_dm + j;
+          const auto shift = static_cast<std::size_t>(delays.delay(dm, ch));
+          for (std::size_t i = 0; i < cfg.elem_time; ++i) {
+            const std::size_t t = t0 + item.x + i * cfg.wi_time;
+            acc[j * cfg.elem_time + i] += input.load(ch, t + shift);
+            ++ctx.counters().flops;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < cfg.elem_dm; ++j) {
+        const std::size_t dm = dm0 + item.y * cfg.elem_dm + j;
+        for (std::size_t i = 0; i < cfg.elem_time; ++i) {
+          output.store(dm, t0 + item.x + i * cfg.wi_time,
+                       acc[j * cfg.elem_time + i]);
+        }
+      }
+    });
+  };
+
+  totals += execute_ndrange(range, /*local_limit_bytes=*/0,
+                            device.max_work_group_size, program);
+}
+
+}  // namespace
+
+SimRunResult simulate_dedisp_variant(const DeviceModel& device,
+                                     const dedisp::Plan& plan,
+                                     const dedisp::KernelConfig& config,
+                                     ConstView2D<float> in,
+                                     View2D<float> out, bool staged) {
+  config.validate(plan);
+  check_shapes(plan, in, out);
+  SimRunResult result;
+  result.staged = staged;
+  if (staged) {
+    DDMC_REQUIRE(device.has_local_memory,
+                 "staged variant requires device local memory");
+    run_staged(device, plan, config, in, out, result.counters);
+  } else {
+    run_direct(device, plan, config, in, out, result.counters);
+  }
+  return result;
+}
+
+SimRunResult simulate_dedisp(const DeviceModel& device,
+                             const dedisp::Plan& plan,
+                             const dedisp::KernelConfig& config,
+                             ConstView2D<float> in, View2D<float> out) {
+  const bool staged = device.has_local_memory && config.tile_dm() > 1;
+  return simulate_dedisp_variant(device, plan, config, in, out, staged);
+}
+
+}  // namespace ddmc::ocl

@@ -1,0 +1,43 @@
+#pragma once
+/// \file sim_dedisp.hpp
+/// \brief The paper's dedispersion kernel, expressed for the MiniCL engine.
+///
+/// Two variants, matching §III-B:
+///  - **staged** (GPUs): per channel, the work-items collaboratively load
+///    the union of the tile's shifted input spans into local memory, barrier,
+///    then accumulate from local memory into register accumulators.
+///  - **direct** (devices without real local memory, e.g. the Xeon Phi):
+///    every work-item reads global memory directly and relies on the cache.
+///
+/// Both variants accumulate channels in ascending order per output element,
+/// so their results are bit-identical to the sequential reference.
+
+#include "common/array2d.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+#include "ocl/sim_engine.hpp"
+
+namespace ddmc::ocl {
+
+struct SimRunResult {
+  MemCounters counters;
+  bool staged = false;  ///< which kernel variant executed
+};
+
+/// Execute \p config on the functional simulator of \p device.
+/// Enforces the device's work-group and local-memory limits (throws
+/// ddmc::config_error exactly when the real runtime would fail).
+SimRunResult simulate_dedisp(const DeviceModel& device,
+                             const dedisp::Plan& plan,
+                             const dedisp::KernelConfig& config,
+                             ConstView2D<float> in, View2D<float> out);
+
+/// Force a specific kernel variant (used by ablation tests/benches).
+SimRunResult simulate_dedisp_variant(const DeviceModel& device,
+                                     const dedisp::Plan& plan,
+                                     const dedisp::KernelConfig& config,
+                                     ConstView2D<float> in,
+                                     View2D<float> out, bool staged);
+
+}  // namespace ddmc::ocl

@@ -1,0 +1,77 @@
+#include "ocl/sim_engine.hpp"
+
+namespace ddmc::ocl {
+
+MemCounters& MemCounters::operator+=(const MemCounters& o) {
+  global_loads += o.global_loads;
+  global_stores += o.global_stores;
+  local_loads += o.local_loads;
+  local_stores += o.local_stores;
+  flops += o.flops;
+  barriers += o.barriers;
+  groups += o.groups;
+  return *this;
+}
+
+GroupContext::GroupContext(std::size_t group_x, std::size_t group_y,
+                           std::size_t items_x, std::size_t items_y,
+                           std::size_t local_limit_bytes,
+                           MemCounters& counters)
+    : group_x_(group_x),
+      group_y_(group_y),
+      items_x_(items_x),
+      items_y_(items_y),
+      local_limit_bytes_(local_limit_bytes),
+      counters_(&counters) {
+  DDMC_REQUIRE(items_x > 0 && items_y > 0, "empty work-group");
+}
+
+LocalSpan GroupContext::local_alloc(std::size_t floats) {
+  const std::size_t bytes = floats * sizeof(float);
+  if (local_used_ + bytes > local_limit_bytes_) {
+    throw config_error(
+        "local memory request of " + std::to_string(local_used_ + bytes) +
+        " bytes exceeds the device limit of " +
+        std::to_string(local_limit_bytes_) + " bytes per work-group");
+  }
+  local_used_ += bytes;
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + floats, 0.0f);
+  return LocalSpan(std::span<float>(arena_).subspan(offset, floats),
+                   *counters_);
+}
+
+void GroupContext::phase(const std::function<void(const ItemId&)>& body) {
+  for (std::size_t y = 0; y < items_y_; ++y) {
+    for (std::size_t x = 0; x < items_x_; ++x) {
+      body(ItemId{x, y});
+    }
+  }
+  ++counters_->barriers;  // the implicit barrier closing the phase
+}
+
+MemCounters execute_ndrange(
+    const NDRange& range, std::size_t local_limit_bytes,
+    std::size_t max_group_size,
+    const std::function<void(GroupContext&)>& program) {
+  DDMC_REQUIRE(range.groups_x > 0 && range.groups_y > 0, "empty grid");
+  DDMC_REQUIRE(range.items_x > 0 && range.items_y > 0, "empty group");
+  const std::size_t group_size = range.items_x * range.items_y;
+  if (max_group_size != 0 && group_size > max_group_size) {
+    throw config_error("work-group size " + std::to_string(group_size) +
+                       " exceeds the device limit of " +
+                       std::to_string(max_group_size));
+  }
+  MemCounters total;
+  for (std::size_t gy = 0; gy < range.groups_y; ++gy) {
+    for (std::size_t gx = 0; gx < range.groups_x; ++gx) {
+      GroupContext ctx(gx, gy, range.items_x, range.items_y,
+                       local_limit_bytes, total);
+      program(ctx);
+      ++total.groups;
+    }
+  }
+  return total;
+}
+
+}  // namespace ddmc::ocl

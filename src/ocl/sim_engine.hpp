@@ -1,0 +1,156 @@
+#pragma once
+/// \file sim_engine.hpp
+/// \brief MiniCL: a functional NDRange executor.
+///
+/// Executes OpenCL-shaped kernels on the host with the semantics the
+/// dedispersion kernel relies on:
+///  - a 2-D grid of independent work-groups,
+///  - work-items inside a group that synchronize at barriers,
+///  - a per-group local-memory arena with a device-enforced size limit,
+///  - instrumented global buffers that count every load and store.
+///
+/// Barriers are expressed structurally: a group program is a sequence of
+/// *phases*, each phase running the phase body once per work-item, with an
+/// implicit barrier between phases. This is exactly the barrier discipline
+/// of the paper's kernel (collaborative load → barrier → accumulate →
+/// barrier), and it makes the executor simple and sequentially
+/// deterministic — no fibers required.
+///
+/// The executor is the correctness half of the accelerator substitution: it
+/// produces bit-exact kernel output and *measured* memory traffic, which the
+/// test suite compares against the analytic memory model's predictions.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/expect.hpp"
+
+namespace ddmc::ocl {
+
+/// Traffic and work counters accumulated over a kernel execution.
+struct MemCounters {
+  std::uint64_t global_loads = 0;   ///< 4-byte loads from global buffers
+  std::uint64_t global_stores = 0;  ///< 4-byte stores to global buffers
+  std::uint64_t local_loads = 0;    ///< 4-byte loads from local memory
+  std::uint64_t local_stores = 0;   ///< 4-byte stores to local memory
+  std::uint64_t flops = 0;          ///< floating point accumulates
+  std::uint64_t barriers = 0;       ///< group-wide barriers executed
+  std::uint64_t groups = 0;         ///< work-groups executed
+
+  MemCounters& operator+=(const MemCounters& o);
+};
+
+/// Read-only instrumented wrapper over a global float matrix.
+class GlobalReadBuffer {
+ public:
+  GlobalReadBuffer(ConstView2D<float> view, MemCounters& counters)
+      : view_(view), counters_(&counters) {}
+
+  float load(std::size_t row, std::size_t col) const {
+    ++counters_->global_loads;
+    return view_(row, col);
+  }
+  std::size_t rows() const { return view_.rows(); }
+  std::size_t cols() const { return view_.cols(); }
+
+ private:
+  ConstView2D<float> view_;
+  MemCounters* counters_;
+};
+
+/// Write-only instrumented wrapper over a global float matrix.
+class GlobalWriteBuffer {
+ public:
+  GlobalWriteBuffer(View2D<float> view, MemCounters& counters)
+      : view_(view), counters_(&counters) {}
+
+  void store(std::size_t row, std::size_t col, float value) const {
+    ++counters_->global_stores;
+    view_(row, col) = value;
+  }
+
+ private:
+  View2D<float> view_;
+  MemCounters* counters_;
+};
+
+/// Local id of a work-item inside its group.
+struct ItemId {
+  std::size_t x = 0;  ///< time dimension
+  std::size_t y = 0;  ///< DM dimension
+  /// Linearized id, x fastest (OpenCL's get_local_id ordering).
+  std::size_t linear(std::size_t items_x) const { return y * items_x + x; }
+};
+
+/// Instrumented local-memory span handed to a group.
+class LocalSpan {
+ public:
+  LocalSpan() = default;
+  LocalSpan(std::span<float> data, MemCounters& counters)
+      : data_(data), counters_(&counters) {}
+
+  float load(std::size_t i) const {
+    ++counters_->local_loads;
+    return data_[i];
+  }
+  void store(std::size_t i, float v) const {
+    ++counters_->local_stores;
+    data_[i] = v;
+  }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::span<float> data_;
+  MemCounters* counters_ = nullptr;
+};
+
+/// Per-group execution context: ids, local memory, phased execution.
+class GroupContext {
+ public:
+  GroupContext(std::size_t group_x, std::size_t group_y, std::size_t items_x,
+               std::size_t items_y, std::size_t local_limit_bytes,
+               MemCounters& counters);
+
+  std::size_t group_x() const { return group_x_; }
+  std::size_t group_y() const { return group_y_; }
+  std::size_t items_x() const { return items_x_; }
+  std::size_t items_y() const { return items_y_; }
+  std::size_t group_size() const { return items_x_ * items_y_; }
+  MemCounters& counters() { return *counters_; }
+
+  /// Allocate \p floats from the group's local arena. Throws
+  /// ddmc::config_error when the device's local-memory limit is exceeded —
+  /// the same failure a real clCreateKernel/clEnqueue would report.
+  LocalSpan local_alloc(std::size_t floats);
+
+  /// Run \p body once per work-item; an implicit barrier follows the phase.
+  void phase(const std::function<void(const ItemId&)>& body);
+
+ private:
+  std::size_t group_x_, group_y_, items_x_, items_y_;
+  std::size_t local_limit_bytes_;
+  std::size_t local_used_ = 0;
+  std::vector<float> arena_;
+  MemCounters* counters_;
+};
+
+/// 2-D NDRange: groups × items per group in each dimension.
+struct NDRange {
+  std::size_t groups_x = 1;
+  std::size_t groups_y = 1;
+  std::size_t items_x = 1;
+  std::size_t items_y = 1;
+};
+
+/// Execute \p program once per work-group. Sequential and deterministic.
+/// \p local_limit_bytes is the device's per-group local-memory capacity.
+/// \p max_group_size mirrors CL_DEVICE_MAX_WORK_GROUP_SIZE (0 = unlimited).
+MemCounters execute_ndrange(
+    const NDRange& range, std::size_t local_limit_bytes,
+    std::size_t max_group_size,
+    const std::function<void(GroupContext&)>& program);
+
+}  // namespace ddmc::ocl

@@ -1,0 +1,66 @@
+#include "pipeline/dedisperser.hpp"
+
+#include "dedisp/reference.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/sim_dedisp.hpp"
+
+namespace ddmc::pipeline {
+
+Dedisperser::Dedisperser(const sky::Observation& obs, std::size_t dms,
+                         Backend backend, std::size_t seconds)
+    : Dedisperser(dedisp::Plan(obs, dms, seconds), backend) {}
+
+Dedisperser Dedisperser::with_output_samples(const sky::Observation& obs,
+                                             std::size_t dms,
+                                             std::size_t out_samples,
+                                             Backend backend) {
+  return Dedisperser(
+      dedisp::Plan::with_output_samples(obs, dms, out_samples), backend);
+}
+
+Dedisperser::Dedisperser(dedisp::Plan plan, Backend backend)
+    : plan_(std::move(plan)), backend_(backend) {}
+
+tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
+  ocl::PlanAnalysis analysis(plan_);
+  tuner::TuningResult result = tuner::tune(device, analysis);
+  config_ = result.best.config;
+  device_ = device;
+  return result;
+}
+
+void Dedisperser::set_config(const dedisp::KernelConfig& config) {
+  config.validate(plan_);
+  config_ = config;
+}
+
+void Dedisperser::set_device(const ocl::DeviceModel& device) {
+  device_ = device;
+}
+
+Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
+  Array2D<float> out(plan_.dms(), plan_.out_samples());
+  counters_.reset();
+  switch (backend_) {
+    case Backend::kReference:
+      dedisp::dedisperse_reference(plan_, input, out.view());
+      break;
+    case Backend::kCpuTiled:
+      dedisp::dedisperse_cpu(plan_, config_, input, out.view());
+      break;
+    case Backend::kCpuBaseline:
+      dedisp::dedisperse_cpu_baseline(plan_, input, out.view());
+      break;
+    case Backend::kSimulated: {
+      const ocl::DeviceModel device =
+          device_.has_value() ? *device_ : ocl::amd_hd7970();
+      const ocl::SimRunResult run =
+          ocl::simulate_dedisp(device, plan_, config_, input, out.view());
+      counters_ = run.counters;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ddmc::pipeline

@@ -1,0 +1,81 @@
+#pragma once
+/// \file dedisperser.hpp
+/// \brief High-level public API: plan, tune, execute.
+///
+/// The entry point a downstream pipeline uses:
+///
+/// \code{.cpp}
+///   using namespace ddmc;
+///   pipeline::Dedisperser dd(sky::apertif(), /*dms=*/256);
+///   dd.tune_for(ocl::amd_hd7970());               // optional
+///   Array2D<float> out = dd.dedisperse(input.cview());
+/// \endcode
+///
+/// Backends:
+///  - kReference: the sequential Algorithm 1 (ground truth).
+///  - kCpuTiled: the tiled host kernel, honoring the tuned KernelConfig.
+///  - kCpuBaseline: the §V-D OpenMP/AVX-style comparator.
+///  - kSimulated: the MiniCL functional simulator with a device model
+///    (bit-identical output, plus measured traffic counters).
+
+#include <optional>
+
+#include "common/array2d.hpp"
+#include "dedisp/cpu_baseline.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+#include "ocl/sim_engine.hpp"
+#include "tuner/tuner.hpp"
+
+namespace ddmc::pipeline {
+
+enum class Backend { kReference, kCpuTiled, kCpuBaseline, kSimulated };
+
+class Dedisperser {
+ public:
+  /// Plan a full-seconds instance (the paper's shape).
+  Dedisperser(const sky::Observation& obs, std::size_t dms,
+              Backend backend = Backend::kCpuTiled, std::size_t seconds = 1);
+
+  /// Plan with an explicit output length (tests, small demos).
+  static Dedisperser with_output_samples(const sky::Observation& obs,
+                                         std::size_t dms,
+                                         std::size_t out_samples,
+                                         Backend backend = Backend::kCpuTiled);
+
+  const dedisp::Plan& plan() const { return plan_; }
+  Backend backend() const { return backend_; }
+
+  /// Auto-tune the kernel configuration for \p device using the performance
+  /// model; the chosen config drives kCpuTiled and kSimulated execution.
+  /// Returns the full tuning result for inspection.
+  tuner::TuningResult tune_for(const ocl::DeviceModel& device);
+
+  /// Set an explicit configuration (validated against the plan).
+  void set_config(const dedisp::KernelConfig& config);
+  const dedisp::KernelConfig& config() const { return config_; }
+
+  /// Device used by the kSimulated backend (defaults to the HD7970 model).
+  void set_device(const ocl::DeviceModel& device);
+
+  /// Execute the selected backend. Input must be channels × ≥in_samples.
+  Array2D<float> dedisperse(ConstView2D<float> input);
+
+  /// Traffic counters of the last kSimulated run (empty otherwise).
+  const std::optional<ocl::MemCounters>& last_counters() const {
+    return counters_;
+  }
+
+ private:
+  Dedisperser(dedisp::Plan plan, Backend backend);
+
+  dedisp::Plan plan_;
+  Backend backend_;
+  dedisp::KernelConfig config_{1, 1, 1, 1};
+  std::optional<ocl::DeviceModel> device_;
+  std::optional<ocl::MemCounters> counters_;
+};
+
+}  // namespace ddmc::pipeline

@@ -1,0 +1,67 @@
+#include "pipeline/multibeam.hpp"
+
+#include <memory>
+
+#include "common/expect.hpp"
+#include "common/thread_pool.hpp"
+#include "dedisp/cpu_kernel.hpp"
+
+namespace ddmc::pipeline {
+
+MultiBeamDedisperser::MultiBeamDedisperser(dedisp::Plan plan,
+                                           dedisp::KernelConfig config)
+    : plan_(std::move(plan)), config_(config) {
+  config_.validate(plan_);
+}
+
+std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
+    const std::vector<ConstView2D<float>>& beams, std::size_t threads) const {
+  DDMC_REQUIRE(!beams.empty(), "need at least one beam");
+  std::vector<Array2D<float>> outputs;
+  outputs.reserve(beams.size());
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    outputs.emplace_back(plan_.dms(), plan_.out_samples());
+  }
+
+  dedisp::CpuKernelOptions kernel_options;
+  kernel_options.threads = 1;  // beams are the parallel dimension
+
+  auto run_beam = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) {
+      dedisp::dedisperse_cpu(plan_, config_, beams[b], outputs[b].view(),
+                             kernel_options);
+    }
+  };
+
+  if (threads == 1 || beams.size() == 1) {
+    run_beam(0, beams.size());
+    return outputs;
+  }
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned;
+  if (threads == 0) {
+    pool = &global_pool();
+  } else {
+    owned = std::make_unique<ThreadPool>(threads);
+    pool = owned.get();
+  }
+  pool->parallel_for(0, beams.size(), 1, run_beam);
+  return outputs;
+}
+
+MultiBeamDedisperser::BeamCandidate MultiBeamDedisperser::search(
+    const std::vector<ConstView2D<float>>& beams, std::size_t threads) const {
+  const std::vector<Array2D<float>> outputs = dedisperse(beams, threads);
+  BeamCandidate best;
+  best.detection.best_snr = -1.0;
+  for (std::size_t b = 0; b < outputs.size(); ++b) {
+    const sky::DetectionResult res = sky::detect_best_dm(outputs[b].cview());
+    if (res.best_snr > best.detection.best_snr) {
+      best.beam = b;
+      best.detection = res;
+    }
+  }
+  return best;
+}
+
+}  // namespace ddmc::pipeline

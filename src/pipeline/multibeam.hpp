@@ -1,0 +1,50 @@
+#pragma once
+/// \file multibeam.hpp
+/// \brief Multi-beam dedispersion (§II: "modern radio telescopes can point
+/// simultaneously in different directions by forming different beams …
+/// all trial DMs and beams can be processed independently").
+///
+/// One plan and one tuned configuration are shared by every beam (the
+/// beams see the same band and DM grid); beams are dispatched in parallel
+/// over the worker pool, each running the tiled kernel inline on its
+/// worker — the same decomposition a production survey backend uses.
+
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "sky/detection.hpp"
+
+namespace ddmc::pipeline {
+
+class MultiBeamDedisperser {
+ public:
+  /// \p config must validate against \p plan.
+  MultiBeamDedisperser(dedisp::Plan plan, dedisp::KernelConfig config);
+
+  const dedisp::Plan& plan() const { return plan_; }
+  const dedisp::KernelConfig& config() const { return config_; }
+
+  /// Dedisperse every beam (each channels × ≥in_samples) into its own
+  /// trial matrix. \p threads = 0 uses the machine-sized global pool.
+  std::vector<Array2D<float>> dedisperse(
+      const std::vector<ConstView2D<float>>& beams,
+      std::size_t threads = 0) const;
+
+  /// Candidate found by scanning every beam's dedispersed matrix.
+  struct BeamCandidate {
+    std::size_t beam = 0;
+    sky::DetectionResult detection;
+  };
+
+  /// Dedisperse and return the strongest candidate across all beams.
+  BeamCandidate search(const std::vector<ConstView2D<float>>& beams,
+                       std::size_t threads = 0) const;
+
+ private:
+  dedisp::Plan plan_;
+  dedisp::KernelConfig config_;
+};
+
+}  // namespace ddmc::pipeline

@@ -1,0 +1,62 @@
+#include "sky/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddmc::sky {
+
+double dispersion_delay_seconds(double dm, double f_mhz, double f_ref_mhz) {
+  DDMC_REQUIRE(f_mhz > 0.0 && f_ref_mhz > 0.0, "frequencies must be positive");
+  DDMC_REQUIRE(f_mhz <= f_ref_mhz, "reference must be the higher frequency");
+  DDMC_REQUIRE(dm >= 0.0, "DM cannot be negative");
+  const double inv_low = 1.0 / (f_mhz * f_mhz);
+  const double inv_ref = 1.0 / (f_ref_mhz * f_ref_mhz);
+  return kDispersionConstant * dm * (inv_low - inv_ref);
+}
+
+std::int64_t dispersion_delay_samples(double dm, double f_mhz,
+                                      double f_ref_mhz,
+                                      double sampling_rate_hz) {
+  DDMC_REQUIRE(sampling_rate_hz > 0.0, "sampling rate must be positive");
+  const double seconds = dispersion_delay_seconds(dm, f_mhz, f_ref_mhz);
+  return static_cast<std::int64_t>(std::llround(seconds * sampling_rate_hz));
+}
+
+DelayTable::DelayTable(const Observation& obs, std::size_t dms)
+    : table_(std::max<std::size_t>(dms, 1), obs.channels()) {
+  DDMC_REQUIRE(dms > 0, "need at least one trial DM");
+  const double f_ref = obs.f_max_mhz();
+  for (std::size_t dm = 0; dm < dms; ++dm) {
+    const double dm_value = obs.dm_value(dm);
+    for (std::size_t ch = 0; ch < obs.channels(); ++ch) {
+      const std::int64_t k = dispersion_delay_samples(
+          dm_value, obs.channel_freq_mhz(ch), f_ref, obs.sampling_rate());
+      table_(dm, ch) = k;
+      max_delay_ = std::max(max_delay_, k);
+    }
+  }
+}
+
+SpreadStats DelayTable::tile_spreads(std::size_t tile_dm) const {
+  DDMC_REQUIRE(tile_dm > 0, "tile size must be positive");
+  DDMC_REQUIRE(dms() % tile_dm == 0,
+               "tile size must divide the number of trial DMs");
+  SpreadStats stats;
+  const std::size_t tiles = dms() / tile_dm;
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    const std::size_t lo = tile * tile_dm;
+    const std::size_t hi = lo + tile_dm - 1;
+    for (std::size_t ch = 0; ch < channels(); ++ch) {
+      // Delays grow monotonically with DM, so the spread of a tile on a
+      // channel is just the delta between its extreme trials.
+      const std::int64_t spread = table_(hi, ch) - table_(lo, ch);
+      DDMC_ENSURE(spread >= 0, "delay table must be monotone in DM");
+      stats.total_spread += static_cast<double>(spread);
+      stats.max_spread = std::max(stats.max_spread, spread);
+    }
+  }
+  stats.rows = tiles * channels();
+  return stats;
+}
+
+}  // namespace ddmc::sky

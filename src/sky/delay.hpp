@@ -1,0 +1,72 @@
+#pragma once
+/// \file delay.hpp
+/// \brief Dispersion delays (Eq. 1) and the per-(DM, channel) delay table.
+///
+/// The delay table is the Δ of Algorithm 1: Δ(channel, dm) is the shift, in
+/// samples, applied to the input when accumulating channel \c channel for
+/// trial \c dm. It is computed once per plan (the paper: "these delays can be
+/// computed in advance, so they do not contribute to the algorithm's
+/// complexity").
+///
+/// The table is also the source of the *data-reuse geometry*: two trials
+/// share an input element on a channel exactly when their delays coincide
+/// there. The tile-spread statistics exposed here quantify, for a tile of
+/// consecutive trial DMs, how many extra input samples the tile needs beyond
+/// a single trial — the quantity that drives the memory model and Eq. (3).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "sky/observation.hpp"
+
+namespace ddmc::sky {
+
+/// Dispersion delay in seconds between \p f_mhz and the reference (higher)
+/// frequency \p f_ref_mhz, for dispersion measure \p dm (Eq. 1).
+double dispersion_delay_seconds(double dm, double f_mhz, double f_ref_mhz);
+
+/// Dispersion delay in whole samples (rounded to nearest).
+std::int64_t dispersion_delay_samples(double dm, double f_mhz,
+                                      double f_ref_mhz,
+                                      double sampling_rate_hz);
+
+/// Spread statistics for a partition of the DM grid into tiles of
+/// \c tile_dm consecutive trials (see perf model §5 of DESIGN.md).
+struct SpreadStats {
+  /// Σ over (dm-tile, channel) of Δ(ch, dm_hi) − Δ(ch, dm_lo).
+  double total_spread = 0.0;
+  /// max over (dm-tile, channel) of the same — sizes the staging buffer.
+  std::int64_t max_spread = 0;
+  /// Number of (dm-tile, channel) rows the partition stages.
+  std::size_t rows = 0;
+};
+
+/// Precomputed Δ table for a DM grid of \c dms trials over an observation.
+class DelayTable {
+ public:
+  DelayTable(const Observation& obs, std::size_t dms);
+
+  std::size_t dms() const { return table_.rows(); }
+  std::size_t channels() const { return table_.cols(); }
+
+  /// Δ(channel, dm) in samples; non-negative, zero for the top of the band.
+  std::int64_t delay(std::size_t dm, std::size_t channel) const {
+    return table_(dm, channel);
+  }
+
+  /// Largest delay in the table (lowest channel, highest trial DM).
+  std::int64_t max_delay() const { return max_delay_; }
+
+  /// Spread statistics for tiles of \p tile_dm consecutive trials; requires
+  /// dms() % tile_dm == 0 (the kernel's divisibility constraint).
+  SpreadStats tile_spreads(std::size_t tile_dm) const;
+
+  ConstView2D<std::int64_t> view() const { return table_.cview(); }
+
+ private:
+  Array2D<std::int64_t> table_;
+  std::int64_t max_delay_ = 0;
+};
+
+}  // namespace ddmc::sky

@@ -1,0 +1,50 @@
+#include "sky/observation.hpp"
+
+namespace ddmc::sky {
+
+Observation::Observation(std::string name, double sampling_rate_hz,
+                         std::size_t channels, double f_min_mhz,
+                         double channel_bw_mhz, double dm_first,
+                         double dm_step)
+    : name_(std::move(name)),
+      sampling_rate_(sampling_rate_hz),
+      channels_(channels),
+      f_min_(f_min_mhz),
+      channel_bw_(channel_bw_mhz),
+      dm_first_(dm_first),
+      dm_step_(dm_step) {
+  DDMC_REQUIRE(sampling_rate_ > 0.0, "sampling rate must be positive");
+  DDMC_REQUIRE(channels_ > 0, "need at least one channel");
+  DDMC_REQUIRE(f_min_ > 0.0, "frequencies must be positive");
+  DDMC_REQUIRE(channel_bw_ > 0.0, "channel bandwidth must be positive");
+  DDMC_REQUIRE(dm_first_ >= 0.0, "DM cannot be negative");
+  DDMC_REQUIRE(dm_step_ >= 0.0, "DM step cannot be negative");
+}
+
+Observation Observation::zero_dm_variant() const {
+  Observation copy = *this;
+  copy.name_ = name_ + "-zeroDM";
+  copy.dm_first_ = 0.0;
+  copy.dm_step_ = 0.0;
+  return copy;
+}
+
+Observation apertif() {
+  // §IV: 20,000 samples/s; 300 MHz over 1,024 channels; 1420–1720 MHz.
+  return Observation("Apertif", 20000.0, 1024, 1420.0, 300.0 / 1024.0, 0.0,
+                     0.25);
+}
+
+Observation lofar() {
+  // §IV: 200,000 samples/s; 6 MHz over 32 channels; band starting at 138 MHz.
+  return Observation("LOFAR", 200000.0, 32, 138.0, 6.0 / 32.0, 0.0, 0.25);
+}
+
+std::vector<std::size_t> paper_instances(std::size_t max_pow2) {
+  DDMC_REQUIRE(max_pow2 >= 2, "instance ladder starts at 2 DMs");
+  std::vector<std::size_t> out;
+  for (std::size_t d = 2; d <= max_pow2; d *= 2) out.push_back(d);
+  return out;
+}
+
+}  // namespace ddmc::sky

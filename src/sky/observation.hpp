@@ -1,0 +1,98 @@
+#pragma once
+/// \file observation.hpp
+/// \brief Observational setups: frequency layout, time resolution, DM grid.
+///
+/// The paper evaluates two setups operated by ASTRON (§IV):
+///  - **Apertif** (Westerbork): 20,000 samples/s, 300 MHz bandwidth split in
+///    1,024 channels of 0.293 MHz, 1420–1720 MHz.
+///  - **LOFAR**: 200,000 samples/s, 6 MHz bandwidth split in 32 channels of
+///    0.1875 MHz, starting at 138 MHz. (The text quotes 0.19 MHz channels and
+///    a 145 MHz top edge; 6 MHz / 32 channels is 0.1875 MHz and a 144 MHz top
+///    edge — we use the self-consistent values.)
+/// Both use a DM grid starting at 0 with a step of 0.25 pc/cm³.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace ddmc::sky {
+
+/// Dispersion constant of Eq. (1): delay[s] = 4,150 · DM · (f⁻² − f_h⁻²)
+/// with frequencies in MHz and DM in pc/cm³.
+inline constexpr double kDispersionConstant = 4150.0;
+
+/// A channelized observing configuration plus the trial-DM grid.
+///
+/// Channel \c i covers [f_min + i·bw, f_min + (i+1)·bw); dispersion delays
+/// are evaluated at the channel bottom edge against the top of the band, so
+/// the delay of the highest frequency is exactly zero and all delays are
+/// non-negative (the convention of Algorithm 1's Δ table).
+class Observation {
+ public:
+  Observation(std::string name, double sampling_rate_hz, std::size_t channels,
+              double f_min_mhz, double channel_bw_mhz, double dm_first,
+              double dm_step);
+
+  const std::string& name() const { return name_; }
+  /// Time resolution in samples per second (the paper's \c s).
+  double sampling_rate() const { return sampling_rate_; }
+  /// Samples per second as an integral count.
+  std::size_t samples_per_second() const {
+    return static_cast<std::size_t>(sampling_rate_);
+  }
+  /// Number of frequency channels (the paper's \c c).
+  std::size_t channels() const { return channels_; }
+  double f_min_mhz() const { return f_min_; }
+  double channel_bw_mhz() const { return channel_bw_; }
+  /// Top edge of the band — the delay reference frequency f_h of Eq. (1).
+  double f_max_mhz() const {
+    return f_min_ + channel_bw_ * static_cast<double>(channels_);
+  }
+  /// Bottom edge frequency of channel \p ch.
+  double channel_freq_mhz(std::size_t ch) const {
+    DDMC_REQUIRE(ch < channels_, "channel out of range");
+    return f_min_ + channel_bw_ * static_cast<double>(ch);
+  }
+
+  double dm_first() const { return dm_first_; }
+  double dm_step() const { return dm_step_; }
+  /// Trial DM value of grid index \p trial.
+  double dm_value(std::size_t trial) const {
+    return dm_first_ + dm_step_ * static_cast<double>(trial);
+  }
+
+  /// Floating point operations needed to dedisperse one second of data for a
+  /// single DM: one accumulate per channel per output sample (§IV quotes
+  /// 20 MFLOP for Apertif and 6 MFLOP for LOFAR per DM).
+  double flop_per_dm_per_second() const {
+    return sampling_rate_ * static_cast<double>(channels_);
+  }
+
+  /// Variant with every trial DM forced to zero (dm_first = dm_step = 0):
+  /// the §IV-C "perfect data-reuse" experiment. All delays vanish, every
+  /// dedispersed series is identical, and reuse becomes maximal.
+  Observation zero_dm_variant() const;
+
+ private:
+  std::string name_;
+  double sampling_rate_;
+  std::size_t channels_;
+  double f_min_;
+  double channel_bw_;
+  double dm_first_;
+  double dm_step_;
+};
+
+/// The Apertif setup of §IV (computationally heavier, more reuse available).
+Observation apertif();
+
+/// The LOFAR setup of §IV (less compute, almost no reuse available).
+Observation lofar();
+
+/// The 12 input instances of the paper's experiments: #DMs = 2, 4, …, 4096.
+/// \p max_pow2 allows tests to use a shorter ladder.
+std::vector<std::size_t> paper_instances(std::size_t max_pow2 = 4096);
+
+}  // namespace ddmc::sky

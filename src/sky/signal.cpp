@@ -1,0 +1,61 @@
+#include "sky/signal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sky/delay.hpp"
+
+namespace ddmc::sky {
+
+void generate_noise(const Observation& obs, View2D<float> data,
+                    const NoiseParams& noise) {
+  DDMC_REQUIRE(data.rows() == obs.channels(),
+               "data rows must match channel count");
+  Rng rng(noise.seed);
+  for (std::size_t ch = 0; ch < data.rows(); ++ch) {
+    auto row = data.row(ch);
+    for (auto& v : row) {
+      v = static_cast<float>(noise.baseline + noise.sigma * rng.next_normal());
+    }
+  }
+}
+
+void inject_pulsar(const Observation& obs, View2D<float> data,
+                   const PulsarParams& pulsar) {
+  DDMC_REQUIRE(data.rows() == obs.channels(),
+               "data rows must match channel count");
+  DDMC_REQUIRE(pulsar.period_s > 0.0, "period must be positive");
+  DDMC_REQUIRE(pulsar.width_s > 0.0, "width must be positive");
+  const double rate = obs.sampling_rate();
+  const auto width_samples = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(pulsar.width_s * rate)));
+  const double f_top = obs.f_max_mhz();
+  const auto samples = static_cast<std::int64_t>(data.cols());
+
+  for (std::size_t ch = 0; ch < obs.channels(); ++ch) {
+    const std::int64_t delay = dispersion_delay_samples(
+        pulsar.dm, obs.channel_freq_mhz(ch), f_top, rate);
+    for (double t = pulsar.first_pulse_s;; t += pulsar.period_s) {
+      const auto start =
+          static_cast<std::int64_t>(std::llround(t * rate)) + delay;
+      if (start >= samples) break;
+      const std::int64_t stop = std::min(samples, start + width_samples);
+      for (std::int64_t i = std::max<std::int64_t>(0, start); i < stop; ++i) {
+        data(ch, static_cast<std::size_t>(i)) +=
+            static_cast<float>(pulsar.amplitude);
+      }
+    }
+  }
+}
+
+Array2D<float> make_observation_data(const Observation& obs,
+                                     std::size_t time_samples,
+                                     const PulsarParams& pulsar,
+                                     const NoiseParams& noise) {
+  Array2D<float> data(obs.channels(), time_samples);
+  generate_noise(obs, data.view(), noise);
+  inject_pulsar(obs, data.view(), pulsar);
+  return data;
+}
+
+}  // namespace ddmc::sky

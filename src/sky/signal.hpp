@@ -1,0 +1,52 @@
+#pragma once
+/// \file signal.hpp
+/// \brief Synthetic channelized time series with dispersed pulsar signals.
+///
+/// Substitute for real telescope data streams (which we do not have): a
+/// white-noise floor plus periodic pulses whose per-channel arrival times
+/// follow Eq. (1) for a chosen true DM — exactly the structure incoherent
+/// dedispersion is designed to invert. Generators are deterministic given a
+/// seed so tests and examples are reproducible.
+
+#include <cstdint>
+
+#include "common/array2d.hpp"
+#include "common/random.hpp"
+#include "sky/observation.hpp"
+
+namespace ddmc::sky {
+
+/// Parameters of an injected pulsar.
+struct PulsarParams {
+  double dm = 0.0;              ///< true dispersion measure [pc/cm³]
+  double period_s = 0.1;        ///< pulse period [s]
+  double width_s = 0.001;       ///< pulse width (boxcar) [s]
+  double amplitude = 1.0;       ///< per-channel pulse height above the floor
+  double first_pulse_s = 0.01;  ///< emission time of the first pulse [s]
+};
+
+/// Noise model for the synthetic band.
+struct NoiseParams {
+  double sigma = 1.0;        ///< white-noise standard deviation
+  double baseline = 0.0;     ///< constant offset per sample
+  std::uint64_t seed = 42;   ///< RNG seed
+};
+
+/// Fill \p data (channels × time samples) with noise only.
+void generate_noise(const Observation& obs, View2D<float> data,
+                    const NoiseParams& noise);
+
+/// Add a dispersed pulsar on top of existing data. Pulse energy in channel
+/// \c ch is delayed by dispersion_delay_samples(dm, f_ch, f_top); pulses are
+/// boxcars of width_s. Samples outside the matrix are silently clipped.
+void inject_pulsar(const Observation& obs, View2D<float> data,
+                   const PulsarParams& pulsar);
+
+/// Convenience: noise + pulsar into a freshly allocated matrix of
+/// \p time_samples per channel.
+Array2D<float> make_observation_data(const Observation& obs,
+                                     std::size_t time_samples,
+                                     const PulsarParams& pulsar,
+                                     const NoiseParams& noise);
+
+}  // namespace ddmc::sky

@@ -1,0 +1,31 @@
+#pragma once
+/// \file fixed_config.hpp
+/// \brief The best "fixed" (manually tuned) configuration of §V-D.
+///
+/// "This manually optimized version uses a 'fixed' configuration, i.e. it
+/// uses the configuration that, working on all input instances, maximizes
+/// the sum of achieved GFLOP/s. We find the best possible fixed version with
+/// auto-tuning. This configuration is different for each accelerator and
+/// observational setup." Figures 13/14 then report tuned/fixed speedups.
+
+#include <vector>
+
+#include "dedisp/kernel_config.hpp"
+#include "ocl/perf_model.hpp"
+
+namespace ddmc::tuner {
+
+struct FixedConfigResult {
+  dedisp::KernelConfig config;
+  double total_gflops = 0.0;              ///< Σ GFLOP/s across instances
+  std::vector<double> per_instance_gflops; ///< aligned with the input plans
+};
+
+/// Select the configuration maximizing the summed GFLOP/s across all
+/// \p instances (each a PlanAnalysis for one #DMs), among configurations
+/// valid on *every* instance. Throws ddmc::config_error if none exists.
+FixedConfigResult best_fixed_config(
+    const ocl::DeviceModel& device,
+    const std::vector<const ocl::PlanAnalysis*>& instances);
+
+}  // namespace ddmc::tuner

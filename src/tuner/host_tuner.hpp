@@ -1,0 +1,57 @@
+#pragma once
+/// \file host_tuner.hpp
+/// \brief Auto-tuning by *measurement* on the real host kernels.
+///
+/// The paper's tuner measures every meaningful configuration on real
+/// hardware and keeps the fastest (§IV: "the algorithm is executed ten
+/// times, and the average of these ten executions is used"). The model
+/// tuner (tuner.hpp) reproduces the paper's figures; this one reproduces
+/// the paper's *method* on the machine you are running on, driving the
+/// tiled host kernel with real wall-clock timing.
+///
+/// Use a reduced plan (Plan::with_output_samples) for interactive runs —
+/// a full sweep on a one-second Apertif instance is minutes of CPU time.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/statistics.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/plan.hpp"
+
+namespace ddmc::tuner {
+
+struct HostTuningOptions {
+  std::size_t repetitions = 3;   ///< timed runs per configuration (paper: 10)
+  std::size_t warmup_runs = 1;   ///< untimed cache-warming runs
+  bool stage_rows = true;        ///< staged (local-memory-style) kernel path
+  std::size_t threads = 0;       ///< 0 = machine-sized pool
+  /// Skip configurations whose tile covers the whole instance more than
+  /// once over (they cannot win and waste sweep time).
+  std::size_t max_work_group_size = 1024;
+};
+
+struct HostConfigTiming {
+  dedisp::KernelConfig config;
+  double seconds = 0.0;  ///< mean of the timed repetitions
+  double gflops = 0.0;   ///< paper metric on the mean time
+};
+
+struct HostTuningResult {
+  HostConfigTiming best;
+  StatsSummary stats;                    ///< over GFLOP/s of all configs
+  std::vector<HostConfigTiming> timings; ///< every measured configuration
+};
+
+/// Measure every candidate configuration of \p configs (or a default
+/// ladder restricted to the plan, when empty) on \p plan with real input
+/// data, and return the fastest. Deterministic input is generated
+/// internally from \p seed.
+HostTuningResult tune_host(const dedisp::Plan& plan,
+                           const HostTuningOptions& options = {},
+                           const std::vector<dedisp::KernelConfig>& configs =
+                               {},
+                           std::uint64_t seed = 42);
+
+}  // namespace ddmc::tuner

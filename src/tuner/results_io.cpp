@@ -1,0 +1,97 @@
+#include "tuner/results_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace ddmc::tuner {
+
+namespace {
+constexpr const char* kHeader =
+    "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,gflops,seconds,"
+    "snr,evaluated";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    DDMC_REQUIRE(pos == s.size(), "malformed numeric field: " + s);
+    return v;
+  } catch (const std::exception&) {
+    throw invalid_argument("malformed numeric field: " + s);
+  }
+}
+
+std::size_t parse_size(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    DDMC_REQUIRE(pos == s.size(), "malformed integer field: " + s);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw invalid_argument("malformed integer field: " + s);
+  }
+}
+}  // namespace
+
+ResultRow to_row(const TuningResult& result) {
+  ResultRow row;
+  row.device = result.device_name;
+  row.observation = result.observation_name;
+  row.dms = result.dms;
+  row.config = result.best.config;
+  row.gflops = result.best.perf.gflops;
+  row.seconds = result.best.perf.seconds;
+  row.snr = result.snr_of_optimum();
+  row.evaluated = result.evaluated;
+  return row;
+}
+
+void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
+  os << kHeader << "\n";
+  for (const ResultRow& r : rows) {
+    os << r.device << ',' << r.observation << ',' << r.dms << ','
+       << r.config.wi_time << ',' << r.config.wi_dm << ','
+       << r.config.elem_time << ',' << r.config.elem_dm << ',' << r.gflops
+       << ',' << r.seconds << ',' << r.snr << ',' << r.evaluated << "\n";
+  }
+}
+
+std::vector<ResultRow> load_results(std::istream& is) {
+  std::string line;
+  DDMC_REQUIRE(static_cast<bool>(std::getline(is, line)),
+               "empty results stream");
+  DDMC_REQUIRE(line == kHeader, "unexpected results header: " + line);
+  std::vector<ResultRow> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    DDMC_REQUIRE(cells.size() == 11, "malformed results row: " + line);
+    ResultRow r;
+    r.device = cells[0];
+    r.observation = cells[1];
+    r.dms = parse_size(cells[2]);
+    r.config.wi_time = parse_size(cells[3]);
+    r.config.wi_dm = parse_size(cells[4]);
+    r.config.elem_time = parse_size(cells[5]);
+    r.config.elem_dm = parse_size(cells[6]);
+    r.gflops = parse_double(cells[7]);
+    r.seconds = parse_double(cells[8]);
+    r.snr = parse_double(cells[9]);
+    r.evaluated = parse_size(cells[10]);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,40 @@
+#pragma once
+/// \file results_io.hpp
+/// \brief Persistence of tuning results (CSV), so pipelines can reuse the
+/// tuples found by a sweep instead of re-tuning — the paper's "output of
+/// this experiment is a set of tuples representing the optimal configuration
+/// … for every combination of platform, observational setup and input
+/// instance" (§IV-A).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tuner/tuner.hpp"
+
+namespace ddmc::tuner {
+
+/// One persisted row: the optimal tuple plus its headline statistics.
+struct ResultRow {
+  std::string device;
+  std::string observation;
+  std::size_t dms = 0;
+  dedisp::KernelConfig config;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  double snr = 0.0;
+  std::size_t evaluated = 0;
+
+  friend bool operator==(const ResultRow&, const ResultRow&) = default;
+};
+
+ResultRow to_row(const TuningResult& result);
+
+/// Write rows as CSV with a fixed header.
+void save_results(std::ostream& os, const std::vector<ResultRow>& rows);
+
+/// Parse rows written by save_results. Throws ddmc::invalid_argument on
+/// malformed input (wrong header, wrong column count, non-numeric fields).
+std::vector<ResultRow> load_results(std::istream& is);
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,42 @@
+#include "tuner/search_space.hpp"
+
+namespace ddmc::tuner {
+
+SearchSpace default_search_space() {
+  SearchSpace s;
+  // Powers of two up to the largest work-group any Table I device accepts,
+  // plus the decimal divisors of the setups' samples-per-second — the paper
+  // finds optima like 250×4 (LOFAR, GTX 680) that are not powers of two.
+  s.wi_time = {1,  2,  4,  8,  10, 16,  20,  25,  32,  50,  64,
+               100, 125, 128, 200, 250, 256, 500, 512, 1000, 1024};
+  s.wi_dm = {1, 2, 4, 8, 16, 32};
+  s.elem_time = {1, 2, 4, 5, 8, 10, 16, 20, 25, 32, 50};
+  s.elem_dm = {1, 2, 4, 8};
+  return s;
+}
+
+std::vector<dedisp::KernelConfig> enumerate_configs(
+    const ocl::DeviceModel& device, const dedisp::Plan& plan,
+    const SearchSpace& space) {
+  std::vector<dedisp::KernelConfig> out;
+  for (std::size_t wt : space.wi_time) {
+    for (std::size_t wd : space.wi_dm) {
+      if (wt * wd > device.max_work_group_size) continue;
+      for (std::size_t et : space.elem_time) {
+        if (plan.out_samples() % (wt * et) != 0) continue;
+        for (std::size_t ed : space.elem_dm) {
+          if (plan.dms() % (wd * ed) != 0) continue;
+          const dedisp::KernelConfig cfg{wt, wd, et, ed};
+          if (cfg.accumulators_per_item() + device.reg_overhead_per_item >
+              device.max_regs_per_item) {
+            continue;
+          }
+          out.push_back(cfg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ddmc::tuner

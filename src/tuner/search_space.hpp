@@ -1,0 +1,41 @@
+#pragma once
+/// \file search_space.hpp
+/// \brief Enumeration of the "meaningful" kernel configurations.
+///
+/// §IV-A: "The algorithm is executed for every meaningful combination of the
+/// four parameters … A configuration is considered meaningful if it fulfills
+/// all the constraints posed by a specific platform, setup and input
+/// instance." This module enumerates candidates from a candidate ladder per
+/// parameter (powers of two plus the divisors of the paper's sampling rates,
+/// which is how configurations like 250×4 arise on LOFAR) and filters them
+/// against the cheap constraints: tile divisibility, the device work-group
+/// limit and the per-thread register cap. Deeper constraints (local-memory
+/// capacity, residency) are enforced by the performance model / simulator,
+/// which throw ddmc::config_error — the tuner counts those as skipped.
+
+#include <vector>
+
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+
+namespace ddmc::tuner {
+
+struct SearchSpace {
+  std::vector<std::size_t> wi_time;
+  std::vector<std::size_t> wi_dm;
+  std::vector<std::size_t> elem_time;
+  std::vector<std::size_t> elem_dm;
+};
+
+/// The default ladder used by every experiment in this repository.
+SearchSpace default_search_space();
+
+/// All candidate configurations of \p space that pass the cheap validity
+/// checks for (device, plan). Deterministic order (lexicographic in the
+/// parameter ladders).
+std::vector<dedisp::KernelConfig> enumerate_configs(
+    const ocl::DeviceModel& device, const dedisp::Plan& plan,
+    const SearchSpace& space = default_search_space());
+
+}  // namespace ddmc::tuner

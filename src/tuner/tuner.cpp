@@ -1,0 +1,56 @@
+#include "tuner/tuner.hpp"
+
+#include "common/expect.hpp"
+#include "tuner/search_space.hpp"
+
+namespace ddmc::tuner {
+
+TuningResult tune(const ocl::DeviceModel& device,
+                  const ocl::PlanAnalysis& analysis,
+                  const TuningOptions& options,
+                  const std::vector<dedisp::KernelConfig>& configs) {
+  const dedisp::Plan& plan = analysis.plan();
+  const std::vector<dedisp::KernelConfig> space =
+      configs.empty() ? enumerate_configs(device, plan) : configs;
+
+  TuningResult result;
+  result.device_name = device.name;
+  result.observation_name = plan.observation().name();
+  result.dms = plan.dms();
+
+  RunningStats stats;
+  bool have_best = false;
+  for (const dedisp::KernelConfig& cfg : space) {
+    ocl::PerfEstimate perf;
+    try {
+      perf = ocl::estimate_performance(device, analysis, cfg);
+    } catch (const config_error&) {
+      ++result.skipped;
+      continue;
+    }
+    ++result.evaluated;
+    stats.add(perf.gflops);
+    if (options.keep_population) {
+      result.population.push_back({cfg, perf});
+    }
+    if (!have_best || perf.gflops > result.best.perf.gflops) {
+      result.best = {cfg, perf};
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    throw config_error("no meaningful configuration for device " +
+                       device.name + " on " + plan.observation().name() +
+                       " with " + std::to_string(plan.dms()) + " DMs");
+  }
+  result.stats.count = stats.count();
+  result.stats.mean = stats.mean();
+  result.stats.stddev = stats.stddev();
+  result.stats.min = stats.min();
+  result.stats.max = stats.max();
+  result.stats.snr_of_max =
+      snr(result.stats.max, result.stats.mean, result.stats.stddev);
+  return result;
+}
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,55 @@
+#pragma once
+/// \file tuner.hpp
+/// \brief The auto-tuner: sweep every meaningful configuration, keep the best.
+///
+/// §IV-A: "The optimal configuration is chosen as the one that produces the
+/// highest number of single precision floating point operations per second."
+/// The sweep also retains the whole performance population, from which the
+/// paper's impact statistics are derived: the SNR of the optimum (Figs. 8–9),
+/// the configuration histogram (Fig. 10) and the Chebyshev guessing bound.
+
+#include <optional>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "ocl/perf_model.hpp"
+
+namespace ddmc::tuner {
+
+struct ConfigPerf {
+  dedisp::KernelConfig config;
+  ocl::PerfEstimate perf;
+};
+
+struct TuningOptions {
+  /// Retain every evaluated configuration (needed for histograms); the
+  /// optimum and the summary statistics are always computed.
+  bool keep_population = false;
+};
+
+struct TuningResult {
+  std::string device_name;
+  std::string observation_name;
+  std::size_t dms = 0;
+  ConfigPerf best;
+  StatsSummary stats;              ///< over GFLOP/s of all valid configs
+  std::size_t evaluated = 0;       ///< valid configurations measured
+  std::size_t skipped = 0;         ///< configurations rejected as invalid
+  std::vector<ConfigPerf> population;  ///< filled iff keep_population
+
+  /// SNR of the optimum: (best − mean) / σ of the population.
+  double snr_of_optimum() const {
+    return snr(best.perf.gflops, stats.mean, stats.stddev);
+  }
+};
+
+/// Sweep \p configs (or the default enumerated space when empty) on the
+/// performance model and return the optimum plus population statistics.
+/// Throws ddmc::config_error only if *no* configuration is valid.
+TuningResult tune(const ocl::DeviceModel& device,
+                  const ocl::PlanAnalysis& analysis,
+                  const TuningOptions& options = {},
+                  const std::vector<dedisp::KernelConfig>& configs = {});
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,165 @@
+// Structural tests for the run-time OpenCL-C kernel generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "codegen/opencl_codegen.hpp"
+#include "common/expect.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::codegen {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::mini_plan;
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+bool balanced(const std::string& src, char open, char close) {
+  long depth = 0;
+  for (char c : src) {
+    if (c == open) ++depth;
+    if (c == close) --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(Codegen, KernelNameEncodesConfiguration) {
+  EXPECT_EQ(kernel_name(KernelConfig{32, 8, 4, 2}),
+            "dedisperse_wt32_wd8_et4_ed2");
+}
+
+TEST(Codegen, ParametersAreBakedIn) {
+  const Plan plan = mini_plan(8, 64);
+  const std::string src =
+      generate_opencl_kernel(plan, KernelConfig{8, 2, 4, 2});
+  EXPECT_NE(src.find("#define WI_TIME 8u"), std::string::npos);
+  EXPECT_NE(src.find("#define WI_DM 2u"), std::string::npos);
+  EXPECT_NE(src.find("#define ELEM_TIME 4u"), std::string::npos);
+  EXPECT_NE(src.find("#define ELEM_DM 2u"), std::string::npos);
+  EXPECT_NE(src.find("#define CHANNELS 8u"), std::string::npos);
+  EXPECT_NE(src.find("#define OUT_PITCH 64u"), std::string::npos);
+  EXPECT_NE(src.find("reqd_work_group_size(WI_TIME, WI_DM, 1)"),
+            std::string::npos);
+}
+
+TEST(Codegen, StagedVariantHasLocalMemoryAndBarriers) {
+  const Plan plan = mini_plan(8, 64);
+  const std::string src =
+      generate_opencl_kernel(plan, KernelConfig{8, 2, 4, 2});
+  EXPECT_NE(src.find("__local float staged[STAGE_SPAN]"), std::string::npos);
+  // Two barriers per channel iteration: after load, after accumulate.
+  EXPECT_EQ(count_occurrences(src, "barrier(CLK_LOCAL_MEM_FENCE);"), 2u);
+  EXPECT_NE(src.find("#define STAGE_SPAN"), std::string::npos);
+}
+
+TEST(Codegen, DirectVariantReadsGlobalOnly) {
+  const Plan plan = mini_plan(8, 64);
+  CodegenOptions opt;
+  opt.staged = false;
+  const std::string src =
+      generate_opencl_kernel(plan, KernelConfig{8, 2, 4, 2}, opt);
+  EXPECT_EQ(src.find("__local"), std::string::npos);
+  EXPECT_EQ(src.find("barrier("), std::string::npos);
+  EXPECT_NE(src.find("input[ch * IN_PITCH"), std::string::npos);
+}
+
+TEST(Codegen, AccumulatorsAreFullyUnrolled) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};  // 8 accumulators per work-item
+  const std::string src = generate_opencl_kernel(plan, cfg);
+  // Declared once, accumulated once per channel loop body, stored once.
+  for (std::size_t j = 0; j < cfg.elem_dm; ++j) {
+    for (std::size_t i = 0; i < cfg.elem_time; ++i) {
+      const std::string name =
+          "acc_" + std::to_string(j) + "_" + std::to_string(i);
+      EXPECT_GE(count_occurrences(src, name), 3u) << name;
+    }
+  }
+  EXPECT_EQ(count_occurrences(src, " = 0.0f"), 8u);
+}
+
+TEST(Codegen, SyntaxIsBalanced) {
+  const Plan plan = mini_plan(8, 64);
+  for (const auto& cfg :
+       {KernelConfig{8, 2, 4, 2}, KernelConfig{16, 4, 2, 2},
+        KernelConfig{2, 8, 1, 1}, KernelConfig{64, 1, 1, 8}}) {
+    for (bool staged : {true, false}) {
+      if (staged && cfg.tile_dm() == 1) continue;
+      CodegenOptions opt;
+      opt.staged = staged;
+      const std::string src = generate_opencl_kernel(plan, cfg, opt);
+      EXPECT_TRUE(balanced(src, '{', '}')) << cfg.to_string();
+      EXPECT_TRUE(balanced(src, '(', ')')) << cfg.to_string();
+      EXPECT_TRUE(balanced(src, '[', ']')) << cfg.to_string();
+    }
+  }
+}
+
+TEST(Codegen, DeterministicOutput) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};
+  EXPECT_EQ(generate_opencl_kernel(plan, cfg),
+            generate_opencl_kernel(plan, cfg));
+}
+
+TEST(Codegen, DifferentConfigsProduceDifferentSource) {
+  const Plan plan = mini_plan(8, 64);
+  const std::string a =
+      generate_opencl_kernel(plan, KernelConfig{8, 2, 4, 2});
+  const std::string b =
+      generate_opencl_kernel(plan, KernelConfig{4, 2, 8, 2});
+  EXPECT_NE(a, b);
+}
+
+TEST(Codegen, UnrollHintsToggle) {
+  const Plan plan = mini_plan(8, 64);
+  CodegenOptions with, without;
+  without.unroll_hints = false;
+  const KernelConfig cfg{8, 2, 4, 2};
+  EXPECT_NE(generate_opencl_kernel(plan, cfg, with).find("#pragma unroll"),
+            std::string::npos);
+  EXPECT_EQ(
+      generate_opencl_kernel(plan, cfg, without).find("#pragma unroll"),
+      std::string::npos);
+}
+
+TEST(Codegen, RejectsInvalidRequests) {
+  const Plan plan = mini_plan(8, 64);
+  // Non-dividing tile.
+  EXPECT_THROW(generate_opencl_kernel(plan, KernelConfig{5, 1, 1, 1}),
+               config_error);
+  // Staging a single-trial tile is meaningless.
+  CodegenOptions staged;
+  staged.staged = true;
+  EXPECT_THROW(generate_opencl_kernel(plan, KernelConfig{8, 1, 4, 1}, staged),
+               config_error);
+}
+
+TEST(Codegen, StageSpanCoversWorstTile) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};  // tile_dm = 4
+  const std::string src = generate_opencl_kernel(plan, cfg);
+  const sky::SpreadStats spreads = plan.delays().tile_spreads(4);
+  const std::string expected =
+      "#define STAGE_SPAN " +
+      std::to_string(cfg.tile_time() +
+                     static_cast<std::size_t>(spreads.max_spread)) +
+      "u";
+  EXPECT_NE(src.find(expected), std::string::npos) << src;
+}
+
+}  // namespace
+}  // namespace ddmc::codegen

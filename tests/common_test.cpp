@@ -1,0 +1,461 @@
+// Unit tests for the common substrate: aligned buffers, pitched matrices,
+// the thread pool, statistics, the deterministic RNG, tables and the CLI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/array2d.hpp"
+#include "common/cli.hpp"
+#include "common/expect.hpp"
+#include "common/random.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace ddmc {
+namespace {
+
+// ---------------------------------------------------------------- aligned --
+
+TEST(Aligned, RoundUpBasics) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+  EXPECT_EQ(round_up(10, 0), 10u);  // degenerate alignment passes through
+}
+
+TEST(Aligned, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::size_t>(4096, 3), 1366u);
+}
+
+TEST(Aligned, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Aligned, AllocatorReturnsAlignedStorage) {
+  AlignedAllocator<float> alloc;
+  float* p = alloc.allocate(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes, 0u);
+  alloc.deallocate(p, 37);
+}
+
+TEST(Aligned, AllocatorWorksInsideVector) {
+  std::vector<float, AlignedAllocator<float>> v(1000, 1.5f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(v[999], 1.5f);
+}
+
+// ---------------------------------------------------------------- array2d --
+
+TEST(Array2D, RowsAreCacheLineAligned) {
+  Array2D<float> m(5, 7);  // 7 floats = 28 bytes → pitch rounds to 16 floats
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 7u);
+  EXPECT_EQ(m.pitch() * sizeof(float) % kCacheLineBytes, 0u);
+  EXPECT_GE(m.pitch(), m.cols());
+}
+
+TEST(Array2D, ZeroInitializedAndWritable) {
+  Array2D<float> m(3, 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  m(2, 3) = 5.0f;
+  EXPECT_EQ(m(2, 3), 5.0f);
+}
+
+TEST(Array2D, EmptyMatrixRejected) {
+  EXPECT_THROW(Array2D<float>(0, 4), invalid_argument);
+  EXPECT_THROW(Array2D<float>(4, 0), invalid_argument);
+}
+
+TEST(Array2D, CheckedAccessThrowsOutOfRange) {
+  Array2D<float> m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), invalid_argument);
+  EXPECT_THROW(m.at(0, 2), invalid_argument);
+}
+
+TEST(Array2D, ViewsShareStorage) {
+  Array2D<float> m(2, 3);
+  auto v = m.view();
+  v(1, 2) = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+  ConstView2D<float> cv = m.cview();
+  EXPECT_EQ(cv(1, 2), 9.0f);
+}
+
+TEST(Array2D, RowSpanHasExactlyColsElements) {
+  Array2D<float> m(4, 10);
+  EXPECT_EQ(m.row(0).size(), 10u);
+  EXPECT_THROW(m.row(4), invalid_argument);
+}
+
+TEST(Array2D, FillSetsEveryElement) {
+  Array2D<float> m(3, 5);
+  m.fill(2.5f);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(m(r, c), 2.5f);
+}
+
+TEST(View2D, PitchMustCoverRow) {
+  std::vector<float> buf(10);
+  EXPECT_THROW(View2D<float>(buf.data(), 2, 5, 4), invalid_argument);
+}
+
+// ------------------------------------------------------------ thread pool --
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.run([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10, 1,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 4) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run(nullptr), invalid_argument);
+}
+
+TEST(ThreadPool, RejectsInvertedRange) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(5, 2, 1, [](std::size_t, std::size_t) {}),
+      invalid_argument);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+// ------------------------------------------------------------- statistics --
+
+TEST(Statistics, WelfordMatchesNaive) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / 5.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(Statistics, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Statistics, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.mean(), 3.0);
+}
+
+TEST(Statistics, SummarizeComputesSnrOfMax) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 5.0};
+  const StatsSummary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.mean, 1.8, 1e-12);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.snr_of_max, (5.0 - 1.8) / s.stddev, 1e-12);
+}
+
+TEST(Statistics, SummarizeRejectsEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(summarize(empty), invalid_argument);
+}
+
+TEST(Statistics, SnrZeroForDegeneratePopulation) {
+  EXPECT_EQ(snr(5.0, 5.0, 0.0), 0.0);
+  EXPECT_NEAR(snr(8.0, 5.0, 1.5), 2.0, 1e-12);
+}
+
+TEST(Statistics, ChebyshevBound) {
+  EXPECT_EQ(chebyshev_bound(0.5), 1.0);  // clamps below k = 1
+  EXPECT_NEAR(chebyshev_bound(1.6), 1.0 / (1.6 * 1.6), 1e-12);
+  // The paper quotes < 39% best case and < 5% worst case.
+  EXPECT_LT(chebyshev_bound(1.61), 0.39);
+  EXPECT_LT(chebyshev_bound(4.5), 0.05);
+}
+
+TEST(Statistics, HistogramBinsAndClamps) {
+  const std::vector<double> xs = {0.1, 0.2, 0.9, 1.5, -3.0, 99.0};
+  const Histogram h = make_histogram(xs, 4, 0.0, 2.0);
+  ASSERT_EQ(h.counts.size(), 4u);
+  // bins: [0,0.5) [0.5,1.0) [1.0,1.5) [1.5,2.0]; -3 clamps low, 99 high.
+  EXPECT_EQ(h.counts[0], 3u);  // 0.1, 0.2, -3.0(clamped)
+  EXPECT_EQ(h.counts[1], 1u);  // 0.9
+  EXPECT_EQ(h.counts[2], 0u);
+  EXPECT_EQ(h.counts[3], 2u);  // 1.5, 99(clamped)
+  EXPECT_NEAR(h.bin_width(), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(0), 0.25, 1e-12);
+}
+
+TEST(Statistics, AutoRangeHistogramSpansData) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  const Histogram h = make_histogram(xs, 2);
+  EXPECT_EQ(h.lo, 2.0);
+  EXPECT_EQ(h.hi, 6.0);
+  EXPECT_EQ(h.counts[0] + h.counts[1], 3u);
+}
+
+TEST(Statistics, HistogramDegenerateAndErrors) {
+  const std::vector<double> same = {3.0, 3.0};
+  const Histogram h = make_histogram(same, 4);
+  EXPECT_EQ(std::accumulate(h.counts.begin(), h.counts.end(), 0u), 2u);
+  EXPECT_THROW(make_histogram(same, 0, 0.0, 1.0), invalid_argument);
+  EXPECT_THROW(make_histogram(same, 2, 1.0, 1.0), invalid_argument);
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, FloatRespectsBounds) {
+  Rng r(10);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = r.next_float(-2.0f, 3.0f);
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(11);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(r.next_normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.03);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.03);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TextTable, AlignsColumnsAndSeparatesHeader) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), invalid_argument);
+  EXPECT_THROW(TextTable({}), invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::size_t{42}), "42");
+}
+
+// ------------------------------------------------------------------- cli --
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  Cli cli("prog", "test program");
+  cli.add_option("dms", "trial count", "64");
+  cli.add_option("device", "device name", "HD7970");
+  cli.add_flag("verbose", "noisy output");
+  const char* argv[] = {"prog", "--dms", "128", "--verbose",
+                        "--device=K20"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("dms"), 128);
+  EXPECT_EQ(cli.get("device"), "K20");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  Cli cli("prog", "test");
+  cli.add_option("x", "a value", "7");
+  cli.add_flag("f", "a flag");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("x"), 7);
+  EXPECT_FALSE(cli.get_flag("f"));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  Cli cli("prog", "test");
+  cli.add_option("x", "v", "1");
+  cli.add_flag("f", "flag");
+  {
+    const char* argv[] = {"prog", "--nope", "1"};
+    EXPECT_THROW(cli.parse(3, argv), invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--x"};
+    EXPECT_THROW(cli.parse(2, argv), invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--f=1"};
+    EXPECT_THROW(cli.parse(2, argv), invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_THROW(cli.parse(2, argv), invalid_argument);
+  }
+}
+
+TEST(Cli, TypedAccessorErrors) {
+  Cli cli("prog", "test");
+  cli.add_option("s", "a string", "abc");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get_int("s"), invalid_argument);
+  EXPECT_THROW(cli.get_double("s"), invalid_argument);
+  EXPECT_THROW(cli.get("unregistered"), invalid_argument);
+  EXPECT_THROW(cli.get_flag("s"), invalid_argument);
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  Cli cli("prog", "does things");
+  cli.add_option("alpha", "the alpha", "0.5");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("0.5"), std::string::npos);
+  EXPECT_NE(u.find("does things"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- timer --
+
+TEST(Stopwatch, MeasuresNonNegativeElapsed) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.milliseconds(), 0.0);
+}
+
+// ---------------------------------------------------------------- expect --
+
+TEST(Expect, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(DDMC_REQUIRE(false, "reason"), invalid_argument);
+  EXPECT_NO_THROW(DDMC_REQUIRE(true, ""));
+}
+
+TEST(Expect, EnsureThrowsInternalError) {
+  EXPECT_THROW(DDMC_ENSURE(false, "bug"), internal_error);
+}
+
+TEST(Expect, MessageCarriesLocationAndReason) {
+  try {
+    DDMC_REQUIRE(1 == 2, "custom-reason");
+    FAIL() << "should have thrown";
+  } catch (const invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("custom-reason"), std::string::npos);
+    EXPECT_NE(msg.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ddmc

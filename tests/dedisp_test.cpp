@@ -1,0 +1,355 @@
+// Unit and property tests for the core library: plans, kernel configs, the
+// reference algorithm, the tiled CPU kernel, the CPU baseline and the
+// arithmetic-intensity analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "dedisp/cpu_baseline.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/intensity.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "dedisp/reference.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::dedisp {
+namespace {
+
+using testing::expect_same_matrix;
+using testing::mini_obs;
+using testing::mini_plan;
+using testing::random_input;
+
+// ------------------------------------------------------------------- plan --
+
+TEST(Plan, FullSecondsRoundsInputToWholeSeconds) {
+  const sky::Observation obs = mini_obs();  // 100 samples per second
+  const Plan plan(obs, 8, 1);
+  EXPECT_EQ(plan.out_samples(), 100u);
+  EXPECT_EQ(plan.in_samples() % obs.samples_per_second(), 0u);
+  EXPECT_GE(plan.in_samples(),
+            plan.out_samples() +
+                static_cast<std::size_t>(plan.delays().max_delay()));
+}
+
+TEST(Plan, ExplicitOutputSamplesSkipsRounding) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 8, 64);
+  EXPECT_EQ(plan.out_samples(), 64u);
+  EXPECT_EQ(plan.in_samples(),
+            64u + static_cast<std::size_t>(plan.delays().max_delay()));
+}
+
+TEST(Plan, TotalFlopIsDBySByC) {
+  const Plan plan = mini_plan(8, 64);
+  EXPECT_DOUBLE_EQ(plan.total_flop(), 8.0 * 64.0 * 8.0);
+}
+
+TEST(Plan, ByteAccountingMatchesDimensions) {
+  const Plan plan = mini_plan(8, 64);
+  EXPECT_DOUBLE_EQ(plan.output_bytes(), 8.0 * 64.0 * 4.0);
+  EXPECT_DOUBLE_EQ(plan.input_bytes(),
+                   static_cast<double>(plan.channels()) *
+                       static_cast<double>(plan.in_samples()) * 4.0);
+}
+
+TEST(Plan, RejectsDegenerateInstances) {
+  EXPECT_THROW(Plan(mini_obs(), 0, 1), invalid_argument);
+  EXPECT_THROW(Plan(mini_obs(), 8, 0), invalid_argument);
+  EXPECT_THROW(Plan::with_output_samples(mini_obs(), 8, 0),
+               invalid_argument);
+}
+
+TEST(Plan, ZeroDmObservationNeedsNoPadding) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  EXPECT_EQ(plan.in_samples(), 64u);
+}
+
+// ---------------------------------------------------------- kernel config --
+
+TEST(KernelConfig, TileArithmetic) {
+  const KernelConfig cfg{32, 8, 4, 2};
+  EXPECT_EQ(cfg.tile_time(), 128u);
+  EXPECT_EQ(cfg.tile_dm(), 16u);
+  EXPECT_EQ(cfg.work_group_size(), 256u);
+  EXPECT_EQ(cfg.accumulators_per_item(), 8u);
+}
+
+TEST(KernelConfig, GridExtents) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};  // tile 32 time × 4 dm
+  EXPECT_EQ(cfg.groups_time(plan), 2u);
+  EXPECT_EQ(cfg.groups_dm(plan), 2u);
+  EXPECT_EQ(cfg.total_groups(plan), 4u);
+  EXPECT_TRUE(cfg.divides(plan));
+}
+
+TEST(KernelConfig, ValidateRejectsNonDividingTiles) {
+  const Plan plan = mini_plan(8, 64);
+  EXPECT_THROW((KernelConfig{5, 1, 1, 1}).validate(plan), config_error);
+  EXPECT_THROW((KernelConfig{1, 3, 1, 1}).validate(plan), config_error);
+  EXPECT_THROW((KernelConfig{0, 1, 1, 1}).validate(plan), config_error);
+  EXPECT_NO_THROW((KernelConfig{8, 2, 8, 4}).validate(plan));
+}
+
+TEST(KernelConfig, ToStringAndEquality) {
+  const KernelConfig a{1, 2, 3, 4};
+  EXPECT_EQ(a.to_string(), "{wi_time=1, wi_dm=2, elem_time=3, elem_dm=4}");
+  EXPECT_EQ(a, (KernelConfig{1, 2, 3, 4}));
+  EXPECT_NE(a, (KernelConfig{1, 2, 3, 8}));
+}
+
+// -------------------------------------------------------------- reference --
+
+TEST(Reference, ZeroDmSumsChannelsAtSameSample) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 4, 16);
+  Array2D<float> in(plan.channels(), plan.in_samples());
+  for (std::size_t ch = 0; ch < in.rows(); ++ch)
+    for (std::size_t t = 0; t < in.cols(); ++t)
+      in(ch, t) = static_cast<float>(t);
+  const Array2D<float> out = dedisperse_reference(plan, in.cview());
+  for (std::size_t dm = 0; dm < 4; ++dm)
+    for (std::size_t t = 0; t < 16; ++t)
+      EXPECT_EQ(out(dm, t), static_cast<float>(t * plan.channels()));
+}
+
+TEST(Reference, ImpulseFollowsDelayTable) {
+  const Plan plan = mini_plan(8, 64);
+  const sky::DelayTable& delays = plan.delays();
+  // Put a single spike per channel at the position trial 5 expects.
+  Array2D<float> in(plan.channels(), plan.in_samples());
+  const std::size_t t_probe = 10;
+  for (std::size_t ch = 0; ch < plan.channels(); ++ch) {
+    in(ch, t_probe + static_cast<std::size_t>(delays.delay(5, ch))) = 1.0f;
+  }
+  const Array2D<float> out = dedisperse_reference(plan, in.cview());
+  // At the matching trial all channels align: the full channel count.
+  EXPECT_EQ(out(5, t_probe), static_cast<float>(plan.channels()));
+  // Any other trial catches at most a fraction of the channels there.
+  for (std::size_t dm = 0; dm < 8; ++dm) {
+    if (dm == 5) continue;
+    EXPECT_LT(out(dm, t_probe), static_cast<float>(plan.channels()));
+  }
+}
+
+TEST(Reference, LinearInInput) {
+  const Plan plan = mini_plan(4, 32);
+  Array2D<float> a = random_input(plan, 1);
+  Array2D<float> b = random_input(plan, 2);
+  Array2D<float> sum(plan.channels(), plan.in_samples());
+  for (std::size_t ch = 0; ch < sum.rows(); ++ch)
+    for (std::size_t t = 0; t < sum.cols(); ++t)
+      sum(ch, t) = a(ch, t) + b(ch, t);
+  const Array2D<float> out_a = dedisperse_reference(plan, a.cview());
+  const Array2D<float> out_b = dedisperse_reference(plan, b.cview());
+  const Array2D<float> out_sum = dedisperse_reference(plan, sum.cview());
+  for (std::size_t dm = 0; dm < 4; ++dm)
+    for (std::size_t t = 0; t < 32; ++t)
+      EXPECT_NEAR(out_sum(dm, t), out_a(dm, t) + out_b(dm, t), 1e-4f);
+}
+
+TEST(Reference, RejectsWrongShapes) {
+  const Plan plan = mini_plan(4, 32);
+  Array2D<float> bad_in(plan.channels() + 1, plan.in_samples());
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_THROW(dedisperse_reference(plan, bad_in.cview(), out.view()),
+               invalid_argument);
+  Array2D<float> short_in(plan.channels(), plan.out_samples());
+  EXPECT_THROW(dedisperse_reference(plan, short_in.cview(), out.view()),
+               invalid_argument);
+  Array2D<float> in = random_input(plan);
+  Array2D<float> bad_out(plan.dms() + 1, plan.out_samples());
+  EXPECT_THROW(dedisperse_reference(plan, in.cview(), bad_out.view()),
+               invalid_argument);
+}
+
+// ----------------------------------------------- tiled CPU kernel (sweep) --
+
+/// Property sweep: every meaningful tiling must reproduce the reference
+/// bit-for-bit, staged or not, threaded or inline.
+class CpuKernelEquivalence
+    : public ::testing::TestWithParam<KernelConfig> {};
+
+TEST_P(CpuKernelEquivalence, MatchesReferenceStagedInline) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  CpuKernelOptions opt;
+  opt.stage_rows = true;
+  opt.threads = 1;
+  const Array2D<float> got = dedisperse_cpu(plan, GetParam(), in.cview(), opt);
+  expect_same_matrix(expected, got);
+}
+
+TEST_P(CpuKernelEquivalence, MatchesReferenceUnstagedThreaded) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  CpuKernelOptions opt;
+  opt.stage_rows = false;
+  opt.threads = 3;
+  const Array2D<float> got = dedisperse_cpu(plan, GetParam(), in.cview(), opt);
+  expect_same_matrix(expected, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, CpuKernelEquivalence,
+    ::testing::Values(
+        KernelConfig{1, 1, 1, 1}, KernelConfig{2, 1, 1, 1},
+        KernelConfig{1, 2, 1, 1}, KernelConfig{4, 2, 2, 2},
+        KernelConfig{8, 1, 8, 1}, KernelConfig{2, 4, 4, 2},
+        KernelConfig{16, 2, 2, 2}, KernelConfig{4, 8, 1, 1},
+        KernelConfig{8, 2, 2, 4}, KernelConfig{1, 8, 1, 1},
+        KernelConfig{32, 1, 2, 8}, KernelConfig{16, 4, 4, 2},
+        KernelConfig{64, 1, 1, 1}, KernelConfig{2, 2, 16, 2}),
+    [](const ::testing::TestParamInfo<KernelConfig>& pinfo) {
+      const KernelConfig& c = pinfo.param;
+      return "wt" + std::to_string(c.wi_time) + "_wd" +
+             std::to_string(c.wi_dm) + "_et" + std::to_string(c.elem_time) +
+             "_ed" + std::to_string(c.elem_dm);
+    });
+
+TEST(CpuKernel, GlobalPoolPathMatchesReference) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  const Array2D<float> got =
+      dedisperse_cpu(plan, KernelConfig{8, 2, 4, 2}, in.cview());
+  expect_same_matrix(expected, got);
+}
+
+TEST(CpuKernel, InvalidConfigThrows) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_THROW(
+      dedisperse_cpu(plan, KernelConfig{5, 1, 1, 1}, in.cview(), out.view()),
+      config_error);
+}
+
+TEST(CpuKernel, WorksOnZeroDmObservation) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  const Array2D<float> got =
+      dedisperse_cpu(plan, KernelConfig{8, 4, 2, 2}, in.cview());
+  expect_same_matrix(expected, got);
+}
+
+// ----------------------------------------------------------- CPU baseline --
+
+TEST(CpuBaseline, MatchesReference) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  const Array2D<float> got = dedisperse_cpu_baseline(plan, in.cview());
+  expect_same_matrix(expected, got);
+}
+
+TEST(CpuBaseline, HandlesNonMultipleOfEightTails) {
+  // 37 output samples: 4 full 8-lane chunks + a 5-sample scalar tail.
+  const Plan plan = Plan::with_output_samples(mini_obs(), 4, 37);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  CpuBaselineOptions opt;
+  opt.threads = 1;
+  const Array2D<float> got = dedisperse_cpu_baseline(plan, in.cview(), opt);
+  expect_same_matrix(expected, got);
+}
+
+TEST(CpuBaseline, TimeBlockSizeDoesNotChangeResults) {
+  const Plan plan = mini_plan(4, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> first(plan.dms(), plan.out_samples());
+  CpuBaselineOptions opt;
+  opt.time_block = 64;
+  dedisperse_cpu_baseline(plan, in.cview(), first.view(), opt);
+  for (std::size_t block : {1ul, 7ul, 8ul, 16ul, 33ul}) {
+    opt.time_block = block;
+    Array2D<float> again(plan.dms(), plan.out_samples());
+    dedisperse_cpu_baseline(plan, in.cview(), again.view(), opt);
+    expect_same_matrix(first, again);
+  }
+}
+
+TEST(CpuBaseline, RejectsZeroBlockAndBadShapes) {
+  const Plan plan = mini_plan(4, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  CpuBaselineOptions opt;
+  opt.time_block = 0;
+  EXPECT_THROW(dedisperse_cpu_baseline(plan, in.cview(), out.view(), opt),
+               invalid_argument);
+}
+
+// -------------------------------------------------- arithmetic intensity --
+
+TEST(Intensity, EquationTwoBound) {
+  EXPECT_DOUBLE_EQ(ai_no_reuse_eq2(0.0), 0.25);
+  EXPECT_LT(ai_no_reuse_eq2(0.5), 0.25);
+  EXPECT_THROW(ai_no_reuse_eq2(-1.0), invalid_argument);
+}
+
+TEST(Intensity, EquationThreeBound) {
+  // 1 / (4·(1/d + 1/s + 1/c)), hand-checked for d=s=c=12: 1/(4·(3/12)) = 1.
+  EXPECT_DOUBLE_EQ(ai_upper_bound_eq3(12, 12, 12), 1.0);
+  // Grows without bound as all dimensions grow (the §III-A observation).
+  EXPECT_GT(ai_upper_bound_eq3(1e6, 1e6, 1e6), 1e4);
+  EXPECT_THROW(ai_upper_bound_eq3(0, 1, 1), invalid_argument);
+}
+
+TEST(Intensity, NaiveAiIsBelowEquationTwoBound) {
+  const Plan plan = mini_plan(8, 64);
+  const IntensityReport r = analyze_intensity(plan, KernelConfig{8, 2, 4, 2});
+  EXPECT_LT(r.ai_naive, 0.25);
+  EXPECT_GT(r.ai_naive, 0.0);
+}
+
+TEST(Intensity, TiledAiNeverBelowNaive) {
+  const Plan plan = mini_plan(8, 64);
+  for (const auto& cfg :
+       {KernelConfig{8, 1, 4, 1}, KernelConfig{8, 2, 4, 2},
+        KernelConfig{8, 4, 4, 2}, KernelConfig{4, 8, 2, 1}}) {
+    const IntensityReport r = analyze_intensity(plan, cfg);
+    EXPECT_GE(r.ai_tiled, r.ai_naive) << cfg.to_string();
+    EXPECT_GE(r.reuse_factor, 1.0) << cfg.to_string();
+  }
+}
+
+TEST(Intensity, ZeroDmReuseEqualsTileDm) {
+  // With all delays zero every trial of a tile reads the same row: reuse
+  // factor is exactly tile_dm.
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  const KernelConfig cfg{8, 4, 4, 2};  // tile_dm = 8
+  const IntensityReport r = analyze_intensity(plan, cfg);
+  EXPECT_DOUBLE_EQ(r.reuse_factor, 8.0);
+}
+
+TEST(Intensity, RealDelaysGiveLessReuseThanZeroDm) {
+  const KernelConfig cfg{8, 4, 4, 2};
+  const IntensityReport real =
+      analyze_intensity(mini_plan(8, 64), cfg);
+  const Plan zero =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  const IntensityReport perfect = analyze_intensity(zero, cfg);
+  EXPECT_LT(real.reuse_factor, perfect.reuse_factor);
+}
+
+TEST(Intensity, TiledAiStaysFarFromEquationThreeInRealisticSetups) {
+  // §III-A's conclusion: the Eq. 3 bound is not approachable with real
+  // delay geometry. Check on a LOFAR-like low band where delays diverge.
+  const sky::Observation low("low", 1000.0, 8, 100.0, 1.0, 0.0, 2.0);
+  const Plan plan = Plan::with_output_samples(low, 8, 128);
+  const IntensityReport r = analyze_intensity(plan, KernelConfig{8, 8, 2, 1});
+  const double eq3 = ai_upper_bound_eq3(8, 128, 8);
+  EXPECT_LT(r.ai_tiled, 0.5 * eq3);
+}
+
+}  // namespace
+}  // namespace ddmc::dedisp

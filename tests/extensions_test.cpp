@@ -1,0 +1,265 @@
+// Tests for the extension modules: subband (two-stage) dedispersion, the
+// wall-clock host tuner, and multi-beam processing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "dedisp/reference.hpp"
+#include "dedisp/subband.hpp"
+#include "pipeline/multibeam.hpp"
+#include "sky/detection.hpp"
+#include "sky/signal.hpp"
+#include "test_util.hpp"
+#include "tuner/host_tuner.hpp"
+
+namespace ddmc {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using dedisp::SubbandConfig;
+using testing::mini_obs;
+using testing::random_input;
+
+/// Input with a couple of samples of slack beyond the plan's minimum —
+/// the subband method's split delays round intra and inter parts
+/// separately and may reach past in_samples by up to two samples.
+Array2D<float> padded_input(const Plan& plan, std::uint64_t seed = 7) {
+  Array2D<float> in(plan.channels(), plan.in_samples() + 4);
+  Rng rng(seed);
+  for (std::size_t ch = 0; ch < in.rows(); ++ch) {
+    for (auto& v : in.row(ch)) v = rng.next_float(-1.0f, 1.0f);
+  }
+  return in;
+}
+
+// ---------------------------------------------------------------- subband --
+
+TEST(Subband, FlopCountFollowsTheTwoStageFormula) {
+  const Plan plan = testing::mini_plan(8, 64);
+  const SubbandConfig cfg{4, 4};
+  // stage1: (8/4)·64·8 + stage2: 8·64·4.
+  EXPECT_DOUBLE_EQ(dedisp::subband_flop(plan, cfg),
+                   2.0 * 64.0 * 8.0 + 8.0 * 64.0 * 4.0);
+}
+
+TEST(Subband, CheaperThanBruteForceForRealisticParameters) {
+  const Plan plan(sky::apertif(), 1024);
+  const SubbandConfig cfg{32, 16};
+  EXPECT_LT(dedisp::subband_flop(plan, cfg), 0.1 * plan.total_flop());
+}
+
+TEST(Subband, RejectsNonDividingParameters) {
+  const Plan plan = testing::mini_plan(8, 64);
+  EXPECT_THROW(dedisp::subband_flop(plan, SubbandConfig{3, 4}),
+               invalid_argument);
+  EXPECT_THROW(dedisp::subband_flop(plan, SubbandConfig{4, 3}),
+               invalid_argument);
+  EXPECT_THROW(dedisp::subband_flop(plan, SubbandConfig{0, 1}),
+               invalid_argument);
+}
+
+TEST(Subband, ZeroDmObservationIsExactUpToAssociation) {
+  // All delays vanish, so both stages are plain channel sums; only the
+  // summation association differs (per-subband partials), so the results
+  // agree to float rounding.
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  const Array2D<float> in = padded_input(plan);
+  const Array2D<float> expected = dedisp::dedisperse_reference(plan, in.cview());
+  const Array2D<float> got =
+      dedisp::dedisperse_subband(plan, SubbandConfig{4, 2}, in.cview());
+  for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+    for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+      ASSERT_NEAR(expected(dm, t), got(dm, t), 1e-5)
+          << "dm=" << dm << " t=" << t;
+    }
+  }
+}
+
+TEST(Subband, DelayErrorBoundIsZeroForDegenerateConfig) {
+  // coarse_step == 1 reuses each trial's own shifts: no approximation.
+  const Plan plan = testing::mini_plan(8, 64);
+  EXPECT_EQ(dedisp::subband_max_delay_error(plan, SubbandConfig{8, 1}), 0);
+}
+
+TEST(Subband, DelayErrorGrowsWithCoarseStep) {
+  const Plan plan = testing::mini_plan(8, 64);
+  const auto e2 = dedisp::subband_max_delay_error(plan, SubbandConfig{4, 2});
+  const auto e8 = dedisp::subband_max_delay_error(plan, SubbandConfig{4, 8});
+  EXPECT_LE(e2, e8);
+}
+
+TEST(Subband, RampInputDeviationBoundedBySmearing) {
+  // On a linear ramp, shifting a channel read by e samples changes its
+  // contribution by exactly e, so |subband − reference| is bounded by
+  // channels × (delay error + rounding slack).
+  const Plan plan = testing::mini_plan(8, 64);
+  Array2D<float> in(plan.channels(), plan.in_samples() + 4);
+  for (std::size_t ch = 0; ch < in.rows(); ++ch) {
+    for (std::size_t t = 0; t < in.cols(); ++t) {
+      in(ch, t) = static_cast<float>(t);
+    }
+  }
+  const Array2D<float> expected = dedisp::dedisperse_reference(plan, in.cview());
+  const SubbandConfig cfg{4, 4};
+  const Array2D<float> got =
+      dedisp::dedisperse_subband(plan, cfg, in.cview());
+  const double bound =
+      static_cast<double>(plan.channels()) *
+      (static_cast<double>(dedisp::subband_max_delay_error(plan, cfg)) + 2.0);
+  for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+    for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+      EXPECT_LE(std::abs(got(dm, t) - expected(dm, t)), bound)
+          << "dm=" << dm << " t=" << t;
+    }
+  }
+}
+
+TEST(Subband, RecoversThePulsarLikeBruteForce) {
+  const sky::Observation obs = mini_obs();
+  const Plan plan = Plan::with_output_samples(obs, 8, 128);
+  sky::PulsarParams pulsar;
+  pulsar.dm = obs.dm_value(4);
+  pulsar.period_s = 0.4;
+  pulsar.width_s = 0.05;  // wide enough to absorb the subband smearing
+  pulsar.amplitude = 6.0;
+  sky::NoiseParams noise;
+  noise.sigma = 0.3;
+  Array2D<float> data(obs.channels(), plan.in_samples() + 4);
+  sky::generate_noise(obs, data.view(), noise);
+  sky::inject_pulsar(obs, data.view(), pulsar);
+
+  const Array2D<float> out =
+      dedisp::dedisperse_subband(plan, SubbandConfig{4, 2}, data.cview());
+  const sky::DetectionResult res = sky::detect_best_dm(out.cview());
+  EXPECT_NEAR(static_cast<double>(res.best_trial), 4.0, 1.0);
+  EXPECT_GT(res.best_snr, 5.0);
+}
+
+TEST(Subband, InputPaddingIsEnforced) {
+  const Plan plan = testing::mini_plan(8, 64);
+  Array2D<float> exact(plan.channels(), 65);  // far too short
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_THROW(dedisp::dedisperse_subband(plan, SubbandConfig{4, 2},
+                                          exact.cview(), out.view()),
+               invalid_argument);
+}
+
+// ------------------------------------------------------------- host tuner --
+
+TEST(HostTuner, FindsABestConfigAndKeepsAllTimings) {
+  const Plan plan = testing::mini_plan(8, 64);
+  tuner::HostTuningOptions opt;
+  opt.repetitions = 1;
+  opt.warmup_runs = 0;
+  opt.threads = 1;
+  const std::vector<KernelConfig> configs = {
+      KernelConfig{8, 1, 1, 1}, KernelConfig{8, 2, 4, 2},
+      KernelConfig{16, 4, 2, 2}};
+  const tuner::HostTuningResult r = tuner::tune_host(plan, opt, configs);
+  EXPECT_EQ(r.timings.size(), 3u);
+  EXPECT_EQ(r.stats.count, 3u);
+  for (const auto& t : r.timings) {
+    EXPECT_GT(t.seconds, 0.0);
+    EXPECT_LE(t.gflops, r.best.gflops);
+    EXPECT_NEAR(t.gflops, plan.total_flop() / t.seconds * 1e-9, 1e-9);
+  }
+}
+
+TEST(HostTuner, SkipsInvalidConfigs) {
+  const Plan plan = testing::mini_plan(8, 64);
+  tuner::HostTuningOptions opt;
+  opt.repetitions = 1;
+  opt.warmup_runs = 0;
+  opt.threads = 1;
+  const std::vector<KernelConfig> configs = {
+      KernelConfig{5, 1, 1, 1},  // non-dividing: skipped
+      KernelConfig{8, 1, 1, 1}};
+  const tuner::HostTuningResult r = tuner::tune_host(plan, opt, configs);
+  EXPECT_EQ(r.timings.size(), 1u);
+  EXPECT_EQ(r.best.config, (KernelConfig{8, 1, 1, 1}));
+}
+
+TEST(HostTuner, DefaultLadderIsNonEmptyOnSmallPlans) {
+  const Plan plan = testing::mini_plan(8, 64);
+  tuner::HostTuningOptions opt;
+  opt.repetitions = 1;
+  opt.warmup_runs = 0;
+  opt.threads = 1;
+  const tuner::HostTuningResult r = tuner::tune_host(plan, opt);
+  EXPECT_GT(r.timings.size(), 10u);
+}
+
+TEST(HostTuner, RejectsZeroRepetitions) {
+  const Plan plan = testing::mini_plan(8, 64);
+  tuner::HostTuningOptions opt;
+  opt.repetitions = 0;
+  EXPECT_THROW(tuner::tune_host(plan, opt), invalid_argument);
+}
+
+// -------------------------------------------------------------- multibeam --
+
+TEST(MultiBeam, EveryBeamMatchesTheReference) {
+  const Plan plan = testing::mini_plan(8, 64);
+  pipeline::MultiBeamDedisperser mb(plan, KernelConfig{8, 2, 4, 2});
+
+  std::vector<Array2D<float>> beam_data;
+  std::vector<ConstView2D<float>> views;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    beam_data.push_back(random_input(plan, seed));
+  }
+  for (const auto& b : beam_data) views.push_back(b.cview());
+
+  const std::vector<Array2D<float>> outputs = mb.dedisperse(views, 2);
+  ASSERT_EQ(outputs.size(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    const Array2D<float> expected =
+        dedisp::dedisperse_reference(plan, views[b]);
+    testing::expect_same_matrix(expected, outputs[b]);
+  }
+}
+
+TEST(MultiBeam, SearchFindsTheBeamWithThePulsar) {
+  const sky::Observation obs = mini_obs();
+  const Plan plan = Plan::with_output_samples(obs, 8, 128);
+  pipeline::MultiBeamDedisperser mb(plan, KernelConfig{16, 2, 4, 2});
+
+  sky::NoiseParams noise;
+  noise.sigma = 0.5;
+  std::vector<Array2D<float>> beams;
+  for (std::size_t b = 0; b < 4; ++b) {
+    noise.seed = 100 + b;
+    Array2D<float> data(obs.channels(), plan.in_samples());
+    sky::generate_noise(obs, data.view(), noise);
+    if (b == 2) {
+      sky::PulsarParams pulsar;
+      pulsar.dm = obs.dm_value(5);
+      pulsar.period_s = 0.4;
+      pulsar.width_s = 0.01;
+      pulsar.amplitude = 5.0;
+      sky::inject_pulsar(obs, data.view(), pulsar);
+    }
+    beams.push_back(std::move(data));
+  }
+  std::vector<ConstView2D<float>> views;
+  for (const auto& b : beams) views.push_back(b.cview());
+
+  const auto candidate = mb.search(views, 2);
+  EXPECT_EQ(candidate.beam, 2u);
+  EXPECT_GT(candidate.detection.best_snr, 5.0);
+}
+
+TEST(MultiBeam, ValidatesConfigAndInput) {
+  const Plan plan = testing::mini_plan(8, 64);
+  EXPECT_THROW(
+      pipeline::MultiBeamDedisperser(plan, KernelConfig{5, 1, 1, 1}),
+      config_error);
+  pipeline::MultiBeamDedisperser mb(plan, KernelConfig{8, 2, 4, 2});
+  EXPECT_THROW(mb.dedisperse({}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddmc

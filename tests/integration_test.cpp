@@ -1,0 +1,177 @@
+// End-to-end tests across modules: pulsar injection → dedispersion →
+// detection; tuner → simulator → codegen; measured vs analytic traffic.
+
+#include <gtest/gtest.h>
+
+#include "codegen/opencl_codegen.hpp"
+#include "common/expect.hpp"
+#include "dedisp/cpu_baseline.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/intensity.hpp"
+#include "dedisp/reference.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+#include "ocl/sim_dedisp.hpp"
+#include "pipeline/dedisperser.hpp"
+#include "sky/detection.hpp"
+#include "sky/signal.hpp"
+#include "test_util.hpp"
+#include "tuner/tuner.hpp"
+
+namespace ddmc {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+
+/// A mini observation with a pulsar injected at a known trial index.
+struct PulsarScenario {
+  Plan plan;
+  Array2D<float> data;
+  std::size_t true_trial;
+};
+
+PulsarScenario make_scenario() {
+  const sky::Observation obs = mini_obs();
+  Plan plan = Plan::with_output_samples(obs, 8, 128);
+  const std::size_t true_trial = 4;  // DM = 2.0 with the 0.5 step
+
+  sky::PulsarParams pulsar;
+  pulsar.dm = obs.dm_value(true_trial);
+  pulsar.period_s = 0.4;
+  pulsar.width_s = 0.01;
+  pulsar.amplitude = 6.0;
+  pulsar.first_pulse_s = 0.05;
+  sky::NoiseParams noise;
+  noise.sigma = 0.5;
+  noise.seed = 99;
+
+  Array2D<float> data =
+      sky::make_observation_data(obs, plan.in_samples(), pulsar, noise);
+  return {std::move(plan), std::move(data), true_trial};
+}
+
+TEST(Integration, BruteForceSearchRecoversInjectedDm) {
+  const PulsarScenario sc = make_scenario();
+  const Array2D<float> out =
+      dedisp::dedisperse_reference(sc.plan, sc.data.cview());
+  const sky::DetectionResult res = sky::detect_best_dm(out.cview());
+  EXPECT_EQ(res.best_trial, sc.true_trial);
+  EXPECT_GT(res.best_snr, 5.0);
+}
+
+TEST(Integration, WrongTrialsSmearThePulse) {
+  // §II: "when the DM is only slightly off, the source signal will be
+  // smeared" — the matched trial's peak S/N beats every other trial's.
+  const PulsarScenario sc = make_scenario();
+  const Array2D<float> out =
+      dedisp::dedisperse_reference(sc.plan, sc.data.cview());
+  const double matched = sky::series_snr(out.row(sc.true_trial));
+  for (std::size_t trial = 0; trial < out.rows(); ++trial) {
+    if (trial == sc.true_trial) continue;
+    EXPECT_LT(sky::series_snr(out.row(trial)), matched) << trial;
+  }
+}
+
+TEST(Integration, EveryBackendFindsTheSamePulsar) {
+  const PulsarScenario sc = make_scenario();
+  const Array2D<float> expected =
+      dedisp::dedisperse_reference(sc.plan, sc.data.cview());
+
+  const KernelConfig cfg{16, 2, 4, 2};
+  const Array2D<float> tiled =
+      dedisp::dedisperse_cpu(sc.plan, cfg, sc.data.cview());
+  expect_same_matrix(expected, tiled);
+
+  const Array2D<float> baseline =
+      dedisp::dedisperse_cpu_baseline(sc.plan, sc.data.cview());
+  expect_same_matrix(expected, baseline);
+
+  Array2D<float> simulated(sc.plan.dms(), sc.plan.out_samples());
+  ocl::simulate_dedisp(ocl::amd_hd7970(), sc.plan, cfg, sc.data.cview(),
+                       simulated.view());
+  expect_same_matrix(expected, simulated);
+
+  const sky::DetectionResult res = sky::detect_best_dm(simulated.cview());
+  EXPECT_EQ(res.best_trial, sc.true_trial);
+}
+
+TEST(Integration, ZeroDmObservationYieldsIdenticalTrials) {
+  // §IV-C: with every trial forced to DM 0, "every dedispersed time-series
+  // is exactly the same and uses exactly the same input".
+  const sky::Observation zero = mini_obs().zero_dm_variant();
+  const Plan plan = Plan::with_output_samples(zero, 8, 64);
+  const Array2D<float> in = testing::random_input(plan);
+  const Array2D<float> out = dedisp::dedisperse_reference(plan, in.cview());
+  for (std::size_t trial = 1; trial < out.rows(); ++trial) {
+    for (std::size_t t = 0; t < out.cols(); ++t) {
+      ASSERT_EQ(out(trial, t), out(0, t));
+    }
+  }
+}
+
+TEST(Integration, TunedConfigRunsOnSimulatorAndGeneratesSource) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 8, 64);
+  const ocl::PlanAnalysis analysis(plan);
+  const tuner::TuningResult tuned = tuner::tune(ocl::amd_hd7970(), analysis);
+
+  // The model's optimum must actually execute on the functional simulator…
+  const Array2D<float> in = testing::random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_NO_THROW(ocl::simulate_dedisp(ocl::amd_hd7970(), plan,
+                                       tuned.best.config, in.cview(),
+                                       out.view()));
+  const Array2D<float> expected =
+      dedisp::dedisperse_reference(plan, in.cview());
+  expect_same_matrix(expected, out);
+
+  // …and the code generator must emit a kernel for it.
+  codegen::CodegenOptions opt;
+  opt.staged = tuned.best.config.tile_dm() > 1;
+  const std::string src =
+      codegen::generate_opencl_kernel(plan, tuned.best.config, opt);
+  EXPECT_NE(src.find("__kernel"), std::string::npos);
+}
+
+TEST(Integration, MeasuredIntensityMatchesAnalyticAccounting) {
+  // analyze_intensity's unique-read accounting equals the loads the
+  // functional simulator performs with staging on.
+  const Plan plan = Plan::with_output_samples(mini_obs(), 8, 64);
+  const Array2D<float> in = testing::random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  for (const auto& cfg :
+       {KernelConfig{8, 2, 4, 2}, KernelConfig{4, 4, 4, 2},
+        KernelConfig{16, 8, 2, 1}}) {
+    const ocl::SimRunResult run = ocl::simulate_dedisp_variant(
+        ocl::amd_hd7970(), plan, cfg, in.cview(), out.view(), true);
+    const dedisp::IntensityReport report =
+        dedisp::analyze_intensity(plan, cfg);
+    const double measured_unique =
+        static_cast<double>(run.counters.global_loads);
+    // unique_bytes = 4·(unique input reads) + output bytes + Δ-table bytes.
+    const double output_bytes = 4.0 * static_cast<double>(plan.dms()) *
+                                static_cast<double>(plan.out_samples());
+    const double delay_bytes = 4.0 * static_cast<double>(plan.dms()) *
+                               static_cast<double>(plan.channels());
+    const double predicted_unique =
+        (report.unique_bytes - output_bytes - delay_bytes) / 4.0;
+    EXPECT_DOUBLE_EQ(measured_unique, predicted_unique) << cfg.to_string();
+  }
+}
+
+TEST(Integration, PipelineQuickstartFlow) {
+  // The README quickstart, as a test: plan → tune → dedisperse → detect.
+  const PulsarScenario sc = make_scenario();
+  pipeline::Dedisperser dd = pipeline::Dedisperser::with_output_samples(
+      mini_obs(), sc.plan.dms(), sc.plan.out_samples(),
+      pipeline::Backend::kCpuTiled);
+  dd.tune_for(ocl::nvidia_gtx_titan());
+  const Array2D<float> out = dd.dedisperse(sc.data.cview());
+  const sky::DetectionResult res = sky::detect_best_dm(out.cview());
+  EXPECT_EQ(res.best_trial, sc.true_trial);
+}
+
+}  // namespace
+}  // namespace ddmc

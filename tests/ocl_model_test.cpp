@@ -1,0 +1,382 @@
+// Tests for the analytic half of the accelerator substitution: device
+// presets (Table I), the occupancy calculator, the memory-traffic model and
+// the performance model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/memory_model.hpp"
+#include "ocl/occupancy.hpp"
+#include "ocl/perf_model.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::ocl {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::mini_obs;
+using testing::mini_plan;
+
+// -------------------------------------------------------------- presets --
+
+TEST(DevicePresets, TableOneCharacteristics) {
+  // CEs, GFLOP/s and GB/s exactly as printed in Table I.
+  const DeviceModel hd = amd_hd7970();
+  EXPECT_EQ(hd.total_lanes(), 64u * 32u);
+  EXPECT_DOUBLE_EQ(hd.peak_gflops, 3788.0);
+  EXPECT_DOUBLE_EQ(hd.peak_bandwidth_gbs, 264.0);
+
+  const DeviceModel phi = intel_xeon_phi();
+  EXPECT_EQ(phi.compute_units, 60u);
+  EXPECT_DOUBLE_EQ(phi.peak_gflops, 2022.0);
+  EXPECT_DOUBLE_EQ(phi.peak_bandwidth_gbs, 320.0);
+
+  const DeviceModel gtx680 = nvidia_gtx680();
+  EXPECT_EQ(gtx680.total_lanes(), 192u * 8u);
+  EXPECT_DOUBLE_EQ(gtx680.peak_gflops, 3090.0);
+  EXPECT_DOUBLE_EQ(gtx680.peak_bandwidth_gbs, 192.0);
+
+  const DeviceModel k20 = nvidia_k20();
+  EXPECT_EQ(k20.total_lanes(), 192u * 13u);
+  EXPECT_DOUBLE_EQ(k20.peak_gflops, 3519.0);
+  EXPECT_DOUBLE_EQ(k20.peak_bandwidth_gbs, 208.0);
+
+  const DeviceModel titan = nvidia_gtx_titan();
+  EXPECT_EQ(titan.total_lanes(), 192u * 14u);
+  EXPECT_DOUBLE_EQ(titan.peak_gflops, 4500.0);
+  EXPECT_DOUBLE_EQ(titan.peak_bandwidth_gbs, 288.0);
+}
+
+TEST(DevicePresets, TableOneHasFiveAccelerators) {
+  const auto devices = table1_devices();
+  ASSERT_EQ(devices.size(), 5u);
+  EXPECT_EQ(devices[0].name, "HD7970");
+  EXPECT_EQ(devices[1].name, "XeonPhi");
+  EXPECT_EQ(devices[2].name, "GTX680");
+  EXPECT_EQ(devices[3].name, "K20");
+  EXPECT_EQ(devices[4].name, "GTXTitan");
+}
+
+TEST(DevicePresets, ArchitecturalContrastsBehindThePapersFindings) {
+  // GK110 allows register-heavy work-items, GK104 does not (Figs. 4–5).
+  EXPECT_GT(nvidia_k20().max_regs_per_item, nvidia_gtx680().max_regs_per_item);
+  // The HD7970's 256 work-item cap is the limit the tuner pins (Fig. 2–3).
+  EXPECT_EQ(amd_hd7970().max_work_group_size, 256u);
+  // The Phi has no real local memory and executes groups serially.
+  EXPECT_FALSE(intel_xeon_phi().has_local_memory);
+  EXPECT_TRUE(intel_xeon_phi().serial_group_execution);
+}
+
+TEST(DevicePresets, LookupByNameIsCaseInsensitive) {
+  EXPECT_EQ(device_by_name("hd7970").name, "HD7970");
+  EXPECT_EQ(device_by_name("K20").name, "K20");
+  EXPECT_EQ(device_by_name("TITAN").name, "GTXTitan");
+  EXPECT_EQ(device_by_name("phi").name, "XeonPhi");
+  EXPECT_EQ(device_by_name("cpu").name, "E5-2620");
+  EXPECT_THROW(device_by_name("GTX9999"), invalid_argument);
+  EXPECT_EQ(preset_names().size(), 6u);
+}
+
+TEST(DevicePresets, PeakInstrRateExcludesFmaCredit) {
+  // §VI: no fused multiply-add for dedispersion ⇒ the usable issue rate is
+  // lanes × clock, half of the FMA-based headline figure.
+  const DeviceModel hd = amd_hd7970();
+  EXPECT_NEAR(hd.peak_instr_gops() * 2.0, hd.peak_gflops, 10.0);
+}
+
+// ------------------------------------------------------------- occupancy --
+
+TEST(Occupancy, GroupCapLimitsSmallGroups) {
+  const DeviceModel dev = amd_hd7970();
+  const Occupancy occ = compute_occupancy(dev, KernelConfig{16, 1, 1, 1}, 0);
+  ASSERT_TRUE(occ.valid());
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kGroupCap);
+  EXPECT_EQ(occ.groups_per_cu, dev.max_groups_per_cu);
+}
+
+TEST(Occupancy, ItemCapLimitsLargeGroups) {
+  const DeviceModel dev = amd_hd7970();  // 2560 items per CU
+  const Occupancy occ = compute_occupancy(dev, KernelConfig{256, 1, 1, 1}, 0);
+  ASSERT_TRUE(occ.valid());
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kItemCap);
+  EXPECT_EQ(occ.groups_per_cu, 10u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterPressureReducesResidency) {
+  DeviceModel dev = nvidia_k20();
+  // 128 accumulators + overhead on 128-item groups: the register file only
+  // holds 3 such groups (vs 16 by the group cap).
+  const KernelConfig heavy{64, 2, 32, 4};
+  const Occupancy occ = compute_occupancy(dev, heavy, 0);
+  ASSERT_TRUE(occ.valid());
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_LT(occ.fraction, 0.5);
+}
+
+TEST(Occupancy, LocalMemoryLimitsStagedKernels) {
+  const DeviceModel dev = nvidia_k20();  // 48 KiB per CU and per group
+  const Occupancy occ =
+      compute_occupancy(dev, KernelConfig{64, 2, 1, 1}, 20000);
+  ASSERT_TRUE(occ.valid());
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kLocalMemory);
+  EXPECT_EQ(occ.groups_per_cu, 2u);
+}
+
+TEST(Occupancy, InvalidWhenGroupTooLargeOrRegistersOverflow) {
+  const DeviceModel hd = amd_hd7970();
+  EXPECT_FALSE(compute_occupancy(hd, KernelConfig{512, 1, 1, 1}, 0).valid());
+  const DeviceModel gtx = nvidia_gtx680();  // 63 registers per item max
+  EXPECT_FALSE(compute_occupancy(gtx, KernelConfig{32, 1, 32, 4}, 0).valid());
+  // The same config is fine on GK110's 255-register budget.
+  EXPECT_TRUE(compute_occupancy(nvidia_k20(), KernelConfig{32, 1, 32, 4}, 0)
+                  .valid());
+}
+
+TEST(Occupancy, LocalMemoryOverflowInvalid) {
+  const DeviceModel hd = amd_hd7970();
+  EXPECT_FALSE(
+      compute_occupancy(hd, KernelConfig{16, 2, 1, 1}, 40000).valid());
+}
+
+TEST(Occupancy, FractionNeverExceedsOne) {
+  for (const DeviceModel& dev : table1_devices()) {
+    for (std::size_t wi : {1u, 16u, 64u, 256u}) {
+      const Occupancy occ =
+          compute_occupancy(dev, KernelConfig{wi, 1, 2, 1}, 0);
+      if (occ.valid()) {
+        EXPECT_LE(occ.fraction, 1.0) << dev.name;
+      }
+    }
+  }
+}
+
+TEST(Occupancy, LimiterNamesAreHuman) {
+  EXPECT_EQ(to_string(OccupancyLimiter::kRegisters), "registers");
+  EXPECT_EQ(to_string(OccupancyLimiter::kInvalid), "invalid");
+}
+
+// ----------------------------------------------------------- memory model --
+
+TEST(MemoryModel, LineQuantizationExpectation) {
+  // (b + L − 1) bytes on average: 1-byte read costs a 64th of a line more…
+  EXPECT_DOUBLE_EQ(line_quantized_bytes(4.0, 64), 67.0);
+  // …and long rows amortize the partial lines (the §III-B factor-two
+  // worst case only bites short rows).
+  EXPECT_LT(line_quantized_bytes(4096.0, 64) / 4096.0, 1.02);
+  EXPECT_GT(line_quantized_bytes(32.0, 64) / 32.0, 1.9);
+}
+
+TEST(MemoryModel, CaptureSelection) {
+  const Plan plan = mini_plan(8, 64);
+  const auto spreads2 = plan.delays().tile_spreads(2);
+  // GPU with local memory and a multi-trial tile: staged.
+  const TrafficEstimate gpu = estimate_traffic(
+      amd_hd7970(), plan, KernelConfig{8, 2, 4, 1}, spreads2);
+  EXPECT_EQ(gpu.capture, ReuseCapture::kLocalMemory);
+  // Phi (no local memory), small working set: cache capture.
+  const TrafficEstimate phi = estimate_traffic(
+      intel_xeon_phi(), plan, KernelConfig{8, 2, 4, 1}, spreads2);
+  EXPECT_EQ(phi.capture, ReuseCapture::kCache);
+  // Single-trial tiles have nothing to reuse.
+  const auto spreads1 = plan.delays().tile_spreads(1);
+  const TrafficEstimate none = estimate_traffic(
+      amd_hd7970(), plan, KernelConfig{8, 1, 4, 1}, spreads1);
+  EXPECT_EQ(none.capture, ReuseCapture::kNone);
+}
+
+TEST(MemoryModel, CacheTooSmallMeansNoCapture) {
+  DeviceModel small_cache = intel_xeon_phi();
+  small_cache.cache_per_cu_bytes = 64;
+  const Plan plan = mini_plan(8, 64);
+  const auto spreads = plan.delays().tile_spreads(4);
+  const TrafficEstimate t = estimate_traffic(
+      small_cache, plan, KernelConfig{8, 4, 4, 1}, spreads);
+  EXPECT_EQ(t.capture, ReuseCapture::kNone);
+}
+
+TEST(MemoryModel, UniqueTrafficMatchesHandComputation) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};  // tile: 32 time × 4 dm
+  const auto spreads = plan.delays().tile_spreads(4);
+  const TrafficEstimate t =
+      estimate_traffic(amd_hd7970(), plan, cfg, spreads);
+  const double tiles_time = 64.0 / 32.0;
+  const double expected =
+      tiles_time * (static_cast<double>(spreads.rows) * 32.0 +
+                    spreads.total_spread);
+  EXPECT_DOUBLE_EQ(t.unique_input_floats, expected);
+}
+
+TEST(MemoryModel, ReuseFactorOrdering) {
+  // Captured reuse must beat uncaptured streaming on DRAM traffic.
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 4, 4, 2};
+  const auto spreads = plan.delays().tile_spreads(8);
+  const TrafficEstimate staged =
+      estimate_traffic(amd_hd7970(), plan, cfg, spreads);
+  DeviceModel no_local = amd_hd7970();
+  no_local.has_local_memory = false;
+  no_local.cache_per_cu_bytes = 0;  // force kNone
+  const TrafficEstimate streaming =
+      estimate_traffic(no_local, plan, cfg, spreads);
+  EXPECT_LT(staged.input_bytes, streaming.input_bytes);
+  EXPECT_GT(staged.reuse_factor, streaming.reuse_factor);
+}
+
+TEST(MemoryModel, TotalIsComponentSum) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};
+  const TrafficEstimate t = estimate_traffic(
+      amd_hd7970(), plan, cfg, plan.delays().tile_spreads(4));
+  EXPECT_DOUBLE_EQ(t.total_bytes,
+                   t.input_bytes + t.output_bytes + t.delay_bytes);
+  // Stores: 4·d·s scaled by the coalescing factor 1 + (L−1)/(4·wi_time).
+  EXPECT_DOUBLE_EQ(t.output_bytes, 8.0 * 64.0 * 4.0 * (1.0 + 63.0 / 32.0));
+  EXPECT_DOUBLE_EQ(t.delay_bytes, 8.0 * 8.0 * 4.0);
+}
+
+TEST(MemoryModel, StagedLdsTrafficCoversLoadsAndStores) {
+  const Plan plan = mini_plan(8, 64);
+  const KernelConfig cfg{8, 2, 4, 2};
+  const TrafficEstimate t = estimate_traffic(
+      amd_hd7970(), plan, cfg, plan.delays().tile_spreads(4));
+  EXPECT_DOUBLE_EQ(t.lds_bytes,
+                   4.0 * (t.unique_input_floats + plan.total_flop()));
+}
+
+TEST(MemoryModel, CaptureNamesAreHuman) {
+  EXPECT_EQ(to_string(ReuseCapture::kLocalMemory), "local-memory");
+  EXPECT_EQ(to_string(ReuseCapture::kCache), "cache");
+  EXPECT_EQ(to_string(ReuseCapture::kNone), "none");
+}
+
+// ------------------------------------------------------------ perf model --
+
+TEST(PerfModel, EstimateIsPositiveAndConsistent) {
+  const PlanAnalysis analysis(mini_plan(8, 64));
+  const PerfEstimate p = estimate_performance(
+      amd_hd7970(), analysis, KernelConfig{8, 2, 4, 2});
+  EXPECT_GT(p.seconds, 0.0);
+  EXPECT_GT(p.gflops, 0.0);
+  EXPECT_NEAR(p.gflops, analysis.plan().total_flop() / p.seconds * 1e-9,
+              1e-9);
+  EXPECT_GE(p.seconds,
+            std::max({p.mem_seconds, p.instr_seconds, p.lds_seconds}));
+  EXPECT_LE(p.busy_fraction, 1.0);
+  EXPECT_GT(p.hiding_efficiency, 0.0);
+  EXPECT_LE(p.hiding_efficiency, 1.0);
+}
+
+TEST(PerfModel, InvalidConfigsThrowConfigError) {
+  const PlanAnalysis analysis(mini_plan(8, 64));
+  // Non-dividing tile.
+  EXPECT_THROW(estimate_performance(amd_hd7970(), analysis,
+                                    KernelConfig{5, 1, 1, 1}),
+               config_error);
+  // Work-group above the device limit.
+  EXPECT_THROW(estimate_performance(amd_hd7970(), analysis,
+                                    KernelConfig{256, 2, 1, 1}),
+               config_error);
+  // Register overflow on GK104 (64 accumulators + overhead > 63 regs).
+  EXPECT_THROW(estimate_performance(nvidia_gtx680(), analysis,
+                                    KernelConfig{8, 1, 8, 8}),
+               config_error);
+}
+
+TEST(PerfModel, StagedRowsBeyondLocalMemoryAreRejected) {
+  DeviceModel tiny = amd_hd7970();
+  tiny.local_mem_per_group_bytes = 64;
+  const PlanAnalysis analysis(mini_plan(8, 64));
+  EXPECT_THROW(
+      estimate_performance(tiny, analysis, KernelConfig{16, 2, 4, 2}),
+      config_error);
+}
+
+TEST(PerfModel, RealisticApertifIsMemoryOrIssueBoundNeverIdle) {
+  const PlanAnalysis analysis(
+      dedisp::Plan(sky::apertif(), 256));
+  for (const DeviceModel& dev : table1_devices()) {
+    const KernelConfig cfg{16, 2, 2, 2};  // resident even on the Phi
+    const PerfEstimate p = estimate_performance(dev, analysis, cfg);
+    EXPECT_GT(p.gflops, 1.0) << dev.name;
+    EXPECT_LT(p.gflops, dev.peak_gflops / 2.0)
+        << dev.name << ": cannot beat the no-FMA ceiling";
+  }
+}
+
+TEST(PerfModel, MoreDmsDoNotReduceTunedThroughput) {
+  // The scaling property of Fig. 6: throughput ramps then plateaus.
+  const sky::Observation obs = sky::apertif();
+  const KernelConfig cfg{50, 2, 2, 2};  // tile of 100 divides 20 k samples
+  double prev = 0.0;
+  for (std::size_t dms : {8u, 64u, 512u}) {
+    const PlanAnalysis analysis((dedisp::Plan(obs, dms)));
+    const double g =
+        estimate_performance(amd_hd7970(), analysis, cfg).gflops;
+    EXPECT_GT(g, prev * 0.95) << dms;  // allow a plateau, not a collapse
+    prev = g;
+  }
+}
+
+TEST(PerfModel, ZeroDmAtLeastAsFastAsRealDelays) {
+  // §V-C: perfect reuse can only help (dramatically for LOFAR).
+  const KernelConfig cfg{50, 4, 2, 2};  // tile of 100 divides 200 k samples
+  const PlanAnalysis real((dedisp::Plan(sky::lofar(), 64)));
+  const PlanAnalysis zero(
+      (dedisp::Plan(sky::lofar().zero_dm_variant(), 64)));
+  const double g_real =
+      estimate_performance(amd_hd7970(), real, cfg).gflops;
+  const double g_zero =
+      estimate_performance(amd_hd7970(), zero, cfg).gflops;
+  EXPECT_GE(g_zero, g_real);
+}
+
+TEST(PerfModel, PlanAnalysisMemoizesSpreads) {
+  const PlanAnalysis analysis(mini_plan(8, 64));
+  const sky::SpreadStats& a = analysis.spreads(4);
+  const sky::SpreadStats& b = analysis.spreads(4);
+  EXPECT_EQ(&a, &b);  // same cached object
+}
+
+TEST(PerfModel, RealTimeLineMatchesPaperNumbers) {
+  // One second of Apertif data at d DMs costs d × 20.48 MFLOP (§IV).
+  EXPECT_NEAR(real_time_gflops(sky::apertif(), 1000), 20.48, 0.01);
+  EXPECT_NEAR(real_time_gflops(sky::lofar(), 1000), 6.4, 0.01);
+}
+
+TEST(PerfModel, MemoryCapacityGatesLargeInstances) {
+  // §IV-A: "some platforms may not be able to compute results for all the
+  // input instances". LOFAR at 4096 DMs needs > 3.8 GB.
+  const dedisp::Plan big(sky::lofar(), 4096);
+  EXPECT_FALSE(fits_in_memory(nvidia_gtx680(), big));   // 2 GB
+  EXPECT_TRUE(fits_in_memory(nvidia_gtx_titan(), big)); // 6 GB
+  const dedisp::Plan small(sky::lofar(), 64);
+  EXPECT_TRUE(fits_in_memory(nvidia_gtx680(), small));
+}
+
+TEST(PerfModel, CpuBaselineIsMemoryBoundAndModest) {
+  const dedisp::Plan plan(sky::apertif(), 256);
+  const PerfEstimate p = estimate_cpu_baseline(intel_xeon_e5_2620(), plan);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_GT(p.gflops, 1.0);
+  EXPECT_LT(p.gflops, 40.0);  // an order of magnitude below the GPUs
+}
+
+TEST(PerfModel, AcceleratorsBeatCpuBaseline) {
+  // The qualitative content of Figs. 15–16.
+  const dedisp::Plan plan(sky::apertif(), 512);
+  const PlanAnalysis analysis(plan);
+  const double cpu = estimate_cpu_baseline(intel_xeon_e5_2620(), plan).gflops;
+  const double gpu =
+      estimate_performance(amd_hd7970(), analysis, KernelConfig{50, 4, 5, 2})
+          .gflops;
+  EXPECT_GT(gpu, 3.0 * cpu);
+}
+
+}  // namespace
+}  // namespace ddmc::ocl

@@ -1,0 +1,300 @@
+// Tests for the MiniCL functional simulator: the NDRange engine's execution
+// and accounting semantics, and the simulated dedispersion kernel's
+// bit-exactness and traffic counters.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "dedisp/reference.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/memory_model.hpp"
+#include "ocl/sim_dedisp.hpp"
+#include "ocl/sim_engine.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::ocl {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+using testing::mini_plan;
+using testing::random_input;
+
+// ------------------------------------------------------------- sim engine --
+
+TEST(SimEngine, RunsEveryGroupOnce) {
+  NDRange range{3, 4, 2, 2};
+  std::size_t visits = 0;
+  const MemCounters c = execute_ndrange(
+      range, 0, 0, [&](GroupContext& ctx) {
+        ++visits;
+        EXPECT_LT(ctx.group_x(), 3u);
+        EXPECT_LT(ctx.group_y(), 4u);
+      });
+  EXPECT_EQ(visits, 12u);
+  EXPECT_EQ(c.groups, 12u);
+}
+
+TEST(SimEngine, PhaseVisitsEveryItemAndCountsBarrier) {
+  NDRange range{1, 1, 4, 3};
+  const MemCounters c = execute_ndrange(range, 0, 0, [&](GroupContext& ctx) {
+    std::vector<int> seen(12, 0);
+    ctx.phase([&](const ItemId& it) { ++seen[it.linear(4)]; });
+    for (int s : seen) EXPECT_EQ(s, 1);
+    ctx.phase([](const ItemId&) {});
+  });
+  EXPECT_EQ(c.barriers, 2u);
+}
+
+TEST(SimEngine, PhasesActAsBarriers) {
+  // Data written by all items in phase 1 must be visible in phase 2 —
+  // the property a real barrier(CLK_LOCAL_MEM_FENCE) guarantees.
+  NDRange range{1, 1, 8, 1};
+  execute_ndrange(range, 1024, 0, [&](GroupContext& ctx) {
+    LocalSpan local = ctx.local_alloc(8);
+    ctx.phase([&](const ItemId& it) {
+      local.store(it.x, static_cast<float>(it.x));
+    });
+    ctx.phase([&](const ItemId&) {
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < 8; ++i) sum += local.load(i);
+      EXPECT_EQ(sum, 28.0f);  // 0+1+…+7
+    });
+  });
+}
+
+TEST(SimEngine, LocalAllocationLimitEnforced) {
+  NDRange range{1, 1, 1, 1};
+  EXPECT_THROW(
+      execute_ndrange(range, 16, 0,
+                      [&](GroupContext& ctx) { ctx.local_alloc(5); }),
+      config_error);
+  EXPECT_NO_THROW(execute_ndrange(
+      range, 16, 0, [&](GroupContext& ctx) { ctx.local_alloc(4); }));
+}
+
+TEST(SimEngine, LocalAllocationsAccumulateAgainstLimit) {
+  NDRange range{1, 1, 1, 1};
+  EXPECT_THROW(execute_ndrange(range, 32, 0,
+                               [&](GroupContext& ctx) {
+                                 ctx.local_alloc(4);
+                                 ctx.local_alloc(4);
+                                 ctx.local_alloc(1);  // 36 bytes > 32
+                               }),
+               config_error);
+}
+
+TEST(SimEngine, GroupSizeLimitEnforced) {
+  NDRange range{1, 1, 32, 2};
+  EXPECT_THROW(execute_ndrange(range, 0, 32, [](GroupContext&) {}),
+               config_error);
+  EXPECT_NO_THROW(execute_ndrange(range, 0, 64, [](GroupContext&) {}));
+  EXPECT_NO_THROW(execute_ndrange(range, 0, 0, [](GroupContext&) {}));
+}
+
+TEST(SimEngine, BuffersCountTraffic) {
+  Array2D<float> in(2, 8), out(2, 8);
+  in(1, 3) = 7.0f;
+  MemCounters c;
+  GlobalReadBuffer r(in.cview(), c);
+  GlobalWriteBuffer w(out.view(), c);
+  EXPECT_EQ(r.load(1, 3), 7.0f);
+  w.store(0, 0, 1.0f);
+  w.store(0, 1, 2.0f);
+  EXPECT_EQ(c.global_loads, 1u);
+  EXPECT_EQ(c.global_stores, 2u);
+  EXPECT_EQ(out(0, 1), 2.0f);
+}
+
+TEST(SimEngine, CountersAggregate) {
+  MemCounters a, b;
+  a.global_loads = 5;
+  a.flops = 2;
+  b.global_loads = 3;
+  b.barriers = 1;
+  a += b;
+  EXPECT_EQ(a.global_loads, 8u);
+  EXPECT_EQ(a.flops, 2u);
+  EXPECT_EQ(a.barriers, 1u);
+}
+
+TEST(SimEngine, RejectsEmptyRanges) {
+  EXPECT_THROW(
+      execute_ndrange(NDRange{0, 1, 1, 1}, 0, 0, [](GroupContext&) {}),
+      invalid_argument);
+  EXPECT_THROW(
+      execute_ndrange(NDRange{1, 1, 0, 1}, 0, 0, [](GroupContext&) {}),
+      invalid_argument);
+}
+
+// ----------------------------------------------------- simulated dedisp --
+
+class SimEquivalence : public ::testing::TestWithParam<KernelConfig> {};
+
+TEST_P(SimEquivalence, StagedVariantMatchesReference) {
+  if (GetParam().tile_dm() == 1) GTEST_SKIP() << "staging needs tile_dm>1";
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisp::dedisperse_reference(plan, in.cview());
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const SimRunResult run = simulate_dedisp_variant(
+      amd_hd7970(), plan, GetParam(), in.cview(), out.view(), true);
+  EXPECT_TRUE(run.staged);
+  expect_same_matrix(expected, out);
+}
+
+TEST_P(SimEquivalence, DirectVariantMatchesReference) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisp::dedisperse_reference(plan, in.cview());
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const SimRunResult run = simulate_dedisp_variant(
+      intel_xeon_phi(), plan, GetParam(), in.cview(), out.view(), false);
+  EXPECT_FALSE(run.staged);
+  expect_same_matrix(expected, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, SimEquivalence,
+    ::testing::Values(
+        KernelConfig{1, 1, 1, 1}, KernelConfig{4, 2, 2, 2},
+        KernelConfig{8, 1, 8, 1}, KernelConfig{2, 4, 4, 2},
+        KernelConfig{16, 2, 2, 2}, KernelConfig{8, 2, 2, 4},
+        KernelConfig{1, 8, 1, 1}, KernelConfig{16, 4, 4, 2},
+        KernelConfig{32, 2, 2, 1}, KernelConfig{4, 4, 16, 2}),
+    [](const ::testing::TestParamInfo<KernelConfig>& pinfo) {
+      const KernelConfig& c = pinfo.param;
+      return "wt" + std::to_string(c.wi_time) + "_wd" +
+             std::to_string(c.wi_dm) + "_et" + std::to_string(c.elem_time) +
+             "_ed" + std::to_string(c.elem_dm);
+    });
+
+TEST(SimDedisp, AutoSelectsStagedOnGpus) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const SimRunResult staged = simulate_dedisp(
+      amd_hd7970(), plan, KernelConfig{8, 2, 4, 2}, in.cview(), out.view());
+  EXPECT_TRUE(staged.staged);
+  const SimRunResult direct = simulate_dedisp(
+      intel_xeon_phi(), plan, KernelConfig{8, 2, 4, 2}, in.cview(),
+      out.view());
+  EXPECT_FALSE(direct.staged);
+  const SimRunResult one_dm = simulate_dedisp(
+      amd_hd7970(), plan, KernelConfig{8, 1, 4, 1}, in.cview(), out.view());
+  EXPECT_FALSE(one_dm.staged);  // a single trial per tile has no reuse
+}
+
+TEST(SimDedisp, FlopAndStoreCountsAreExact) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const SimRunResult run = simulate_dedisp(
+      amd_hd7970(), plan, KernelConfig{8, 2, 4, 2}, in.cview(), out.view());
+  EXPECT_EQ(run.counters.flops,
+            static_cast<std::uint64_t>(plan.total_flop()));
+  EXPECT_EQ(run.counters.global_stores, 8u * 64u);
+  const KernelConfig cfg{8, 2, 4, 2};
+  EXPECT_EQ(run.counters.groups, cfg.total_groups(plan));
+}
+
+TEST(SimDedisp, DirectVariantLoadsOncePerAccumulate) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const SimRunResult run = simulate_dedisp_variant(
+      intel_xeon_phi(), plan, KernelConfig{8, 2, 4, 2}, in.cview(),
+      out.view(), false);
+  EXPECT_EQ(run.counters.global_loads, run.counters.flops);
+  EXPECT_EQ(run.counters.local_loads, 0u);
+}
+
+TEST(SimDedisp, StagedLoadsMatchAnalyticUniqueTraffic) {
+  // The headline cross-validation: the loads the functional simulator
+  // *counts* equal the distinct elements the memory model *predicts*.
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  for (const auto& cfg :
+       {KernelConfig{8, 2, 4, 2}, KernelConfig{4, 4, 2, 2},
+        KernelConfig{16, 2, 4, 4}, KernelConfig{2, 8, 8, 1}}) {
+    const SimRunResult run = simulate_dedisp_variant(
+        amd_hd7970(), plan, cfg, in.cview(), out.view(), true);
+    const sky::SpreadStats spreads =
+        plan.delays().tile_spreads(cfg.tile_dm());
+    const TrafficEstimate traffic =
+        estimate_traffic(amd_hd7970(), plan, cfg, spreads);
+    EXPECT_EQ(run.counters.global_loads,
+              static_cast<std::uint64_t>(traffic.unique_input_floats))
+        << cfg.to_string();
+    // Every accumulate reads local memory exactly once.
+    EXPECT_EQ(run.counters.local_loads, run.counters.flops);
+    // Every staged element is written exactly once.
+    EXPECT_EQ(run.counters.local_stores, run.counters.global_loads);
+  }
+}
+
+TEST(SimDedisp, StagedReusesLessTrafficThanDirect) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const KernelConfig cfg{8, 4, 4, 2};  // tile_dm = 8: maximal reuse window
+  const SimRunResult staged = simulate_dedisp_variant(
+      amd_hd7970(), plan, cfg, in.cview(), out.view(), true);
+  const SimRunResult direct = simulate_dedisp_variant(
+      amd_hd7970(), plan, cfg, in.cview(), out.view(), false);
+  EXPECT_LT(staged.counters.global_loads, direct.counters.global_loads);
+}
+
+TEST(SimDedisp, ZeroDmStagedTrafficDropsByTileDm) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs().zero_dm_variant(), 8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const KernelConfig cfg{8, 4, 4, 2};
+  const SimRunResult run = simulate_dedisp_variant(
+      amd_hd7970(), plan, cfg, in.cview(), out.view(), true);
+  // Perfect reuse: loads = flops / tile_dm.
+  EXPECT_EQ(run.counters.global_loads, run.counters.flops / cfg.tile_dm());
+}
+
+TEST(SimDedisp, EnforcesDeviceGroupSizeLimit) {
+  const sky::Observation obs("wide", 2048.0, 4, 100.0, 10.0, 0.0, 0.1);
+  const Plan plan = Plan::with_output_samples(obs, 4, 2048);
+  Array2D<float> in(plan.channels(), plan.in_samples());
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  // 512×1 work-items exceeds the HD7970's 256 limit.
+  EXPECT_THROW(simulate_dedisp(amd_hd7970(), plan, KernelConfig{512, 1, 1, 2},
+                               in.cview(), out.view()),
+               config_error);
+}
+
+TEST(SimDedisp, EnforcesLocalMemoryLimit) {
+  DeviceModel tiny = amd_hd7970();
+  tiny.local_mem_per_group_bytes = 64;  // 16 floats
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_THROW(
+      simulate_dedisp(tiny, plan, KernelConfig{16, 2, 4, 2}, in.cview(),
+                      out.view()),
+      config_error);
+}
+
+TEST(SimDedisp, StagedVariantRequiresLocalMemoryDevice) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  EXPECT_THROW(
+      simulate_dedisp_variant(intel_xeon_phi(), plan,
+                              KernelConfig{8, 2, 4, 2}, in.cview(),
+                              out.view(), true),
+      invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddmc::ocl

@@ -1,0 +1,122 @@
+// Tests for the high-level Dedisperser API and the §V-D survey sizing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "ocl/device_presets.hpp"
+#include "pipeline/dedisperser.hpp"
+#include "pipeline/survey.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::pipeline {
+namespace {
+
+using dedisp::KernelConfig;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+using testing::random_input;
+
+Dedisperser small(Backend backend) {
+  return Dedisperser::with_output_samples(mini_obs(), 8, 64, backend);
+}
+
+TEST(Dedisperser, AllBackendsAgreeBitExactly) {
+  Dedisperser ref = small(Backend::kReference);
+  const Array2D<float> in = random_input(ref.plan());
+  const Array2D<float> expected = ref.dedisperse(in.cview());
+
+  for (Backend b : {Backend::kCpuTiled, Backend::kCpuBaseline,
+                    Backend::kSimulated}) {
+    Dedisperser dd = small(b);
+    dd.set_config(KernelConfig{8, 2, 4, 2});
+    const Array2D<float> got = dd.dedisperse(in.cview());
+    expect_same_matrix(expected, got);
+  }
+}
+
+TEST(Dedisperser, TuneForSetsTheOptimalConfig) {
+  Dedisperser dd = small(Backend::kCpuTiled);
+  const tuner::TuningResult r = dd.tune_for(ocl::amd_hd7970());
+  EXPECT_EQ(dd.config(), r.best.config);
+  EXPECT_GT(r.evaluated, 0u);
+  // The tuned config must execute.
+  const Array2D<float> in = random_input(dd.plan());
+  EXPECT_NO_THROW(dd.dedisperse(in.cview()));
+}
+
+TEST(Dedisperser, SetConfigValidates) {
+  Dedisperser dd = small(Backend::kCpuTiled);
+  EXPECT_THROW(dd.set_config(KernelConfig{5, 1, 1, 1}), config_error);
+  EXPECT_NO_THROW(dd.set_config(KernelConfig{8, 2, 2, 2}));
+}
+
+TEST(Dedisperser, SimulatedBackendExposesCounters) {
+  Dedisperser dd = small(Backend::kSimulated);
+  dd.set_config(KernelConfig{8, 2, 4, 2});
+  dd.set_device(ocl::amd_hd7970());
+  const Array2D<float> in = random_input(dd.plan());
+  dd.dedisperse(in.cview());
+  ASSERT_TRUE(dd.last_counters().has_value());
+  EXPECT_EQ(dd.last_counters()->flops,
+            static_cast<std::uint64_t>(dd.plan().total_flop()));
+
+  Dedisperser cpu = small(Backend::kCpuTiled);
+  cpu.dedisperse(in.cview());
+  EXPECT_FALSE(cpu.last_counters().has_value());
+}
+
+TEST(Dedisperser, FullSecondsConstructorMatchesPlanShape) {
+  const Dedisperser dd(mini_obs(), 4, Backend::kReference, 2);
+  EXPECT_EQ(dd.plan().out_samples(), 200u);  // two seconds at 100 Hz
+  EXPECT_EQ(dd.plan().dms(), 4u);
+}
+
+// ------------------------------------------------------------ survey (§V-D) --
+
+TEST(Survey, ApertifSizingIsFeasibleOnHd7970) {
+  // The paper: 2,000 DMs, 450 beams, HD7970 ⇒ ~0.1 s per beam-second,
+  // several beams per GPU, tens of GPUs in total.
+  const SurveySizing s =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 2000, 450);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_LT(s.seconds_per_beam, 1.0);
+  EXPECT_GE(s.beams_per_device, 1u);
+  EXPECT_LE(s.devices_needed, 450u);
+  EXPECT_GE(s.devices_needed, 450u / std::max<std::size_t>(
+                                         s.beams_per_device, 1) /
+                                  2);
+}
+
+TEST(Survey, MemoryAndComputeBothLimitBeams) {
+  const SurveySizing s =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 2000, 450);
+  EXPECT_EQ(s.beams_per_device,
+            std::min(s.beams_per_device_compute, s.beams_per_device_memory));
+}
+
+TEST(Survey, MoreBeamsNeedMoreDevices) {
+  const SurveySizing few =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 500, 50);
+  const SurveySizing many =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 500, 400);
+  EXPECT_LE(few.devices_needed, many.devices_needed);
+}
+
+TEST(Survey, CpusVastlyOutnumberAccelerators) {
+  // §V-D: "50 GPUs, instead of the 1,800 CPUs".
+  const SurveySizing gpus =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 2000, 450);
+  const std::size_t cpus =
+      cpus_needed(ocl::intel_xeon_e5_2620(), sky::apertif(), 2000, 450);
+  EXPECT_GT(cpus, 10 * gpus.devices_needed);
+}
+
+TEST(Survey, RejectsZeroBeams) {
+  EXPECT_THROW(size_survey(ocl::amd_hd7970(), sky::apertif(), 64, 0),
+               invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddmc::pipeline
