@@ -1,16 +1,31 @@
-/// Real measured throughput (google-benchmark) of the host kernels on this
-/// machine: the sequential reference, the §V-D-style CPU baseline, and the
-/// tiled kernel with and without row staging, across representative kernel
-/// configurations. This is the "actually runs" half of the repository —
-/// unlike the figure benches, these numbers are wall-clock, not modeled.
+/// Real measured throughput of the host kernels on this machine: the
+/// sequential reference, the §V-D-style CPU baseline, and the tiled kernel
+/// in its scalar (seed) and SIMD engines across representative kernel
+/// configurations plus a channel_block × unroll grid. This is the "actually
+/// runs" half of the repository — wall-clock, not modeled.
 ///
 /// The workload is a reduced Apertif instance (full channel count, reduced
 /// output window) so a run completes in seconds on a laptop-class CPU.
+///
+///   ./bench_host_kernels [--dms 32] [--out-samples 2000] [--reps 3]
+///                        [--threads 1] [--json BENCH_host_kernels.json]
+///
+/// The JSON output records GFLOP/s per entry and a summary with the
+/// tuned-SIMD-over-seed-scalar speedup — the number the perf trajectory
+/// tracks across PRs.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/array2d.hpp"
+#include "common/expect.hpp"
 #include "common/random.hpp"
+#include "common/simd.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
 #include "dedisp/cpu_baseline.hpp"
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/reference.hpp"
@@ -20,15 +35,47 @@ namespace {
 
 using namespace ddmc;
 
-struct Workload {
-  dedisp::Plan plan;
-  Array2D<float> input;
-  Array2D<float> output;
+struct Entry {
+  std::string name;
+  std::string engine;  // "reference", "baseline", "scalar", "simd"
+  dedisp::KernelConfig config;
+  bool tiled = false;
+  bool stage_rows = true;
+  double seconds = 0.0;
+  double gflops = 0.0;
 };
 
-/// Reduced Apertif: 1,024 channels, 2,000-sample window, 32 trials.
-Workload make_workload(std::size_t dms = 32, std::size_t out_samples = 2000) {
-  dedisp::Plan plan =
+template <typename Fn>
+double time_mean_seconds(Fn&& fn, std::size_t reps) {
+  fn();  // warmup
+  double total = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    Stopwatch clock;
+    fn();
+    total += clock.seconds();
+  }
+  return total / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_host_kernels",
+          "measured throughput of the host dedispersion kernels");
+  cli.add_option("dms", "number of trial DMs", "32");
+  cli.add_option("out-samples", "output window in samples", "2000");
+  cli.add_option("reps", "timed repetitions per kernel", "3");
+  cli.add_option("threads", "worker threads (1 = inline)", "1");
+  cli.add_option("json", "write machine-readable results to this path", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+  const auto out_samples =
+      static_cast<std::size_t>(cli.get_int("out-samples"));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  const dedisp::Plan plan =
       dedisp::Plan::with_output_samples(sky::apertif(), dms, out_samples);
   Array2D<float> input(plan.channels(), plan.in_samples());
   Rng rng(1234);
@@ -36,90 +83,168 @@ Workload make_workload(std::size_t dms = 32, std::size_t out_samples = 2000) {
     for (auto& v : input.row(ch)) v = rng.next_float(-1.0f, 1.0f);
   }
   Array2D<float> output(plan.dms(), plan.out_samples());
-  return {std::move(plan), std::move(input), std::move(output)};
-}
-
-void set_rate_counters(benchmark::State& state, const dedisp::Plan& plan) {
   const double flop = plan.total_flop();
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      flop * static_cast<double>(state.iterations()) * 1e-9,
-      benchmark::Counter::kIsRate);
-  state.counters["GB/s(in)"] = benchmark::Counter(
-      4.0 * flop * static_cast<double>(state.iterations()) * 1e-9,
-      benchmark::Counter::kIsRate);
-}
 
-void BM_Reference(benchmark::State& state) {
-  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    dedisp::dedisperse_reference(w.plan, w.input.cview(), w.output.view());
-    benchmark::DoNotOptimize(w.output.view().data());
+  std::vector<Entry> entries;
+  auto record = [&](Entry e, double seconds) {
+    e.seconds = seconds;
+    e.gflops = flop / seconds * 1e-9;
+    entries.push_back(std::move(e));
+  };
+
+  // Ground truth and the §V-D comparator.
+  record({"reference", "reference"}, time_mean_seconds([&] {
+           dedisp::dedisperse_reference(plan, input.cview(), output.view());
+         }, reps));
+  {
+    dedisp::CpuBaselineOptions opt;
+    opt.threads = threads;
+    record({"cpu_baseline", "baseline"}, time_mean_seconds([&] {
+             dedisp::dedisperse_cpu_baseline(plan, input.cview(),
+                                             output.view(), opt);
+           }, reps));
   }
-  set_rate_counters(state, w.plan);
-}
-BENCHMARK(BM_Reference)->Arg(8)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
 
-void BM_CpuBaseline(benchmark::State& state) {
-  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
-  dedisp::CpuBaselineOptions opt;
-  opt.threads = 0;  // machine-sized pool
-  for (auto _ : state) {
-    dedisp::dedisperse_cpu_baseline(w.plan, w.input.cview(), w.output.view(),
-                                    opt);
-    benchmark::DoNotOptimize(w.output.view().data());
+  // The seed bench's representative tile shapes.
+  const std::vector<dedisp::KernelConfig> shapes = {
+      {100, 1, 1, 1},  // thin tiles, no reuse window (the seed default)
+      {100, 1, 4, 4},  // 4x4 elements per item
+      {25, 4, 4, 4},   // square-ish tile
+      {10, 8, 10, 4},  // DM-deep tile, maximal reuse window
+  };
+
+  auto run_tiled = [&](const dedisp::KernelConfig& cfg, bool vectorize,
+                       bool stage_rows) {
+    dedisp::CpuKernelOptions opt;
+    opt.stage_rows = stage_rows;
+    opt.vectorize = vectorize;
+    opt.threads = threads;
+    return time_mean_seconds([&] {
+      dedisp::dedisperse_cpu(plan, cfg, input.cview(), output.view(), opt);
+    }, reps);
+  };
+  auto add_tiled = [&](const dedisp::KernelConfig& cfg, bool vectorize,
+                       bool stage_rows) {
+    if (!cfg.divides(plan)) {
+      std::cout << "skipping " << cfg.to_string()
+                << " (tiles do not divide this plan)\n";
+      return;
+    }
+    Entry e;
+    e.name = std::string(vectorize ? "tiled_simd" : "tiled_scalar") +
+             (stage_rows ? "" : "_unstaged") + " " + cfg.to_string();
+    e.engine = vectorize ? "simd" : "scalar";
+    e.config = cfg;
+    e.tiled = true;
+    e.stage_rows = stage_rows;
+    record(std::move(e), run_tiled(cfg, vectorize, stage_rows));
+  };
+
+  // Scalar engine (the seed's inner loop) over the seed shapes, staged and
+  // unstaged — the pre-SIMD, pre-tuning baseline.
+  for (const auto& cfg : shapes) add_tiled(cfg, false, true);
+  add_tiled(shapes[2], false, false);
+
+  // SIMD engine over the same shapes (like-for-like), then the widened
+  // tuner axes: channel_block × unroll on every shape.
+  for (const auto& cfg : shapes) add_tiled(cfg, true, true);
+  add_tiled(shapes[2], true, false);
+  for (const auto& base : shapes) {
+    for (std::size_t cb : {std::size_t{64}, std::size_t{256}}) {
+      for (std::size_t un : {std::size_t{1}, std::size_t{4}}) {
+        dedisp::KernelConfig cfg = base;
+        cfg.channel_block = cb;
+        cfg.unroll = un;
+        add_tiled(cfg, true, true);
+      }
+    }
   }
-  set_rate_counters(state, w.plan);
-}
-BENCHMARK(BM_CpuBaseline)->Arg(8)->Arg(32)->UseRealTime()->Unit(benchmark::kMillisecond);
 
-/// Tiled kernel, staged rows: args = (dms, wi_time, wi_dm, et, ed).
-void BM_TiledStaged(benchmark::State& state) {
-  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
-  const dedisp::KernelConfig cfg{
-      static_cast<std::size_t>(state.range(1)),
-      static_cast<std::size_t>(state.range(2)),
-      static_cast<std::size_t>(state.range(3)),
-      static_cast<std::size_t>(state.range(4))};
-  dedisp::CpuKernelOptions opt;
-  opt.stage_rows = true;
-  for (auto _ : state) {
-    dedisp::dedisperse_cpu(w.plan, cfg, w.input.cview(), w.output.view(),
-                           opt);
-    benchmark::DoNotOptimize(w.output.view().data());
+  // Tuned = best SIMD entry of the grid above; seed = the scalar engine on
+  // the seed's default thin-tile shape.
+  const Entry* seed_scalar = nullptr;
+  const Entry* best_scalar = nullptr;
+  const Entry* best_simd = nullptr;
+  for (const Entry& e : entries) {
+    if (e.engine == "scalar" && e.stage_rows) {
+      if (!seed_scalar) seed_scalar = &e;  // first scalar entry = seed shape
+      if (!best_scalar || e.gflops > best_scalar->gflops) best_scalar = &e;
+    }
+    if (e.engine == "simd" &&
+        (!best_simd || e.gflops > best_simd->gflops)) {
+      best_simd = &e;
+    }
   }
-  set_rate_counters(state, w.plan);
-}
-BENCHMARK(BM_TiledStaged)
-    ->Args({32, 100, 1, 1, 1})   // thin tiles, no reuse window
-    ->Args({32, 100, 1, 4, 4})   // 4x4 elements per item
-    ->Args({32, 25, 4, 4, 4})    // square-ish tile
-    ->Args({32, 10, 8, 10, 4})   // DM-deep tile, maximal reuse window
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
 
-void BM_TiledUnstaged(benchmark::State& state) {
-  Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
-  const dedisp::KernelConfig cfg{
-      static_cast<std::size_t>(state.range(1)),
-      static_cast<std::size_t>(state.range(2)),
-      static_cast<std::size_t>(state.range(3)),
-      static_cast<std::size_t>(state.range(4))};
-  dedisp::CpuKernelOptions opt;
-  opt.stage_rows = false;
-  for (auto _ : state) {
-    dedisp::dedisperse_cpu(w.plan, cfg, w.input.cview(), w.output.view(),
-                           opt);
-    benchmark::DoNotOptimize(w.output.view().data());
+  DDMC_REQUIRE(seed_scalar != nullptr && best_simd != nullptr,
+               "no tiled shape divides this plan; pick --dms/--out-samples "
+               "with more divisors");
+
+  std::cout << "== measured host kernels, Apertif-reduced, " << dms
+            << " DMs x " << out_samples << " samples, "
+            << plan.channels() << " channels, simd backend "
+            << simd::backend_name() << " ==\n\n";
+  TextTable table({"kernel", "GFLOP/s", "ms"});
+  for (const Entry& e : entries) {
+    table.add_row({e.name, TextTable::num(e.gflops, 2),
+                   TextTable::num(e.seconds * 1e3, 1)});
   }
-  set_rate_counters(state, w.plan);
+  table.print(std::cout);
+  std::cout << "\nseed scalar (tiled " << seed_scalar->config.to_string()
+            << "): " << TextTable::num(seed_scalar->gflops, 2)
+            << " GFLOP/s\nbest scalar: "
+            << TextTable::num(best_scalar->gflops, 2)
+            << " GFLOP/s\ntuned SIMD (" << best_simd->config.to_string()
+            << "): " << TextTable::num(best_simd->gflops, 2)
+            << " GFLOP/s\nspeedup tuned SIMD vs seed scalar: "
+            << TextTable::num(best_simd->gflops / seed_scalar->gflops, 2)
+            << "x\nspeedup tuned SIMD vs best scalar: "
+            << TextTable::num(best_simd->gflops / best_scalar->gflops, 2)
+            << "x\n";
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    bench::JsonArray arr;
+    for (const Entry& e : entries) {
+      bench::JsonObject o;
+      o.set("name", e.name).set("engine", e.engine);
+      if (e.tiled) {
+        o.set("wi_time", e.config.wi_time)
+            .set("wi_dm", e.config.wi_dm)
+            .set("elem_time", e.config.elem_time)
+            .set("elem_dm", e.config.elem_dm)
+            .set("channel_block", e.config.channel_block)
+            .set("unroll", e.config.unroll)
+            .set("stage_rows", e.stage_rows);
+      }
+      o.set("seconds", e.seconds).set("gflops", e.gflops);
+      arr.add(o);
+    }
+    bench::JsonObject root;
+    root.set("bench", "bench_host_kernels")
+        .set("simd_backend", simd::backend_name())
+        .set("simd_lanes", simd::kFloatLanes)
+        .set("threads", threads)
+        .set_raw("plan", bench::JsonObject()
+                             .set("observation", "Apertif")
+                             .set("dms", dms)
+                             .set("out_samples", out_samples)
+                             .set("channels", plan.channels())
+                             .dump())
+        .set_raw("entries", arr.dump())
+        .set_raw("summary",
+                 bench::JsonObject()
+                     .set("seed_scalar_gflops", seed_scalar->gflops)
+                     .set("best_scalar_gflops", best_scalar->gflops)
+                     .set("tuned_simd_gflops", best_simd->gflops)
+                     .set("tuned_simd_config", best_simd->config.to_string())
+                     .set("speedup_tuned_simd_vs_seed_scalar",
+                          best_simd->gflops / seed_scalar->gflops)
+                     .set("speedup_tuned_simd_vs_best_scalar",
+                          best_simd->gflops / best_scalar->gflops)
+                     .dump());
+    bench::write_json_file(json_path, root);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
 }
-BENCHMARK(BM_TiledUnstaged)
-    ->Args({32, 100, 1, 4, 4})
-    ->Args({32, 25, 4, 4, 4})
-    ->Args({32, 10, 8, 10, 4})
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-
-BENCHMARK_MAIN();

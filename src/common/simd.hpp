@@ -1,0 +1,166 @@
+#pragma once
+/// \file simd.hpp
+/// \brief Portable SIMD layer for the host dedispersion engine.
+///
+/// Exposes a width-agnostic packed-float type `vfloat` of `kFloatLanes`
+/// lanes plus the handful of operations the dedispersion kernels need:
+/// load/store (aligned and unaligned), add, mul, fma and broadcast. The
+/// backend is chosen at compile time from the target ISA:
+///
+///   AVX (8 lanes) → SSE2 (4) → NEON (4) → scalar (1)
+///
+/// Defining DDMC_FORCE_SCALAR (CMake option of the same name) forces the
+/// scalar fallback regardless of ISA — the CI matrix builds one leg this
+/// way so both code paths stay green.
+///
+/// The dedispersion inner loop is a pure element-wise accumulate
+/// (`a[t] += s[t]`), so vectorizing over the time dimension reorders no
+/// floating-point additions: each output element still sums its channels
+/// in channel order, and SIMD output is bitwise identical to the scalar
+/// reference. `accumulate_span` below is that inner loop, shared by the
+/// tiled kernel and the subband engine; fma is provided for downstream
+/// consumers (detection, intensity weighting) and is NOT used on the
+/// bitwise-equality-critical accumulate path.
+
+#include <cstddef>
+
+#if !defined(DDMC_FORCE_SCALAR)
+#if defined(__AVX__)
+#define DDMC_SIMD_AVX 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define DDMC_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define DDMC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace ddmc::simd {
+
+#if defined(DDMC_SIMD_AVX)
+
+inline constexpr std::size_t kFloatLanes = 8;
+struct vfloat {
+  __m256 v;
+};
+
+inline const char* backend_name() { return "avx"; }
+inline vfloat vzero() { return {_mm256_setzero_ps()}; }
+inline vfloat vbroadcast(float x) { return {_mm256_set1_ps(x)}; }
+inline vfloat vload(const float* p) { return {_mm256_loadu_ps(p)}; }
+inline vfloat vload_aligned(const float* p) { return {_mm256_load_ps(p)}; }
+inline void vstore(float* p, vfloat a) { _mm256_storeu_ps(p, a.v); }
+inline void vstore_aligned(float* p, vfloat a) { _mm256_store_ps(p, a.v); }
+inline vfloat vadd(vfloat a, vfloat b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline vfloat vmul(vfloat a, vfloat b) { return {_mm256_mul_ps(a.v, b.v)}; }
+inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
+#if defined(__FMA__)
+  return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+  return {_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
+#endif
+}
+
+#elif defined(DDMC_SIMD_SSE2)
+
+inline constexpr std::size_t kFloatLanes = 4;
+struct vfloat {
+  __m128 v;
+};
+
+inline const char* backend_name() { return "sse2"; }
+inline vfloat vzero() { return {_mm_setzero_ps()}; }
+inline vfloat vbroadcast(float x) { return {_mm_set1_ps(x)}; }
+inline vfloat vload(const float* p) { return {_mm_loadu_ps(p)}; }
+inline vfloat vload_aligned(const float* p) { return {_mm_load_ps(p)}; }
+inline void vstore(float* p, vfloat a) { _mm_storeu_ps(p, a.v); }
+inline void vstore_aligned(float* p, vfloat a) { _mm_store_ps(p, a.v); }
+inline vfloat vadd(vfloat a, vfloat b) { return {_mm_add_ps(a.v, b.v)}; }
+inline vfloat vmul(vfloat a, vfloat b) { return {_mm_mul_ps(a.v, b.v)}; }
+inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
+  return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
+}
+
+#elif defined(DDMC_SIMD_NEON)
+
+inline constexpr std::size_t kFloatLanes = 4;
+struct vfloat {
+  float32x4_t v;
+};
+
+inline const char* backend_name() { return "neon"; }
+inline vfloat vzero() { return {vdupq_n_f32(0.0f)}; }
+inline vfloat vbroadcast(float x) { return {vdupq_n_f32(x)}; }
+inline vfloat vload(const float* p) { return {vld1q_f32(p)}; }
+inline vfloat vload_aligned(const float* p) { return {vld1q_f32(p)}; }
+inline void vstore(float* p, vfloat a) { vst1q_f32(p, a.v); }
+inline void vstore_aligned(float* p, vfloat a) { vst1q_f32(p, a.v); }
+inline vfloat vadd(vfloat a, vfloat b) { return {vaddq_f32(a.v, b.v)}; }
+inline vfloat vmul(vfloat a, vfloat b) { return {vmulq_f32(a.v, b.v)}; }
+inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
+  return {vfmaq_f32(c.v, a.v, b.v)};
+}
+
+#else  // scalar fallback
+
+inline constexpr std::size_t kFloatLanes = 1;
+struct vfloat {
+  float v;
+};
+
+inline const char* backend_name() { return "scalar"; }
+inline vfloat vzero() { return {0.0f}; }
+inline vfloat vbroadcast(float x) { return {x}; }
+inline vfloat vload(const float* p) { return {*p}; }
+inline vfloat vload_aligned(const float* p) { return {*p}; }
+inline void vstore(float* p, vfloat a) { *p = a.v; }
+inline void vstore_aligned(float* p, vfloat a) { *p = a.v; }
+inline vfloat vadd(vfloat a, vfloat b) { return {a.v + b.v}; }
+inline vfloat vmul(vfloat a, vfloat b) { return {a.v * b.v}; }
+inline vfloat vfma(vfloat a, vfloat b, vfloat c) { return {a.v * b.v + c.v}; }
+
+#endif
+
+/// a[t] += s[t] for t in [0, n), `Unroll` vectors per iteration of the main
+/// loop. Per-element addition order is unchanged by lane width or unroll, so
+/// every instantiation produces bitwise-identical results.
+template <std::size_t Unroll>
+inline void accumulate_span_unrolled(float* a, const float* s, std::size_t n) {
+  constexpr std::size_t step = Unroll * kFloatLanes;
+  std::size_t t = 0;
+  for (; t + step <= n; t += step) {
+    for (std::size_t u = 0; u < Unroll; ++u) {
+      const std::size_t off = t + u * kFloatLanes;
+      vstore(a + off, vadd(vload(a + off), vload(s + off)));
+    }
+  }
+  for (; t + kFloatLanes <= n; t += kFloatLanes) {
+    vstore(a + t, vadd(vload(a + t), vload(s + t)));
+  }
+  for (; t < n; ++t) a[t] += s[t];
+}
+
+/// a[t] += s[t] with a runtime unroll hint (the kernel's `unroll` knob).
+/// Hints outside {1, 2, 4, 8} fall back to the un-unrolled loop.
+inline void accumulate_span(float* a, const float* s, std::size_t n,
+                            std::size_t unroll = 1) {
+  switch (unroll) {
+    case 8:
+      accumulate_span_unrolled<8>(a, s, n);
+      break;
+    case 4:
+      accumulate_span_unrolled<4>(a, s, n);
+      break;
+    case 2:
+      accumulate_span_unrolled<2>(a, s, n);
+      break;
+    default:
+      accumulate_span_unrolled<1>(a, s, n);
+      break;
+  }
+}
+
+}  // namespace ddmc::simd

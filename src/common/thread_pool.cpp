@@ -1,7 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/aligned.hpp"
 #include "common/expect.hpp"
 
 namespace ddmc {
@@ -54,11 +56,39 @@ void ThreadPool::parallel_for(
   DDMC_REQUIRE(begin <= end, "inverted range");
   DDMC_REQUIRE(block > 0, "block must be positive");
   if (begin == end) return;
+
+  // Each call gets its own completion latch and error slot. Waiting on the
+  // pool-global in_flight_/first_error_ would make two concurrent
+  // parallel_for calls (e.g. multibeam over the global pool while a beam
+  // dedisperses) block on each other's tasks and steal each other's
+  // exceptions.
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  const std::size_t blocks = ceil_div(end - begin, block);
+  auto state = std::make_shared<CallState>();
+  state->remaining = blocks;
+
   for (std::size_t b = begin; b < end; b += block) {
     const std::size_t e = std::min(end, b + block);
-    run([&fn, b, e] { fn(b, e); });
+    run([state, &fn, b, e] {
+      try {
+        fn(b, e);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      std::lock_guard lock(state->mutex);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
   }
-  wait_idle();
+
+  std::unique_lock lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::worker_loop() {

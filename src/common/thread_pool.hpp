@@ -40,7 +40,11 @@ class ThreadPool {
   void wait_idle();
 
   /// Process [begin, end) in contiguous blocks of at most block size,
-  /// invoking fn(block_begin, block_end) on pool workers. Blocks until done.
+  /// invoking fn(block_begin, block_end) on pool workers. Blocks until done
+  /// and rethrows the first exception thrown by fn. Each call tracks its own
+  /// completion and errors, so concurrent parallel_for calls on a shared
+  /// pool neither wait on each other's tasks nor steal each other's
+  /// exceptions.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t block,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -1,63 +1,273 @@
 #include "dedisp/cpu_kernel.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/expect.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ddmc::dedisp {
 
 namespace {
 
+/// Per-worker scratch, reused across tiles so the hot loop never allocates.
+struct TileScratch {
+  /// Tile accumulators, tile_dm rows of acc_pitch floats each — the union
+  /// of every work-item's register file in this group. Rows are padded to
+  /// the SIMD width so vector loads never cross into the next row.
+  std::vector<float, AlignedAllocator<float>> acc;
+  std::size_t acc_pitch = 0;
+  /// Staged input rows of the current (tile, channel-block), one pitched
+  /// row per channel — the engine's "local memory".
+  std::vector<float, AlignedAllocator<float>> staging;
+  /// Per-channel base pointer of the current block (staged row or a
+  /// pointer straight into the input matrix).
+  std::vector<const float*> src;
+  /// Delay/shift table of the current DM tile, all channels:
+  /// shifts[ch * tile_dm + dm] = Δ(dm0+dm, ch) − lo[ch].
+  std::vector<std::size_t> shifts;
+  /// Per-channel smallest delay over the tile's trials.
+  std::vector<std::size_t> lo;
+  /// Per-channel staging span (largest − smallest delay + tile_time).
+  std::vector<std::size_t> span;
+  /// DM tile the table was built for. The table depends on dm0 only, so
+  /// consecutive time tiles of one DM row (workers sweep gt innermost)
+  /// reuse it instead of rescanning the delay table.
+  std::size_t shifts_dm0 = static_cast<std::size_t>(-1);
+  bool shifts_valid = false;
+};
+
+/// Precompute the shift table of every channel for the DM tile
+/// [dm0, dm0+tile_dm), unless the scratch already holds it. The smallest
+/// and largest delay are scanned exactly (no monotonicity-in-DM
+/// assumption), so a pathological delay table sizes the staging buffer
+/// correctly instead of reading past it.
+void build_shift_table(const sky::DelayTable& delays, std::size_t dm0,
+                       std::size_t tile_dm, std::size_t tile_time,
+                       std::size_t channels, TileScratch& s) {
+  if (s.shifts_valid && s.shifts_dm0 == dm0) return;
+  s.shifts.resize(channels * tile_dm);
+  s.lo.resize(channels);
+  s.span.resize(channels);
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    std::size_t lo = static_cast<std::size_t>(delays.delay(dm0, ch));
+    std::size_t hi = lo;
+    std::size_t* row = &s.shifts[ch * tile_dm];
+    for (std::size_t dm = 0; dm < tile_dm; ++dm) {
+      const auto d = static_cast<std::size_t>(delays.delay(dm0 + dm, ch));
+      row[dm] = d;
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    for (std::size_t dm = 0; dm < tile_dm; ++dm) row[dm] -= lo;
+    s.lo[ch] = lo;
+    s.span[ch] = (hi - lo) + tile_time;
+  }
+  s.shifts_dm0 = dm0;
+  s.shifts_valid = true;
+}
+
+/// Register-blocked SIMD accumulate of one channel block into the tile
+/// accumulators: the host twin of the paper's work-item, holding a
+/// DR × (U·kFloatLanes) patch of output elements in vector registers while
+/// the channel loop runs innermost. Accumulator traffic is paid once per
+/// channel block instead of once per channel, and every add is a packed
+/// vector op. Per output element the channels are still added in ascending
+/// order, so results are bitwise identical to the scalar engine for every
+/// (DR, U) instantiation.
+template <std::size_t DR, std::size_t U>
+void accumulate_block_simd(const TileScratch& s, std::size_t cb0,
+                           std::size_t nch, std::size_t tile_dm,
+                           std::size_t tile_time, float* acc,
+                           std::size_t acc_pitch) {
+  constexpr std::size_t kW = simd::kFloatLanes;
+  constexpr std::size_t kStep = U * kW;
+  for (std::size_t dm0 = 0; dm0 < tile_dm; dm0 += DR) {
+    std::size_t t = 0;
+    for (; t + kStep <= tile_time; t += kStep) {
+      simd::vfloat regs[DR][U];
+      for (std::size_t d = 0; d < DR; ++d) {
+        for (std::size_t u = 0; u < U; ++u) {
+          regs[d][u] =
+              simd::vload(acc + (dm0 + d) * acc_pitch + t + u * kW);
+        }
+      }
+      for (std::size_t c = 0; c < nch; ++c) {
+        const std::size_t* shift = &s.shifts[(cb0 + c) * tile_dm + dm0];
+        const float* base = s.src[c] + t;
+        for (std::size_t d = 0; d < DR; ++d) {
+          const float* p = base + shift[d];
+          for (std::size_t u = 0; u < U; ++u) {
+            regs[d][u] = simd::vadd(regs[d][u], simd::vload(p + u * kW));
+          }
+        }
+      }
+      for (std::size_t d = 0; d < DR; ++d) {
+        for (std::size_t u = 0; u < U; ++u) {
+          simd::vstore(acc + (dm0 + d) * acc_pitch + t + u * kW,
+                       regs[d][u]);
+        }
+      }
+    }
+    // Remainder: single-vector steps, then scalar lanes.
+    for (; t + kW <= tile_time; t += kW) {
+      simd::vfloat regs[DR];
+      for (std::size_t d = 0; d < DR; ++d) {
+        regs[d] = simd::vload(acc + (dm0 + d) * acc_pitch + t);
+      }
+      for (std::size_t c = 0; c < nch; ++c) {
+        const std::size_t* shift = &s.shifts[(cb0 + c) * tile_dm + dm0];
+        const float* base = s.src[c] + t;
+        for (std::size_t d = 0; d < DR; ++d) {
+          regs[d] = simd::vadd(regs[d], simd::vload(base + shift[d]));
+        }
+      }
+      for (std::size_t d = 0; d < DR; ++d) {
+        simd::vstore(acc + (dm0 + d) * acc_pitch + t, regs[d]);
+      }
+    }
+    for (; t < tile_time; ++t) {
+      float regs[DR];
+      for (std::size_t d = 0; d < DR; ++d) {
+        regs[d] = acc[(dm0 + d) * acc_pitch + t];
+      }
+      for (std::size_t c = 0; c < nch; ++c) {
+        const std::size_t* shift = &s.shifts[(cb0 + c) * tile_dm + dm0];
+        const float* base = s.src[c] + t;
+        for (std::size_t d = 0; d < DR; ++d) regs[d] += base[shift[d]];
+      }
+      for (std::size_t d = 0; d < DR; ++d) {
+        acc[(dm0 + d) * acc_pitch + t] = regs[d];
+      }
+    }
+  }
+}
+
+/// Map the config's register-tile knobs onto compiled instantiations: DR is
+/// elem_dm when the ladder covers it (it always divides tile_dm), U is the
+/// unroll knob. Unsupported values fall back to the narrowest kernel.
+template <std::size_t U>
+void dispatch_dr(std::size_t dr, const TileScratch& s, std::size_t cb0,
+                 std::size_t nch, std::size_t tile_dm,
+                 std::size_t tile_time, float* acc, std::size_t acc_pitch) {
+  switch (dr) {
+    case 8:
+      accumulate_block_simd<8, U>(s, cb0, nch, tile_dm, tile_time, acc,
+                                  acc_pitch);
+      break;
+    case 4:
+      accumulate_block_simd<4, U>(s, cb0, nch, tile_dm, tile_time, acc,
+                                  acc_pitch);
+      break;
+    case 2:
+      accumulate_block_simd<2, U>(s, cb0, nch, tile_dm, tile_time, acc,
+                                  acc_pitch);
+      break;
+    default:
+      accumulate_block_simd<1, U>(s, cb0, nch, tile_dm, tile_time, acc,
+                                  acc_pitch);
+      break;
+  }
+}
+
+void dispatch_block_simd(std::size_t dr, std::size_t unroll,
+                         const TileScratch& s, std::size_t cb0,
+                         std::size_t nch, std::size_t tile_dm,
+                         std::size_t tile_time, float* acc,
+                         std::size_t acc_pitch) {
+  switch (unroll) {
+    case 8:
+      dispatch_dr<8>(dr, s, cb0, nch, tile_dm, tile_time, acc, acc_pitch);
+      break;
+    case 4:
+      dispatch_dr<4>(dr, s, cb0, nch, tile_dm, tile_time, acc, acc_pitch);
+      break;
+    case 2:
+      dispatch_dr<2>(dr, s, cb0, nch, tile_dm, tile_time, acc, acc_pitch);
+      break;
+    default:
+      dispatch_dr<1>(dr, s, cb0, nch, tile_dm, tile_time, acc, acc_pitch);
+      break;
+  }
+}
+
+/// The seed's scalar inner loop, kept verbatim as the engine baseline.
+inline void accumulate_span_scalar(float* a, const float* s, std::size_t n) {
+  for (std::size_t t = 0; t < n; ++t) a[t] += s[t];
+}
+
 /// Process one work-group tile: trials [dm0, dm0+tile_dm) × samples
-/// [t0, t0+tile_time). Channel-major accumulation matches the reference.
+/// [t0, t0+tile_time). Channel-major accumulation matches the reference;
+/// channel blocking only re-chunks the (ordered) channel loop, so results
+/// are bitwise identical for every block size.
 void process_tile(const Plan& plan, const KernelConfig& config,
                   ConstView2D<float> in, View2D<float> out, std::size_t dm0,
-                  std::size_t t0, bool stage_rows,
-                  std::vector<float>& staging) {
+                  std::size_t t0, const CpuKernelOptions& options,
+                  TileScratch& scratch) {
   const sky::DelayTable& delays = plan.delays();
   const std::size_t tile_dm = config.tile_dm();
   const std::size_t tile_time = config.tile_time();
   const std::size_t channels = plan.channels();
+  const std::size_t block = config.effective_channel_block(plan);
 
-  // Accumulators for the whole tile — the union of every work-item's
-  // register file in this group.
-  std::vector<float> acc(tile_dm * tile_time, 0.0f);
+  // DM rows per register tile: elem_dm where an instantiation exists (it
+  // divides tile_dm by construction), else the narrowest kernel.
+  const std::size_t dr =
+      (config.elem_dm == 2 || config.elem_dm == 4 || config.elem_dm == 8)
+          ? config.elem_dm
+          : 1;
 
-  for (std::size_t ch = 0; ch < channels; ++ch) {
-    const auto base = static_cast<std::size_t>(delays.delay(dm0, ch));
-    if (stage_rows) {
-      // Collaborative load: the span [t0+Δ(ch,dm0), t0+Δ(ch,dm_hi)+tile_time)
-      // covers every read any work-item in this group performs for ch.
-      const auto last =
-          static_cast<std::size_t>(delays.delay(dm0 + tile_dm - 1, ch));
-      const std::size_t span = (last - base) + tile_time;
-      staging.resize(span);
-      const float* src = &in(ch, t0 + base);
-      std::copy(src, src + span, staging.begin());
-      for (std::size_t dm = 0; dm < tile_dm; ++dm) {
-        const auto shift =
-            static_cast<std::size_t>(delays.delay(dm0 + dm, ch)) - base;
-        float* a = &acc[dm * tile_time];
-        const float* s = &staging[shift];
-        for (std::size_t t = 0; t < tile_time; ++t) a[t] += s[t];
+  scratch.acc_pitch = round_up(tile_time, simd::kFloatLanes);
+  scratch.acc.assign(tile_dm * scratch.acc_pitch, 0.0f);
+  build_shift_table(delays, dm0, tile_dm, tile_time, channels, scratch);
+
+  for (std::size_t cb0 = 0; cb0 < channels; cb0 += block) {
+    const std::size_t cb1 = std::min(channels, cb0 + block);
+    const std::size_t nch = cb1 - cb0;
+
+    // Resolve per-channel source rows; the staged path copies each span
+    // into the block-local staging buffer first (collaborative load: the
+    // span covers every read any work-item performs for that channel).
+    scratch.src.resize(nch);
+    if (options.stage_rows) {
+      const std::size_t max_span = *std::max_element(
+          scratch.span.begin() + cb0, scratch.span.begin() + cb1);
+      const std::size_t pitch = round_up(max_span, simd::kFloatLanes);
+      scratch.staging.resize(nch * pitch);
+      for (std::size_t c = 0; c < nch; ++c) {
+        float* dst = &scratch.staging[c * pitch];
+        const float* row = &in(cb0 + c, t0 + scratch.lo[cb0 + c]);
+        std::copy(row, row + scratch.span[cb0 + c], dst);
+        scratch.src[c] = dst;
       }
     } else {
-      for (std::size_t dm = 0; dm < tile_dm; ++dm) {
-        const auto shift =
-            static_cast<std::size_t>(delays.delay(dm0 + dm, ch));
-        float* a = &acc[dm * tile_time];
-        const float* s = &in(ch, t0 + shift);
-        for (std::size_t t = 0; t < tile_time; ++t) a[t] += s[t];
+      for (std::size_t c = 0; c < nch; ++c) {
+        scratch.src[c] = &in(cb0 + c, t0 + scratch.lo[cb0 + c]);
+      }
+    }
+
+    if (options.vectorize) {
+      dispatch_block_simd(dr, config.unroll, scratch, cb0, nch, tile_dm,
+                          tile_time, scratch.acc.data(), scratch.acc_pitch);
+    } else {
+      // Seed engine: channel-outer scalar accumulate.
+      for (std::size_t c = 0; c < nch; ++c) {
+        const std::size_t* shift = &scratch.shifts[(cb0 + c) * tile_dm];
+        for (std::size_t dm = 0; dm < tile_dm; ++dm) {
+          accumulate_span_scalar(&scratch.acc[dm * scratch.acc_pitch],
+                                 scratch.src[c] + shift[dm], tile_time);
+        }
       }
     }
   }
 
   for (std::size_t dm = 0; dm < tile_dm; ++dm) {
     float* dst = &out(dm0 + dm, t0);
-    const float* a = &acc[dm * tile_time];
+    const float* a = &scratch.acc[dm * scratch.acc_pitch];
     std::copy(a, a + tile_time, dst);
   }
 }
@@ -84,12 +294,12 @@ void dedisperse_cpu(const Plan& plan, const KernelConfig& config,
   const std::size_t total = groups_dm * groups_time;
 
   auto run_range = [&](std::size_t begin, std::size_t end) {
-    std::vector<float> staging;  // reused across tiles on this worker
+    TileScratch scratch;  // reused across tiles on this worker
     for (std::size_t g = begin; g < end; ++g) {
       const std::size_t gd = g / groups_time;
       const std::size_t gt = g % groups_time;
       process_tile(plan, config, in, out, gd * config.tile_dm(),
-                   gt * config.tile_time(), options.stage_rows, staging);
+                   gt * config.tile_time(), options, scratch);
     }
   };
 

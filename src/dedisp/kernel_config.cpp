@@ -21,12 +21,20 @@ void KernelConfig::validate(const Plan& plan) const {
                        " does not divide trial count " +
                        std::to_string(plan.dms()));
   }
+  if (unroll == 0) {
+    throw config_error("unroll must be positive: " + to_string());
+  }
 }
 
 std::string KernelConfig::to_string() const {
   std::ostringstream ss;
   ss << "{wi_time=" << wi_time << ", wi_dm=" << wi_dm
-     << ", elem_time=" << elem_time << ", elem_dm=" << elem_dm << "}";
+     << ", elem_time=" << elem_time << ", elem_dm=" << elem_dm;
+  // Host-engine knobs are printed only when they deviate from the defaults,
+  // so the four-parameter identity of a paper config stays compact.
+  if (channel_block != 0) ss << ", channel_block=" << channel_block;
+  if (unroll != 1) ss << ", unroll=" << unroll;
+  ss << "}";
   return ss.str();
 }
 

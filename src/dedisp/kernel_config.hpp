@@ -13,6 +13,15 @@
 /// A work-group owns a tile of `tile_dm() = wi_dm*elem_dm` trial DMs by
 /// `tile_time() = wi_time*elem_time` output samples; each work-item keeps
 /// its `elem_dm*elem_time` accumulators in registers.
+///
+/// The host engine adds two knobs on top of the paper's four, both
+/// defaulted so that every device-model consumer keeps its semantics:
+///  - `channel_block`: channels accumulated per pass over a tile before
+///    moving to the next block (0 = all channels in one pass). Blocking
+///    keeps the staged input rows and the tile's accumulators resident in
+///    L1/L2 — the host analogue of sizing local memory on a device.
+///  - `unroll`: SIMD vectors per inner-loop iteration of the vectorized
+///    accumulate (1 = no unrolling).
 
 #include <cstddef>
 #include <string>
@@ -26,6 +35,10 @@ struct KernelConfig {
   std::size_t wi_dm = 1;      ///< work-items per work-group, DM dimension
   std::size_t elem_time = 1;  ///< output samples computed per work-item
   std::size_t elem_dm = 1;    ///< trial DMs computed per work-item
+  /// Host-engine knob: channels per accumulation pass (0 = all channels).
+  std::size_t channel_block = 0;
+  /// Host-engine knob: SIMD vectors per inner-loop step (1 = none).
+  std::size_t unroll = 1;
 
   /// Output samples covered by one work-group.
   std::size_t tile_time() const { return wi_time * elem_time; }
@@ -54,6 +67,14 @@ struct KernelConfig {
     return tile_time() != 0 && tile_dm() != 0 &&
            plan.out_samples() % tile_time() == 0 &&
            plan.dms() % tile_dm() == 0;
+  }
+
+  /// Channels accumulated per pass for \p plan: `channel_block` clamped to
+  /// the channel count, with 0 meaning "all channels in one pass".
+  std::size_t effective_channel_block(const Plan& plan) const {
+    const std::size_t channels = plan.channels();
+    return (channel_block == 0 || channel_block > channels) ? channels
+                                                            : channel_block;
   }
 
   /// Throws ddmc::config_error with a precise reason when the config cannot

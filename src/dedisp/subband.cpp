@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/expect.hpp"
+#include "common/simd.hpp"
 #include "sky/delay.hpp"
 
 namespace ddmc::dedisp {
@@ -110,31 +111,34 @@ void dedisperse_subband(const Plan& plan, const SubbandConfig& config,
                    std::to_string(in.cols()));
 
   // Stage 1: per coarse trial, collapse each subband to one series long
-  // enough for every stage-2 shift.
+  // enough for every stage-2 shift. A subband is exactly a channel block of
+  // the tiled engine: the intra-subband shifts are precomputed above, the
+  // per-band accumulator row stays cache-resident across its cs channels,
+  // and the accumulate over time is SIMD-vectorized. Channel order within a
+  // band and band order within a trial are unchanged, so results match the
+  // scalar implementation bitwise.
   const std::size_t inter_span = samples + static_cast<std::size_t>(max_inter);
   Array2D<float> stage1(config.subbands, inter_span);
   for (std::size_t ci = 0; ci < n_coarse; ++ci) {
     stage1.fill(0.0f);
+    const std::int64_t* intra_row = &intra[ci * channels];
     for (std::size_t band = 0; band < config.subbands; ++band) {
       float* dst = &stage1(band, 0);
       for (std::size_t ch = band * cs; ch < (band + 1) * cs; ++ch) {
-        const auto shift =
-            static_cast<std::size_t>(intra[ci * channels + ch]);
-        const float* src = &in(ch, shift);
-        for (std::size_t t = 0; t < inter_span; ++t) dst[t] += src[t];
+        const auto shift = static_cast<std::size_t>(intra_row[ch]);
+        simd::accumulate_span(dst, &in(ch, shift), inter_span);
       }
     }
     // Stage 2: every fine trial of this coarse bucket combines the same
     // subband series with its own inter-subband shifts.
     for (std::size_t j = 0; j < config.coarse_step; ++j) {
       const std::size_t dm = ci * config.coarse_step + j;
-      for (std::size_t t = 0; t < samples; ++t) out(dm, t) = 0.0f;
+      const std::int64_t* inter_row = &inter[dm * config.subbands];
+      float* dst = &out(dm, 0);
+      std::fill(dst, dst + samples, 0.0f);
       for (std::size_t band = 0; band < config.subbands; ++band) {
-        const auto shift = static_cast<std::size_t>(
-            inter[dm * config.subbands + band]);
-        const float* src = &stage1(band, shift);
-        float* dst = &out(dm, 0);
-        for (std::size_t t = 0; t < samples; ++t) dst[t] += src[t];
+        const auto shift = static_cast<std::size_t>(inter_row[band]);
+        simd::accumulate_span(dst, &stage1(band, shift), samples);
       }
     }
   }

@@ -46,7 +46,7 @@ Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
       dedisp::dedisperse_reference(plan_, input, out.view());
       break;
     case Backend::kCpuTiled:
-      dedisp::dedisperse_cpu(plan_, config_, input, out.view());
+      dedisp::dedisperse_cpu(plan_, config_, input, out.view(), cpu_options_);
       break;
     case Backend::kCpuBaseline:
       dedisp::dedisperse_cpu_baseline(plan_, input, out.view());

@@ -57,6 +57,13 @@ class Dedisperser {
   void set_config(const dedisp::KernelConfig& config);
   const dedisp::KernelConfig& config() const { return config_; }
 
+  /// Execution options of the kCpuTiled backend (engine selection, staging,
+  /// threads) — the knobs of the SIMD host engine.
+  void set_cpu_options(const dedisp::CpuKernelOptions& options) {
+    cpu_options_ = options;
+  }
+  const dedisp::CpuKernelOptions& cpu_options() const { return cpu_options_; }
+
   /// Device used by the kSimulated backend (defaults to the HD7970 model).
   void set_device(const ocl::DeviceModel& device);
 
@@ -74,6 +81,7 @@ class Dedisperser {
   dedisp::Plan plan_;
   Backend backend_;
   dedisp::KernelConfig config_{1, 1, 1, 1};
+  dedisp::CpuKernelOptions cpu_options_;
   std::optional<ocl::DeviceModel> device_;
   std::optional<ocl::MemCounters> counters_;
 };

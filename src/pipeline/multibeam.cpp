@@ -23,7 +23,7 @@ std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
     outputs.emplace_back(plan_.dms(), plan_.out_samples());
   }
 
-  dedisp::CpuKernelOptions kernel_options;
+  dedisp::CpuKernelOptions kernel_options = cpu_options_;
   kernel_options.threads = 1;  // beams are the parallel dimension
 
   auto run_beam = [&](std::size_t begin, std::size_t end) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/array2d.hpp"
+#include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
 #include "sky/detection.hpp"
@@ -25,6 +26,14 @@ class MultiBeamDedisperser {
 
   const dedisp::Plan& plan() const { return plan_; }
   const dedisp::KernelConfig& config() const { return config_; }
+
+  /// Engine options shared by every beam. The per-beam thread count is
+  /// always forced to 1 — beams are the parallel dimension — but staging
+  /// and SIMD-vs-scalar selection pass through to the tiled kernel.
+  void set_cpu_options(const dedisp::CpuKernelOptions& options) {
+    cpu_options_ = options;
+  }
+  const dedisp::CpuKernelOptions& cpu_options() const { return cpu_options_; }
 
   /// Dedisperse every beam (each channels × ≥in_samples) into its own
   /// trial matrix. \p threads = 0 uses the machine-sized global pool.
@@ -45,6 +54,7 @@ class MultiBeamDedisperser {
  private:
   dedisp::Plan plan_;
   dedisp::KernelConfig config_;
+  dedisp::CpuKernelOptions cpu_options_;
 };
 
 }  // namespace ddmc::pipeline

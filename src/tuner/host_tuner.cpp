@@ -9,32 +9,6 @@
 
 namespace ddmc::tuner {
 
-namespace {
-
-/// Default candidate ladder for host sweeps: the model tuner's space,
-/// filtered only by divisibility (host kernels have no register or
-/// local-memory limits worth enforcing).
-std::vector<dedisp::KernelConfig> host_candidates(
-    const dedisp::Plan& plan, const HostTuningOptions& options) {
-  const SearchSpace space = default_search_space();
-  std::vector<dedisp::KernelConfig> out;
-  for (std::size_t wt : space.wi_time) {
-    for (std::size_t wd : space.wi_dm) {
-      if (wt * wd > options.max_work_group_size) continue;
-      for (std::size_t et : space.elem_time) {
-        if (plan.out_samples() % (wt * et) != 0) continue;
-        for (std::size_t ed : space.elem_dm) {
-          if (plan.dms() % (wd * ed) != 0) continue;
-          out.push_back(dedisp::KernelConfig{wt, wd, et, ed});
-        }
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 HostTuningResult tune_host(const dedisp::Plan& plan,
                            const HostTuningOptions& options,
                            const std::vector<dedisp::KernelConfig>& configs,
@@ -42,7 +16,9 @@ HostTuningResult tune_host(const dedisp::Plan& plan,
   DDMC_REQUIRE(options.repetitions > 0, "need at least one timed run");
 
   const std::vector<dedisp::KernelConfig> space =
-      configs.empty() ? host_candidates(plan, options) : configs;
+      configs.empty()
+          ? enumerate_host_configs(plan, options.max_work_group_size)
+          : configs;
   DDMC_REQUIRE(!space.empty(), "no candidate configurations for this plan");
 
   // One shared input/output pair for the whole sweep.
@@ -55,6 +31,7 @@ HostTuningResult tune_host(const dedisp::Plan& plan,
 
   dedisp::CpuKernelOptions kernel_options;
   kernel_options.stage_rows = options.stage_rows;
+  kernel_options.vectorize = options.vectorize;
   kernel_options.threads = options.threads;
 
   HostTuningResult result;

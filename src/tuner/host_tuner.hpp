@@ -7,7 +7,9 @@
 /// times, and the average of these ten executions is used"). The model
 /// tuner (tuner.hpp) reproduces the paper's figures; this one reproduces
 /// the paper's *method* on the machine you are running on, driving the
-/// tiled host kernel with real wall-clock timing.
+/// tiled host kernel with real wall-clock timing. The default sweep covers
+/// the host engine's widened space: the paper's four parameters crossed
+/// with the channel_block and unroll axes (see search_space.hpp).
 ///
 /// Use a reduced plan (Plan::with_output_samples) for interactive runs —
 /// a full sweep on a one-second Apertif instance is minutes of CPU time.
@@ -26,6 +28,7 @@ struct HostTuningOptions {
   std::size_t repetitions = 3;   ///< timed runs per configuration (paper: 10)
   std::size_t warmup_runs = 1;   ///< untimed cache-warming runs
   bool stage_rows = true;        ///< staged (local-memory-style) kernel path
+  bool vectorize = true;         ///< SIMD engine; false sweeps the scalar loop
   std::size_t threads = 0;       ///< 0 = machine-sized pool
   /// Skip configurations whose tile covers the whole instance more than
   /// once over (they cannot win and waste sweep time).

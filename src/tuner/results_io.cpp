@@ -10,8 +10,8 @@ namespace ddmc::tuner {
 
 namespace {
 constexpr const char* kHeader =
-    "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,gflops,seconds,"
-    "snr,evaluated";
+    "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,channel_block,"
+    "unroll,gflops,seconds,snr,evaluated";
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> cells;
@@ -62,8 +62,10 @@ void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
   for (const ResultRow& r : rows) {
     os << r.device << ',' << r.observation << ',' << r.dms << ','
        << r.config.wi_time << ',' << r.config.wi_dm << ','
-       << r.config.elem_time << ',' << r.config.elem_dm << ',' << r.gflops
-       << ',' << r.seconds << ',' << r.snr << ',' << r.evaluated << "\n";
+       << r.config.elem_time << ',' << r.config.elem_dm << ','
+       << r.config.channel_block << ',' << r.config.unroll << ','
+       << r.gflops << ',' << r.seconds << ',' << r.snr << ','
+       << r.evaluated << "\n";
   }
 }
 
@@ -76,7 +78,7 @@ std::vector<ResultRow> load_results(std::istream& is) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    DDMC_REQUIRE(cells.size() == 11, "malformed results row: " + line);
+    DDMC_REQUIRE(cells.size() == 13, "malformed results row: " + line);
     ResultRow r;
     r.device = cells[0];
     r.observation = cells[1];
@@ -85,10 +87,12 @@ std::vector<ResultRow> load_results(std::istream& is) {
     r.config.wi_dm = parse_size(cells[4]);
     r.config.elem_time = parse_size(cells[5]);
     r.config.elem_dm = parse_size(cells[6]);
-    r.gflops = parse_double(cells[7]);
-    r.seconds = parse_double(cells[8]);
-    r.snr = parse_double(cells[9]);
-    r.evaluated = parse_size(cells[10]);
+    r.config.channel_block = parse_size(cells[7]);
+    r.config.unroll = parse_size(cells[8]);
+    r.gflops = parse_double(cells[9]);
+    r.seconds = parse_double(cells[10]);
+    r.snr = parse_double(cells[11]);
+    r.evaluated = parse_size(cells[12]);
     rows.push_back(std::move(r));
   }
   return rows;

@@ -12,6 +12,11 @@ SearchSpace default_search_space() {
   s.wi_dm = {1, 2, 4, 8, 16, 32};
   s.elem_time = {1, 2, 4, 5, 8, 10, 16, 20, 25, 32, 50};
   s.elem_dm = {1, 2, 4, 8};
+  // Host-engine axes. The channel blocks bracket the L1/L2 residency
+  // sweet spots of the setups' channel counts (Apertif/LOFAR: 1024 and
+  // 2048 channels); 0 is the unblocked single pass.
+  s.channel_block = {0, 32, 128, 512};
+  s.unroll = {1, 2, 4};
   return s;
 }
 
@@ -32,6 +37,31 @@ std::vector<dedisp::KernelConfig> enumerate_configs(
             continue;
           }
           out.push_back(cfg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<dedisp::KernelConfig> enumerate_host_configs(
+    const dedisp::Plan& plan, std::size_t max_work_group_size,
+    const SearchSpace& space) {
+  std::vector<dedisp::KernelConfig> out;
+  for (std::size_t wt : space.wi_time) {
+    for (std::size_t wd : space.wi_dm) {
+      if (wt * wd > max_work_group_size) continue;
+      for (std::size_t et : space.elem_time) {
+        if (plan.out_samples() % (wt * et) != 0) continue;
+        for (std::size_t ed : space.elem_dm) {
+          if (plan.dms() % (wd * ed) != 0) continue;
+          for (std::size_t cb : space.channel_block) {
+            if (cb >= plan.channels() && cb != 0) continue;
+            for (std::size_t un : space.unroll) {
+              if (un == 0) continue;
+              out.push_back(dedisp::KernelConfig{wt, wd, et, ed, cb, un});
+            }
+          }
         }
       }
     }

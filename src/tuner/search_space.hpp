@@ -12,6 +12,12 @@
 /// limit and the per-thread register cap. Deeper constraints (local-memory
 /// capacity, residency) are enforced by the performance model / simulator,
 /// which throw ddmc::config_error — the tuner counts those as skipped.
+///
+/// The host engine widens the space with two further axes, `channel_block`
+/// and `unroll` (see dedisp::KernelConfig). The device-model enumeration
+/// (enumerate_configs) leaves them at their neutral defaults — the OpenCL
+/// model has no notion of them — while the measured host tuner sweeps them
+/// through enumerate_host_configs.
 
 #include <vector>
 
@@ -26,6 +32,9 @@ struct SearchSpace {
   std::vector<std::size_t> wi_dm;
   std::vector<std::size_t> elem_time;
   std::vector<std::size_t> elem_dm;
+  /// Host-engine axes; 0 in channel_block means "all channels in one pass".
+  std::vector<std::size_t> channel_block;
+  std::vector<std::size_t> unroll;
 };
 
 /// The default ladder used by every experiment in this repository.
@@ -33,9 +42,18 @@ SearchSpace default_search_space();
 
 /// All candidate configurations of \p space that pass the cheap validity
 /// checks for (device, plan). Deterministic order (lexicographic in the
-/// parameter ladders).
+/// parameter ladders). Host-only axes stay at their defaults here.
 std::vector<dedisp::KernelConfig> enumerate_configs(
     const ocl::DeviceModel& device, const dedisp::Plan& plan,
+    const SearchSpace& space = default_search_space());
+
+/// Candidate configurations for the measured host sweep: the four paper
+/// axes filtered by divisibility and \p max_work_group_size (host kernels
+/// have no register or local-memory limits worth enforcing), crossed with
+/// every meaningful channel_block (values ≥ the channel count collapse onto
+/// the "all channels" pass and are dropped) and every unroll ladder value.
+std::vector<dedisp::KernelConfig> enumerate_host_configs(
+    const dedisp::Plan& plan, std::size_t max_work_group_size,
     const SearchSpace& space = default_search_space());
 
 }  // namespace ddmc::tuner

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -154,6 +156,41 @@ TEST(ThreadPool, PropagatesTaskException) {
                           if (b == 4) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreIsolated) {
+  // Two parallel_for calls share one pool: each must wait only on its own
+  // blocks and see only its own exceptions (per-call completion state, not
+  // the pool-global in_flight_/first_error_).
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(200);
+    std::exception_ptr thrower_error;
+    std::exception_ptr quiet_error;
+    std::thread thrower([&] {
+      try {
+        pool.parallel_for(0, 100, 3, [](std::size_t b, std::size_t) {
+          if (b >= 42) throw std::runtime_error("thrower");
+        });
+      } catch (...) {
+        thrower_error = std::current_exception();
+      }
+    });
+    std::thread quiet([&] {
+      try {
+        pool.parallel_for(0, 200, 7, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) ++hits[i];
+        });
+      } catch (...) {
+        quiet_error = std::current_exception();
+      }
+    });
+    thrower.join();
+    quiet.join();
+    EXPECT_TRUE(thrower_error != nullptr);
+    EXPECT_TRUE(quiet_error == nullptr);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(ThreadPool, RejectsNullTask) {

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
+#include <utility>
+#include <vector>
 
 #include "common/expect.hpp"
 #include "dedisp/cpu_baseline.hpp"
@@ -239,6 +242,122 @@ TEST(CpuKernel, WorksOnZeroDmObservation) {
   const Array2D<float> got =
       dedisperse_cpu(plan, KernelConfig{8, 4, 2, 2}, in.cview());
   expect_same_matrix(expected, got);
+}
+
+// ------------------------------------------- SIMD / channel-blocked engine --
+
+TEST(CpuKernel, ChannelBlockAndUnrollAreBitExact) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+  for (std::size_t cb : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 100ul}) {
+    for (std::size_t unroll : {1ul, 2ul, 4ul}) {
+      KernelConfig cfg{4, 2, 2, 2};
+      cfg.channel_block = cb;
+      cfg.unroll = unroll;
+      for (bool staged : {true, false}) {
+        CpuKernelOptions opt;
+        opt.stage_rows = staged;
+        opt.threads = 1;
+        const Array2D<float> got =
+            dedisperse_cpu(plan, cfg, in.cview(), opt);
+        SCOPED_TRACE(cfg.to_string() + (staged ? " staged" : " unstaged"));
+        expect_same_matrix(expected, got);
+      }
+    }
+  }
+}
+
+TEST(CpuKernel, ScalarEngineMatchesSimdEngine) {
+  const Plan plan = mini_plan(8, 64);
+  const Array2D<float> in = random_input(plan);
+  KernelConfig cfg{8, 2, 4, 2};
+  cfg.channel_block = 3;
+  CpuKernelOptions scalar_opt;
+  scalar_opt.vectorize = false;
+  scalar_opt.threads = 1;
+  CpuKernelOptions simd_opt;
+  simd_opt.vectorize = true;
+  simd_opt.threads = 1;
+  expect_same_matrix(dedisperse_cpu(plan, cfg, in.cview(), scalar_opt),
+                     dedisperse_cpu(plan, cfg, in.cview(), simd_opt));
+}
+
+/// Seeded randomized property sweep: random plan shapes, random extended
+/// configs (channel_block/unroll included), staged/unstaged, scalar/SIMD,
+/// inline and threaded — every combination must reproduce the reference
+/// bit-for-bit.
+TEST(CpuKernel, RandomizedExtendedConfigsMatchReference) {
+  std::mt19937 gen(20260730);
+  auto pick = [&](const std::vector<std::size_t>& v) {
+    return v[gen() % v.size()];
+  };
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t channels = pick({4, 8});
+    const std::size_t dms = pick({4, 8, 16});
+    const std::size_t out = pick({32, 48, 64});
+    const Plan plan = dedisp::Plan::with_output_samples(
+        mini_obs(channels), dms, out);
+    const Array2D<float> in = random_input(plan, 1000 + iter);
+    const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+
+    // Random dividing tile: factor dms and out into (wi, elem) pairs.
+    auto split = [&](std::size_t total) {
+      std::vector<std::size_t> divisors;
+      for (std::size_t d = 1; d <= total; ++d) {
+        if (total % d == 0) divisors.push_back(d);
+      }
+      const std::size_t tile = pick(divisors);
+      std::vector<std::size_t> sub;
+      for (std::size_t d = 1; d <= tile; ++d) {
+        if (tile % d == 0) sub.push_back(d);
+      }
+      const std::size_t wi = pick(sub);
+      return std::pair<std::size_t, std::size_t>{wi, tile / wi};
+    };
+    const auto [wt, et] = split(out);
+    const auto [wd, ed] = split(dms);
+    KernelConfig cfg{wt, wd, et, ed};
+    cfg.channel_block = pick({0, 1, 2, 3, 5, channels, 64});
+    cfg.unroll = pick({1, 2, 3, 4, 8});
+
+    CpuKernelOptions opt;
+    opt.stage_rows = (gen() % 2) == 0;
+    opt.vectorize = (gen() % 4) != 0;  // bias toward the SIMD engine
+    opt.threads = pick({1, 2, 3});
+    SCOPED_TRACE("iter " + std::to_string(iter) + " ch=" +
+                 std::to_string(channels) + " dms=" + std::to_string(dms) +
+                 " out=" + std::to_string(out) + " cfg=" + cfg.to_string() +
+                 (opt.stage_rows ? " staged" : " unstaged") +
+                 (opt.vectorize ? " simd" : " scalar") + " threads=" +
+                 std::to_string(opt.threads));
+    const Array2D<float> got = dedisperse_cpu(plan, cfg, in.cview(), opt);
+    expect_same_matrix(expected, got);
+  }
+}
+
+TEST(CpuKernel, StagingSpanEdgeCases) {
+  // Steep delay tables (large dm_step) make the staged span of the deepest
+  // DM tile reach the very end of the input matrix; the staged and
+  // unstaged paths must agree with the reference at that edge.
+  for (double dm_step : {2.0, 4.0, 8.0}) {
+    const sky::Observation obs = mini_obs(8, dm_step);
+    const Plan plan = Plan::with_output_samples(obs, 16, 32);
+    const Array2D<float> in = random_input(plan);
+    const Array2D<float> expected = dedisperse_reference(plan, in.cview());
+    // tile_dm = dms: one tile spans the full delay spread per channel.
+    KernelConfig cfg{4, 4, 8, 4};
+    cfg.channel_block = 2;
+    for (bool staged : {true, false}) {
+      CpuKernelOptions opt;
+      opt.stage_rows = staged;
+      opt.threads = 1;
+      SCOPED_TRACE("dm_step=" + std::to_string(dm_step) +
+                   (staged ? " staged" : " unstaged"));
+      const Array2D<float> got = dedisperse_cpu(plan, cfg, in.cview(), opt);
+      expect_same_matrix(expected, got);
+    }
+  }
 }
 
 // ----------------------------------------------------------- CPU baseline --

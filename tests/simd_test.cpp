@@ -1,0 +1,128 @@
+// Tests for the portable SIMD layer: backend sanity, per-lane operation
+// semantics, and bitwise equivalence of the vectorized accumulate with the
+// scalar loop across widths, tails and unroll factors.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/simd.hpp"
+
+namespace ddmc::simd {
+namespace {
+
+TEST(Simd, BackendIsSane) {
+  EXPECT_GT(kFloatLanes, 0u);
+  EXPECT_TRUE(kFloatLanes == 1 || kFloatLanes == 4 || kFloatLanes == 8);
+  EXPECT_NE(backend_name(), nullptr);
+  EXPECT_GT(std::strlen(backend_name()), 0u);
+#if defined(DDMC_FORCE_SCALAR)
+  EXPECT_STREQ(backend_name(), "scalar");
+  EXPECT_EQ(kFloatLanes, 1u);
+#endif
+}
+
+TEST(Simd, LoadStoreRoundTrip) {
+  std::vector<float, AlignedAllocator<float>> src(kFloatLanes);
+  std::vector<float, AlignedAllocator<float>> dst(kFloatLanes, -1.0f);
+  for (std::size_t i = 0; i < kFloatLanes; ++i) {
+    src[i] = static_cast<float>(i) + 0.25f;
+  }
+  vstore_aligned(dst.data(), vload_aligned(src.data()));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) EXPECT_EQ(dst[i], src[i]);
+
+  // Unaligned variants must work at any offset.
+  std::vector<float> buf(3 * kFloatLanes + 1, 0.0f);
+  vstore(buf.data() + 1, vload(src.data()));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) EXPECT_EQ(buf[i + 1], src[i]);
+}
+
+TEST(Simd, BroadcastAndZero) {
+  std::vector<float> out(kFloatLanes, -1.0f);
+  vstore(out.data(), vbroadcast(3.5f));
+  for (float v : out) EXPECT_EQ(v, 3.5f);
+  vstore(out.data(), vzero());
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Simd, LaneWiseAddMulSemantics) {
+  std::vector<float> a(kFloatLanes), b(kFloatLanes), out(kFloatLanes);
+  for (std::size_t i = 0; i < kFloatLanes; ++i) {
+    a[i] = static_cast<float>(i + 1);
+    b[i] = 0.5f * static_cast<float>(i) - 2.0f;
+  }
+  vstore(out.data(), vadd(vload(a.data()), vload(b.data())));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) EXPECT_EQ(out[i], a[i] + b[i]);
+  vstore(out.data(), vmul(vload(a.data()), vload(b.data())));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) EXPECT_EQ(out[i], a[i] * b[i]);
+}
+
+TEST(Simd, FmaIsCloseToMulAdd) {
+  // fma may contract (one rounding), so compare with a small tolerance
+  // rather than bitwise.
+  std::vector<float> a(kFloatLanes), b(kFloatLanes), c(kFloatLanes);
+  std::vector<float> out(kFloatLanes);
+  for (std::size_t i = 0; i < kFloatLanes; ++i) {
+    a[i] = 1.1f * static_cast<float>(i + 1);
+    b[i] = -0.7f * static_cast<float>(i + 2);
+    c[i] = 0.3f;
+  }
+  vstore(out.data(),
+         vfma(vload(a.data()), vload(b.data()), vload(c.data())));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) {
+    EXPECT_NEAR(out[i], a[i] * b[i] + c[i], 1e-4f);
+  }
+}
+
+TEST(Simd, AccumulateSpanMatchesScalarBitwise) {
+  std::mt19937 gen(20260730);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  // Cover empty spans, sub-lane tails, exact multiples and long spans, at
+  // unaligned source offsets, for every unroll hint (including hints the
+  // dispatcher maps to the plain loop).
+  for (std::size_t n : {0ul, 1ul, 3ul, 7ul, 8ul, 15ul, 16ul, 31ul, 64ul,
+                        97ul, 200ul}) {
+    for (std::size_t unroll : {1ul, 2ul, 3ul, 4ul, 8ul}) {
+      for (std::size_t offset : {0ul, 1ul}) {
+        std::vector<float> src(n + offset + 1);
+        std::vector<float> acc_simd(n), acc_scalar(n);
+        for (auto& v : src) v = dist(gen);
+        for (std::size_t i = 0; i < n; ++i) {
+          acc_simd[i] = acc_scalar[i] = dist(gen);
+        }
+        accumulate_span(acc_simd.data(), src.data() + offset, n, unroll);
+        for (std::size_t i = 0; i < n; ++i) {
+          acc_scalar[i] += src[offset + i];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(acc_simd[i], acc_scalar[i])
+              << "n=" << n << " unroll=" << unroll << " offset=" << offset
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, AccumulateSpanIsAdditiveOverCalls) {
+  // Two blocked passes equal one full pass — the channel-blocking identity
+  // the tiled engine relies on.
+  const std::size_t n = 70;
+  std::vector<float> a(n), b(n), acc_once(n, 0.0f), acc_split(n, 0.0f);
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : a) v = dist(gen);
+  for (auto& v : b) v = dist(gen);
+  accumulate_span(acc_once.data(), a.data(), n);
+  accumulate_span(acc_once.data(), b.data(), n);
+  accumulate_span(acc_split.data(), a.data(), n, 4);
+  accumulate_span(acc_split.data(), b.data(), n, 2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(acc_once[i], acc_split[i]);
+}
+
+}  // namespace
+}  // namespace ddmc::simd

@@ -85,6 +85,45 @@ TEST(SearchSpace, CustomLaddersRespected) {
   EXPECT_EQ(configs[1], (KernelConfig{8, 2, 1, 1}));
 }
 
+TEST(SearchSpace, HostEnumerationSweepsChannelBlockAndUnroll) {
+  // On a many-channel plan the host space crosses the paper's four axes
+  // with every meaningful channel_block and unroll ladder value.
+  const Plan plan = Plan::with_output_samples(sky::apertif(), 16, 200);
+  const auto configs = enumerate_host_configs(plan, 1024);
+  ASSERT_FALSE(configs.empty());
+  std::set<std::size_t> blocks, unrolls;
+  for (const KernelConfig& cfg : configs) {
+    EXPECT_TRUE(cfg.divides(plan)) << cfg.to_string();
+    EXPECT_TRUE(cfg.channel_block == 0 ||
+                cfg.channel_block < plan.channels())
+        << cfg.to_string();
+    blocks.insert(cfg.channel_block);
+    unrolls.insert(cfg.unroll);
+  }
+  const SearchSpace space = default_search_space();
+  EXPECT_EQ(blocks.size(), space.channel_block.size());
+  EXPECT_EQ(unrolls.size(), space.unroll.size());
+}
+
+TEST(SearchSpace, HostEnumerationDropsOversizedChannelBlocks) {
+  // 8 channels: every ladder block ≥ 8 collapses onto the single-pass 0.
+  const Plan plan = mini_plan(8, 64);
+  const auto configs = enumerate_host_configs(plan, 1024);
+  ASSERT_FALSE(configs.empty());
+  for (const KernelConfig& cfg : configs) {
+    EXPECT_EQ(cfg.channel_block, 0u) << cfg.to_string();
+  }
+}
+
+TEST(SearchSpace, DeviceEnumerationKeepsHostAxesAtDefaults) {
+  const Plan plan = mini_plan(8, 64);
+  for (const KernelConfig& cfg :
+       enumerate_configs(ocl::amd_hd7970(), plan)) {
+    EXPECT_EQ(cfg.channel_block, 0u);
+    EXPECT_EQ(cfg.unroll, 1u);
+  }
+}
+
 // ------------------------------------------------------------------ tuner --
 
 TEST(Tuner, OptimumDominatesPopulation) {
@@ -225,30 +264,30 @@ TEST(ResultsIo, RejectsCorruptInput) {
   }
   {
     std::stringstream ss;
-    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,gflops,"
-          "seconds,snr,evaluated\n"
+    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
+          "channel_block,unroll,gflops,seconds,snr,evaluated\n"
        << "HD7970,mini,8,1,1\n";  // truncated row
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
   {
     std::stringstream ss;
-    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,gflops,"
-          "seconds,snr,evaluated\n"
-       << "HD7970,mini,eight,1,1,1,1,1.0,1.0,1.0,5\n";  // non-numeric dms
+    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
+          "channel_block,unroll,gflops,seconds,snr,evaluated\n"
+       << "HD7970,mini,eight,1,1,1,1,0,1,1.0,1.0,1.0,5\n";  // non-numeric dms
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
 }
 
 TEST(ResultsIo, SkipsBlankLines) {
   std::stringstream ss;
-  ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,gflops,"
-        "seconds,snr,evaluated\n"
+  ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
+        "channel_block,unroll,gflops,seconds,snr,evaluated\n"
      << "\n"
-     << "K20,Apertif,64,32,4,5,2,123.4,0.01,3.2,900\n";
+     << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n";
   const auto rows = load_results(ss);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].device, "K20");
-  EXPECT_EQ(rows[0].config, (dedisp::KernelConfig{32, 4, 5, 2}));
+  EXPECT_EQ(rows[0].config, (dedisp::KernelConfig{32, 4, 5, 2, 128, 2}));
   EXPECT_EQ(rows[0].evaluated, 900u);
 }
 
