@@ -4,7 +4,7 @@
 /// a dispersed pulsar, auto-tunes the kernel for a chosen device model,
 /// dedisperses on the tiled host backend and reports the recovered DM.
 ///
-///   ./quickstart [--device HD7970] [--dms 64] [--dm 4.5]
+///   ./quickstart [--device HD7970] [--dms 64] [--dm 4.5] [--threads 0]
 
 #include <cmath>
 #include <iostream>
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_option("device", "device model to tune for", "HD7970");
   cli.add_option("dms", "number of trial DMs", "64");
   cli.add_option("dm", "true pulsar dispersion measure [pc/cm^3]", "4.5");
+  cli.add_option("threads", "kernel worker threads (0 = machine-sized)", "0");
   if (!cli.parse(argc, argv)) return 0;
 
   const sky::Observation obs = sky::apertif();
@@ -31,6 +32,9 @@ int main(int argc, char** argv) {
 
   // 1. Plan the instance (one second of data) and tune for the device.
   pipeline::Dedisperser dd(obs, dms, pipeline::Backend::kCpuTiled);
+  dedisp::CpuKernelOptions cpu_options;
+  cpu_options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  dd.set_cpu_options(cpu_options);
   const ocl::DeviceModel device = ocl::device_by_name(cli.get("device"));
   const tuner::TuningResult tuned = dd.tune_for(device);
   std::cout << "tuned for " << device.name << ": "

@@ -3,7 +3,7 @@
 /// and detection quality of brute force vs. two-stage for several coarse
 /// steps — showing the compute saving and the smearing cost.
 ///
-///   ./subband_tradeoff [--dms 64] [--subbands 32]
+///   ./subband_tradeoff [--dms 64] [--subbands 32] [--threads 0]
 
 #include <iostream>
 
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_option("dms", "number of trial DMs", "64");
   cli.add_option("subbands", "subbands for the two-stage method", "32");
   cli.add_option("out-samples", "output window in samples", "5000");
+  cli.add_option("threads", "kernel worker threads (0 = machine-sized)", "0");
   if (!cli.parse(argc, argv)) return 0;
 
   const sky::Observation obs = sky::apertif();
@@ -45,9 +46,11 @@ int main(int argc, char** argv) {
   sky::inject_pulsar(obs, data.view(), pulsar);
 
   // Brute force (tiled host kernel).
+  dedisp::CpuKernelOptions cpu_options;
+  cpu_options.threads = static_cast<std::size_t>(cli.get_int("threads"));
   Stopwatch clock;
   const Array2D<float> brute = dedisp::dedisperse_cpu(
-      plan, dedisp::KernelConfig{50, 2, 4, 2}, data.cview());
+      plan, dedisp::KernelConfig{50, 2, 4, 2}, data.cview(), cpu_options);
   const double brute_ms = clock.milliseconds();
   const sky::DetectionResult brute_hit = sky::detect_best_dm(brute.cview());
 

@@ -13,6 +13,20 @@ Plan Plan::with_output_samples(const sky::Observation& obs, std::size_t dms,
   return Plan(obs, dms, out_samples, /*round_to_seconds=*/false);
 }
 
+Plan Plan::with_chunk(std::size_t out_chunk) const {
+  return Plan(*this, out_chunk);
+}
+
+Plan::Plan(const Plan& base, std::size_t out_chunk)
+    : obs_(base.obs_),
+      dms_(base.dms_),
+      out_samples_(out_chunk),
+      in_samples_(0),
+      delays_(base.delays_) {
+  DDMC_REQUIRE(out_chunk > 0, "need at least one output sample per chunk");
+  in_samples_ = out_samples_ + base.max_delay();
+}
+
 Plan::Plan(const sky::Observation& obs, std::size_t dms,
            std::size_t out_samples, bool round_to_seconds)
     : obs_(obs),

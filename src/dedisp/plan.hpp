@@ -44,6 +44,20 @@ class Plan {
   std::size_t out_samples() const { return out_samples_; }
   std::size_t in_samples() const { return in_samples_; }
 
+  /// Largest delay in the table, in samples. This is the overlap a
+  /// streaming chunker must carry between consecutive chunk windows: input
+  /// window k covers samples [k·out, k·out + out + max_delay).
+  std::size_t max_delay() const {
+    return static_cast<std::size_t>(delays_->max_delay());
+  }
+
+  /// Chunk-window plan of this same instance: identical observation, DM
+  /// grid and delay table (shared, not recomputed — cheap enough to build
+  /// per chunk), out_samples = \p out_chunk, in_samples = out_chunk +
+  /// max_delay with no rounding. Dedispersing consecutive overlapping
+  /// windows with chunk plans is bitwise identical to one batch run.
+  Plan with_chunk(std::size_t out_chunk) const;
+
   /// Total single-precision FLOPs the paper credits this instance with:
   /// one accumulate per (dm, sample, channel).
   double total_flop() const {
@@ -64,6 +78,8 @@ class Plan {
  private:
   Plan(const sky::Observation& obs, std::size_t dms, std::size_t out_samples,
        bool round_to_seconds);
+  /// Chunk variant sharing \p base's delay table.
+  Plan(const Plan& base, std::size_t out_chunk);
 
   sky::Observation obs_;
   std::size_t dms_;

@@ -17,6 +17,11 @@
 ///  - kCpuBaseline: the §V-D OpenMP/AVX-style comparator.
 ///  - kSimulated: the MiniCL functional simulator with a device model
 ///    (bit-identical output, plus measured traffic counters).
+///
+/// For samples that *arrive* instead of sitting in memory, use the
+/// streaming sessions in stream/streaming_dedisperser.hpp: they run the
+/// same kCpuTiled kernel chunk-by-chunk (bitwise-identical output) with
+/// bounded-ring ingest and latency accounting.
 
 #include <optional>
 

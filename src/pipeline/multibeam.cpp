@@ -1,6 +1,7 @@
 #include "pipeline/multibeam.hpp"
 
 #include <memory>
+#include <string>
 
 #include "common/expect.hpp"
 #include "common/thread_pool.hpp"
@@ -17,6 +18,17 @@ MultiBeamDedisperser::MultiBeamDedisperser(dedisp::Plan plan,
 std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
     const std::vector<ConstView2D<float>>& beams, std::size_t threads) const {
   DDMC_REQUIRE(!beams.empty(), "need at least one beam");
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    DDMC_REQUIRE(beams[b].rows() == plan_.channels(),
+                 "beam " + std::to_string(b) + " has " +
+                     std::to_string(beams[b].rows()) + " rows, plan needs " +
+                     std::to_string(plan_.channels()) + " channels");
+    DDMC_REQUIRE(beams[b].cols() >= plan_.in_samples(),
+                 "beam " + std::to_string(b) + " holds " +
+                     std::to_string(beams[b].cols()) +
+                     " samples, plan needs in_samples = " +
+                     std::to_string(plan_.in_samples()));
+  }
   std::vector<Array2D<float>> outputs;
   outputs.reserve(beams.size());
   for (std::size_t b = 0; b < beams.size(); ++b) {

@@ -48,6 +48,8 @@ class MultiBeamDedisperser {
   };
 
   /// Dedisperse and return the strongest candidate across all beams.
+  /// Equal peak S/N ties break deterministically to the lowest beam index
+  /// (candidates are compared with strict >, beams scanned in order).
   BeamCandidate search(const std::vector<ConstView2D<float>>& beams,
                        std::size_t threads = 0) const;
 

@@ -1,0 +1,63 @@
+#include "stream/chunker.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/expect.hpp"
+
+namespace ddmc::stream {
+
+OverlapChunker::OverlapChunker(const dedisp::Plan& chunk_plan)
+    : window_(chunk_plan.channels(), chunk_plan.in_samples()),
+      chunk_out_(chunk_plan.out_samples()),
+      overlap_(chunk_plan.max_delay()) {
+  DDMC_REQUIRE(chunk_plan.in_samples() == chunk_out_ + overlap_,
+               "chunk plan must be unrounded: in = out + max_delay "
+               "(use Plan::with_chunk or Plan::with_output_samples)");
+}
+
+std::size_t OverlapChunker::feed(ConstView2D<float> samples,
+                                 std::size_t offset) {
+  DDMC_REQUIRE(samples.rows() == channels(), "sample block rows != channels");
+  DDMC_REQUIRE(offset <= samples.cols(), "feed offset out of range");
+  const std::size_t n =
+      std::min(samples.cols() - offset, window_.cols() - filled_);
+  for (std::size_t ch = 0; ch < channels(); ++ch) {
+    std::memcpy(&window_(ch, filled_), &samples(ch, offset),
+                n * sizeof(float));
+  }
+  filled_ += n;
+  return n;
+}
+
+ConstView2D<float> OverlapChunker::chunk_input() const {
+  DDMC_REQUIRE(ready(), "chunk window is not fully assembled");
+  return window_.cview();
+}
+
+void OverlapChunker::advance() {
+  DDMC_REQUIRE(ready(), "cannot advance before the window is full");
+  for (std::size_t ch = 0; ch < channels(); ++ch) {
+    std::memmove(&window_(ch, 0), &window_(ch, chunk_out_),
+                 overlap_ * sizeof(float));
+  }
+  filled_ = overlap_;
+  ++chunk_index_;
+}
+
+void OverlapChunker::skip_chunk() {
+  filled_ = 0;
+  ++chunk_index_;
+}
+
+std::size_t OverlapChunker::pending_out() const {
+  return filled_ > overlap_ ? filled_ - overlap_ : 0;
+}
+
+ConstView2D<float> OverlapChunker::partial_input() const {
+  DDMC_REQUIRE(pending_out() > 0, "no partial chunk is buffered");
+  return ConstView2D<float>(window_.cview().data(), channels(), filled_,
+                            window_.pitch());
+}
+
+}  // namespace ddmc::stream

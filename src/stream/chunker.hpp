@@ -1,0 +1,97 @@
+#pragma once
+/// \file chunker.hpp
+/// \brief Overlap-carry chunking: arbitrary-granularity sample feeds →
+/// fixed dedispersion windows that make chunked output bitwise identical
+/// to batch output.
+///
+/// Dedispersing output samples [t0, t0 + out) reads input samples
+/// [t0, t0 + out + max_delay): every chunk's input window overlaps the next
+/// chunk's by max_delay samples (the dispersion sweep of the highest trial).
+/// The chunker assembles those windows from a stream fed at any granularity
+/// — down to one sample at a time — and *carries* the max_delay-sample tail
+/// from window to window instead of asking the producer to re-send it.
+///
+/// Because window k's content equals columns [k·out, k·out + out + max_delay)
+/// of the batch input matrix exactly, running the same kernel on each window
+/// performs the identical float additions in the identical order, so the
+/// concatenated chunk outputs are bitwise equal to one batch run — the
+/// property tests/stream_test.cpp asserts.
+
+#include <cstddef>
+
+#include "common/array2d.hpp"
+#include "dedisp/plan.hpp"
+
+namespace ddmc::stream {
+
+/// Assembles overlap-carry chunk windows for one beam.
+class OverlapChunker {
+ public:
+  /// \p chunk_plan is a plan whose out_samples is the chunk length
+  /// (typically Plan::with_chunk or Plan::with_output_samples); its
+  /// in_samples must equal out_samples + max_delay — i.e. an unrounded
+  /// chunk-window plan, not a full-seconds batch plan.
+  explicit OverlapChunker(const dedisp::Plan& chunk_plan);
+
+  std::size_t channels() const { return window_.rows(); }
+  /// Output samples emitted per full chunk.
+  std::size_t chunk_out() const { return chunk_out_; }
+  /// Samples carried between consecutive windows (= the plan's max_delay).
+  std::size_t overlap() const { return overlap_; }
+  /// Input samples per assembled window (= chunk_out + overlap).
+  std::size_t window_samples() const { return window_.cols(); }
+
+  /// Absorb up to samples.cols() − offset samples starting at column
+  /// \p offset, stopping when the current window fills. Returns the number
+  /// absorbed; the caller loops feed → (ready? emit, advance) until its
+  /// samples are exhausted, which keeps the chunker's memory bounded at one
+  /// window regardless of feed granularity.
+  std::size_t feed(ConstView2D<float> samples, std::size_t offset = 0);
+
+  /// Assembled columns of the current window (0 after skip_chunk(),
+  /// overlap() right after advance()).
+  std::size_t filled() const { return filled_; }
+
+  /// True when a full window is assembled and can be dedispersed.
+  bool ready() const { return filled_ == window_.cols(); }
+
+  /// The assembled channels × window_samples() input window (valid while
+  /// ready()); invalidated by advance() and feed().
+  ConstView2D<float> chunk_input() const;
+
+  /// Index of the chunk currently assembling / assembled.
+  std::size_t chunk_index() const { return chunk_index_; }
+  /// Global output sample index of the current chunk's first column.
+  std::size_t first_out_sample() const { return chunk_index_ * chunk_out_; }
+
+  /// Consume the emitted chunk: carry the trailing overlap() samples to the
+  /// window's front and start assembling the next chunk.
+  void advance();
+
+  /// Zero-copy accounting: the caller dedispersed window chunk_index()
+  /// directly from its own contiguous sample block, so whatever prefix was
+  /// assembled here is a duplicate of block content. Advances the chunk
+  /// index and empties the window; the caller must resume feeding from
+  /// global input column chunk_index() · chunk_out() afterwards.
+  void skip_chunk();
+
+  /// Output samples a final partial chunk would emit from the samples
+  /// buffered so far (0 while nothing beyond the carried overlap is
+  /// buffered). The first overlap() samples of the stream are pure history
+  /// and produce no output, exactly as in a batch run.
+  std::size_t pending_out() const;
+
+  /// Input window of the final partial chunk: channels × (overlap() +
+  /// pending_out()). Valid while pending_out() > 0 and no further feed()
+  /// happens; dedisperse it with a plan of pending_out() output samples.
+  ConstView2D<float> partial_input() const;
+
+ private:
+  Array2D<float> window_;  // channels × (chunk_out + overlap)
+  std::size_t chunk_out_ = 0;
+  std::size_t overlap_ = 0;
+  std::size_t filled_ = 0;  // assembled columns of the current window
+  std::size_t chunk_index_ = 0;
+};
+
+}  // namespace ddmc::stream

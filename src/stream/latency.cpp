@@ -1,0 +1,59 @@
+#include "stream/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ddmc::stream {
+
+double percentile(std::span<const double> values, double p) {
+  DDMC_REQUIRE(!values.empty(), "percentile of an empty set");
+  DDMC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank out of [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of the set at or
+  // below it.
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void LatencyTracker::record(const ChunkTiming& timing) {
+  latencies_.push_back(timing.latency_seconds);
+  compute_.add(timing.compute_seconds);
+  data_seconds_ += timing.data_seconds;
+  compute_seconds_ += timing.compute_seconds;
+}
+
+LatencyReport LatencyTracker::report() const {
+  LatencyReport r;
+  r.chunks = latencies_.size();
+  if (r.chunks == 0) return r;
+  r.data_seconds = data_seconds_;
+  r.compute_seconds = compute_seconds_;
+  // One sort serves every percentile — report() may be polled per chunk.
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = [&](double p) {
+    const double k = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t idx = k <= 1.0 ? 0 : static_cast<std::size_t>(k) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  r.p50_latency = rank(50.0);
+  r.p95_latency = rank(95.0);
+  r.p99_latency = rank(99.0);
+  r.max_latency = sorted.back();
+  r.mean_compute = compute_.mean();
+  if (compute_seconds_ > 0.0) {
+    r.real_time_margin = data_seconds_ / compute_seconds_;
+  }
+  if (data_seconds_ > 0.0) {
+    r.seconds_per_data_second = compute_seconds_ / data_seconds_;
+  }
+  return r;
+}
+
+}  // namespace ddmc::stream

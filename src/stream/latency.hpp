@@ -1,0 +1,71 @@
+#pragma once
+/// \file latency.hpp
+/// \brief Per-chunk latency/throughput accounting for streaming sessions.
+///
+/// A streaming backend is judged by one number: the real-time margin — how
+/// many seconds of sky it processes per second of wall time. Margin > 1
+/// means the session keeps up (the paper's §V-D criterion, where the tuned
+/// HD7970 dedisperses one second of Apertif in 0.106 s, a margin of ~9.4);
+/// margin < 1 means the ring backs up and data is eventually lost. The
+/// tracker also keeps the per-chunk delivery-latency distribution
+/// (p50/p95/p99), which is what an alerting pipeline (e.g. triggering
+/// follow-up on an FRB candidate) actually cares about.
+///
+/// `seconds_per_data_second` is the measured twin of the model-predicted
+/// `pipeline::SurveySizing::seconds_per_beam` — both are "wall seconds to
+/// dedisperse one second of one beam".
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/statistics.hpp"
+
+namespace ddmc::stream {
+
+/// Wall-clock accounting of one emitted chunk.
+struct ChunkTiming {
+  double data_seconds = 0.0;     ///< observation time the chunk emitted
+  double compute_seconds = 0.0;  ///< kernel (+ detection) wall time
+  double latency_seconds = 0.0;  ///< window-assembled → results ready (this
+                                 ///< is what the sink receives; it includes
+                                 ///< queueing behind the previous chunk)
+};
+
+/// Aggregated view of a session's chunk timings.
+struct LatencyReport {
+  std::size_t chunks = 0;
+  double data_seconds = 0.0;     ///< Σ data_seconds
+  double compute_seconds = 0.0;  ///< Σ compute_seconds (busy time)
+  double p50_latency = 0.0;      ///< percentiles of latency_seconds
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  double max_latency = 0.0;
+  double mean_compute = 0.0;
+  /// data_seconds / compute_seconds: > 1 keeps up in real time.
+  double real_time_margin = 0.0;
+  /// compute_seconds / data_seconds — comparable to the model-predicted
+  /// pipeline::SurveySizing::seconds_per_beam.
+  double seconds_per_data_second = 0.0;
+};
+
+/// Nearest-rank percentile of \p values (p in [0, 100]); values need not be
+/// sorted. Throws ddmc::invalid_argument when empty or p out of range.
+double percentile(std::span<const double> values, double p);
+
+/// Accumulates ChunkTimings; cheap enough to record every chunk of a long
+/// session (stores one double per chunk for the percentile scan).
+class LatencyTracker {
+ public:
+  void record(const ChunkTiming& timing);
+  std::size_t chunks() const { return latencies_.size(); }
+  LatencyReport report() const;
+
+ private:
+  std::vector<double> latencies_;
+  RunningStats compute_;
+  double data_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+};
+
+}  // namespace ddmc::stream

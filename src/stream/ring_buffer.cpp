@@ -1,0 +1,101 @@
+#include "stream/ring_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/expect.hpp"
+
+namespace ddmc::stream {
+
+SampleRing::SampleRing(std::size_t channels, std::size_t capacity_samples)
+    : buf_(channels, capacity_samples) {
+  DDMC_REQUIRE(channels > 0, "need at least one channel");
+  DDMC_REQUIRE(capacity_samples > 0, "need a non-zero ring capacity");
+}
+
+std::size_t SampleRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+bool SampleRing::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void SampleRing::copy_in(ConstView2D<float> src, std::size_t src_col,
+                         std::size_t n) {
+  const std::size_t cap = buf_.cols();
+  const std::size_t tail = (head_ + count_) % cap;
+  const std::size_t first = std::min(n, cap - tail);
+  for (std::size_t ch = 0; ch < buf_.rows(); ++ch) {
+    std::memcpy(&buf_(ch, tail), &src(ch, src_col), first * sizeof(float));
+    if (n > first) {
+      std::memcpy(&buf_(ch, 0), &src(ch, src_col + first),
+                  (n - first) * sizeof(float));
+    }
+  }
+  count_ += n;
+}
+
+void SampleRing::copy_out(View2D<float> dst, std::size_t n) {
+  const std::size_t cap = buf_.cols();
+  const std::size_t first = std::min(n, cap - head_);
+  for (std::size_t ch = 0; ch < buf_.rows(); ++ch) {
+    std::memcpy(&dst(ch, 0), &buf_(ch, head_), first * sizeof(float));
+    if (n > first) {
+      std::memcpy(&dst(ch, first), &buf_(ch, 0),
+                  (n - first) * sizeof(float));
+    }
+  }
+  head_ = (head_ + n) % cap;
+  count_ -= n;
+}
+
+void SampleRing::push(ConstView2D<float> samples) {
+  DDMC_REQUIRE(samples.rows() == channels(),
+               "sample block rows != ring channels");
+  std::size_t done = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (done < samples.cols()) {
+    cv_space_.wait(lock, [&] { return count_ < capacity() || closed_; });
+    DDMC_REQUIRE(!closed_, "push into a closed SampleRing");
+    const std::size_t n =
+        std::min(samples.cols() - done, capacity() - count_);
+    copy_in(samples, done, n);
+    done += n;
+    cv_data_.notify_all();
+  }
+}
+
+bool SampleRing::try_push(ConstView2D<float> samples) {
+  DDMC_REQUIRE(samples.rows() == channels(),
+               "sample block rows != ring channels");
+  std::lock_guard<std::mutex> lock(mutex_);
+  DDMC_REQUIRE(!closed_, "push into a closed SampleRing");
+  if (capacity() - count_ < samples.cols()) return false;
+  copy_in(samples, 0, samples.cols());
+  cv_data_.notify_all();
+  return true;
+}
+
+void SampleRing::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+std::size_t SampleRing::pop(View2D<float> dst) {
+  DDMC_REQUIRE(dst.rows() == channels(), "destination rows != ring channels");
+  DDMC_REQUIRE(dst.cols() > 0, "destination holds no samples");
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_data_.wait(lock, [&] { return count_ > 0 || closed_; });
+  if (count_ == 0) return 0;  // closed and drained
+  const std::size_t n = std::min(dst.cols(), count_);
+  copy_out(dst, n);
+  cv_space_.notify_all();
+  return n;
+}
+
+}  // namespace ddmc::stream

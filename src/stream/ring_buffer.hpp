@@ -1,0 +1,73 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// \brief Bounded multi-channel sample ring with backpressure.
+///
+/// The ingest side of the streaming subsystem: a producer (receiver thread,
+/// packet reader, signal generator) pushes channelized time samples, a
+/// consumer (the StreamingDedisperser) pops them. Capacity is a hard bound —
+/// when the consumer falls behind, push() blocks instead of growing an
+/// unbounded queue, which is the backpressure a real-time backend needs to
+/// notice that it is *not* keeping up rather than silently eating memory.
+///
+/// A "sample" throughout is one time sample across all channels (a
+/// channels-tall column). Views passed in and out are channels × n matrices,
+/// the same layout every kernel in the repository uses.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/array2d.hpp"
+
+namespace ddmc::stream {
+
+/// Bounded FIFO of multi-channel samples. Thread-safe for one producer and
+/// any number of consumers. Multiple producers are memory-safe but not
+/// stream-correct: a blocking push() that waits for space mid-block can
+/// interleave its remaining samples with another producer's — and a sample
+/// stream has exactly one time order, so give each producer its own ring.
+class SampleRing {
+ public:
+  /// Ring holding up to \p capacity_samples samples of \p channels channels.
+  SampleRing(std::size_t channels, std::size_t capacity_samples);
+
+  std::size_t channels() const { return buf_.rows(); }
+  std::size_t capacity() const { return buf_.cols(); }
+  /// Samples currently buffered (moment-in-time, for monitoring).
+  std::size_t size() const;
+  bool closed() const;
+
+  /// Producer: append samples.cols() samples, blocking while the ring is
+  /// full (backpressure). Samples may be absorbed in several segments as
+  /// the consumer frees space. Throws ddmc::invalid_argument if the ring
+  /// has been closed or the channel count mismatches.
+  void push(ConstView2D<float> samples);
+
+  /// Producer: all-or-nothing non-blocking append. Returns false (and
+  /// absorbs nothing) when fewer than samples.cols() slots are free.
+  bool try_push(ConstView2D<float> samples);
+
+  /// Producer: no more samples will arrive. Consumers drain the remaining
+  /// buffered samples, then pop() returns 0. Idempotent.
+  void close();
+
+  /// Consumer: copy up to dst.cols() samples into \p dst, blocking until at
+  /// least one sample is available or the ring is closed. Returns the number
+  /// of samples written; 0 means closed-and-drained.
+  std::size_t pop(View2D<float> dst);
+
+ private:
+  // Requires mutex_ held; copies n samples in/out at the ring positions.
+  void copy_in(ConstView2D<float> src, std::size_t src_col, std::size_t n);
+  void copy_out(View2D<float> dst, std::size_t n);
+
+  Array2D<float> buf_;  // channels × capacity, circular over columns
+  std::size_t head_ = 0;   // oldest buffered sample's column
+  std::size_t count_ = 0;  // buffered samples
+  bool closed_ = false;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_space_;  // signalled when samples are popped
+  std::condition_variable cv_data_;   // signalled when samples are pushed
+};
+
+}  // namespace ddmc::stream

@@ -1,0 +1,322 @@
+#include "stream/streaming_dedisperser.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace ddmc::stream {
+
+namespace {
+
+/// Tile shape for flush-time partial chunks, whose length is arbitrary and
+/// need not divide the tuned tile. 1×1 tiles divide every plan and the
+/// engine stays bitwise identical across tile shapes, so only the final
+/// (typically short) chunk pays the untuned shape.
+dedisp::KernelConfig partial_chunk_config() {
+  return dedisp::KernelConfig{1, 1, 1, 1};
+}
+
+}  // namespace
+
+StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
+                                           dedisp::KernelConfig config,
+                                           Sink sink,
+                                           StreamingOptions options)
+    : plan_(std::move(chunk_plan)),
+      config_(config),
+      sink_(std::move(sink)),
+      options_(options),
+      chunker_(plan_),
+      job_input_(plan_.channels(), plan_.in_samples()),
+      out_full_(plan_.dms(), plan_.out_samples()) {
+  config_.validate(plan_);
+  if (options_.async) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+StreamingDedisperser::~StreamingDedisperser() {
+  try {
+    close();
+  } catch (...) {
+    // close() rethrows sink/kernel failures; a destructor cannot. Callers
+    // that care about errors close() explicitly.
+  }
+}
+
+void StreamingDedisperser::rethrow_pending_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_) std::rethrow_exception(error_);
+}
+
+void StreamingDedisperser::push(ConstView2D<float> samples) {
+  DDMC_REQUIRE(samples.rows() == channels(),
+               "sample block rows != plan channels");
+  DDMC_REQUIRE(!closed_, "push into a closed streaming session");
+  rethrow_pending_error();
+  std::size_t offset = 0;
+  while (offset < samples.cols()) {
+    // Zero-copy fast path: dedisperse straight from the caller's block
+    // whenever it contains the whole current window — the dominant case
+    // when a receiver hands over large buffers, and it keeps the
+    // memory-bound kernel free of assembly traffic. Any assembled window
+    // prefix is, by construction, a copy of the last filled() samples fed,
+    // i.e. block columns [offset − filled, offset), so the window starts
+    // filled() columns back in the block; skip_chunk() drops the duplicate
+    // prefix. The borrowed window is only read before submit() returns
+    // (sync: the kernel runs inline; async: the handoff copies it).
+    const std::size_t filled = chunker_.filled();
+    const std::size_t window_cols = chunker_.window_samples();
+    if (filled <= offset &&
+        samples.cols() - offset >= window_cols - filled) {
+      const std::size_t start = offset - filled;
+      const ConstView2D<float> window(&samples(0, start), channels(),
+                                      window_cols, samples.pitch());
+      submit(window, chunker_.chunk_out());
+      chunker_.skip_chunk();
+      offset = start + chunker_.chunk_out();
+      continue;
+    }
+    offset += chunker_.feed(samples, offset);
+    if (chunker_.ready()) {
+      submit(chunker_.chunk_input(), chunker_.chunk_out());
+      chunker_.advance();
+    }
+  }
+}
+
+void StreamingDedisperser::consume(SampleRing& ring) {
+  DDMC_REQUIRE(ring.channels() == channels(),
+               "ring channels != plan channels");
+  Array2D<float> transfer(channels(),
+                          std::min<std::size_t>(ring.capacity(), 4096));
+  for (;;) {
+    const std::size_t n = ring.pop(transfer.view());
+    if (n == 0) break;  // closed and drained
+    push(ConstView2D<float>(transfer.cview().data(), channels(), n,
+                            transfer.pitch()));
+  }
+}
+
+void StreamingDedisperser::submit(ConstView2D<float> window,
+                                  std::size_t out_samples) {
+  Job job;
+  job.index = chunker_.chunk_index();
+  job.first_sample = chunker_.first_out_sample();
+  job.out_samples = out_samples;
+  job.assembled_at = session_clock_.seconds();
+
+  if (!options_.async) {
+    run_job(job, window);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return !job_pending_; });
+  if (error_) std::rethrow_exception(error_);
+  for (std::size_t ch = 0; ch < window.rows(); ++ch) {
+    std::memcpy(&job_input_(ch, 0), &window(ch, 0),
+                window.cols() * sizeof(float));
+  }
+  job_ = job;
+  job_pending_ = true;
+  cv_job_.notify_one();
+}
+
+void StreamingDedisperser::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [&] { return job_pending_ || stop_; });
+      if (!job_pending_) return;  // stop requested, queue drained
+      job = job_;
+    }
+    const std::size_t in_cols = job.out_samples + chunker_.overlap();
+    const ConstView2D<float> input(job_input_.cview().data(), channels(),
+                                   in_cols, job_input_.pitch());
+    try {
+      run_job(job, input);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_pending_ = false;
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
+  const bool full = job.out_samples == plan_.out_samples();
+  const dedisp::Plan plan =
+      full ? plan_ : plan_.with_chunk(job.out_samples);
+  const dedisp::KernelConfig config =
+      full ? config_ : partial_chunk_config();
+
+  // Full chunks reuse the session's output buffer (a streaming hot path
+  // should not allocate megabytes per chunk); only the final partial
+  // flush, whose shape differs, allocates its own.
+  Array2D<float> partial_out;
+  if (!full) partial_out = Array2D<float>(plan.dms(), plan.out_samples());
+  const View2D<float> out = full ? out_full_.view() : partial_out.view();
+  Stopwatch compute;
+  dedisp::dedisperse_cpu(plan, config, input, out, options_.cpu);
+
+  StreamChunk chunk;
+  chunk.index = job.index;
+  chunk.first_sample = job.first_sample;
+  chunk.out_samples = job.out_samples;
+  chunk.output = out;
+  if (options_.detect) {
+    chunk.detection = sky::detect_best_dm(out);
+  }
+  chunk.timing.compute_seconds = compute.seconds();
+  chunk.timing.data_seconds = static_cast<double>(job.out_samples) /
+                              plan_.observation().sampling_rate();
+  chunk.timing.latency_seconds = session_clock_.seconds() - job.assembled_at;
+  if (sink_) sink_(chunk);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracker_.record(chunk.timing);
+  ++emitted_;
+}
+
+void StreamingDedisperser::close() {
+  if (!closed_) {
+    closed_ = true;
+    // The flush may rethrow an earlier failure; the worker must still be
+    // stopped and joined before any exception leaves, or a joinable thread
+    // would be destroyed.
+    std::exception_ptr flush_error;
+    try {
+      if (chunker_.pending_out() > 0) {
+        submit(chunker_.partial_input(), chunker_.pending_out());
+      }
+    } catch (...) {
+      flush_error = std::current_exception();
+    }
+    if (options_.async) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        cv_job_.notify_all();
+      }
+      if (worker_.joinable()) worker_.join();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_ && flush_error) error_ = flush_error;
+  }
+  rethrow_pending_error();
+}
+
+std::size_t StreamingDedisperser::chunks_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+LatencyReport StreamingDedisperser::latency() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracker_.report();
+}
+
+// ----------------------------------------------------------- multi-beam --
+
+MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
+    dedisp::Plan chunk_plan, dedisp::KernelConfig config, std::size_t beams,
+    Sink sink, StreamingOptions options)
+    : plan_(std::move(chunk_plan)),
+      config_(config),
+      sink_(std::move(sink)),
+      options_(options) {
+  DDMC_REQUIRE(beams > 0, "need at least one beam");
+  config_.validate(plan_);
+  chunkers_.reserve(beams);
+  for (std::size_t b = 0; b < beams; ++b) chunkers_.emplace_back(plan_);
+}
+
+void MultiBeamStreamingDedisperser::push(
+    const std::vector<ConstView2D<float>>& beam_samples) {
+  DDMC_REQUIRE(beam_samples.size() == beams(),
+               "feed must cover every beam of the session");
+  DDMC_REQUIRE(!closed_, "push into a closed streaming session");
+  const std::size_t n = beam_samples[0].cols();
+  for (const auto& s : beam_samples) {
+    DDMC_REQUIRE(s.cols() == n,
+                 "beams must be fed the same number of samples");
+  }
+  std::size_t offset = 0;
+  while (offset < n) {
+    const std::size_t absorbed = chunkers_[0].feed(beam_samples[0], offset);
+    for (std::size_t b = 1; b < beams(); ++b) {
+      const std::size_t a = chunkers_[b].feed(beam_samples[b], offset);
+      DDMC_ENSURE(a == absorbed, "beam chunkers fell out of lockstep");
+    }
+    offset += absorbed;
+    if (chunkers_[0].ready()) {
+      std::vector<ConstView2D<float>> windows;
+      windows.reserve(beams());
+      for (const auto& c : chunkers_) windows.push_back(c.chunk_input());
+      run_chunk(plan_, config_, windows, chunkers_[0].chunk_index(),
+                chunkers_[0].first_out_sample());
+      for (auto& c : chunkers_) c.advance();
+    }
+  }
+}
+
+void MultiBeamStreamingDedisperser::close() {
+  if (closed_) return;
+  closed_ = true;
+  const std::size_t pending = chunkers_[0].pending_out();
+  if (pending == 0) return;
+  std::vector<ConstView2D<float>> windows;
+  windows.reserve(beams());
+  for (const auto& c : chunkers_) windows.push_back(c.partial_input());
+  run_chunk(plan_.with_chunk(pending), partial_chunk_config(), windows,
+            chunkers_[0].chunk_index(), chunkers_[0].first_out_sample());
+}
+
+void MultiBeamStreamingDedisperser::run_chunk(
+    const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+    const std::vector<ConstView2D<float>>& windows, std::size_t index,
+    std::size_t first_sample) {
+  const double assembled_at = session_clock_.seconds();
+  pipeline::MultiBeamDedisperser mb(plan, config);
+  mb.set_cpu_options(options_.cpu);
+
+  Stopwatch compute;
+  const std::vector<Array2D<float>> outputs =
+      mb.dedisperse(windows, options_.cpu.threads);
+
+  MultiBeamStreamChunk chunk;
+  chunk.index = index;
+  chunk.first_sample = first_sample;
+  chunk.out_samples = plan.out_samples();
+  chunk.outputs = &outputs;
+  if (options_.detect) {
+    // Same scan and tie-break as MultiBeamDedisperser::search: strictly
+    // greater S/N wins, so ties go to the lowest beam index.
+    pipeline::MultiBeamDedisperser::BeamCandidate best;
+    best.detection.best_snr = -1.0;
+    for (std::size_t b = 0; b < outputs.size(); ++b) {
+      const sky::DetectionResult res = sky::detect_best_dm(outputs[b].cview());
+      if (res.best_snr > best.detection.best_snr) {
+        best.beam = b;
+        best.detection = res;
+      }
+    }
+    chunk.candidate = best;
+  }
+  chunk.timing.compute_seconds = compute.seconds();
+  chunk.timing.data_seconds = static_cast<double>(plan.out_samples()) /
+                              plan.observation().sampling_rate();
+  chunk.timing.latency_seconds = session_clock_.seconds() - assembled_at;
+  if (sink_) sink_(chunk);
+  tracker_.record(chunk.timing);
+  ++emitted_;
+}
+
+}  // namespace ddmc::stream

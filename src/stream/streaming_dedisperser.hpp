@@ -1,0 +1,201 @@
+#pragma once
+/// \file streaming_dedisperser.hpp
+/// \brief Streaming real-time dedispersion sessions (single- and multi-beam).
+///
+/// The batch API (`pipeline::Dedisperser`) needs the whole channels ×
+/// in_samples matrix up front; a survey backend has samples *arriving*. A
+/// StreamingDedisperser is the session object in between:
+///
+///   ring (bounded, backpressure)          [optional, consume()]
+///     └─ OverlapChunker                   assembles overlap-carry windows
+///          └─ CpuTiledKernel              tuned KernelConfig, worker pool
+///               └─ sink callback          dms × chunk output (+ detection)
+///
+/// Feed raw samples at any granularity with push(); full chunk windows are
+/// handed to a dedicated compute thread (double-buffered: the next window
+/// assembles while the previous one dedisperses) and delivered to the sink
+/// in chunk order. close() flushes the final partial chunk, so a session
+/// that saw the same samples as a batch run emits, concatenated, the
+/// bitwise-identical output matrix.
+///
+/// The sink runs on the compute thread (async mode) or the pushing thread
+/// (sync mode); it must not call back into the session.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/timer.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "pipeline/multibeam.hpp"
+#include "sky/detection.hpp"
+#include "stream/chunker.hpp"
+#include "stream/latency.hpp"
+#include "stream/ring_buffer.hpp"
+
+namespace ddmc::stream {
+
+/// One delivered chunk: dms × out_samples trial matrix plus accounting.
+struct StreamChunk {
+  std::size_t index = 0;         ///< chunk sequence number
+  std::size_t first_sample = 0;  ///< global output sample of column 0
+  std::size_t out_samples = 0;   ///< chunk length (< chunk size on flush)
+  /// Dedispersed output; valid only during the sink call.
+  ConstView2D<float> output;
+  /// Strongest candidate in this chunk (StreamingOptions::detect).
+  std::optional<sky::DetectionResult> detection;
+  ChunkTiming timing;
+};
+
+struct StreamingOptions {
+  /// Engine knobs of the tiled kernel (threads, staging, SIMD).
+  dedisp::CpuKernelOptions cpu;
+  /// Scan each chunk for its strongest candidate and attach it.
+  bool detect = false;
+  /// Dedisperse on a dedicated compute thread, double-buffered against
+  /// assembly; false runs chunks inline on the pushing thread
+  /// (deterministic profiling, tests).
+  bool async = true;
+};
+
+/// Single-beam streaming session.
+class StreamingDedisperser {
+ public:
+  using Sink = std::function<void(const StreamChunk&)>;
+
+  /// \p chunk_plan fixes the instance (observation, DM grid) and the chunk
+  /// length via its out_samples; build it with Plan::with_output_samples or
+  /// Plan::with_chunk. \p config must validate against it.
+  StreamingDedisperser(dedisp::Plan chunk_plan, dedisp::KernelConfig config,
+                       Sink sink, StreamingOptions options = {});
+  ~StreamingDedisperser();
+
+  StreamingDedisperser(const StreamingDedisperser&) = delete;
+  StreamingDedisperser& operator=(const StreamingDedisperser&) = delete;
+
+  const dedisp::Plan& chunk_plan() const { return plan_; }
+  std::size_t chunk_samples() const { return plan_.out_samples(); }
+  std::size_t channels() const { return plan_.channels(); }
+
+  /// Feed samples.cols() samples (channels × n, any n ≥ 0 — down to one
+  /// sample). Completed chunks are dispatched as a side effect; blocks only
+  /// while both window buffers are full (compute backpressure). Rethrows a
+  /// sink/kernel failure from the compute thread.
+  void push(ConstView2D<float> samples);
+
+  /// Drain \p ring until it is closed and empty, push()ing everything.
+  void consume(SampleRing& ring);
+
+  /// Flush the final partial chunk (if any), stop the compute thread and
+  /// deliver everything outstanding. Idempotent; called by the destructor.
+  /// Rethrows the first sink/kernel failure, if any.
+  void close();
+
+  /// Chunks delivered to the sink so far.
+  std::size_t chunks_emitted() const;
+
+  /// Latency/throughput statistics of the chunks delivered so far.
+  LatencyReport latency() const;
+
+ private:
+  struct Job {
+    std::size_t index = 0;
+    std::size_t first_sample = 0;
+    std::size_t out_samples = 0;
+    double assembled_at = 0.0;  ///< session-clock time the window completed
+  };
+
+  void submit(ConstView2D<float> window, std::size_t out_samples);
+  void run_job(const Job& job, ConstView2D<float> input);
+  void worker_loop();
+  void rethrow_pending_error();
+
+  dedisp::Plan plan_;
+  dedisp::KernelConfig config_;
+  Sink sink_;
+  StreamingOptions options_;
+  OverlapChunker chunker_;
+  Stopwatch session_clock_;
+  LatencyTracker tracker_;  // guarded by mutex_ in async mode
+
+  // Double buffer: the chunker assembles into its own window while the
+  // compute thread reads job_input_.
+  Array2D<float> job_input_;
+  /// Output buffer reused by every full chunk (one job runs at a time);
+  /// the sink's view into it is valid only during the sink call.
+  Array2D<float> out_full_;
+  Job job_;
+  bool job_pending_ = false;
+  bool stop_ = false;
+  bool closed_ = false;
+  std::exception_ptr error_;
+  std::size_t emitted_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::thread worker_;
+};
+
+/// One delivered multi-beam chunk: per-beam trial matrices plus the
+/// strongest candidate across beams.
+struct MultiBeamStreamChunk {
+  std::size_t index = 0;
+  std::size_t first_sample = 0;
+  std::size_t out_samples = 0;
+  /// outputs[beam] is dms × out_samples; valid only during the sink call.
+  const std::vector<Array2D<float>>* outputs = nullptr;
+  std::optional<pipeline::MultiBeamDedisperser::BeamCandidate> candidate;
+  ChunkTiming timing;
+};
+
+/// Multi-beam streaming session: one overlap-carry chunker per beam, fed in
+/// lockstep, dedispersed with the MultiBeamDedisperser decomposition (beams
+/// are the parallel dimension over the worker pool). Synchronous: chunks
+/// run on the pushing thread, which is itself typically one consumer thread
+/// of a beam-former.
+class MultiBeamStreamingDedisperser {
+ public:
+  using Sink = std::function<void(const MultiBeamStreamChunk&)>;
+
+  MultiBeamStreamingDedisperser(dedisp::Plan chunk_plan,
+                                dedisp::KernelConfig config,
+                                std::size_t beams, Sink sink,
+                                StreamingOptions options = {});
+
+  const dedisp::Plan& chunk_plan() const { return plan_; }
+  std::size_t beams() const { return chunkers_.size(); }
+
+  /// Feed the same number of new samples for every beam
+  /// (beam_samples.size() == beams(), each channels × n with one shared n).
+  void push(const std::vector<ConstView2D<float>>& beam_samples);
+
+  /// Flush the final partial chunk (if any). Idempotent.
+  void close();
+
+  std::size_t chunks_emitted() const { return emitted_; }
+  LatencyReport latency() const { return tracker_.report(); }
+
+ private:
+  void run_chunk(const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+                 const std::vector<ConstView2D<float>>& windows,
+                 std::size_t index, std::size_t first_sample);
+
+  dedisp::Plan plan_;
+  dedisp::KernelConfig config_;
+  Sink sink_;
+  StreamingOptions options_;
+  std::vector<OverlapChunker> chunkers_;
+  Stopwatch session_clock_;
+  LatencyTracker tracker_;
+  std::size_t emitted_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ddmc::stream

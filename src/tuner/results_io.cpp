@@ -9,6 +9,23 @@
 namespace ddmc::tuner {
 
 namespace {
+// The column schema grew from 11 to 13 columns when PR 1 added the
+// channel_block/unroll tuner axes, which made stale files fail with an
+// unhelpful "unexpected header" message. Since v2 the CSV leads with an
+// explicit schema line so version/column mismatches are diagnosed clearly.
+constexpr const char* kSchemaPrefix = "# ddmc-tuner-results ";
+constexpr int kSchemaVersion = 2;
+constexpr std::size_t kColumns = 13;
+
+/// Built from the two constants above so save and load can never disagree
+/// about what the schema line says.
+const std::string& schema_line() {
+  static const std::string line = std::string(kSchemaPrefix) + "v" +
+                                  std::to_string(kSchemaVersion) +
+                                  " cols=" + std::to_string(kColumns);
+  return line;
+}
+
 constexpr const char* kHeader =
     "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,channel_block,"
     "unroll,gflops,seconds,snr,evaluated";
@@ -58,7 +75,7 @@ ResultRow to_row(const TuningResult& result) {
 }
 
 void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
-  os << kHeader << "\n";
+  os << schema_line() << "\n" << kHeader << "\n";
   for (const ResultRow& r : rows) {
     os << r.device << ',' << r.observation << ',' << r.dms << ','
        << r.config.wi_time << ',' << r.config.wi_dm << ','
@@ -73,12 +90,47 @@ std::vector<ResultRow> load_results(std::istream& is) {
   std::string line;
   DDMC_REQUIRE(static_cast<bool>(std::getline(is, line)),
                "empty results stream");
-  DDMC_REQUIRE(line == kHeader, "unexpected results header: " + line);
+  DDMC_REQUIRE(
+      line.rfind(kSchemaPrefix, 0) == 0,
+      "results file has no schema line (expected '" + schema_line() +
+          "' as the first line, got '" + line +
+          "'); the file was written by a pre-v2 build — re-run the sweep");
+  {
+    int version = 0;
+    std::size_t cols = 0;
+    std::istringstream tag(line.substr(std::string(kSchemaPrefix).size()));
+    char v = '\0';
+    tag >> v >> version;
+    std::string cols_field;
+    tag >> cols_field;
+    if (cols_field.rfind("cols=", 0) == 0) {
+      cols = parse_size(cols_field.substr(5));
+    }
+    DDMC_REQUIRE(v == 'v' && version == kSchemaVersion,
+                 "results schema version mismatch: file says '" + line +
+                     "', this build reads v" +
+                     std::to_string(kSchemaVersion) +
+                     " — re-run the sweep to regenerate");
+    DDMC_REQUIRE(cols == kColumns,
+                 "results schema has " + std::to_string(cols) +
+                     " columns, this build expects " +
+                     std::to_string(kColumns) + " ('" + line + "')");
+  }
+  DDMC_REQUIRE(static_cast<bool>(std::getline(is, line)),
+               "results stream ends after the schema line");
+  const std::size_t header_cols = split_csv(line).size();
+  DDMC_REQUIRE(line == kHeader,
+               "unexpected results header (" +
+                   std::to_string(header_cols) + " columns, expected " +
+                   std::to_string(kColumns) + "): " + line);
   std::vector<ResultRow> rows;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    DDMC_REQUIRE(cells.size() == 13, "malformed results row: " + line);
+    DDMC_REQUIRE(cells.size() == kColumns,
+                 "results row has " + std::to_string(cells.size()) +
+                     " columns, expected " + std::to_string(kColumns) +
+                     ": " + line);
     ResultRow r;
     r.device = cells[0];
     r.observation = cells[1];

@@ -30,11 +30,14 @@ struct ResultRow {
 
 ResultRow to_row(const TuningResult& result);
 
-/// Write rows as CSV with a fixed header.
+/// Write rows as CSV, led by a schema line ("# ddmc-tuner-results v2
+/// cols=13") and a fixed column header.
 void save_results(std::ostream& os, const std::vector<ResultRow>& rows);
 
-/// Parse rows written by save_results. Throws ddmc::invalid_argument on
-/// malformed input (wrong header, wrong column count, non-numeric fields).
+/// Parse rows written by save_results. Throws ddmc::invalid_argument with a
+/// precise diagnosis on malformed input: a missing or version-mismatched
+/// schema line (a file written by an older build), a column count that does
+/// not match this build's schema, or non-numeric fields.
 std::vector<ResultRow> load_results(std::istream& is);
 
 }  // namespace ddmc::tuner

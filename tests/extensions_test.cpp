@@ -259,6 +259,42 @@ TEST(MultiBeam, ValidatesConfigAndInput) {
       config_error);
   pipeline::MultiBeamDedisperser mb(plan, KernelConfig{8, 2, 4, 2});
   EXPECT_THROW(mb.dedisperse({}), invalid_argument);
+  EXPECT_THROW(mb.search({}), invalid_argument);
+}
+
+TEST(MultiBeam, RejectsMismatchedBeamShapesBeforeDispatch) {
+  const Plan plan = testing::mini_plan(8, 64);
+  pipeline::MultiBeamDedisperser mb(plan, KernelConfig{8, 2, 4, 2});
+
+  const Array2D<float> good = random_input(plan);
+  Array2D<float> short_beam(plan.channels(), plan.in_samples() - 1);
+  Array2D<float> wrong_channels(plan.channels() - 1, plan.in_samples());
+
+  // A beam with too few samples is rejected up front (with the beam index
+  // in the message), not from inside a worker thread.
+  try {
+    mb.dedisperse({good.cview(), short_beam.cview()});
+    FAIL() << "expected invalid_argument";
+  } catch (const invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("beam 1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(mb.dedisperse({wrong_channels.cview(), good.cview()}),
+               invalid_argument);
+}
+
+TEST(MultiBeam, SearchTieBreaksToTheLowestBeamIndex) {
+  // Identical beams produce identical (bitwise) outputs and hence exactly
+  // equal peak S/N — the candidate must deterministically be beam 0.
+  const Plan plan = testing::mini_plan(8, 64);
+  pipeline::MultiBeamDedisperser mb(plan, KernelConfig{8, 2, 4, 2});
+  const Array2D<float> data = random_input(plan);
+  const std::vector<ConstView2D<float>> beams = {
+      data.cview(), data.cview(), data.cview()};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    const auto candidate = mb.search(beams, threads);
+    EXPECT_EQ(candidate.beam, 0u) << "threads=" << threads;
+  }
 }
 
 }  // namespace

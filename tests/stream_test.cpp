@@ -1,0 +1,515 @@
+// Tests for the streaming subsystem: bounded ring ingest (backpressure),
+// overlap-carry chunking, and the streaming sessions — whose headline
+// property is that chunked output is *bitwise identical* to the one-shot
+// batch path for any chunk size and any feed granularity, down to
+// one-sample pushes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/random.hpp"
+#include "dedisp/reference.hpp"
+#include "stream/chunker.hpp"
+#include "stream/latency.hpp"
+#include "stream/ring_buffer.hpp"
+#include "stream/streaming_dedisperser.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::stream {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+using testing::random_input;
+
+/// Feed `input` into `session` in pseudo-random slices of 1..max_slice
+/// samples (max_slice = 1 exercises one-sample feeds).
+void feed_in_slices(StreamingDedisperser& session,
+                    const Array2D<float>& input, std::size_t max_slice,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t t = 0;
+  while (t < input.cols()) {
+    const std::size_t n = std::min<std::size_t>(
+        input.cols() - t,
+        1 + static_cast<std::size_t>(rng.next_below(max_slice)));
+    session.push(ConstView2D<float>(&input.cview()(0, t), input.rows(), n,
+                                    input.pitch()));
+    t += n;
+  }
+}
+
+/// Reassemble sink chunks into one dms × total matrix by first_sample.
+struct Collector {
+  Array2D<float> total;
+  std::size_t emitted = 0;
+
+  Collector(std::size_t dms, std::size_t out) : total(dms, out) {}
+
+  void operator()(const StreamChunk& chunk) {
+    ASSERT_LE(chunk.first_sample + chunk.out_samples, total.cols());
+    for (std::size_t dm = 0; dm < total.rows(); ++dm) {
+      for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+        total(dm, chunk.first_sample + t) = chunk.output(dm, t);
+      }
+    }
+    emitted += chunk.out_samples;
+  }
+};
+
+// ------------------------------------------------------------------ ring --
+
+TEST(SampleRing, FifoOrderAcrossWraparound) {
+  SampleRing ring(2, 8);
+  Array2D<float> block(2, 5);
+  Array2D<float> out(2, 3);
+  float next = 0.0f;
+  float expect = 0.0f;
+  std::size_t buffered = 0;
+  for (int round = 0; round < 7; ++round) {
+    for (std::size_t t = 0; t < block.cols(); ++t) {
+      block(0, t) = next;
+      block(1, t) = -next;
+      next += 1.0f;
+    }
+    ring.push(block.cview());
+    buffered += block.cols();
+    // Drain to ≤ 2 buffered samples: the next 5-sample push fits without
+    // blocking, and the carried remainder walks head across the wrap.
+    while (buffered > 2) {
+      const std::size_t n = ring.pop(out.view());
+      ASSERT_GT(n, 0u);
+      for (std::size_t t = 0; t < n; ++t) {
+        ASSERT_EQ(out(0, t), expect);
+        ASSERT_EQ(out(1, t), -expect);
+        expect += 1.0f;
+      }
+      buffered -= n;
+    }
+  }
+}
+
+TEST(SampleRing, TryPushIsAllOrNothingAtCapacity) {
+  SampleRing ring(1, 8);
+  Array2D<float> five(1, 5);
+  EXPECT_TRUE(ring.try_push(five.cview()));
+  EXPECT_FALSE(ring.try_push(five.cview()));  // only 3 slots free
+  EXPECT_EQ(ring.size(), 5u);                 // nothing was absorbed
+  Array2D<float> out(1, 2);
+  EXPECT_EQ(ring.pop(out.view()), 2u);
+  EXPECT_TRUE(ring.try_push(five.cview()));
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(SampleRing, BlockingPushEnforcesTheCapacityBound) {
+  // A slow consumer: the producer wants to push 4× the capacity and must
+  // block; the ring never holds more than its bound.
+  SampleRing ring(2, 16);
+  const std::size_t total = 64;
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    Array2D<float> block(2, 8);
+    for (std::size_t pushed = 0; pushed < total; pushed += block.cols()) {
+      for (std::size_t t = 0; t < block.cols(); ++t) {
+        block(0, t) = static_cast<float>(pushed + t);
+        block(1, t) = 0.5f;
+      }
+      ring.push(block.cview());
+    }
+    producer_done = true;
+  });
+
+  // Let the producer hit the bound.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(producer_done);       // blocked: 64 > 16 without a consumer
+  EXPECT_LE(ring.size(), 16u);       // the bound held
+
+  Array2D<float> out(2, 4);
+  std::size_t received = 0;
+  float expect = 0.0f;
+  while (received < total) {
+    const std::size_t n = ring.pop(out.view());
+    ASSERT_GT(n, 0u);
+    for (std::size_t t = 0; t < n; ++t, expect += 1.0f) {
+      ASSERT_EQ(out(0, t), expect);
+    }
+    received += n;
+  }
+  producer.join();
+  EXPECT_TRUE(producer_done);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SampleRing, CloseDrainsThenSignalsEnd) {
+  SampleRing ring(1, 8);
+  Array2D<float> three(1, 3);
+  three(0, 0) = 1.0f; three(0, 1) = 2.0f; three(0, 2) = 3.0f;
+  ring.push(three.cview());
+  ring.close();
+  Array2D<float> out(1, 8);
+  EXPECT_EQ(ring.pop(out.view()), 3u);  // buffered samples still drain
+  EXPECT_EQ(out(0, 2), 3.0f);
+  EXPECT_EQ(ring.pop(out.view()), 0u);  // then: closed-and-drained
+  EXPECT_THROW(ring.push(three.cview()), invalid_argument);
+  EXPECT_THROW(ring.try_push(three.cview()), invalid_argument);
+}
+
+TEST(SampleRing, RejectsChannelMismatch) {
+  SampleRing ring(4, 8);
+  Array2D<float> wrong(3, 2);
+  EXPECT_THROW(ring.push(wrong.cview()), invalid_argument);
+  EXPECT_THROW(ring.pop(wrong.view()), invalid_argument);
+}
+
+// --------------------------------------------------------------- chunker --
+
+TEST(OverlapChunker, WindowsAreTheBatchInputColumns) {
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, 96);
+  const Plan chunk = batch.with_chunk(32);
+  const Array2D<float> input = random_input(batch);
+  OverlapChunker chunker(chunk);
+  EXPECT_EQ(chunker.overlap(), batch.max_delay());
+  EXPECT_EQ(chunker.window_samples(), 32 + batch.max_delay());
+
+  std::size_t t = 0;
+  std::size_t seen = 0;
+  while (t < input.cols()) {
+    t += chunker.feed(input.cview(), t);
+    if (!chunker.ready()) continue;
+    const ConstView2D<float> window = chunker.chunk_input();
+    const std::size_t base = chunker.first_out_sample();
+    for (std::size_t ch = 0; ch < input.rows(); ++ch) {
+      for (std::size_t i = 0; i < window.cols(); ++i) {
+        ASSERT_EQ(window(ch, i), input(ch, base + i))
+            << "chunk " << chunker.chunk_index() << " ch " << ch << " i " << i;
+      }
+    }
+    ++seen;
+    chunker.advance();
+  }
+  // 96 output samples = exactly 3 chunks of 32; nothing is left over.
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(chunker.pending_out(), 0u);
+
+  // A few extra samples become the pending partial chunk.
+  Array2D<float> extra(input.rows(), 7);
+  chunker.feed(extra.cview());
+  EXPECT_FALSE(chunker.ready());
+  EXPECT_EQ(chunker.pending_out(), 7u);
+  EXPECT_EQ(chunker.partial_input().cols(), chunker.overlap() + 7u);
+}
+
+TEST(OverlapChunker, NoOutputBeforeTheOverlapIsCovered) {
+  const Plan chunk = Plan::with_output_samples(mini_obs(), 8, 32);
+  OverlapChunker chunker(chunk);
+  Array2D<float> few(8, chunker.overlap());  // pure history, no output yet
+  chunker.feed(few.cview());
+  EXPECT_FALSE(chunker.ready());
+  EXPECT_EQ(chunker.pending_out(), 0u);
+  EXPECT_THROW(chunker.partial_input(), invalid_argument);
+}
+
+TEST(OverlapChunker, RejectsRoundedBatchPlans) {
+  // A full-seconds plan pads in_samples beyond out + max_delay; windows
+  // built from it would not slide correctly.
+  const Plan batch(mini_obs(), 8, /*seconds=*/1);
+  if (batch.in_samples() != batch.out_samples() + batch.max_delay()) {
+    EXPECT_THROW(OverlapChunker{batch}, invalid_argument);
+  }
+  EXPECT_NO_THROW(OverlapChunker{batch.with_chunk(25)});
+}
+
+// ------------------------------------------------------------------ plan --
+
+TEST(PlanChunk, SharesTheDelayTable) {
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, 96);
+  const Plan chunk = batch.with_chunk(32);
+  EXPECT_EQ(&chunk.delays(), &batch.delays());  // shared, not recomputed
+  EXPECT_EQ(chunk.out_samples(), 32u);
+  EXPECT_EQ(chunk.in_samples(), 32u + batch.max_delay());
+  EXPECT_EQ(chunk.dms(), batch.dms());
+  EXPECT_THROW(batch.with_chunk(0), invalid_argument);
+}
+
+// ------------------------------------------------------- streaming session --
+
+/// The headline property: for random chunk sizes and feed granularities
+/// (including one-sample pushes), concatenated streaming output ==
+/// batch output, bitwise — full chunks via the tuned config, the final
+/// partial chunk via the 1×1 fallback.
+TEST(StreamingDedisperser, BitwiseEqualToBatchAcrossGranularities) {
+  const std::size_t total_out = 209;  // 3 full chunks of 64 + partial 17
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const Array2D<float> input = random_input(batch);
+  const Array2D<float> expected =
+      dedisp::dedisperse_reference(batch, input.cview());
+
+  struct Case {
+    std::size_t chunk_out;
+    std::size_t max_slice;
+    bool async;
+  };
+  const std::vector<Case> cases = {
+      {64, 1, false},   // one-sample feeds, inline compute
+      {64, 17, true},   // ragged feeds, double-buffered compute thread
+      {32, 5, true},
+      {96, 201, false}, // slices larger than a chunk
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE("chunk_out=" + std::to_string(c.chunk_out) + " max_slice=" +
+                 std::to_string(c.max_slice) +
+                 (c.async ? " async" : " sync"));
+    Collector collect(batch.dms(), total_out);
+    StreamingOptions opts;
+    opts.async = c.async;
+    opts.cpu.threads = 1;
+    StreamingDedisperser session(batch.with_chunk(c.chunk_out),
+                                 KernelConfig{8, 2, 4, 2},
+                                 std::ref(collect), opts);
+    feed_in_slices(session, input, c.max_slice, 1234 + c.chunk_out);
+    session.close();
+    EXPECT_EQ(collect.emitted, total_out);
+    expect_same_matrix(expected, collect.total);
+  }
+}
+
+TEST(StreamingDedisperser, RandomizedChunkAndFeedProperty) {
+  Rng rng(99);
+  const std::vector<std::size_t> chunk_sizes = {32, 64, 96, 160};
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t total_out =
+        64 + static_cast<std::size_t>(rng.next_below(160));
+    const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+    const Array2D<float> input = random_input(batch, 100 + round);
+    const Array2D<float> expected =
+        dedisp::dedisperse_reference(batch, input.cview());
+
+    const std::size_t chunk_out =
+        chunk_sizes[rng.next_below(chunk_sizes.size())];
+    const std::size_t max_slice =
+        1 + static_cast<std::size_t>(rng.next_below(40));
+    SCOPED_TRACE("total_out=" + std::to_string(total_out) + " chunk_out=" +
+                 std::to_string(chunk_out) + " max_slice=" +
+                 std::to_string(max_slice));
+
+    Collector collect(batch.dms(), total_out);
+    StreamingOptions opts;
+    opts.async = (round % 2 == 0);
+    opts.cpu.threads = 1;
+    StreamingDedisperser session(batch.with_chunk(chunk_out),
+                                 KernelConfig{8, 2, 4, 2},
+                                 std::ref(collect), opts);
+    feed_in_slices(session, input, max_slice, 777 + round);
+    session.close();
+    EXPECT_EQ(collect.emitted, total_out);
+    expect_same_matrix(expected, collect.total);
+  }
+}
+
+TEST(StreamingDedisperser, ConsumesARingEndToEnd) {
+  const std::size_t total_out = 128;
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const Array2D<float> input = random_input(batch, 42);
+  const Array2D<float> expected =
+      dedisp::dedisperse_reference(batch, input.cview());
+
+  SampleRing ring(batch.channels(), 48);  // smaller than one window
+  Collector collect(batch.dms(), total_out);
+  StreamingOptions opts;
+  opts.cpu.threads = 1;
+  StreamingDedisperser session(batch.with_chunk(64), KernelConfig{8, 2, 4, 2},
+                               std::ref(collect), opts);
+
+  std::thread producer([&] {
+    Rng rng(5);
+    std::size_t t = 0;
+    while (t < input.cols()) {
+      const std::size_t n = std::min<std::size_t>(
+          input.cols() - t, 1 + static_cast<std::size_t>(rng.next_below(13)));
+      ring.push(ConstView2D<float>(&input.cview()(0, t), input.rows(), n,
+                                   input.pitch()));
+      t += n;
+    }
+    ring.close();
+  });
+  session.consume(ring);
+  producer.join();
+  session.close();
+  EXPECT_EQ(collect.emitted, total_out);
+  expect_same_matrix(expected, collect.total);
+}
+
+TEST(StreamingDedisperser, AttachesDetectionsAndLatency) {
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, 128);
+  const Array2D<float> input = random_input(batch);
+  std::size_t with_detection = 0;
+  StreamingOptions opts;
+  opts.detect = true;
+  opts.cpu.threads = 1;
+  StreamingDedisperser session(
+      batch.with_chunk(64), KernelConfig{8, 2, 4, 2},
+      [&](const StreamChunk& chunk) {
+        if (chunk.detection.has_value()) ++with_detection;
+        EXPECT_GT(chunk.timing.data_seconds, 0.0);
+        EXPECT_GE(chunk.timing.latency_seconds, 0.0);
+      },
+      opts);
+  session.push(input.cview());
+  session.close();
+  EXPECT_EQ(session.chunks_emitted(), 2u);
+  EXPECT_EQ(with_detection, 2u);
+
+  const LatencyReport report = session.latency();
+  EXPECT_EQ(report.chunks, 2u);
+  EXPECT_NEAR(report.data_seconds, 128.0 / 100.0, 1e-12);
+  EXPECT_LE(report.p50_latency, report.p95_latency);
+  EXPECT_LE(report.p95_latency, report.p99_latency);
+  EXPECT_LE(report.p99_latency, report.max_latency);
+  EXPECT_GT(report.real_time_margin, 0.0);
+  EXPECT_NEAR(report.seconds_per_data_second * report.real_time_margin, 1.0,
+              1e-9);
+}
+
+TEST(StreamingDedisperser, SinkFailuresSurfaceOnClose) {
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, 128);
+  const Array2D<float> input = random_input(batch);
+  StreamingOptions opts;
+  opts.cpu.threads = 1;
+  StreamingDedisperser session(
+      batch.with_chunk(64), KernelConfig{8, 2, 4, 2},
+      [](const StreamChunk&) { throw std::runtime_error("sink failed"); },
+      opts);
+  EXPECT_THROW(
+      {
+        session.push(input.cview());
+        session.close();
+      },
+      std::runtime_error);
+}
+
+TEST(StreamingDedisperser, ValidatesConfigAndInput) {
+  const Plan chunk = Plan::with_output_samples(mini_obs(), 8, 64);
+  EXPECT_THROW(
+      StreamingDedisperser(chunk, KernelConfig{5, 1, 1, 1}, nullptr),
+      config_error);
+  StreamingDedisperser session(chunk, KernelConfig{8, 2, 4, 2}, nullptr);
+  Array2D<float> wrong(3, 10);
+  EXPECT_THROW(session.push(wrong.cview()), invalid_argument);
+}
+
+// ------------------------------------------------------------ multi-beam --
+
+TEST(MultiBeamStreaming, BitwiseEqualToBatchPerBeam) {
+  const std::size_t total_out = 145;  // 2 full chunks of 64 + partial 17
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const std::size_t beams = 3;
+
+  std::vector<Array2D<float>> inputs;
+  std::vector<Array2D<float>> expected;
+  for (std::size_t b = 0; b < beams; ++b) {
+    inputs.push_back(random_input(batch, 10 + b));
+    expected.push_back(
+        dedisp::dedisperse_reference(batch, inputs[b].cview()));
+  }
+
+  std::vector<Array2D<float>> collected;
+  for (std::size_t b = 0; b < beams; ++b) {
+    collected.emplace_back(batch.dms(), total_out);
+  }
+  std::size_t emitted = 0;
+  StreamingOptions opts;
+  opts.detect = true;
+  opts.cpu.threads = 1;
+  MultiBeamStreamingDedisperser session(
+      batch.with_chunk(64), KernelConfig{8, 2, 4, 2}, beams,
+      [&](const MultiBeamStreamChunk& chunk) {
+        ASSERT_NE(chunk.outputs, nullptr);
+        ASSERT_EQ(chunk.outputs->size(), beams);
+        EXPECT_TRUE(chunk.candidate.has_value());
+        for (std::size_t b = 0; b < beams; ++b) {
+          for (std::size_t dm = 0; dm < batch.dms(); ++dm) {
+            for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+              collected[b](dm, chunk.first_sample + t) =
+                  (*chunk.outputs)[b](dm, t);
+            }
+          }
+        }
+        emitted += chunk.out_samples;
+      },
+      opts);
+
+  // Ragged lockstep feeds.
+  Rng rng(3);
+  std::size_t t = 0;
+  while (t < inputs[0].cols()) {
+    const std::size_t n = std::min<std::size_t>(
+        inputs[0].cols() - t, 1 + static_cast<std::size_t>(rng.next_below(23)));
+    std::vector<ConstView2D<float>> slices;
+    for (const auto& in : inputs) {
+      slices.emplace_back(&in.cview()(0, t), in.rows(), n, in.pitch());
+    }
+    session.push(slices);
+    t += n;
+  }
+  session.close();
+
+  EXPECT_EQ(emitted, total_out);
+  EXPECT_EQ(session.chunks_emitted(), 3u);
+  EXPECT_EQ(session.latency().chunks, 3u);
+  for (std::size_t b = 0; b < beams; ++b) {
+    expect_same_matrix(expected[b], collected[b]);
+  }
+}
+
+TEST(MultiBeamStreaming, ValidatesLockstepFeeds) {
+  const Plan chunk = Plan::with_output_samples(mini_obs(), 8, 64);
+  MultiBeamStreamingDedisperser session(chunk, KernelConfig{8, 2, 4, 2}, 2,
+                                        nullptr);
+  Array2D<float> a(8, 10);
+  Array2D<float> b(8, 7);
+  EXPECT_THROW(session.push({a.cview(), b.cview()}), invalid_argument);
+  EXPECT_THROW(session.push({a.cview()}), invalid_argument);
+  EXPECT_THROW(MultiBeamStreamingDedisperser(chunk, KernelConfig{8, 2, 4, 2},
+                                             0, nullptr),
+               invalid_argument);
+}
+
+// --------------------------------------------------------------- latency --
+
+TEST(Latency, PercentilesUseNearestRank) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile(v, 50.0), 50.0);
+  EXPECT_EQ(percentile(v, 95.0), 95.0);
+  EXPECT_EQ(percentile(v, 99.0), 99.0);
+  EXPECT_EQ(percentile(v, 100.0), 100.0);
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), invalid_argument);
+  EXPECT_THROW(percentile(v, 101.0), invalid_argument);
+}
+
+TEST(Latency, TrackerAggregatesMarginAndBusyTime) {
+  LatencyTracker tracker;
+  EXPECT_EQ(tracker.report().chunks, 0u);
+  tracker.record({1.0, 0.25, 0.3});
+  tracker.record({1.0, 0.25, 0.5});
+  const LatencyReport r = tracker.report();
+  EXPECT_EQ(r.chunks, 2u);
+  EXPECT_DOUBLE_EQ(r.data_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(r.compute_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(r.real_time_margin, 4.0);  // 2 s of sky in 0.5 s busy
+  EXPECT_DOUBLE_EQ(r.seconds_per_data_second, 0.25);
+  EXPECT_DOUBLE_EQ(r.p50_latency, 0.3);
+  EXPECT_DOUBLE_EQ(r.max_latency, 0.5);
+  EXPECT_DOUBLE_EQ(r.mean_compute, 0.25);
+}
+
+}  // namespace
+}  // namespace ddmc::stream

@@ -253,6 +253,30 @@ TEST(ResultsIo, RoundTrips) {
   EXPECT_EQ(loaded[0].dms, 8u);
 }
 
+namespace {
+constexpr const char* kSchemaLine = "# ddmc-tuner-results v2 cols=13\n";
+constexpr const char* kHeaderLine =
+    "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
+    "channel_block,unroll,gflops,seconds,snr,evaluated\n";
+
+std::string error_of(std::istream& is) {
+  try {
+    load_results(is);
+  } catch (const invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+}  // namespace
+
+TEST(ResultsIo, SavesTheSchemaLineFirst) {
+  std::stringstream ss;
+  save_results(ss, {});
+  std::string first;
+  ASSERT_TRUE(std::getline(ss, first));
+  EXPECT_EQ(first, "# ddmc-tuner-results v2 cols=13");
+}
+
 TEST(ResultsIo, RejectsCorruptInput) {
   {
     std::stringstream ss("not,a,header\n");
@@ -264,25 +288,62 @@ TEST(ResultsIo, RejectsCorruptInput) {
   }
   {
     std::stringstream ss;
-    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
-          "channel_block,unroll,gflops,seconds,snr,evaluated\n"
-       << "HD7970,mini,8,1,1\n";  // truncated row
+    ss << kSchemaLine << kHeaderLine << "HD7970,mini,8,1,1\n";  // truncated
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
   {
     std::stringstream ss;
-    ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
-          "channel_block,unroll,gflops,seconds,snr,evaluated\n"
+    ss << kSchemaLine << kHeaderLine
        << "HD7970,mini,eight,1,1,1,1,0,1,1.0,1.0,1.0,5\n";  // non-numeric dms
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
 }
 
+TEST(ResultsIo, DiagnosesAPreSchemaFileClearly) {
+  // A file written before the schema line existed starts straight with the
+  // column header; the error must say so rather than "unexpected header".
+  std::stringstream ss;
+  ss << kHeaderLine << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n";
+  const std::string msg = error_of(ss);
+  EXPECT_NE(msg.find("no schema line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("re-run the sweep"), std::string::npos) << msg;
+}
+
+TEST(ResultsIo, DiagnosesVersionAndColumnMismatches) {
+  {
+    std::stringstream ss;
+    ss << "# ddmc-tuner-results v1 cols=11\n";  // stale pre-PR-1 sweep
+    const std::string msg = error_of(ss);
+    EXPECT_NE(msg.find("version mismatch"), std::string::npos) << msg;
+  }
+  {
+    std::stringstream ss;
+    ss << "# ddmc-tuner-results v2 cols=11\n";
+    const std::string msg = error_of(ss);
+    EXPECT_NE(msg.find("11 columns"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expects 13"), std::string::npos) << msg;
+  }
+  {
+    // Schema line ok, but the header row lost two columns (hand-edited).
+    std::stringstream ss;
+    ss << kSchemaLine
+       << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
+          "gflops,seconds,snr,evaluated\n";
+    const std::string msg = error_of(ss);
+    EXPECT_NE(msg.find("11 columns"), std::string::npos) << msg;
+  }
+  {
+    // Row with the wrong column count names the counts.
+    std::stringstream ss;
+    ss << kSchemaLine << kHeaderLine << "K20,Apertif,64,32,4\n";
+    const std::string msg = error_of(ss);
+    EXPECT_NE(msg.find("5 columns"), std::string::npos) << msg;
+  }
+}
+
 TEST(ResultsIo, SkipsBlankLines) {
   std::stringstream ss;
-  ss << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
-        "channel_block,unroll,gflops,seconds,snr,evaluated\n"
-     << "\n"
+  ss << kSchemaLine << kHeaderLine << "\n"
      << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n";
   const auto rows = load_results(ss);
   ASSERT_EQ(rows.size(), 1u);
