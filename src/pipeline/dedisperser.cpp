@@ -1,5 +1,6 @@
 #include "pipeline/dedisperser.hpp"
 
+#include "common/expect.hpp"
 #include "dedisp/reference.hpp"
 #include "ocl/device_presets.hpp"
 #include "ocl/sim_dedisp.hpp"
@@ -27,6 +28,20 @@ tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
   config_ = result.best.config;
   device_ = device;
   return result;
+}
+
+tuner::GuidedTuningOutcome Dedisperser::tune_cached(
+    tuner::TuningCache& cache, tuner::GuidedTuningOptions options) {
+  DDMC_REQUIRE(backend_ == Backend::kCpuTiled,
+               "tune_cached measures the host kernels and tunes the "
+               "kCpuTiled backend; this Dedisperser runs another backend "
+               "(use tune_for for the device model)");
+  options.host.stage_rows = cpu_options_.stage_rows;
+  options.host.vectorize = cpu_options_.vectorize;
+  options.host.threads = cpu_options_.threads;
+  tuner::GuidedTuningOutcome outcome = tuner::tune_guided(plan_, cache, options);
+  config_ = outcome.config;
+  return outcome;
 }
 
 void Dedisperser::set_config(const dedisp::KernelConfig& config) {

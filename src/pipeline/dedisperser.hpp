@@ -33,6 +33,7 @@
 #include "ocl/device.hpp"
 #include "ocl/sim_engine.hpp"
 #include "tuner/tuner.hpp"
+#include "tuner/tuning_cache.hpp"
 
 namespace ddmc::pipeline {
 
@@ -57,6 +58,17 @@ class Dedisperser {
   /// model; the chosen config drives kCpuTiled and kSimulated execution.
   /// Returns the full tuning result for inspection.
   tuner::TuningResult tune_for(const ocl::DeviceModel& device);
+
+  /// Tune-on-first-use for the kCpuTiled backend (throws
+  /// ddmc::invalid_argument on any other backend — the measured host
+  /// optimum is meaningless to the device model): answer from \p cache
+  /// when it holds this (host, plan) pair or a transferable neighbor —
+  /// zero measurements — and otherwise run the guided search on the real
+  /// kernels and store the winner. The engine knobs of \p options.host are
+  /// overridden by this Dedisperser's cpu_options(), so the signature
+  /// matches what dedisperse() will actually run.
+  tuner::GuidedTuningOutcome tune_cached(
+      tuner::TuningCache& cache, tuner::GuidedTuningOptions options = {});
 
   /// Set an explicit configuration (validated against the plan).
   void set_config(const dedisp::KernelConfig& config);

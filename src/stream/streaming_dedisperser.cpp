@@ -37,6 +37,33 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
   }
 }
 
+StreamingDedisperser::TunedPlan StreamingDedisperser::resolve_tuning(
+    dedisp::Plan chunk_plan, tuner::TuningCache& cache,
+    const StreamingOptions& options, tuner::GuidedTuningOptions tuning) {
+  tuning.host.stage_rows = options.cpu.stage_rows;
+  tuning.host.vectorize = options.cpu.vectorize;
+  tuning.host.threads = options.cpu.threads;
+  tuner::GuidedTuningOutcome outcome =
+      tuner::tune_guided(chunk_plan, cache, tuning);
+  return TunedPlan{std::move(chunk_plan), std::move(outcome)};
+}
+
+StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
+                                           tuner::TuningCache& cache,
+                                           Sink sink,
+                                           StreamingOptions options,
+                                           tuner::GuidedTuningOptions tuning)
+    : StreamingDedisperser(resolve_tuning(std::move(chunk_plan), cache,
+                                          options, std::move(tuning)),
+                           std::move(sink), options) {}
+
+StreamingDedisperser::StreamingDedisperser(TunedPlan tuned, Sink sink,
+                                           StreamingOptions options)
+    : StreamingDedisperser(std::move(tuned.plan), tuned.outcome.config,
+                           std::move(sink), std::move(options)) {
+  tuning_outcome_ = std::move(tuned.outcome);
+}
+
 StreamingDedisperser::~StreamingDedisperser() {
   try {
     close();

@@ -39,6 +39,7 @@
 #include "stream/chunker.hpp"
 #include "stream/latency.hpp"
 #include "stream/ring_buffer.hpp"
+#include "tuner/tuning_cache.hpp"
 
 namespace ddmc::stream {
 
@@ -75,6 +76,18 @@ class StreamingDedisperser {
   /// Plan::with_chunk. \p config must validate against it.
   StreamingDedisperser(dedisp::Plan chunk_plan, dedisp::KernelConfig config,
                        Sink sink, StreamingOptions options = {});
+
+  /// Tune-on-first-use: resolve the kernel config from \p cache before the
+  /// session starts — an exact hit or a nearest-neighbor transfer costs no
+  /// measurements (the startup path a real-time backend wants), a cold
+  /// cache runs the guided search once on the chunk plan and stores the
+  /// winner for every later session. The engine knobs of \p tuning.host
+  /// are overridden by \p options.cpu so the tuned signature matches what
+  /// the session will run; inspect tuning_outcome() for what happened.
+  StreamingDedisperser(dedisp::Plan chunk_plan, tuner::TuningCache& cache,
+                       Sink sink, StreamingOptions options = {},
+                       tuner::GuidedTuningOptions tuning = {});
+
   ~StreamingDedisperser();
 
   StreamingDedisperser(const StreamingDedisperser&) = delete;
@@ -104,7 +117,25 @@ class StreamingDedisperser {
   /// Latency/throughput statistics of the chunks delivered so far.
   LatencyReport latency() const;
 
+  /// How the cache-constructed session got its config (empty when the
+  /// explicit-config constructor was used).
+  const std::optional<tuner::GuidedTuningOutcome>& tuning_outcome() const {
+    return tuning_outcome_;
+  }
+
  private:
+  /// Plan + resolved tuning, so the cache lookup runs exactly once before
+  /// the delegated constructor starts the compute thread.
+  struct TunedPlan {
+    dedisp::Plan plan;
+    tuner::GuidedTuningOutcome outcome;
+  };
+  static TunedPlan resolve_tuning(dedisp::Plan chunk_plan,
+                                  tuner::TuningCache& cache,
+                                  const StreamingOptions& options,
+                                  tuner::GuidedTuningOptions tuning);
+  StreamingDedisperser(TunedPlan tuned, Sink sink, StreamingOptions options);
+
   struct Job {
     std::size_t index = 0;
     std::size_t first_sample = 0;
@@ -121,6 +152,7 @@ class StreamingDedisperser {
   dedisp::KernelConfig config_;
   Sink sink_;
   StreamingOptions options_;
+  std::optional<tuner::GuidedTuningOutcome> tuning_outcome_;
   OverlapChunker chunker_;
   Stopwatch session_clock_;
   LatencyTracker tracker_;  // guarded by mutex_ in async mode

@@ -1,78 +1,51 @@
 #include "tuner/host_tuner.hpp"
 
-#include <algorithm>
-
 #include "common/expect.hpp"
-#include "common/random.hpp"
-#include "common/timer.hpp"
 #include "tuner/search_space.hpp"
+#include "tuner/strategy.hpp"
 
 namespace ddmc::tuner {
 
-HostTuningResult tune_host(const dedisp::Plan& plan,
-                           const HostTuningOptions& options,
-                           const std::vector<dedisp::KernelConfig>& configs,
-                           std::uint64_t seed) {
-  DDMC_REQUIRE(options.repetitions > 0, "need at least one timed run");
-
-  const std::vector<dedisp::KernelConfig> space =
+std::vector<dedisp::KernelConfig> host_sweep_candidates(
+    const dedisp::Plan& plan, const HostTuningOptions& options,
+    const std::vector<dedisp::KernelConfig>& configs) {
+  std::vector<dedisp::KernelConfig> valid;
+  const std::vector<dedisp::KernelConfig>& space =
       configs.empty()
           ? enumerate_host_configs(plan, options.max_work_group_size)
           : configs;
-  DDMC_REQUIRE(!space.empty(), "no candidate configurations for this plan");
-
-  // One shared input/output pair for the whole sweep.
-  Array2D<float> input(plan.channels(), plan.in_samples());
-  Rng rng(seed);
-  for (std::size_t ch = 0; ch < input.rows(); ++ch) {
-    for (auto& v : input.row(ch)) v = rng.next_float(-1.0f, 1.0f);
-  }
-  Array2D<float> output(plan.dms(), plan.out_samples());
-
-  dedisp::CpuKernelOptions kernel_options;
-  kernel_options.stage_rows = options.stage_rows;
-  kernel_options.vectorize = options.vectorize;
-  kernel_options.threads = options.threads;
-
-  HostTuningResult result;
-  RunningStats stats;
-  bool have_best = false;
+  valid.reserve(space.size());
   for (const dedisp::KernelConfig& cfg : space) {
     try {
       cfg.validate(plan);
     } catch (const config_error&) {
       continue;
     }
-    for (std::size_t i = 0; i < options.warmup_runs; ++i) {
-      dedisp::dedisperse_cpu(plan, cfg, input.cview(), output.view(),
-                             kernel_options);
-    }
-    double total = 0.0;
-    for (std::size_t i = 0; i < options.repetitions; ++i) {
-      Stopwatch clock;
-      dedisp::dedisperse_cpu(plan, cfg, input.cview(), output.view(),
-                             kernel_options);
-      total += clock.seconds();
-    }
-    HostConfigTiming timing;
-    timing.config = cfg;
-    timing.seconds = total / static_cast<double>(options.repetitions);
-    timing.gflops = plan.total_flop() / timing.seconds * 1e-9;
-    stats.add(timing.gflops);
-    if (!have_best || timing.gflops > result.best.gflops) {
-      result.best = timing;
-      have_best = true;
-    }
-    result.timings.push_back(timing);
+    valid.push_back(cfg);
   }
-  DDMC_ENSURE(have_best, "host sweep measured no configuration");
-  result.stats.count = stats.count();
-  result.stats.mean = stats.mean();
-  result.stats.stddev = stats.stddev();
-  result.stats.min = stats.min();
-  result.stats.max = stats.max();
-  result.stats.snr_of_max =
-      snr(result.stats.max, result.stats.mean, result.stats.stddev);
+  // The ladder crossed with the divisor candidates reaches many configs
+  // that run the identical host kernel (the engine only sees tile extents,
+  // register rows, channel block and unroll); time each kernel once.
+  return dedupe_host_configs(plan, valid, options.vectorize);
+}
+
+HostTuningResult tune_host(const dedisp::Plan& plan,
+                           const HostTuningOptions& options,
+                           const std::vector<dedisp::KernelConfig>& configs,
+                           std::uint64_t seed) {
+  const std::vector<dedisp::KernelConfig> candidates =
+      host_sweep_candidates(plan, options, configs);
+  DDMC_REQUIRE(!candidates.empty(),
+               "no candidate configurations for this plan");
+
+  HostKernelEvaluator evaluator(plan, options, seed);
+  const StrategyResult swept =
+      ExhaustiveSearch().search(plan, candidates, evaluator);
+
+  HostTuningResult result;
+  result.best = swept.best;
+  result.stats = swept.stats;
+  result.timings = swept.timings;
   return result;
 }
 

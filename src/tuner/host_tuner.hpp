@@ -47,10 +47,23 @@ struct HostTuningResult {
   std::vector<HostConfigTiming> timings; ///< every measured configuration
 };
 
+/// The candidate list a host sweep actually times: \p configs (or the
+/// default ladder restricted to the plan, when empty), minus configs that
+/// fail validation, minus host-execution duplicates — the default ladder
+/// crossed with the divisor candidates reaches the same host kernel under
+/// many (wi, elem) splits, and timing a kernel twice only wastes sweep
+/// time (see tuner::host_kernel_key).
+std::vector<dedisp::KernelConfig> host_sweep_candidates(
+    const dedisp::Plan& plan, const HostTuningOptions& options = {},
+    const std::vector<dedisp::KernelConfig>& configs = {});
+
 /// Measure every candidate configuration of \p configs (or a default
 /// ladder restricted to the plan, when empty) on \p plan with real input
 /// data, and return the fastest. Deterministic input is generated
-/// internally from \p seed.
+/// internally from \p seed. Identical host executions are timed once
+/// (host_sweep_candidates). Equivalent to ExhaustiveSearch over a
+/// HostKernelEvaluator; use the strategies in strategy.hpp for guided
+/// (sub-exhaustive) searches and tuning_cache.hpp for persistent reuse.
 HostTuningResult tune_host(const dedisp::Plan& plan,
                            const HostTuningOptions& options = {},
                            const std::vector<dedisp::KernelConfig>& configs =

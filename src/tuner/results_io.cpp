@@ -1,6 +1,7 @@
 #include "tuner/results_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -75,6 +76,10 @@ ResultRow to_row(const TuningResult& result) {
 }
 
 void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
+  // max_digits10: doubles survive save→load bitwise, so a reloaded sweep
+  // (or TuningCache file) compares exactly equal to the one that wrote it.
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << schema_line() << "\n" << kHeader << "\n";
   for (const ResultRow& r : rows) {
     os << r.device << ',' << r.observation << ',' << r.dms << ','
@@ -84,6 +89,7 @@ void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
        << r.gflops << ',' << r.seconds << ',' << r.snr << ','
        << r.evaluated << "\n";
   }
+  os.precision(old_precision);
 }
 
 std::vector<ResultRow> load_results(std::istream& is) {

@@ -1,5 +1,7 @@
 #include "tuner/search_space.hpp"
 
+#include <set>
+
 namespace ddmc::tuner {
 
 SearchSpace default_search_space() {
@@ -64,6 +66,40 @@ std::vector<dedisp::KernelConfig> enumerate_host_configs(
           }
         }
       }
+    }
+  }
+  return out;
+}
+
+HostKernelKey host_kernel_key(const dedisp::KernelConfig& config,
+                              const dedisp::Plan& plan, bool vectorize) {
+  HostKernelKey key;
+  key.tile_time = config.tile_time();
+  key.tile_dm = config.tile_dm();
+  key.channel_block = config.effective_channel_block(plan);
+  if (vectorize) {
+    // Mirror the compiled-instantiation dispatch of cpu_kernel.cpp: values
+    // outside the ladder fall back to the narrowest kernel.
+    key.reg_rows = (config.elem_dm == 2 || config.elem_dm == 4 ||
+                    config.elem_dm == 8)
+                       ? config.elem_dm
+                       : 1;
+    key.unroll = (config.unroll == 2 || config.unroll == 4 ||
+                  config.unroll == 8)
+                     ? config.unroll
+                     : 1;
+  }
+  return key;
+}
+
+std::vector<dedisp::KernelConfig> dedupe_host_configs(
+    const dedisp::Plan& plan, const std::vector<dedisp::KernelConfig>& configs,
+    bool vectorize) {
+  std::vector<dedisp::KernelConfig> out;
+  std::set<HostKernelKey> seen;
+  for (const dedisp::KernelConfig& cfg : configs) {
+    if (seen.insert(host_kernel_key(cfg, plan, vectorize)).second) {
+      out.push_back(cfg);
     }
   }
   return out;

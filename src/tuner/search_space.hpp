@@ -56,4 +56,33 @@ std::vector<dedisp::KernelConfig> enumerate_host_configs(
     const dedisp::Plan& plan, std::size_t max_work_group_size,
     const SearchSpace& space = default_search_space());
 
+/// The parameters that actually distinguish two host-kernel executions.
+/// The host engine has no work-groups: a config reaches it only through its
+/// tile extents, its register-tile rows (elem_dm, collapsed onto the
+/// compiled {1,2,4,8} instantiations), the effective channel block and the
+/// unroll instantiation — so e.g. {wi_time=8, elem_time=2} and
+/// {wi_time=4, elem_time=4} run the identical kernel. The scalar engine
+/// ignores the register-tile and unroll knobs entirely.
+struct HostKernelKey {
+  std::size_t tile_time = 0;
+  std::size_t tile_dm = 0;
+  std::size_t reg_rows = 1;       ///< compiled DR (1 when not vectorizing)
+  std::size_t channel_block = 0;  ///< effective block for the plan
+  std::size_t unroll = 1;         ///< compiled U (1 when not vectorizing)
+
+  friend bool operator==(const HostKernelKey&, const HostKernelKey&) = default;
+  friend auto operator<=>(const HostKernelKey&, const HostKernelKey&) = default;
+};
+
+HostKernelKey host_kernel_key(const dedisp::KernelConfig& config,
+                              const dedisp::Plan& plan, bool vectorize);
+
+/// Drop candidates that are host-execution duplicates of an earlier one
+/// (same HostKernelKey), keeping the first representative in \p configs
+/// order. The default ladder crossed with the divisor candidates produces
+/// many such duplicates; timing them again only wastes sweep minutes.
+std::vector<dedisp::KernelConfig> dedupe_host_configs(
+    const dedisp::Plan& plan, const std::vector<dedisp::KernelConfig>& configs,
+    bool vectorize = true);
+
 }  // namespace ddmc::tuner

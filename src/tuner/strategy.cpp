@@ -1,0 +1,317 @@
+#include "tuner/strategy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/expect.hpp"
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "tuner/search_space.hpp"
+
+namespace ddmc::tuner {
+
+namespace {
+
+/// Fill best/stats/chebyshev from the completed timings.
+void finalize(StrategyResult& result) {
+  DDMC_ENSURE(!result.timings.empty(), "search measured no configuration");
+  RunningStats stats;
+  const HostConfigTiming* best = &result.timings.front();
+  for (const HostConfigTiming& t : result.timings) {
+    stats.add(t.gflops);
+    if (t.gflops > best->gflops) best = &t;
+  }
+  result.best = *best;
+  result.stats.count = stats.count();
+  result.stats.mean = stats.mean();
+  result.stats.stddev = stats.stddev();
+  result.stats.min = stats.min();
+  result.stats.max = stats.max();
+  result.stats.snr_of_max =
+      snr(result.stats.max, result.stats.mean, result.stats.stddev);
+  result.chebyshev_p = chebyshev_bound(result.stats.snr_of_max);
+}
+
+HostConfigTiming to_timing(const dedisp::Plan& plan,
+                           const dedisp::KernelConfig& config,
+                           double seconds) {
+  HostConfigTiming t;
+  t.config = config;
+  t.seconds = seconds;
+  t.gflops = plan.total_flop() / seconds * 1e-9;
+  return t;
+}
+
+/// The six tunable axes, in the order CoordinateDescent cycles them. The
+/// cheap cache-behaviour knobs go first: they move performance the most on
+/// the host engine, so the incumbent drops early and later axis sweeps
+/// abort more of their repetitions.
+constexpr std::size_t dedisp::KernelConfig::* kAxes[] = {
+    &dedisp::KernelConfig::channel_block, &dedisp::KernelConfig::unroll,
+    &dedisp::KernelConfig::elem_dm,       &dedisp::KernelConfig::elem_time,
+    &dedisp::KernelConfig::wi_time,       &dedisp::KernelConfig::wi_dm,
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- evaluator --
+
+HostKernelEvaluator::HostKernelEvaluator(const dedisp::Plan& plan,
+                                         const HostTuningOptions& options,
+                                         std::uint64_t seed)
+    : plan_(plan),
+      options_(options),
+      input_(plan.channels(), plan.in_samples()),
+      output_(plan.dms(), plan.out_samples()) {
+  DDMC_REQUIRE(options_.repetitions > 0, "need at least one timed run");
+  kernel_options_.stage_rows = options_.stage_rows;
+  kernel_options_.vectorize = options_.vectorize;
+  kernel_options_.threads = options_.threads;
+  Rng rng(seed);
+  for (std::size_t ch = 0; ch < input_.rows(); ++ch) {
+    for (auto& v : input_.row(ch)) v = rng.next_float(-1.0f, 1.0f);
+  }
+}
+
+ConfigEvaluator::Measurement HostKernelEvaluator::measure(
+    const dedisp::KernelConfig& config, double incumbent_seconds) {
+  ++measurements_;
+  for (std::size_t i = 0; i < options_.warmup_runs; ++i) {
+    dedisp::dedisperse_cpu(plan_, config, input_.cview(), output_.view(),
+                           kernel_options_);
+  }
+  Measurement m;
+  double total = 0.0;
+  const auto reps = static_cast<double>(options_.repetitions);
+  for (std::size_t i = 0; i < options_.repetitions; ++i) {
+    Stopwatch clock;
+    dedisp::dedisperse_cpu(plan_, config, input_.cview(), output_.view(),
+                           kernel_options_);
+    total += clock.seconds();
+    ++m.repetitions;
+    // Even if every remaining repetition took zero time, the mean over the
+    // full repetition count would already exceed the incumbent: this config
+    // cannot win, stop burning time on it.
+    if (total / reps > incumbent_seconds &&
+        m.repetitions < options_.repetitions) {
+      m.aborted = true;
+      break;
+    }
+  }
+  m.seconds = total / static_cast<double>(m.repetitions);
+  m.lower_bound_seconds = m.aborted ? total / reps : m.seconds;
+  return m;
+}
+
+// ------------------------------------------------------------ exhaustive --
+
+StrategyResult ExhaustiveSearch::search(
+    const dedisp::Plan& plan,
+    const std::vector<dedisp::KernelConfig>& candidates,
+    ConfigEvaluator& evaluator) const {
+  DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
+  StrategyResult result;
+  result.candidates = candidates.size();
+  result.timings.reserve(candidates.size());
+  for (const dedisp::KernelConfig& cfg : candidates) {
+    const auto m = evaluator.measure(cfg, ConfigEvaluator::kNoIncumbent);
+    ++result.evaluated;
+    result.timings.push_back(to_timing(plan, cfg, m.seconds));
+  }
+  finalize(result);
+  return result;
+}
+
+// ---------------------------------------------------------------- random --
+
+StrategyResult RandomSearch::search(
+    const dedisp::Plan& plan,
+    const std::vector<dedisp::KernelConfig>& candidates,
+    ConfigEvaluator& evaluator) const {
+  DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
+  DDMC_REQUIRE(samples_ > 0, "RandomSearch needs at least one sample");
+  StrategyResult result;
+  result.candidates = candidates.size();
+
+  // Partial Fisher–Yates: the first n slots of `order` become a uniform
+  // sample without replacement, deterministically from the seed.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed_);
+  const std::size_t n = std::min(samples_, candidates.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(order.size() - i));
+    std::swap(order[i], order[j]);
+  }
+
+  result.timings.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const dedisp::KernelConfig& cfg = candidates[order[i]];
+    const auto m = evaluator.measure(cfg, ConfigEvaluator::kNoIncumbent);
+    ++result.evaluated;
+    result.timings.push_back(to_timing(plan, cfg, m.seconds));
+  }
+  finalize(result);
+  return result;
+}
+
+// --------------------------------------------------- coordinate descent --
+
+StrategyResult CoordinateDescent::search(
+    const dedisp::Plan& plan,
+    const std::vector<dedisp::KernelConfig>& candidates,
+    ConfigEvaluator& evaluator) const {
+  DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
+  StrategyResult result;
+  result.candidates = candidates.size();
+
+  // Membership is by host-execution key, so an axis move that lands on a
+  // config whose kernel we already measured under a different (wi, elem)
+  // split resolves to that measurement instead of a duplicate timing. The
+  // key is computed for the vectorized engine; for a scalar-deduped
+  // candidate list the collapsed axes simply have single-value ladders.
+  std::map<HostKernelKey, std::size_t> by_key;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    by_key.emplace(host_kernel_key(candidates[i], plan, true), i);
+  }
+
+  // Per-axis ladders of the values that occur among the candidates.
+  std::vector<std::size_t> ladders[std::size(kAxes)];
+  for (std::size_t a = 0; a < std::size(kAxes); ++a) {
+    std::set<std::size_t> values;
+    for (const auto& cfg : candidates) values.insert(cfg.*kAxes[a]);
+    ladders[a].assign(values.begin(), values.end());
+  }
+
+  // Memo: candidate index -> last measurement, so no kernel is timed twice
+  // — unless an earlier early-abort proved too little. An aborted entry
+  // only records a *floor* on the true mean; when a later restart asks
+  // whether the config beats a threshold above that floor, the question is
+  // genuinely open and the config is re-measured against the new threshold.
+  struct Memoized {
+    double seconds = 0.0;
+    double lower_bound = 0.0;
+    bool aborted = false;
+  };
+  std::map<std::size_t, Memoized> memo;
+
+  // Measure candidate i against \p threshold (the current point of the
+  // descent asking the question).
+  auto measure_index = [&](std::size_t i, double threshold) -> Memoized {
+    auto it = memo.find(i);
+    if (it != memo.end() &&
+        (!it->second.aborted || it->second.lower_bound >= threshold)) {
+      return it->second;
+    }
+    const auto m = evaluator.measure(candidates[i], threshold);
+    ++result.evaluated;
+    if (it != memo.end()) --result.evaluated;  // re-measure, not a new config
+    Memoized entry{m.seconds, m.lower_bound_seconds, m.aborted};
+    if (m.aborted) {
+      if (it == memo.end()) ++result.aborted;
+    } else {
+      if (it != memo.end() && it->second.aborted) --result.aborted;
+      result.timings.push_back(to_timing(plan, candidates[i], m.seconds));
+    }
+    memo.insert_or_assign(i, entry);
+    return entry;
+  };
+
+  // One hill-climb from the best of `probes` fresh seeded probes; restarts
+  // rerun it to escape local optima, sharing rng, memo and stats.
+  Rng rng(seed_);
+  std::size_t best_index = candidates.size();
+  double best_seconds = ConfigEvaluator::kNoIncumbent;
+  const std::size_t probes =
+      std::max<std::size_t>(1, std::min(probes_, candidates.size()));
+
+  auto descend_once = [&] {
+    std::size_t cur = 0;
+    double cur_seconds = ConfigEvaluator::kNoIncumbent;
+    for (std::size_t p = 0; p < probes; ++p) {
+      const auto i =
+          static_cast<std::size_t>(rng.next_below(candidates.size()));
+      const Memoized m = measure_index(i, cur_seconds);
+      if (!m.aborted && m.seconds < cur_seconds) {
+        cur = i;
+        cur_seconds = m.seconds;
+      }
+    }
+    if (cur_seconds >= ConfigEvaluator::kNoIncumbent) return;
+
+    // Cycle the axes; line-search each along its ladder while improving.
+    for (std::size_t round = 0; round < max_rounds_; ++round) {
+      bool improved = false;
+      for (std::size_t a = 0; a < std::size(kAxes); ++a) {
+        const std::vector<std::size_t>& ladder = ladders[a];
+        if (ladder.size() < 2) continue;
+        for (int dir : {+1, -1}) {
+          bool moved = true;
+          while (moved) {
+            moved = false;
+            const std::size_t cur_value = candidates[cur].*kAxes[a];
+            const auto pos = static_cast<std::size_t>(
+                std::lower_bound(ladder.begin(), ladder.end(), cur_value) -
+                ladder.begin());
+            // Step outward along the ladder until a value yields a valid
+            // candidate (intermediate values may be invalid for this plan
+            // with the other five axes fixed).
+            for (std::size_t step = 1;; ++step) {
+              const std::ptrdiff_t j =
+                  static_cast<std::ptrdiff_t>(pos) +
+                  dir * static_cast<std::ptrdiff_t>(step);
+              if (j < 0 || j >= static_cast<std::ptrdiff_t>(ladder.size())) {
+                break;
+              }
+              dedisp::KernelConfig neighbor = candidates[cur];
+              neighbor.*kAxes[a] = ladder[static_cast<std::size_t>(j)];
+              const auto it =
+                  by_key.find(host_kernel_key(neighbor, plan, true));
+              if (it == by_key.end()) continue;  // invalid; keep stepping
+              const Memoized m = measure_index(it->second, cur_seconds);
+              if (!m.aborted && m.seconds < cur_seconds) {
+                cur = it->second;
+                cur_seconds = m.seconds;
+                improved = true;
+                moved = true;  // keep walking this direction from here
+              }
+              break;  // measured (or rejected) the nearest valid neighbor
+            }
+          }
+        }
+      }
+      if (!improved) break;
+    }
+    if (cur_seconds < best_seconds) {
+      best_index = cur;
+      best_seconds = cur_seconds;
+    }
+  };
+
+  for (std::size_t start = 0; start < 1 + restarts_; ++start) {
+    descend_once();
+  }
+  DDMC_ENSURE(best_index < candidates.size(),
+              "coordinate descent failed to measure a starting point");
+
+  finalize(result);
+  return result;
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(StrategyKind kind,
+                                              std::size_t random_samples,
+                                              std::uint64_t seed) {
+  switch (kind) {
+    case StrategyKind::kExhaustive:
+      return std::make_unique<ExhaustiveSearch>();
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomSearch>(random_samples, seed);
+    case StrategyKind::kCoordinateDescent:
+      return std::make_unique<CoordinateDescent>(seed);
+  }
+  throw invalid_argument("unknown strategy kind");
+}
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,193 @@
+#pragma once
+/// \file strategy.hpp
+/// \brief Guided search strategies over the measured configuration space.
+///
+/// The paper's method is exhaustive: every meaningful configuration is
+/// timed and the fastest kept (§IV-A). That is minutes of CPU time for a
+/// full host sweep — too slow for a streaming session that wants to
+/// self-tune at startup. Sclocco et al.'s follow-up work and Novotný et
+/// al. both observe that the optima live in a small structured region of
+/// the space, so a guided search recovers a near-optimal configuration at
+/// a fraction of the sweep cost. This module separates the two concerns:
+///
+///  - a ConfigEvaluator measures one configuration (the real
+///    HostKernelEvaluator times the tiled kernel; tests plug in
+///    deterministic synthetic evaluators);
+///  - a SearchStrategy decides *which* configurations to measure:
+///    ExhaustiveSearch (the paper's method), RandomSearch (N sampled
+///    configs, quality bounded via Chebyshev over the sampled population)
+///    and CoordinateDescent (hill-climb each of the six axes with
+///    early-abort repetitions that stop timing a config as soon as its
+///    partial mean proves it cannot beat the incumbent).
+///
+/// Strategies measure each distinct host execution at most once: callers
+/// pass candidates through dedupe_host_configs, and CoordinateDescent
+/// additionally memoizes by HostKernelKey so axis moves that collapse onto
+/// an already-measured kernel are free.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/statistics.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "tuner/host_tuner.hpp"
+
+namespace ddmc::tuner {
+
+/// Measurement backend: times one configuration on one plan.
+class ConfigEvaluator {
+ public:
+  struct Measurement {
+    /// Mean seconds over the *completed* repetitions. When aborted, this is
+    /// an optimistic estimate of a config already proven slower than the
+    /// incumbent, not a final figure.
+    double seconds = 0.0;
+    /// Proven floor on the true mean: equal to `seconds` for a completed
+    /// measurement; for an aborted one, the partial total divided by the
+    /// full repetition count (the bound that triggered the abort). A
+    /// config whose floor exceeds a threshold can be rejected against that
+    /// threshold without re-measuring.
+    double lower_bound_seconds = 0.0;
+    std::size_t repetitions = 0;  ///< repetitions actually timed
+    bool aborted = false;         ///< stopped early against the incumbent
+  };
+
+  virtual ~ConfigEvaluator() = default;
+
+  /// Measure \p config. \p incumbent_seconds is the best mean seen so far
+  /// (infinity disables early abort): implementations may stop timing once
+  /// the repetitions already spent prove the mean over the full repetition
+  /// count must exceed the incumbent.
+  virtual Measurement measure(const dedisp::KernelConfig& config,
+                              double incumbent_seconds) = 0;
+
+  static constexpr double kNoIncumbent =
+      std::numeric_limits<double>::infinity();
+};
+
+/// The real evaluator: wall-clock timing of the tiled host kernel, one
+/// shared deterministic input/output pair for the whole search (exactly the
+/// measurement loop of the paper's method).
+class HostKernelEvaluator : public ConfigEvaluator {
+ public:
+  HostKernelEvaluator(const dedisp::Plan& plan,
+                      const HostTuningOptions& options,
+                      std::uint64_t seed = 42);
+
+  Measurement measure(const dedisp::KernelConfig& config,
+                      double incumbent_seconds) override;
+
+  std::size_t measurements() const { return measurements_; }
+
+ private:
+  const dedisp::Plan& plan_;
+  HostTuningOptions options_;
+  dedisp::CpuKernelOptions kernel_options_;
+  Array2D<float> input_;
+  Array2D<float> output_;
+  std::size_t measurements_ = 0;
+};
+
+/// Outcome of one strategy run over one candidate space.
+struct StrategyResult {
+  HostConfigTiming best;
+  std::size_t candidates = 0;  ///< size of the (deduplicated) search space
+  std::size_t evaluated = 0;   ///< distinct configs timed (incl. aborted)
+  std::size_t aborted = 0;     ///< of which stopped by early abort
+  StatsSummary stats;          ///< over GFLOP/s of the completed timings
+  std::vector<HostConfigTiming> timings;  ///< completed measurements only
+  /// Chebyshev upper bound on the probability that a uniformly guessed
+  /// configuration performs at least as far above the population mean as
+  /// the found optimum (the paper's guessing argument, §IV-C).
+  double chebyshev_p = 1.0;
+};
+
+/// A search policy over a fixed candidate list. Candidates must already be
+/// validated against the plan and deduplicated (tune_host and tune_guided
+/// do both); strategies never re-measure a configuration they have seen.
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  virtual std::string name() const = 0;
+  virtual StrategyResult search(
+      const dedisp::Plan& plan,
+      const std::vector<dedisp::KernelConfig>& candidates,
+      ConfigEvaluator& evaluator) const = 0;
+};
+
+/// The paper's method: measure every candidate, keep the fastest. Retains
+/// the full population (histograms, SNR-of-optimum, Chebyshev).
+class ExhaustiveSearch : public SearchStrategy {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  StrategyResult search(const dedisp::Plan& plan,
+                        const std::vector<dedisp::KernelConfig>& candidates,
+                        ConfigEvaluator& evaluator) const override;
+};
+
+/// Measure \p samples candidates drawn uniformly without replacement
+/// (seeded, deterministic). The sampled population's statistics bound the
+/// chance that an unseen configuration beats the sampled optimum by the
+/// same margin (StrategyResult::chebyshev_p).
+class RandomSearch : public SearchStrategy {
+ public:
+  explicit RandomSearch(std::size_t samples, std::uint64_t seed = 42)
+      : samples_(samples), seed_(seed) {}
+
+  std::string name() const override { return "random"; }
+  StrategyResult search(const dedisp::Plan& plan,
+                        const std::vector<dedisp::KernelConfig>& candidates,
+                        ConfigEvaluator& evaluator) const override;
+
+ private:
+  std::size_t samples_;
+  std::uint64_t seed_;
+};
+
+/// Hill-climb each of the six axes (wi_time, wi_dm, elem_time, elem_dm,
+/// channel_block, unroll) in turn: from a seeded random probe of the space,
+/// line-search every axis along its ladder of valid values, moving while
+/// the measured time improves, until a full round over all axes finds
+/// nothing better. Every non-probe measurement passes the current point's
+/// time to the evaluator as the abort threshold, so hopeless configs are
+/// abandoned after a partial repetition count (early abort). `restarts`
+/// additional descents from fresh seeded probes escape local optima; all
+/// restarts share the measurement memo, so re-entering an explored basin
+/// costs nothing.
+class CoordinateDescent : public SearchStrategy {
+ public:
+  explicit CoordinateDescent(std::uint64_t seed = 42,
+                             std::size_t probes = 6,
+                             std::size_t max_rounds = 16,
+                             std::size_t restarts = 2)
+      : seed_(seed),
+        probes_(probes),
+        max_rounds_(max_rounds),
+        restarts_(restarts) {}
+
+  std::string name() const override { return "coordinate-descent"; }
+  StrategyResult search(const dedisp::Plan& plan,
+                        const std::vector<dedisp::KernelConfig>& candidates,
+                        ConfigEvaluator& evaluator) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t probes_;
+  std::size_t max_rounds_;
+  std::size_t restarts_;
+};
+
+/// Factory used by the cache-guided entry point and the strategy bench.
+enum class StrategyKind { kExhaustive, kRandom, kCoordinateDescent };
+
+std::unique_ptr<SearchStrategy> make_strategy(StrategyKind kind,
+                                              std::size_t random_samples = 64,
+                                              std::uint64_t seed = 42);
+
+}  // namespace ddmc::tuner

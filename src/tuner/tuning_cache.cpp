@@ -1,0 +1,340 @@
+#include "tuner/tuning_cache.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/simd.hpp"
+#include "tuner/host_tuner.hpp"
+#include "tuner/results_io.hpp"
+
+namespace ddmc::tuner {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  return ss.str();
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream ss(text);
+  while (std::getline(ss, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+/// "key=value" field accessor over parts[1..] — parts[0] is the free-form
+/// observation name and must never be mistaken for a key, even when it
+/// happens to look like one (e.g. an observation named "ch=12").
+std::optional<std::string> field(const std::vector<std::string>& parts,
+                                 const std::string& key) {
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].rfind(key + "=", 0) == 0) {
+      return parts[i].substr(key.size() + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+/// The observation name is free-form user input headed for two layered
+/// text formats: the '|'-delimited signature inside a comma-delimited
+/// results_io CSV cell. Map every delimiter to '_' so no name can corrupt
+/// a cache file the library itself writes. (Lossy, but the name is
+/// informational — the numeric fields are the key.)
+std::string sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ',' || c == '|' || c == '\n' || c == '\r') c = '_';
+  }
+  if (out.empty()) out = "_";  // decode treats an empty name as malformed
+  return out;
+}
+
+std::optional<double> parse_double_opt(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::size_t> parse_size_opt(const std::string& s) {
+  const auto v = parse_double_opt(s);
+  if (!v || *v < 0.0) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+/// Log of a positive ratio; zero-vs-zero counts as equal, zero-vs-nonzero
+/// as a large move (a plan with no DM spread is genuinely far from one
+/// with thousands of trials).
+double log_ratio(double a, double b) {
+  constexpr double kEps = 1e-9;
+  return std::log(std::max(a, kEps) / std::max(b, kEps));
+}
+
+ResultRow to_result_row(const CacheEntry& entry) {
+  ResultRow row;
+  row.device = entry.host.encode();
+  row.observation = entry.plan.encode();
+  row.dms = entry.plan.dms;
+  row.config = entry.config;
+  row.gflops = entry.gflops;
+  row.seconds = entry.seconds;
+  row.snr = 0.0;
+  row.evaluated = entry.evaluated;
+  return row;
+}
+
+CacheEntry from_result_row(const ResultRow& row, const std::string& path) {
+  const auto host = HostSignature::decode(row.device);
+  const auto plan = PlanSignature::decode(row.observation);
+  DDMC_REQUIRE(host.has_value() && plan.has_value(),
+               "tuning cache '" + path +
+                   "' row is not a cache signature (device='" + row.device +
+                   "', observation='" + row.observation +
+                   "'); this looks like a plain results file");
+  CacheEntry entry;
+  entry.host = *host;
+  entry.plan = *plan;
+  entry.config = row.config;
+  entry.gflops = row.gflops;
+  entry.seconds = row.seconds;
+  entry.evaluated = row.evaluated;
+  return entry;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ signatures --
+
+HostSignature HostSignature::of(const dedisp::CpuKernelOptions& options) {
+  HostSignature sig;
+  sig.engine = options.vectorize ? simd::backend_name() : "scalar";
+  sig.threads = options.threads;
+  sig.stage_rows = options.stage_rows;
+  return sig;
+}
+
+std::string HostSignature::encode() const {
+  return engine + "|t" + std::to_string(threads) + "|" +
+         (stage_rows ? "staged" : "direct");
+}
+
+std::optional<HostSignature> HostSignature::decode(const std::string& text) {
+  const auto parts = split(text, '|');
+  if (parts.size() != 3 || parts[0].empty()) return std::nullopt;
+  if (parts[1].size() < 2 || parts[1][0] != 't') return std::nullopt;
+  const auto threads = parse_size_opt(parts[1].substr(1));
+  if (!threads) return std::nullopt;
+  if (parts[2] != "staged" && parts[2] != "direct") return std::nullopt;
+  HostSignature sig;
+  sig.engine = parts[0];
+  sig.threads = *threads;
+  sig.stage_rows = parts[2] == "staged";
+  return sig;
+}
+
+PlanSignature PlanSignature::of(const dedisp::Plan& plan) {
+  const sky::Observation& obs = plan.observation();
+  PlanSignature sig;
+  sig.observation = sanitize_name(obs.name());
+  sig.channels = plan.channels();
+  sig.out_samples = plan.out_samples();
+  sig.dms = plan.dms();
+  sig.sampling_rate = obs.sampling_rate();
+  sig.dm_first = obs.dm_first();
+  sig.dm_step = obs.dm_step();
+  return sig;
+}
+
+std::string PlanSignature::encode() const {
+  return sanitize_name(observation) + "|ch=" + std::to_string(channels) +
+         "|sps=" + format_double(sampling_rate) +
+         "|out=" + std::to_string(out_samples) +
+         "|dms=" + std::to_string(dms) + "|dm0=" + format_double(dm_first) +
+         "|ddm=" + format_double(dm_step);
+}
+
+std::optional<PlanSignature> PlanSignature::decode(const std::string& text) {
+  const auto parts = split(text, '|');
+  if (parts.size() != 7 || parts[0].empty()) return std::nullopt;
+  const auto ch = field(parts, "ch");
+  const auto sps = field(parts, "sps");
+  const auto out = field(parts, "out");
+  const auto dms_field = field(parts, "dms");
+  const auto dm0 = field(parts, "dm0");
+  const auto ddm = field(parts, "ddm");
+  if (!ch || !sps || !out || !dms_field || !dm0 || !ddm) return std::nullopt;
+  PlanSignature sig;
+  sig.observation = parts[0];
+  const auto channels = parse_size_opt(*ch);
+  const auto rate = parse_double_opt(*sps);
+  const auto out_samples = parse_size_opt(*out);
+  const auto dms = parse_size_opt(*dms_field);
+  const auto dm_first = parse_double_opt(*dm0);
+  const auto dm_step = parse_double_opt(*ddm);
+  if (!channels || !rate || !out_samples || !dms || !dm_first || !dm_step) {
+    return std::nullopt;
+  }
+  sig.channels = *channels;
+  sig.sampling_rate = *rate;
+  sig.out_samples = *out_samples;
+  sig.dms = *dms;
+  sig.dm_first = *dm_first;
+  sig.dm_step = *dm_step;
+  return sig;
+}
+
+double plan_distance(const PlanSignature& a, const PlanSignature& b) {
+  const double d_ch =
+      log_ratio(static_cast<double>(a.channels), static_cast<double>(b.channels));
+  const double d_sps = log_ratio(a.sampling_rate, b.sampling_rate);
+  const double d_out = log_ratio(static_cast<double>(a.out_samples),
+                                 static_cast<double>(b.out_samples));
+  const double d_dms =
+      log_ratio(static_cast<double>(a.dms), static_cast<double>(b.dms));
+  // The DM *span* (step × trials) sets the delay spread, which is what the
+  // kernel's memory behaviour actually feels.
+  const double d_span = log_ratio(a.dm_step * static_cast<double>(a.dms),
+                                  b.dm_step * static_cast<double>(b.dms));
+  return d_ch * d_ch + d_sps * d_sps + d_out * d_out + d_dms * d_dms +
+         d_span * d_span;
+}
+
+// ----------------------------------------------------------------- cache --
+
+TuningCache::TuningCache(std::string path) : path_(std::move(path)) {
+  DDMC_REQUIRE(!path_.empty(), "file-backed cache needs a path");
+  load();
+}
+
+void TuningCache::load() {
+  std::ifstream is(path_);
+  if (!is.good() || is.peek() == std::ifstream::traits_type::eof()) {
+    return;  // missing or empty file: empty cache
+  }
+  for (const ResultRow& row : load_results(is)) {
+    entries_.push_back(from_result_row(row, path_));
+  }
+}
+
+std::optional<CacheEntry> TuningCache::find_exact(
+    const HostSignature& host, const PlanSignature& plan) const {
+  for (const CacheEntry& entry : entries_) {
+    if (entry.host == host && entry.plan == plan) return entry;
+  }
+  return std::nullopt;
+}
+
+std::optional<CacheEntry> TuningCache::find_nearest(
+    const HostSignature& host, const dedisp::Plan& plan,
+    double max_distance) const {
+  const PlanSignature target = PlanSignature::of(plan);
+  std::optional<CacheEntry> best;
+  double best_distance = max_distance;
+  for (const CacheEntry& entry : entries_) {
+    if (entry.host != host) continue;
+    const double d = plan_distance(entry.plan, target);
+    if (d > best_distance || (best && d >= best_distance)) continue;
+    try {
+      entry.config.validate(plan);
+    } catch (const config_error&) {
+      continue;  // does not divide the target plan; try the next-closest
+    }
+    best = entry;
+    best_distance = d;
+  }
+  return best;
+}
+
+void TuningCache::store(const CacheEntry& entry) {
+  bool replaced = false;
+  for (CacheEntry& existing : entries_) {
+    if (existing.host == entry.host && existing.plan == entry.plan) {
+      existing = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries_.push_back(entry);
+  save();
+}
+
+void TuningCache::save() const {
+  if (path_.empty()) return;
+  std::ofstream os(path_);
+  DDMC_REQUIRE(os.good(), "cannot write tuning cache: " + path_);
+  std::vector<ResultRow> rows;
+  rows.reserve(entries_.size());
+  for (const CacheEntry& entry : entries_) {
+    rows.push_back(to_result_row(entry));
+  }
+  save_results(os, rows);
+}
+
+// ---------------------------------------------------------- tune_guided --
+
+GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
+                                const GuidedTuningOptions& options) {
+  dedisp::CpuKernelOptions engine;
+  engine.stage_rows = options.host.stage_rows;
+  engine.vectorize = options.host.vectorize;
+  engine.threads = options.host.threads;
+  const HostSignature host = HostSignature::of(engine);
+  const PlanSignature target = PlanSignature::of(plan);
+
+  GuidedTuningOutcome outcome;
+  if (const auto hit = cache.find_exact(host, target)) {
+    hit->config.validate(plan);
+    outcome.source = GuidedTuningOutcome::Source::kCacheHit;
+    outcome.config = hit->config;
+    outcome.gflops = hit->gflops;
+    outcome.transfer_distance = 0.0;
+    return outcome;
+  }
+  if (options.allow_transfer) {
+    if (const auto near =
+            cache.find_nearest(host, plan, options.max_transfer_distance)) {
+      outcome.source = GuidedTuningOutcome::Source::kTransfer;
+      outcome.config = near->config;
+      outcome.gflops = near->gflops;
+      outcome.transfer_distance = plan_distance(near->plan, target);
+      return outcome;
+    }
+  }
+
+  const std::vector<dedisp::KernelConfig> candidates =
+      host_sweep_candidates(plan, options.host);
+  DDMC_REQUIRE(!candidates.empty(),
+               "no candidate configurations for this plan");
+  HostKernelEvaluator evaluator(plan, options.host, options.seed);
+  const auto strategy =
+      make_strategy(options.strategy, options.random_samples, options.seed);
+  StrategyResult searched = strategy->search(plan, candidates, evaluator);
+
+  CacheEntry entry;
+  entry.host = host;
+  entry.plan = target;
+  entry.config = searched.best.config;
+  entry.gflops = searched.best.gflops;
+  entry.seconds = searched.best.seconds;
+  entry.evaluated = searched.evaluated;
+  cache.store(entry);
+
+  outcome.source = GuidedTuningOutcome::Source::kSearch;
+  outcome.config = searched.best.config;
+  outcome.gflops = searched.best.gflops;
+  outcome.configs_evaluated = searched.evaluated;
+  outcome.search = std::move(searched);
+  return outcome;
+}
+
+}  // namespace ddmc::tuner

@@ -1,0 +1,178 @@
+#pragma once
+/// \file tuning_cache.hpp
+/// \brief Persistent cache of tuned configurations, keyed by host and plan
+/// signatures, with nearest-neighbor transfer across plans.
+///
+/// The paper's tuples — "the optimal configuration … for every combination
+/// of platform, observational setup and input instance" (§IV-A) — are worth
+/// keeping: Sclocco et al.'s follow-up shows tuned configurations transfer
+/// across observational setups, so a cache answers most tuning requests
+/// without measuring anything. The lookup ladder of tune_guided:
+///
+///   1. exact hit   — same host signature, same plan signature: reuse the
+///                    stored config, zero measurements;
+///   2. transfer    — same host signature, *closest* cached plan by
+///                    log-space distance over (channels, samples/s, output
+///                    samples, DMs, DM span) whose config validates against
+///                    the requested plan: reuse its config, zero
+///                    measurements;
+///   3. guided search — fall back to a SearchStrategy (CoordinateDescent
+///                    by default) over the deduplicated host space, and
+///                    store the winner for next time.
+///
+/// Persistence is layered on results_io's v2 CSV: the host signature is
+/// encoded in the `device` column and the plan signature in the
+/// `observation` column, so a cache file is an ordinary results file that
+/// the existing diagnostics (schema line, column counts) already cover.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "tuner/strategy.hpp"
+
+namespace ddmc::tuner {
+
+/// What the tuned numbers were measured *on*: the engine (SIMD backend or
+/// scalar), the staging mode and the thread count. Configs tuned under a
+/// different engine do not transfer — an AVX optimum says little about the
+/// scalar loop — so every cache operation filters on this first.
+struct HostSignature {
+  std::string engine;      ///< simd::backend_name() or "scalar"
+  std::size_t threads = 0; ///< CpuKernelOptions::threads (0 = machine pool)
+  bool stage_rows = true;
+
+  /// Signature of the engine selected by \p options on this machine.
+  static HostSignature of(const dedisp::CpuKernelOptions& options);
+
+  /// "engine|t<threads>|staged" — the cache's `device` column.
+  std::string encode() const;
+  static std::optional<HostSignature> decode(const std::string& text);
+
+  friend bool operator==(const HostSignature&, const HostSignature&) =
+      default;
+};
+
+/// The instance parameters a tuned config depends on: channel count,
+/// sampling time, output window, and the trial-DM grid.
+struct PlanSignature {
+  std::string observation;  ///< setup name (informational, not a key field)
+  std::size_t channels = 0;
+  std::size_t out_samples = 0;
+  std::size_t dms = 0;
+  double sampling_rate = 0.0;  ///< samples per second (1 / sampling time)
+  double dm_first = 0.0;
+  double dm_step = 0.0;
+
+  static PlanSignature of(const dedisp::Plan& plan);
+
+  /// "name|ch=…|sps=…|out=…|dms=…|dm0=…|ddm=…" — the `observation` column.
+  std::string encode() const;
+  static std::optional<PlanSignature> decode(const std::string& text);
+
+  friend bool operator==(const PlanSignature&, const PlanSignature&) =
+      default;
+};
+
+/// Squared log-space distance between two plan signatures over (channels,
+/// sampling rate, output samples, DMs, DM span). Log-space because every
+/// quantity matters multiplicatively: 512→1024 channels is as big a move
+/// as 1024→2048.
+double plan_distance(const PlanSignature& a, const PlanSignature& b);
+
+/// One cached tuple.
+struct CacheEntry {
+  HostSignature host;
+  PlanSignature plan;
+  dedisp::KernelConfig config;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  std::size_t evaluated = 0;  ///< configs the producing search measured
+};
+
+/// In-memory or file-backed store of tuned tuples. File-backed caches load
+/// eagerly at construction and rewrite the file on every store (caches are
+/// small — one row per (host, plan) pair). Not thread-safe; sessions tune
+/// at startup, before concurrency begins.
+class TuningCache {
+ public:
+  /// In-memory cache (tests, one-process pipelines).
+  TuningCache() = default;
+
+  /// File-backed cache at \p path. A missing file is an empty cache; a
+  /// malformed one throws the results_io diagnostics.
+  explicit TuningCache(std::string path);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<CacheEntry>& entries() const { return entries_; }
+
+  /// Exact hit: same host signature and plan signature.
+  std::optional<CacheEntry> find_exact(const HostSignature& host,
+                                       const PlanSignature& plan) const;
+
+  /// Nearest-neighbor transfer: the entry with the same host signature
+  /// closest to \p plan (plan_distance ≤ \p max_distance) whose config
+  /// validates against \p plan. Exact hits are also found by this.
+  std::optional<CacheEntry> find_nearest(
+      const HostSignature& host, const dedisp::Plan& plan,
+      double max_distance = kDefaultMaxTransferDistance) const;
+
+  /// Insert or replace the entry with \p entry's (host, plan) key; rewrites
+  /// the backing file when file-backed.
+  void store(const CacheEntry& entry);
+
+  /// Rewrite the backing file now (no-op for in-memory caches).
+  void save() const;
+
+  /// Transfer radius: generous enough to cover e.g. a 16× DM-count change
+  /// (log²16 ≈ 7.7) but not an entirely different telescope in every axis.
+  static constexpr double kDefaultMaxTransferDistance = 12.0;
+
+ private:
+  void load();
+
+  std::string path_;
+  std::vector<CacheEntry> entries_;
+};
+
+/// Options of the cache-guided tuning entry point.
+struct GuidedTuningOptions {
+  /// Measurement knobs (repetitions, engine, threads) — also the source of
+  /// the host signature.
+  HostTuningOptions host;
+  /// Strategy for the search fallback.
+  StrategyKind strategy = StrategyKind::kCoordinateDescent;
+  std::size_t random_samples = 64;  ///< for StrategyKind::kRandom
+  std::uint64_t seed = 42;
+  /// Allow answering a miss from the closest cached plan.
+  bool allow_transfer = true;
+  double max_transfer_distance = TuningCache::kDefaultMaxTransferDistance;
+};
+
+/// Where a guided tuning's config came from.
+struct GuidedTuningOutcome {
+  enum class Source { kCacheHit, kTransfer, kSearch };
+  Source source = Source::kSearch;
+  dedisp::KernelConfig config;
+  /// Measured GFLOP/s (search), or the stored figure of the reused entry
+  /// (hit/transfer — measured on the *source* plan, an estimate here).
+  double gflops = 0.0;
+  std::size_t configs_evaluated = 0;  ///< 0 on a hit or transfer
+  /// Distance of the transfer source (0 for exact hits, unset for search).
+  std::optional<double> transfer_distance;
+  /// Full search result when source == kSearch.
+  std::optional<StrategyResult> search;
+};
+
+/// Tune-on-first-use: answer from \p cache when possible (exact hit, then
+/// nearest-neighbor transfer), otherwise run the configured guided search
+/// on the real host kernels and store the winner. The returned config
+/// always validates against \p plan.
+GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
+                                const GuidedTuningOptions& options = {});
+
+}  // namespace ddmc::tuner

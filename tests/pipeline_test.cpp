@@ -46,6 +46,57 @@ TEST(Dedisperser, TuneForSetsTheOptimalConfig) {
   EXPECT_NO_THROW(dd.dedisperse(in.cview()));
 }
 
+TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
+  tuner::TuningCache cache;
+  tuner::GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.strategy = tuner::StrategyKind::kRandom;
+  opt.random_samples = 3;
+
+  Dedisperser first = small(Backend::kCpuTiled);
+  dedisp::CpuKernelOptions cpu;
+  cpu.threads = 1;
+  first.set_cpu_options(cpu);
+  const tuner::GuidedTuningOutcome cold = first.tune_cached(cache, opt);
+  EXPECT_EQ(cold.source, tuner::GuidedTuningOutcome::Source::kSearch);
+  EXPECT_EQ(first.config(), cold.config);
+
+  // A second pipeline over the same plan and engine tunes for free…
+  Dedisperser second = small(Backend::kCpuTiled);
+  second.set_cpu_options(cpu);
+  const tuner::GuidedTuningOutcome warm = second.tune_cached(cache, opt);
+  EXPECT_EQ(warm.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(warm.configs_evaluated, 0u);
+  EXPECT_EQ(second.config(), first.config());
+
+  // …and the tuned config changes nothing about correctness.
+  Dedisperser ref = small(Backend::kReference);
+  const Array2D<float> in = random_input(ref.plan());
+  expect_same_matrix(ref.dedisperse(in.cview()),
+                     second.dedisperse(in.cview()));
+
+  // A different engine signature (thread count) is a different cache key.
+  Dedisperser other = small(Backend::kCpuTiled);
+  dedisp::CpuKernelOptions two;
+  two.threads = 2;
+  other.set_cpu_options(two);
+  const tuner::GuidedTuningOutcome miss = other.tune_cached(cache, opt);
+  EXPECT_EQ(miss.source, tuner::GuidedTuningOutcome::Source::kSearch);
+}
+
+TEST(Dedisperser, TuneCachedRequiresTheCpuTiledBackend) {
+  // The measured host optimum is meaningless to the other backends, so
+  // tune_cached refuses instead of silently skewing them.
+  tuner::TuningCache cache;
+  for (Backend b :
+       {Backend::kReference, Backend::kCpuBaseline, Backend::kSimulated}) {
+    Dedisperser dd = small(b);
+    EXPECT_THROW(dd.tune_cached(cache), invalid_argument);
+  }
+  EXPECT_EQ(cache.size(), 0u);  // nothing was measured or stored
+}
+
 TEST(Dedisperser, SetConfigValidates) {
   Dedisperser dd = small(Backend::kCpuTiled);
   EXPECT_THROW(dd.set_config(KernelConfig{5, 1, 1, 1}), config_error);

@@ -170,6 +170,135 @@ TEST(SampleRing, RejectsChannelMismatch) {
 
 // --------------------------------------------------------------- chunker --
 
+// ------------------------------------------------------- ring stress --
+
+TEST(SampleRingStressSlowTier, MultipleProducersConserveEverySample) {
+  // Multiple producers are memory-safe (each push segment is atomic under
+  // the lock even if a blocking push interleaves with another producer's),
+  // so under ASan/UBSan this hammers the lock/wait paths: every pushed
+  // sample must come out exactly once.
+  constexpr std::size_t kChannels = 3;
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 512;
+  SampleRing ring(kChannels, 16);
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      // Distinct constant value per producer, pushed in awkward slices.
+      Array2D<float> block(kChannels, 7);
+      for (std::size_t ch = 0; ch < kChannels; ++ch) {
+        for (auto& v : block.row(ch)) v = static_cast<float>(p + 1);
+      }
+      std::size_t sent = 0;
+      while (sent < kPerProducer) {
+        const std::size_t n = std::min<std::size_t>(7, kPerProducer - sent);
+        ring.push(ConstView2D<float>(&block.cview()(0, 0), kChannels, n,
+                                     block.pitch()));
+        sent += n;
+      }
+    });
+  }
+
+  std::size_t popped = 0;
+  std::vector<std::size_t> per_value(kProducers, 0);
+  Array2D<float> dst(kChannels, 5);
+  std::thread closer;
+  while (true) {
+    const std::size_t n = ring.pop(dst.view());
+    if (n == 0) break;
+    popped += n;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto value = static_cast<std::size_t>(dst(0, t));
+      ASSERT_GE(value, 1u);
+      ASSERT_LE(value, kProducers);
+      ++per_value[value - 1];
+      // Columns stay intact: every channel carries the same producer tag.
+      for (std::size_t ch = 1; ch < kChannels; ++ch) {
+        ASSERT_EQ(dst(ch, t), dst(0, t));
+      }
+    }
+    if (popped == kProducers * kPerProducer && !closer.joinable()) {
+      closer = std::thread([&] {
+        for (auto& producer : producers) producer.join();
+        ring.close();
+      });
+    }
+  }
+  closer.join();
+  EXPECT_EQ(popped, kProducers * kPerProducer);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(per_value[p], kPerProducer) << "producer " << p;
+  }
+}
+
+TEST(SampleRingStressSlowTier, CloseWhileProducerBlocksMidPushThrows) {
+  // A producer blocked on a full ring must be woken by close() and get the
+  // "push into a closed SampleRing" error, not deadlock or corrupt state.
+  SampleRing ring(2, 8);
+  std::atomic<bool> threw{false};
+  std::atomic<std::size_t> absorbed_before_close{0};
+  std::thread producer([&] {
+    Array2D<float> block(2, 64);
+    for (std::size_t ch = 0; ch < 2; ++ch) {
+      for (auto& v : block.row(ch)) v = 1.0f;
+    }
+    try {
+      ring.push(block.cview());  // capacity 8 < 64: must block mid-push
+    } catch (const invalid_argument&) {
+      threw = true;
+    }
+  });
+  // Wait until the ring is full, i.e. the producer is blocked inside push.
+  while (ring.size() < ring.capacity()) {
+    std::this_thread::yield();
+  }
+  absorbed_before_close = ring.size();
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(absorbed_before_close.load(), 8u);
+
+  // Drain-after-close: the samples absorbed before the close are still
+  // delivered, then pop signals end-of-stream with 0 forever.
+  Array2D<float> dst(2, 3);
+  std::size_t drained = 0;
+  std::size_t n = 0;
+  while ((n = ring.pop(dst.view())) > 0) drained += n;
+  EXPECT_EQ(drained, 8u);
+  EXPECT_EQ(ring.pop(dst.view()), 0u);
+  EXPECT_EQ(ring.pop(dst.view()), 0u);  // end state is sticky
+}
+
+TEST(SampleRingStressSlowTier, ConcurrentConsumersDrainAfterClose) {
+  // Several consumers racing over a closed ring split the remaining
+  // samples between them without loss or duplication, and every one of
+  // them eventually observes end-of-stream.
+  constexpr std::size_t kChannels = 2;
+  constexpr std::size_t kTotal = 1000;
+  SampleRing ring(kChannels, kTotal);
+  Array2D<float> block(kChannels, kTotal);
+  for (std::size_t ch = 0; ch < kChannels; ++ch) {
+    std::size_t t = 0;
+    for (auto& v : block.row(ch)) v = static_cast<float>(t++);
+  }
+  ring.push(block.cview());
+  ring.close();
+
+  std::atomic<std::size_t> drained{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      Array2D<float> dst(kChannels, 7);
+      std::size_t n = 0;
+      while ((n = ring.pop(dst.view())) > 0) drained += n;
+    });
+  }
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(drained.load(), kTotal);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
 TEST(OverlapChunker, WindowsAreTheBatchInputColumns) {
   const Plan batch = Plan::with_output_samples(mini_obs(), 8, 96);
   const Plan chunk = batch.with_chunk(32);
@@ -278,6 +407,76 @@ TEST(StreamingDedisperser, BitwiseEqualToBatchAcrossGranularities) {
     EXPECT_EQ(collect.emitted, total_out);
     expect_same_matrix(expected, collect.total);
   }
+}
+
+TEST(StreamingDedisperser, TuneOnFirstUseFromTheCache) {
+  // A session built from a TuningCache resolves its config before starting:
+  // cold = one guided search on the chunk plan (stored), warm = exact hit
+  // with zero measurements. Output stays bitwise equal to batch either way.
+  const std::size_t total_out = 128;
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const Array2D<float> input = random_input(batch);
+  const Array2D<float> expected =
+      dedisp::dedisperse_reference(batch, input.cview());
+
+  tuner::TuningCache cache;
+  tuner::GuidedTuningOptions tuning;
+  tuning.host.repetitions = 1;
+  tuning.host.warmup_runs = 0;
+  tuning.strategy = tuner::StrategyKind::kRandom;
+  tuning.random_samples = 3;
+  StreamingOptions opts;
+  opts.async = false;
+  opts.cpu.threads = 1;
+
+  dedisp::KernelConfig tuned;
+  {
+    Collector collect(batch.dms(), total_out);
+    StreamingDedisperser session(batch.with_chunk(32), cache,
+                                 std::ref(collect), opts, tuning);
+    ASSERT_TRUE(session.tuning_outcome().has_value());
+    EXPECT_EQ(session.tuning_outcome()->source,
+              tuner::GuidedTuningOutcome::Source::kSearch);
+    EXPECT_GT(session.tuning_outcome()->configs_evaluated, 0u);
+    tuned = session.tuning_outcome()->config;
+    feed_in_slices(session, input, 31, 99);
+    session.close();
+    EXPECT_EQ(collect.emitted, total_out);
+    expect_same_matrix(expected, collect.total);
+  }
+  {
+    // Second session of the same shape: tuned without a single measurement.
+    Collector collect(batch.dms(), total_out);
+    StreamingDedisperser session(batch.with_chunk(32), cache,
+                                 std::ref(collect), opts, tuning);
+    ASSERT_TRUE(session.tuning_outcome().has_value());
+    EXPECT_EQ(session.tuning_outcome()->source,
+              tuner::GuidedTuningOutcome::Source::kCacheHit);
+    EXPECT_EQ(session.tuning_outcome()->configs_evaluated, 0u);
+    EXPECT_EQ(session.tuning_outcome()->config, tuned);
+    feed_in_slices(session, input, 31, 99);
+    session.close();
+    expect_same_matrix(expected, collect.total);
+  }
+  {
+    // A different chunk length is a different plan signature, but close
+    // enough to transfer: still zero measurements. (Any tile that divides
+    // the 32-sample chunk also divides the 64-sample one.)
+    Collector collect(batch.dms(), total_out);
+    StreamingDedisperser session(batch.with_chunk(64), cache,
+                                 std::ref(collect), opts, tuning);
+    ASSERT_TRUE(session.tuning_outcome().has_value());
+    EXPECT_EQ(session.tuning_outcome()->source,
+              tuner::GuidedTuningOutcome::Source::kTransfer);
+    EXPECT_EQ(session.tuning_outcome()->configs_evaluated, 0u);
+    feed_in_slices(session, input, 31, 99);
+    session.close();
+    expect_same_matrix(expected, collect.total);
+  }
+  // The explicit-config constructor reports no tuning outcome.
+  StreamingDedisperser manual(batch.with_chunk(64), KernelConfig{8, 2, 4, 2},
+                              [](const StreamChunk&) {}, opts);
+  EXPECT_FALSE(manual.tuning_outcome().has_value());
 }
 
 TEST(StreamingDedisperser, RandomizedChunkAndFeedProperty) {

@@ -1,19 +1,30 @@
-// Tests for the auto-tuner: search-space enumeration, optimum selection and
-// statistics, fixed-configuration selection, and result persistence.
+// Tests for the auto-tuner: search-space enumeration and host-execution
+// deduplication, optimum selection and statistics, the guided search
+// strategies (differential against the exhaustive optimum on deterministic
+// synthetic landscapes), the persistent tuning cache with nearest-neighbor
+// transfer, fixed-configuration selection, and result persistence
+// (including a randomized save→load round-trip property).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "common/random.hpp"
 #include "ocl/device_presets.hpp"
 #include "test_util.hpp"
 #include "tuner/fixed_config.hpp"
+#include "tuner/host_tuner.hpp"
 #include "tuner/results_io.hpp"
 #include "tuner/search_space.hpp"
+#include "tuner/strategy.hpp"
 #include "tuner/tuner.hpp"
+#include "tuner/tuning_cache.hpp"
 
 namespace ddmc::tuner {
 namespace {
@@ -338,6 +349,552 @@ TEST(ResultsIo, DiagnosesVersionAndColumnMismatches) {
     ss << kSchemaLine << kHeaderLine << "K20,Apertif,64,32,4\n";
     const std::string msg = error_of(ss);
     EXPECT_NE(msg.find("5 columns"), std::string::npos) << msg;
+  }
+}
+
+// ----------------------------------------------- host-execution dedup --
+
+TEST(HostDedup, KeyCollapsesWorkItemElementSplits) {
+  // The host engine only sees tile extents: {wi_time=8, elem_time=2} and
+  // {wi_time=4, elem_time=4} run the identical kernel.
+  const Plan plan = mini_plan(8, 64);
+  const auto a = host_kernel_key(KernelConfig{8, 1, 2, 1}, plan, true);
+  const auto b = host_kernel_key(KernelConfig{4, 1, 4, 1}, plan, true);
+  EXPECT_EQ(a, b);
+  // elem_dm is a real axis (register-tile rows): it must NOT collapse.
+  const auto c = host_kernel_key(KernelConfig{8, 1, 2, 2}, plan, true);
+  EXPECT_NE(a, c);
+  // The scalar engine ignores the register-tile and unroll knobs.
+  const auto s1 = host_kernel_key(KernelConfig{8, 1, 2, 2, 0, 4}, plan, false);
+  const auto s2 = host_kernel_key(KernelConfig{8, 1, 2, 2, 0, 1}, plan, false);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(host_kernel_key(KernelConfig{8, 1, 2, 2, 0, 4}, plan, true),
+            host_kernel_key(KernelConfig{8, 1, 2, 2, 0, 1}, plan, true));
+  // Oversized channel blocks collapse onto the single-pass key.
+  const auto cb0 = host_kernel_key(KernelConfig{8, 1, 1, 1, 0, 1}, plan, true);
+  const auto cb9 =
+      host_kernel_key(KernelConfig{8, 1, 1, 1, 999, 1}, plan, true);
+  EXPECT_EQ(cb0, cb9);
+}
+
+TEST(HostDedup, DedupeKeepsOneRepresentativePerKernel) {
+  const Plan plan = mini_plan(8, 64);
+  const auto raw = enumerate_host_configs(plan, 1024);
+  const auto deduped = dedupe_host_configs(plan, raw, true);
+  ASSERT_FALSE(deduped.empty());
+  EXPECT_LT(deduped.size(), raw.size());  // the ladder has real duplicates
+  EXPECT_EQ(deduped.front(), raw.front());  // first representative wins
+  std::set<HostKernelKey> keys;
+  for (const auto& cfg : deduped) {
+    EXPECT_TRUE(keys.insert(host_kernel_key(cfg, plan, true)).second)
+        << cfg.to_string();
+  }
+  // Dedup loses no kernel: every raw config's key has a representative.
+  for (const auto& cfg : raw) {
+    EXPECT_TRUE(keys.count(host_kernel_key(cfg, plan, true)))
+        << cfg.to_string();
+  }
+  // The scalar engine's key is coarser, so its space is no larger.
+  EXPECT_LE(dedupe_host_configs(plan, raw, false).size(), deduped.size());
+}
+
+TEST(HostDedup, TuneHostTimesEachKernelOnce) {
+  const Plan plan = mini_plan(8, 64);
+  HostTuningOptions opt;
+  opt.repetitions = 1;
+  opt.warmup_runs = 0;
+  opt.threads = 1;
+  // {8,1,1,1} and {1,1,8,1} are the same host kernel; {4,1,1,1} differs.
+  const std::vector<KernelConfig> configs = {
+      KernelConfig{8, 1, 1, 1}, KernelConfig{1, 1, 8, 1},
+      KernelConfig{4, 1, 1, 1}};
+  const HostTuningResult r = tune_host(plan, opt, configs);
+  EXPECT_EQ(r.timings.size(), 2u);
+  EXPECT_EQ(r.timings[0].config, configs[0]);
+  EXPECT_EQ(r.timings[1].config, configs[2]);
+}
+
+// ------------------------------------------------------------ strategies --
+
+/// Deterministic synthetic landscape over the six axes: smooth log-space
+/// penalties around a known sweet spot, so strategy behaviour is testable
+/// without wall-clock noise. Optionally honors early-abort semantics.
+class SyntheticEvaluator : public ConfigEvaluator {
+ public:
+  explicit SyntheticEvaluator(const Plan& plan, bool support_abort = false)
+      : plan_(plan), support_abort_(support_abort) {}
+
+  double true_seconds(const KernelConfig& cfg) const {
+    auto penalty = [](double value, double sweet) {
+      const double d = std::log2(value + 1.0) - std::log2(sweet + 1.0);
+      return 1.0 + 0.15 * d * d;
+    };
+    double s = 1e-3;
+    s *= penalty(static_cast<double>(cfg.tile_time()), 64.0);
+    s *= penalty(static_cast<double>(cfg.tile_dm()), 4.0);
+    s *= penalty(
+        static_cast<double>(cfg.effective_channel_block(plan_)), 8.0);
+    s *= penalty(static_cast<double>(cfg.unroll), 2.0);
+    // Mild cross-term so the landscape is not axis-separable.
+    s *= 1.0 + 0.01 * std::log2(static_cast<double>(cfg.tile_time()) + 1.0) *
+                   static_cast<double>(cfg.unroll);
+    return s;
+  }
+
+  Measurement measure(const KernelConfig& cfg,
+                      double incumbent_seconds) override {
+    ++calls_;
+    const double t = true_seconds(cfg);
+    Measurement m;
+    m.repetitions = 1;
+    if (support_abort_ && t > incumbent_seconds) {
+      m.aborted = true;
+      m.seconds = t;
+      // A floor that is ≤ the true mean but already above the incumbent —
+      // exactly what a partial repetition sum proves.
+      m.lower_bound_seconds = std::min(t, incumbent_seconds * 1.25);
+      return m;
+    }
+    m.seconds = t;
+    m.lower_bound_seconds = t;
+    return m;
+  }
+
+  std::size_t calls() const { return calls_; }
+
+ private:
+  const Plan& plan_;
+  bool support_abort_;
+  std::size_t calls_ = 0;
+};
+
+TEST(Strategies, ExhaustiveFindsTheGlobalSyntheticOptimum) {
+  const Plan plan = mini_plan(8, 64);
+  const auto candidates = host_sweep_candidates(plan);
+  ASSERT_GT(candidates.size(), 10u);
+  SyntheticEvaluator eval(plan);
+  const StrategyResult r = ExhaustiveSearch().search(plan, candidates, eval);
+  EXPECT_EQ(r.evaluated, candidates.size());
+  EXPECT_EQ(r.timings.size(), candidates.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& cfg : candidates) {
+    best = std::min(best, eval.true_seconds(cfg));
+  }
+  EXPECT_DOUBLE_EQ(r.best.seconds, best);
+  EXPECT_GT(r.stats.snr_of_max, 0.0);
+  EXPECT_LT(r.chebyshev_p, 1.0);
+}
+
+TEST(Strategies, DifferentialCoordinateDescentNearsTheOptimumCheaply) {
+  // The differential bound of the guided strategies: on a deterministic
+  // landscape CoordinateDescent must land within 10% of the exhaustive
+  // optimum while evaluating a fraction of the space.
+  const Plan plan = mini_plan(8, 64);
+  const auto candidates = host_sweep_candidates(plan);
+  SyntheticEvaluator ex_eval(plan);
+  const StrategyResult ex =
+      ExhaustiveSearch().search(plan, candidates, ex_eval);
+
+  SyntheticEvaluator cd_eval(plan);
+  const StrategyResult cd =
+      CoordinateDescent(7).search(plan, candidates, cd_eval);
+  EXPECT_GE(cd.best.gflops, 0.9 * ex.best.gflops);
+  EXPECT_LE(cd.evaluated, candidates.size() / 2);
+  EXPECT_LE(cd.timings.size() + cd.aborted, cd_eval.calls());
+}
+
+TEST(Strategies, DifferentialRandomSearchIsBoundedlyWorse) {
+  const Plan plan = mini_plan(8, 64);
+  const auto candidates = host_sweep_candidates(plan);
+  SyntheticEvaluator ex_eval(plan);
+  const StrategyResult ex =
+      ExhaustiveSearch().search(plan, candidates, ex_eval);
+
+  SyntheticEvaluator rs_eval(plan);
+  const StrategyResult rs =
+      RandomSearch(24, 7).search(plan, candidates, rs_eval);
+  EXPECT_EQ(rs.evaluated, std::min<std::size_t>(24, candidates.size()));
+  // The landscape's dynamic range is small (smooth penalties), so even a
+  // thin sample lands within a bounded factor of the optimum.
+  EXPECT_GE(rs.best.gflops, 0.7 * ex.best.gflops);
+  // The sampled population's statistics bound the guessing probability.
+  EXPECT_GT(rs.chebyshev_p, 0.0);
+  EXPECT_LE(rs.chebyshev_p, 1.0);
+}
+
+TEST(Strategies, SeededSearchesAreDeterministic) {
+  const Plan plan = mini_plan(8, 64);
+  const auto candidates = host_sweep_candidates(plan);
+  for (int run = 0; run < 2; ++run) {
+    SyntheticEvaluator e1(plan), e2(plan);
+    const StrategyResult a =
+        CoordinateDescent(99).search(plan, candidates, e1);
+    const StrategyResult b =
+        CoordinateDescent(99).search(plan, candidates, e2);
+    EXPECT_EQ(a.best.config, b.best.config);
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    const StrategyResult r1 = RandomSearch(16, 5).search(plan, candidates, e1);
+    const StrategyResult r2 = RandomSearch(16, 5).search(plan, candidates, e2);
+    EXPECT_EQ(r1.best.config, r2.best.config);
+  }
+}
+
+TEST(Strategies, CoordinateDescentUsesEarlyAbort) {
+  const Plan plan = mini_plan(8, 64);
+  const auto candidates = host_sweep_candidates(plan);
+  SyntheticEvaluator eval(plan, /*support_abort=*/true);
+  const StrategyResult r = CoordinateDescent(7).search(plan, candidates, eval);
+  // Hopeless neighbors are abandoned mid-measurement…
+  EXPECT_GT(r.aborted, 0u);
+  // …and every completed timing is a full (exact) measurement — aborted
+  // configs never leak into the population.
+  for (const auto& t : r.timings) {
+    EXPECT_DOUBLE_EQ(t.seconds, eval.true_seconds(t.config));
+  }
+  SyntheticEvaluator plain(plan);
+  const StrategyResult no_abort =
+      CoordinateDescent(7).search(plan, candidates, plain);
+  // Early abort must not change the answer, only its cost.
+  EXPECT_EQ(r.best.config, no_abort.best.config);
+}
+
+TEST(Strategies, RealMeasurementSmoke) {
+  // One real wall-clock run of each strategy on the miniature plan: the
+  // machinery works end to end on the actual kernels.
+  const Plan plan = mini_plan(8, 64);
+  HostTuningOptions opt;
+  opt.repetitions = 1;
+  opt.warmup_runs = 0;
+  opt.threads = 1;
+  const auto candidates = host_sweep_candidates(plan, opt);
+  ASSERT_FALSE(candidates.empty());
+  HostKernelEvaluator eval(plan, opt);
+  const StrategyResult cd =
+      CoordinateDescent(3, 2, 4, 0).search(plan, candidates, eval);
+  EXPECT_GT(cd.best.gflops, 0.0);
+  EXPECT_LE(cd.evaluated, candidates.size());
+  // Without restarts the threshold only tightens, so every evaluator call
+  // is a distinct config.
+  EXPECT_EQ(eval.measurements(), cd.evaluated);
+}
+
+// ----------------------------------------------------------- tuning cache --
+
+TEST(TuningCacheTest, SignaturesRoundTripThroughEncode) {
+  const Plan plan = mini_plan(8, 64);
+  const PlanSignature psig = PlanSignature::of(plan);
+  const auto decoded = PlanSignature::decode(psig.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, psig);
+
+  dedisp::CpuKernelOptions engine;
+  engine.threads = 3;
+  engine.vectorize = false;
+  const HostSignature hsig = HostSignature::of(engine);
+  EXPECT_EQ(hsig.engine, "scalar");
+  const auto hdecoded = HostSignature::decode(hsig.encode());
+  ASSERT_TRUE(hdecoded.has_value());
+  EXPECT_EQ(*hdecoded, hsig);
+
+  EXPECT_FALSE(PlanSignature::decode("not a signature").has_value());
+  EXPECT_FALSE(HostSignature::decode("HD7970").has_value());
+}
+
+TEST(TuningCacheTest, HostileObservationNamesCannotCorruptTheCache) {
+  // The observation name is free-form and ends up inside two layered text
+  // formats ('|'-delimited signature in a comma-delimited CSV cell):
+  // delimiters are sanitized to '_' and a key-shaped name is never
+  // mistaken for a key=value field.
+  const sky::Observation hostile("LOFAR,HBA|v2\n", 100.0, 8, 100.0, 10.0,
+                                 0.0, 0.5);
+  const Plan plan = Plan::with_output_samples(hostile, 8, 64);
+  const PlanSignature sig = PlanSignature::of(plan);
+  EXPECT_EQ(sig.observation, "LOFAR_HBA_v2_");
+  const auto round = PlanSignature::decode(sig.encode());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, sig);
+
+  const sky::Observation key_shaped("ch=12", 100.0, 8, 100.0, 10.0, 0.0,
+                                    0.5);
+  const PlanSignature shaped =
+      PlanSignature::of(Plan::with_output_samples(key_shaped, 8, 64));
+  const auto decoded = PlanSignature::decode(shaped.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->observation, "ch=12");
+  EXPECT_EQ(decoded->channels, 8u);  // the real ch field, not the name
+
+  // End to end: a file-backed cache written under a hostile name reloads.
+  const std::string path =
+      ::testing::TempDir() + "ddmc_hostile_cache_test.csv";
+  std::remove(path.c_str());
+  {
+    TuningCache cache(path);
+    CacheEntry entry;
+    entry.host = HostSignature::of({});
+    entry.plan = sig;
+    entry.config = KernelConfig{8, 1, 1, 1};
+    entry.gflops = 1.0;
+    cache.store(entry);
+  }
+  {
+    TuningCache reloaded(path);
+    ASSERT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(reloaded.entries().front().plan, sig);
+    EXPECT_TRUE(reloaded.find_exact(HostSignature::of({}), sig).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheTest, PlanDistanceIsMetricLike) {
+  const PlanSignature a = PlanSignature::of(mini_plan(8, 64));
+  const PlanSignature b = PlanSignature::of(mini_plan(16, 64));
+  const PlanSignature c = PlanSignature::of(mini_plan(64, 64));
+  EXPECT_DOUBLE_EQ(plan_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(plan_distance(a, b), plan_distance(b, a));
+  EXPECT_LT(plan_distance(a, b), plan_distance(a, c));  // 2x nearer than 8x
+}
+
+TEST(TuningCacheTest, NearestNeighborSkipsNonValidatingConfigs) {
+  TuningCache cache;
+  dedisp::CpuKernelOptions engine;
+  const HostSignature host = HostSignature::of(engine);
+
+  // Closest entry's config has tile_dm = 16, which cannot divide the
+  // 8-trial target plan; the farther entry's config runs everywhere.
+  CacheEntry close;
+  close.host = host;
+  close.plan = PlanSignature::of(mini_plan(16, 64));
+  close.config = KernelConfig{8, 16, 1, 1};
+  CacheEntry far;
+  far.host = host;
+  far.plan = PlanSignature::of(mini_plan(64, 64));
+  far.config = KernelConfig{8, 1, 1, 1};
+  cache.store(close);
+  cache.store(far);
+
+  const Plan target = mini_plan(8, 64);
+  const auto found = cache.find_nearest(host, target);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->config, far.config);
+
+  // A host-signature mismatch never transfers.
+  dedisp::CpuKernelOptions other_engine;
+  other_engine.threads = 7;
+  EXPECT_FALSE(cache
+                   .find_nearest(HostSignature::of(other_engine), target)
+                   .has_value());
+}
+
+TEST(TuningCacheTest, WarmHitSkipsMeasurementEntirely) {
+  const Plan plan = mini_plan(8, 64);
+  TuningCache cache;
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 3;
+
+  const GuidedTuningOutcome cold = tune_guided(plan, cache, opt);
+  EXPECT_EQ(cold.source, GuidedTuningOutcome::Source::kSearch);
+  EXPECT_GT(cold.configs_evaluated, 0u);
+  ASSERT_TRUE(cold.search.has_value());
+  EXPECT_EQ(cache.size(), 1u);
+
+  const GuidedTuningOutcome warm = tune_guided(plan, cache, opt);
+  EXPECT_EQ(warm.source, GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(warm.configs_evaluated, 0u);  // the sweep is skipped entirely
+  EXPECT_FALSE(warm.search.has_value());
+  EXPECT_EQ(warm.config, cold.config);
+  ASSERT_TRUE(warm.transfer_distance.has_value());
+  EXPECT_DOUBLE_EQ(*warm.transfer_distance, 0.0);
+}
+
+TEST(TuningCacheTest, MissTransfersFromTheNearestPlan) {
+  const Plan plan = mini_plan(8, 64);
+  TuningCache cache;
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 3;
+  const GuidedTuningOutcome cold = tune_guided(plan, cache, opt);
+
+  // Same setup, twice the trials: answered by transfer, no measurements.
+  const Plan grown = mini_plan(16, 64);
+  const GuidedTuningOutcome moved = tune_guided(grown, cache, opt);
+  EXPECT_EQ(moved.source, GuidedTuningOutcome::Source::kTransfer);
+  EXPECT_EQ(moved.configs_evaluated, 0u);
+  EXPECT_EQ(moved.config, cold.config);
+  EXPECT_NO_THROW(moved.config.validate(grown));
+  ASSERT_TRUE(moved.transfer_distance.has_value());
+  EXPECT_GT(*moved.transfer_distance, 0.0);
+  EXPECT_EQ(cache.size(), 1u);  // transfers are not stored as measurements
+
+  // With transfer disabled the miss falls back to a search and stores.
+  GuidedTuningOptions strict = opt;
+  strict.allow_transfer = false;
+  const GuidedTuningOutcome searched = tune_guided(grown, cache, strict);
+  EXPECT_EQ(searched.source, GuidedTuningOutcome::Source::kSearch);
+  EXPECT_EQ(cache.size(), 2u);
+  // …and the next request for the grown plan is an exact hit.
+  const GuidedTuningOutcome hit = tune_guided(grown, cache, opt);
+  EXPECT_EQ(hit.source, GuidedTuningOutcome::Source::kCacheHit);
+}
+
+TEST(TuningCacheTest, PersistsAcrossProcessesViaResultsIo) {
+  const std::string path =
+      ::testing::TempDir() + "ddmc_tuning_cache_test.csv";
+  std::remove(path.c_str());
+  const Plan plan = mini_plan(8, 64);
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 3;
+
+  KernelConfig tuned;
+  {
+    TuningCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);
+    const GuidedTuningOutcome cold = tune_guided(plan, cache, opt);
+    EXPECT_EQ(cold.source, GuidedTuningOutcome::Source::kSearch);
+    tuned = cold.config;
+  }
+  {
+    // A fresh cache object (a new process, in effect) reloads the file and
+    // answers without measuring.
+    TuningCache cache(path);
+    EXPECT_EQ(cache.size(), 1u);
+    const GuidedTuningOutcome warm = tune_guided(plan, cache, opt);
+    EXPECT_EQ(warm.source, GuidedTuningOutcome::Source::kCacheHit);
+    EXPECT_EQ(warm.configs_evaluated, 0u);
+    EXPECT_EQ(warm.config, tuned);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultsIoFuzzSlowTier, RandomPopulationsSurviveSaveLoadBitwise) {
+  // Property: any population of rows round-trips bitwise — integers
+  // exactly, doubles via max_digits10 — across 100 seeded populations.
+  Rng rng(20260730);
+  auto random_text = [&rng]() {
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789|=._-";
+    std::string s;
+    const std::size_t n = 1 + rng.next_below(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      s += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    return s;
+  };
+  auto random_double = [&rng]() {
+    const double mantissa = rng.next_double() * 2.0 - 1.0;
+    const int exponent = static_cast<int>(rng.next_below(61)) - 30;
+    return mantissa * std::pow(10.0, exponent);
+  };
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::vector<ResultRow> rows(1 + rng.next_below(8));
+    for (ResultRow& row : rows) {
+      row.device = random_text();
+      row.observation = random_text();
+      row.dms = rng.next_below(1u << 20);
+      row.config.wi_time = 1 + rng.next_below(1024);
+      row.config.wi_dm = 1 + rng.next_below(32);
+      row.config.elem_time = 1 + rng.next_below(64);
+      row.config.elem_dm = 1 + rng.next_below(8);
+      row.config.channel_block = rng.next_below(4096);
+      row.config.unroll = 1 + rng.next_below(8);
+      row.gflops = random_double();
+      row.seconds = random_double();
+      row.snr = random_double();
+      row.evaluated = rng.next_below(1u << 24);
+    }
+    std::stringstream ss;
+    save_results(ss, rows);
+    const std::vector<ResultRow> loaded = load_results(ss);
+    ASSERT_EQ(loaded.size(), rows.size()) << "iteration " << iteration;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(loaded[i], rows[i])
+          << "iteration " << iteration << " row " << i;
+    }
+  }
+}
+
+TEST(ResultsIoFuzzSlowTier, RandomCorruptionsAreDiagnosedPrecisely) {
+  // Property: truncating a random row mid-cell, scrambling a numeric cell
+  // or permuting the header always throws the targeted diagnostic rather
+  // than producing silent garbage.
+  Rng rng(42424242);
+  std::vector<ResultRow> rows(3);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].device = "dev" + std::to_string(i);
+    rows[i].observation = "obs";
+    rows[i].dms = 8;
+    rows[i].config = KernelConfig{8, 1, 2, 1, 0, 2};
+    rows[i].gflops = 1.5;
+    rows[i].seconds = 0.25;
+    rows[i].snr = 3.0;
+    rows[i].evaluated = 99;
+  }
+  std::stringstream pristine;
+  save_results(pristine, rows);
+  const std::string text = pristine.str();
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2 + rows.size());
+
+  auto load_expecting_error = [](const std::string& corrupted) {
+    std::stringstream ss(corrupted);
+    try {
+      load_results(ss);
+    } catch (const invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  auto join = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const auto& l : ls) out += l + "\n";
+    return out;
+  };
+
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<std::string> mutated = lines;
+    const std::size_t victim = 2 + rng.next_below(rows.size());
+    switch (iteration % 3) {
+      case 0: {  // truncate: drop at least the last column
+        std::string& line = mutated[victim];
+        const std::size_t last_comma = line.rfind(',');
+        line = line.substr(0, last_comma - rng.next_below(last_comma / 2));
+        const std::string msg = load_expecting_error(join(mutated));
+        EXPECT_NE(msg.find("columns"), std::string::npos) << msg;
+        break;
+      }
+      case 1: {  // scramble one numeric cell
+        std::string& line = mutated[victim];
+        const std::size_t comma = line.find(',', line.find(',') + 1);
+        line.insert(comma + 1, "x");
+        const std::string msg = load_expecting_error(join(mutated));
+        EXPECT_NE(msg.find("malformed"), std::string::npos) << msg;
+        break;
+      }
+      case 2: {  // permute two header columns
+        std::string& header = mutated[1];
+        const std::size_t cut = header.find(',');
+        header = header.substr(cut + 1) + "," + header.substr(0, cut);
+        const std::string msg = load_expecting_error(join(mutated));
+        EXPECT_NE(msg.find("header"), std::string::npos) << msg;
+        break;
+      }
+    }
   }
 }
 
