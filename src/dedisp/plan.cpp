@@ -17,6 +17,31 @@ Plan Plan::with_chunk(std::size_t out_chunk) const {
   return Plan(*this, out_chunk);
 }
 
+Plan Plan::dm_shard(std::size_t first_dm, std::size_t dms) const {
+  // Checked here, before the delegated ctor's member initializers slice
+  // the delay table, so the caller sees the plan-level error.
+  DDMC_REQUIRE(dms > 0, "need at least one trial DM per shard");
+  DDMC_REQUIRE(first_dm + dms <= dms_,
+               "shard exceeds the parent plan's DM grid");
+  return Plan(*this, first_dm, dms);
+}
+
+Plan::Plan(const Plan& base, std::size_t first_dm, std::size_t dms)
+    : obs_(sky::Observation(base.obs_.name(), base.obs_.sampling_rate(),
+                            base.obs_.channels(), base.obs_.f_min_mhz(),
+                            base.obs_.channel_bw_mhz(),
+                            base.obs_.dm_value(first_dm),
+                            base.obs_.dm_step())),
+      dms_(dms),
+      out_samples_(base.out_samples_),
+      in_samples_(0),
+      delays_(std::make_shared<const sky::DelayTable>(*base.delays_, first_dm,
+                                                      dms)) {
+  // The shard observation's dm_first is informational (it keys the shard's
+  // PlanSignature in the tuning cache); the sliced table carries the delays.
+  in_samples_ = out_samples_ + static_cast<std::size_t>(delays_->max_delay());
+}
+
 Plan::Plan(const Plan& base, std::size_t out_chunk)
     : obs_(base.obs_),
       dms_(base.dms_),

@@ -58,6 +58,16 @@ class Plan {
   /// windows with chunk plans is bitwise identical to one batch run.
   Plan with_chunk(std::size_t out_chunk) const;
 
+  /// Shard plan for the contiguous trial range [first_dm, first_dm + dms):
+  /// same observation band and output window, a DM grid starting at trial
+  /// first_dm, and a delay table *sliced bit-for-bit* from this plan's —
+  /// never recomputed, so dedispersing every shard writes exactly the rows
+  /// a single-plan run would (the executor's bitwise-identity guarantee).
+  /// in_samples = out_samples + the slice's own max delay (no rounding), so
+  /// low-DM shards carry smaller input windows; any input matrix valid for
+  /// the parent plan is valid for every shard.
+  Plan dm_shard(std::size_t first_dm, std::size_t dms) const;
+
   /// Total single-precision FLOPs the paper credits this instance with:
   /// one accumulate per (dm, sample, channel).
   double total_flop() const {
@@ -80,6 +90,8 @@ class Plan {
        bool round_to_seconds);
   /// Chunk variant sharing \p base's delay table.
   Plan(const Plan& base, std::size_t out_chunk);
+  /// Shard variant slicing \p base's delay table.
+  Plan(const Plan& base, std::size_t first_dm, std::size_t dms);
 
   sky::Observation obs_;
   std::size_t dms_;

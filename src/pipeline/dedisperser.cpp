@@ -4,6 +4,7 @@
 #include "dedisp/reference.hpp"
 #include "ocl/device_presets.hpp"
 #include "ocl/sim_dedisp.hpp"
+#include "pipeline/sharding.hpp"
 
 namespace ddmc::pipeline {
 
@@ -26,6 +27,7 @@ tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
   ocl::PlanAnalysis analysis(plan_);
   tuner::TuningResult result = tuner::tune(device, analysis);
   config_ = result.best.config;
+  sharded_.reset();
   device_ = device;
   return result;
 }
@@ -41,16 +43,28 @@ tuner::GuidedTuningOutcome Dedisperser::tune_cached(
   options.host.threads = cpu_options_.threads;
   tuner::GuidedTuningOutcome outcome = tuner::tune_guided(plan_, cache, options);
   config_ = outcome.config;
+  sharded_.reset();
   return outcome;
 }
 
 void Dedisperser::set_config(const dedisp::KernelConfig& config) {
   config.validate(plan_);
   config_ = config;
+  sharded_.reset();
 }
 
 void Dedisperser::set_device(const ocl::DeviceModel& device) {
   device_ = device;
+}
+
+void Dedisperser::set_execution(Execution execution, std::size_t workers) {
+  DDMC_REQUIRE(execution == Execution::kSingle ||
+                   backend_ == Backend::kCpuTiled,
+               "sharded execution runs the tiled host engine; this "
+               "Dedisperser uses another backend");
+  execution_ = execution;
+  shard_workers_ = workers;
+  sharded_.reset();
 }
 
 Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
@@ -61,7 +75,16 @@ Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
       dedisp::dedisperse_reference(plan_, input, out.view());
       break;
     case Backend::kCpuTiled:
-      dedisp::dedisperse_cpu(plan_, config_, input, out.view(), cpu_options_);
+      if (execution_ == Execution::kDmSharded) {
+        if (!sharded_) {
+          sharded_ = std::make_shared<const ShardedDedisperser>(
+              plan_, config_, sharded_options(shard_workers_, cpu_options_));
+        }
+        sharded_->dedisperse(input, out.view());
+      } else {
+        dedisp::dedisperse_cpu(plan_, config_, input, out.view(),
+                               cpu_options_);
+      }
       break;
     case Backend::kCpuBaseline:
       dedisp::dedisperse_cpu_baseline(plan_, input, out.view());

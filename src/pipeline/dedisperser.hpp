@@ -23,6 +23,7 @@
 /// same kCpuTiled kernel chunk-by-chunk (bitwise-identical output) with
 /// bounded-ring ingest and latency accounting.
 
+#include <memory>
 #include <optional>
 
 #include "common/array2d.hpp"
@@ -38,6 +39,15 @@
 namespace ddmc::pipeline {
 
 enum class Backend { kReference, kCpuTiled, kCpuBaseline, kSimulated };
+
+/// Execution mode, orthogonal to the Backend: kSingle runs one engine over
+/// the whole plan; kDmSharded partitions the DM grid across a worker pool
+/// (pipeline/sharding.hpp) with bitwise-identical output. Only the
+/// kCpuTiled backend supports sharded execution — the other backends are
+/// correctness/model references with no worker decomposition.
+enum class Execution { kSingle, kDmSharded };
+
+class ShardedDedisperser;  // pipeline/sharding.hpp
 
 class Dedisperser {
  public:
@@ -78,11 +88,20 @@ class Dedisperser {
   /// threads) — the knobs of the SIMD host engine.
   void set_cpu_options(const dedisp::CpuKernelOptions& options) {
     cpu_options_ = options;
+    sharded_.reset();
   }
   const dedisp::CpuKernelOptions& cpu_options() const { return cpu_options_; }
 
   /// Device used by the kSimulated backend (defaults to the HD7970 model).
   void set_device(const ocl::DeviceModel& device);
+
+  /// Select the execution mode of dedisperse(). kDmSharded splits the DM
+  /// grid into cost-balanced shards executed on \p workers pool threads
+  /// (0 = machine concurrency); throws ddmc::invalid_argument on any
+  /// backend other than kCpuTiled.
+  void set_execution(Execution execution, std::size_t workers = 0);
+  Execution execution() const { return execution_; }
+  std::size_t shard_workers() const { return shard_workers_; }
 
   /// Execute the selected backend. Input must be channels × ≥in_samples.
   Array2D<float> dedisperse(ConstView2D<float> input);
@@ -99,6 +118,12 @@ class Dedisperser {
   Backend backend_;
   dedisp::KernelConfig config_{1, 1, 1, 1};
   dedisp::CpuKernelOptions cpu_options_;
+  Execution execution_ = Execution::kSingle;
+  std::size_t shard_workers_ = 0;
+  /// Executor reused across dedisperse() calls in kDmSharded mode (built
+  /// lazily: worker pool + planner + shard plans are per-(plan, config,
+  /// workers), not per-call); invalidated by every setter that feeds it.
+  std::shared_ptr<const ShardedDedisperser> sharded_;
   std::optional<ocl::DeviceModel> device_;
   std::optional<ocl::MemCounters> counters_;
 };

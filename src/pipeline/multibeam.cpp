@@ -6,6 +6,7 @@
 #include "common/expect.hpp"
 #include "common/thread_pool.hpp"
 #include "dedisp/cpu_kernel.hpp"
+#include "pipeline/sharding.hpp"
 
 namespace ddmc::pipeline {
 
@@ -59,6 +60,13 @@ std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
   }
   pool->parallel_for(0, beams.size(), 1, run_beam);
   return outputs;
+}
+
+std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse_sharded(
+    const std::vector<ConstView2D<float>>& beams, std::size_t workers) const {
+  const ShardedDedisperser sharded(plan_, config_,
+                                   sharded_options(workers, cpu_options_));
+  return sharded.dedisperse_batch(beams);
 }
 
 MultiBeamDedisperser::BeamCandidate MultiBeamDedisperser::search(

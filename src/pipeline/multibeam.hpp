@@ -41,6 +41,14 @@ class MultiBeamDedisperser {
       const std::vector<ConstView2D<float>>& beams,
       std::size_t threads = 0) const;
 
+  /// Same decomposition with the DM grid additionally sharded: all
+  /// beams × shards jobs are batched onto one pool of \p workers threads
+  /// (0 = machine concurrency), so a few beams still saturate many
+  /// workers. Bitwise identical to dedisperse().
+  std::vector<Array2D<float>> dedisperse_sharded(
+      const std::vector<ConstView2D<float>>& beams,
+      std::size_t workers = 0) const;
+
   /// Candidate found by scanning every beam's dedispersed matrix.
   struct BeamCandidate {
     std::size_t beam = 0;

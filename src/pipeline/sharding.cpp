@@ -1,0 +1,285 @@
+#include "pipeline/sharding.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+
+namespace ddmc::pipeline {
+
+namespace {
+
+/// Shrink \p base's DM tile to divide \p shard while keeping the time tile
+/// (the shard's out_samples equals the parent's, so the time dimension
+/// still divides). The engine is bitwise identical across configurations,
+/// so adaptation never changes results — only efficiency.
+dedisp::KernelConfig adapt_config(const dedisp::KernelConfig& base,
+                                  const dedisp::Plan& shard) {
+  dedisp::KernelConfig cfg = base;
+  const std::size_t tile =
+      std::gcd(std::max<std::size_t>(base.tile_dm(), 1), shard.dms());
+  cfg.elem_dm = std::gcd(std::max<std::size_t>(base.elem_dm, 1), tile);
+  cfg.wi_dm = tile / cfg.elem_dm;
+  try {
+    cfg.validate(shard);
+    return cfg;
+  } catch (const config_error&) {
+    cfg.wi_dm = 1;
+    cfg.elem_dm = 1;
+    cfg.validate(shard);  // time tile must divide; the ctor checked the base
+    return cfg;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- planner --
+
+DmShardPlanner::DmShardPlanner(const dedisp::Plan& plan,
+                               const ocl::DeviceModel& cost_device)
+    : out_samples_(plan.out_samples()), channels_(plan.channels()) {
+  const sky::DelayTable& delays = plan.delays();
+  max_delay_.resize(plan.dms());
+  std::int64_t running = 0;
+  for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+    for (std::size_t ch = 0; ch < channels_; ++ch) {
+      running = std::max(running, delays.delay(dm, ch));
+    }
+    max_delay_[dm] = running;
+  }
+
+  // Anchor the per-trial term on the PerfEstimate of the whole instance:
+  // (execution − fixed overhead) / trials. The staging term prices one
+  // cold DRAM pass over a shard's unique input floats; launch overhead is
+  // paid once per shard.
+  const ocl::PerfEstimate est = ocl::estimate_cpu_baseline(cost_device, plan);
+  seconds_per_trial_ = std::max(0.0, est.seconds - est.overhead_seconds) /
+                       static_cast<double>(plan.dms());
+  seconds_per_input_float_ =
+      4.0 / (cost_device.peak_bandwidth_gbs * 1e9 * cost_device.bw_efficiency);
+  shard_overhead_seconds_ = cost_device.launch_overhead_us * 1e-6;
+}
+
+DmShardPlanner::DmShardPlanner(const dedisp::Plan& plan)
+    : DmShardPlanner(plan, ocl::intel_xeon_e5_2620()) {}
+
+double DmShardPlanner::shard_seconds(std::size_t first_dm,
+                                     std::size_t dms) const {
+  DDMC_REQUIRE(dms > 0, "shard needs at least one trial");
+  DDMC_REQUIRE(first_dm + dms <= max_delay_.size(),
+               "shard exceeds the plan's DM grid");
+  const double window = static_cast<double>(out_samples_) +
+                        static_cast<double>(max_delay_[first_dm + dms - 1]);
+  return shard_overhead_seconds_ +
+         seconds_per_trial_ * static_cast<double>(dms) +
+         seconds_per_input_float_ * static_cast<double>(channels_) * window;
+}
+
+ShardLayout DmShardPlanner::partition(std::size_t workers) const {
+  const std::size_t n = max_delay_.size();
+  const std::size_t target = std::min(std::max<std::size_t>(workers, 1), n);
+
+  // Shards needed when no shard may exceed budget: greedy maximal packing.
+  // Cost is monotone in both the trial count and the range end (running-max
+  // delays), so packing as much as fits is optimal and per-shard extension
+  // binary-searches the furthest affordable end.
+  const auto shards_needed = [&](double budget) {
+    std::size_t first = 0;
+    std::size_t used = 0;
+    while (first < n) {
+      if (shard_seconds(first, 1) > budget) return n + 1;  // infeasible
+      std::size_t lo = 1;
+      std::size_t hi = n - first;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (shard_seconds(first, mid) <= budget) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      first += lo;
+      ++used;
+      if (used > n) break;  // defensive: cannot need more than n shards
+    }
+    return used;
+  };
+
+  // Binary search the min-max budget; `hi` stays feasible throughout, so
+  // the final greedy pass is guaranteed to fit the worker count.
+  double lo = shard_seconds(0, 1);
+  for (std::size_t d = 1; d < n; ++d) {
+    lo = std::max(lo, shard_seconds(d, 1));
+  }
+  double budget = lo;
+  if (shards_needed(lo) > target) {
+    double hi = shard_seconds(0, n);
+    for (int iter = 0; iter < 48; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (shards_needed(mid) <= target) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    budget = hi;
+  }
+
+  ShardLayout layout;
+  std::size_t first = 0;
+  while (first < n) {
+    std::size_t lo_c = 1;
+    std::size_t hi_c = n - first;
+    while (lo_c < hi_c) {
+      const std::size_t mid = lo_c + (hi_c - lo_c + 1) / 2;
+      if (shard_seconds(first, mid) <= budget) {
+        lo_c = mid;
+      } else {
+        hi_c = mid - 1;
+      }
+    }
+    // Leave at least one trial for every remaining worker so the surplus
+    // trials never pile onto a final over-budget shard; the last worker
+    // takes whatever is left (≤ budget by the feasibility of `budget`).
+    const std::size_t remaining_shards = target - layout.shards.size();
+    std::size_t count = lo_c;
+    if (remaining_shards == 1) {
+      count = n - first;
+    } else {
+      count = std::max<std::size_t>(
+          std::min(count, n - first - (remaining_shards - 1)), 1);
+    }
+    layout.shards.push_back(DmShard{first, count, 0.0});
+    first += count;
+  }
+
+  for (DmShard& s : layout.shards) {
+    s.modeled_seconds = shard_seconds(s.first_dm, s.dms);
+    layout.modeled_max_seconds =
+        std::max(layout.modeled_max_seconds, s.modeled_seconds);
+    layout.modeled_total_seconds += s.modeled_seconds;
+  }
+  // The greedy pass reserves a trial for every remaining worker and hands
+  // the last worker the remainder, so every worker owns exactly one shard.
+  DDMC_ENSURE(layout.shards.size() == target,
+              "partition must produce one shard per (clamped) worker");
+  return layout;
+}
+
+// --------------------------------------------------------------- executor --
+
+ShardedOptions::ShardedOptions() : cost_device(ocl::intel_xeon_e5_2620()) {}
+
+ShardedOptions sharded_options(std::size_t workers,
+                               const dedisp::CpuKernelOptions& cpu) {
+  ShardedOptions options;
+  options.workers = workers;
+  options.cpu = cpu;
+  return options;
+}
+
+ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
+                                       ShardedOptions options)
+    : plan_(std::move(plan)), options_(std::move(options)) {
+  options_.cpu.threads = 1;  // shards × beams are the parallel dimension
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  const DmShardPlanner planner(plan_, options_.cost_device);
+  layout_ = planner.partition(pool_->worker_count());
+  shard_plans_.reserve(layout_.shards.size());
+  for (const DmShard& s : layout_.shards) {
+    shard_plans_.push_back(plan_.dm_shard(s.first_dm, s.dms));
+  }
+}
+
+ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
+                                       dedisp::KernelConfig config,
+                                       ShardedOptions options)
+    : ShardedDedisperser(std::move(plan), std::move(options)) {
+  config.validate(plan_);
+  shard_configs_.reserve(shard_plans_.size());
+  for (const dedisp::Plan& shard : shard_plans_) {
+    shard_configs_.push_back(adapt_config(config, shard));
+  }
+}
+
+ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
+                                       tuner::TuningCache& cache,
+                                       ShardedOptions options,
+                                       tuner::GuidedTuningOptions tuning)
+    : ShardedDedisperser(std::move(plan), std::move(options)) {
+  tuning.host.stage_rows = options_.cpu.stage_rows;
+  tuning.host.vectorize = options_.cpu.vectorize;
+  tuning.host.threads = options_.cpu.threads;
+  shard_configs_.reserve(shard_plans_.size());
+  tuning_outcomes_.reserve(shard_plans_.size());
+  for (const dedisp::Plan& shard : shard_plans_) {
+    tuner::GuidedTuningOutcome outcome =
+        tuner::tune_guided(shard, cache, tuning);
+    shard_configs_.push_back(outcome.config);
+    tuning_outcomes_.push_back(std::move(outcome));
+  }
+}
+
+void ShardedDedisperser::run_batch(
+    const std::vector<ConstView2D<float>>& beams,
+    const std::vector<View2D<float>>& outs) const {
+  const std::size_t shards = shard_plans_.size();
+  const std::size_t jobs = beams.size() * shards;
+  // One batched submission: every (beam, shard) job enters the pool queue
+  // now; parallel_for is the assembly barrier that completes the matrices
+  // (each job fills its shard's row range, so assembly is ordering-free)
+  // and rethrows the first worker failure.
+  pool_->parallel_for(0, jobs, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::size_t beam = j / shards;
+      const std::size_t shard = j % shards;
+      const DmShard& range = layout_.shards[shard];
+      const View2D<float>& full = outs[beam];
+      const View2D<float> rows(full.data() + range.first_dm * full.pitch(),
+                               range.dms, full.cols(), full.pitch());
+      dedisp::dedisperse_cpu(shard_plans_[shard], shard_configs_[shard],
+                             beams[beam], rows, options_.cpu);
+    }
+  });
+}
+
+void ShardedDedisperser::dedisperse(ConstView2D<float> input,
+                                    View2D<float> out) const {
+  DDMC_REQUIRE(out.rows() == plan_.dms(), "output rows != trial DMs");
+  DDMC_REQUIRE(out.cols() >= plan_.out_samples(), "output too short");
+  run_batch({input}, {out});
+}
+
+Array2D<float> ShardedDedisperser::dedisperse(ConstView2D<float> input) const {
+  Array2D<float> out(plan_.dms(), plan_.out_samples());
+  dedisperse(input, out.view());
+  return out;
+}
+
+std::vector<Array2D<float>> ShardedDedisperser::dedisperse_batch(
+    const std::vector<ConstView2D<float>>& beams) const {
+  DDMC_REQUIRE(!beams.empty(), "need at least one beam");
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    DDMC_REQUIRE(beams[b].rows() == plan_.channels(),
+                 "beam " + std::to_string(b) + " rows != plan channels");
+    DDMC_REQUIRE(beams[b].cols() >= plan_.in_samples(),
+                 "beam " + std::to_string(b) +
+                     " holds too few samples for the plan");
+  }
+  std::vector<Array2D<float>> outputs;
+  std::vector<View2D<float>> views;
+  outputs.reserve(beams.size());
+  views.reserve(beams.size());
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    outputs.emplace_back(plan_.dms(), plan_.out_samples());
+    views.push_back(outputs.back().view());
+  }
+  run_batch(beams, views);
+  return outputs;
+}
+
+}  // namespace ddmc::pipeline

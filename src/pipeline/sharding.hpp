@@ -1,0 +1,186 @@
+#pragma once
+/// \file sharding.hpp
+/// \brief DM-sharded execution: partition one plan's DM grid across a
+/// worker pool.
+///
+/// The paper sizes real surveys by what one accelerator sustains (§V-D:
+/// Apertif = 2,000 DMs × 450 beams); production deployments split that DM
+/// range across many devices (Sclocco et al. 1601.01165; Barsdell et al.
+/// 1201.5380 partition the DM space to fit device limits). This module is
+/// the host-side architectural step those backends plug into:
+///
+///  - DmShardPlanner cuts a plan's DM grid into contiguous per-worker
+///    ranges balanced by *modeled cost* (derived from ocl::PerfEstimate),
+///    not equal trial counts: a high-DM shard drags a larger input window
+///    through memory (its dispersion sweep is longer), so equal-count
+///    splits systematically overload the top shard.
+///  - ShardedDedisperser executes the shards across an owned worker pool.
+///    Every shard runs on its own worker with its own staging buffers and
+///    its own KernelConfig — either adapted from a caller config or tuned
+///    per shard through TuningCache::tune_guided (shard plans carry their
+///    own PlanSignature, so neighboring shards answer each other's tuning
+///    by nearest-neighbor transfer). Batched submission covers multiple
+///    beams (beams × shards jobs in flight at once); results are assembled
+///    into the full dms × out_samples matrix by writing each shard's rows
+///    at its DM offset, which makes the output *bitwise identical* to the
+///    single-engine batch path: shard delay tables are sliced, never
+///    recomputed (Plan::dm_shard), and the tiled engine is bitwise
+///    identical across kernel configurations.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/thread_pool.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "ocl/device.hpp"
+#include "tuner/tuning_cache.hpp"
+
+namespace ddmc::pipeline {
+
+/// One contiguous DM range owned by one worker.
+struct DmShard {
+  std::size_t first_dm = 0;      ///< first trial of the range
+  std::size_t dms = 0;           ///< trials in the range
+  double modeled_seconds = 0.0;  ///< planner cost estimate for the range
+};
+
+/// A full partition of a plan's DM grid.
+struct ShardLayout {
+  std::vector<DmShard> shards;        ///< contiguous, in DM order
+  double modeled_max_seconds = 0.0;   ///< slowest shard (the critical path)
+  double modeled_total_seconds = 0.0; ///< Σ modeled_seconds
+
+  /// max / mean modeled shard cost; 1 = perfectly balanced.
+  double imbalance() const {
+    if (shards.empty() || modeled_total_seconds <= 0.0) return 1.0;
+    return modeled_max_seconds * static_cast<double>(shards.size()) /
+           modeled_total_seconds;
+  }
+};
+
+/// Partitions a plan's DM grid into per-worker shards, minimizing the
+/// modeled cost of the slowest shard (the quantity that bounds wall time).
+///
+/// The cost model is anchored on ocl::estimate_cpu_baseline (a
+/// PerfEstimate on \p cost_device): its per-trial execution time prices the
+/// accumulate work, and a staging term prices reading the shard's unique
+/// input window — channels × (out_samples + max delay of the shard's top
+/// trial) floats — at the device's achievable bandwidth. The second term is
+/// what makes high-DM shards more expensive than low-DM shards of equal
+/// trial count.
+class DmShardPlanner {
+ public:
+  explicit DmShardPlanner(const dedisp::Plan& plan,
+                          const ocl::DeviceModel& cost_device);
+  /// Costs on the §V-D comparison CPU model (the executor's default).
+  explicit DmShardPlanner(const dedisp::Plan& plan);
+
+  std::size_t dms() const { return max_delay_.size(); }
+
+  /// Modeled wall seconds for one worker owning [first_dm, first_dm+dms).
+  double shard_seconds(std::size_t first_dm, std::size_t dms) const;
+
+  /// Optimal min-max contiguous partition into exactly
+  /// min(\p workers, dms()) shards — every shard holds ≥ 1 trial, so more
+  /// workers than trials idle the surplus. Shards cover [0, plan.dms())
+  /// exactly, in order.
+  ShardLayout partition(std::size_t workers) const;
+
+ private:
+  std::size_t out_samples_ = 0;
+  std::size_t channels_ = 0;
+  /// Running max over channels and trials ≤ d — monotone by construction,
+  /// so shard cost is monotone in the range end and greedy packing against
+  /// a cost threshold is optimal.
+  std::vector<std::int64_t> max_delay_;
+  double seconds_per_trial_ = 0.0;
+  double seconds_per_input_float_ = 0.0;
+  double shard_overhead_seconds_ = 0.0;
+};
+
+struct ShardedOptions {
+  /// Worker threads owning shards; 0 = machine concurrency.
+  std::size_t workers = 0;
+  /// Engine knobs shared by every worker. The per-worker thread count is
+  /// always forced to 1 — shards (× beams) are the parallel dimension.
+  dedisp::CpuKernelOptions cpu;
+  /// Device model pricing the planner's cost terms.
+  ocl::DeviceModel cost_device;
+
+  ShardedOptions();
+};
+
+/// The wiring-site construction shared by Dedisperser, MultiBeamDedisperser
+/// and the streaming sessions: \p workers pool threads with the caller's
+/// engine knobs (whose thread count the executor forces to 1 anyway).
+ShardedOptions sharded_options(std::size_t workers,
+                               const dedisp::CpuKernelOptions& cpu);
+
+/// Executes a plan as DM shards on an owned worker pool.
+class ShardedDedisperser {
+ public:
+  /// Every shard derives its config from \p config: the DM tile is shrunk
+  /// (gcd with the shard's trial count) where the shard breaks the
+  /// divisibility constraint; the time tile is untouched. \p config must
+  /// validate against \p plan.
+  ShardedDedisperser(dedisp::Plan plan, dedisp::KernelConfig config,
+                     ShardedOptions options = {});
+
+  /// Tune each shard through \p cache: shard plans carry their own
+  /// PlanSignature, so the first shard's guided search seeds the cache and
+  /// neighboring shards resolve by exact hit or nearest-neighbor transfer
+  /// (zero measurements). The engine knobs of \p tuning.host are overridden
+  /// by \p options.cpu, matching what the workers will run.
+  ShardedDedisperser(dedisp::Plan plan, tuner::TuningCache& cache,
+                     ShardedOptions options = {},
+                     tuner::GuidedTuningOptions tuning = {});
+
+  const dedisp::Plan& plan() const { return plan_; }
+  const ShardLayout& layout() const { return layout_; }
+  std::size_t workers() const { return pool_->worker_count(); }
+  std::size_t shard_count() const { return shard_plans_.size(); }
+  const dedisp::Plan& shard_plan(std::size_t shard) const {
+    return shard_plans_.at(shard);
+  }
+  const dedisp::KernelConfig& shard_config(std::size_t shard) const {
+    return shard_configs_.at(shard);
+  }
+  /// Per-shard tuning outcomes (cache constructor only; else empty).
+  const std::vector<tuner::GuidedTuningOutcome>& tuning_outcomes() const {
+    return tuning_outcomes_;
+  }
+
+  /// Dedisperse one beam into \p out (dms × ≥out_samples): all shards are
+  /// submitted to the pool at once, each writing its own row range of
+  /// \p out. Blocks until the matrix is fully assembled; rethrows the
+  /// first worker failure. Bitwise identical to the single-engine path.
+  void dedisperse(ConstView2D<float> input, View2D<float> out) const;
+
+  /// Convenience allocating the output matrix.
+  Array2D<float> dedisperse(ConstView2D<float> input) const;
+
+  /// Batched submission: every (beam, shard) job enters the pool together,
+  /// so workers drain beams × shards work items without a per-beam barrier.
+  /// outputs[b] is beam b's full dms × out_samples matrix.
+  std::vector<Array2D<float>> dedisperse_batch(
+      const std::vector<ConstView2D<float>>& beams) const;
+
+ private:
+  ShardedDedisperser(dedisp::Plan plan, ShardedOptions options);
+  void run_batch(const std::vector<ConstView2D<float>>& beams,
+                 const std::vector<View2D<float>>& outs) const;
+
+  dedisp::Plan plan_;
+  ShardedOptions options_;
+  ShardLayout layout_;
+  std::vector<dedisp::Plan> shard_plans_;
+  std::vector<dedisp::KernelConfig> shard_configs_;
+  std::vector<tuner::GuidedTuningOutcome> tuning_outcomes_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ddmc::pipeline

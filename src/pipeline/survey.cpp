@@ -19,9 +19,10 @@ SurveySizing size_survey(const ocl::DeviceModel& device,
   SurveySizing s;
   s.seconds_per_beam = tuned.best.perf.seconds;
   s.tuned_gflops = tuned.best.perf.gflops;
-  if (s.seconds_per_beam > 0.0 && s.seconds_per_beam <= 1.0) {
+  if (s.seconds_per_beam > 0.0) {
+    s.beams_per_device_realtime = 1.0 / s.seconds_per_beam;
     s.beams_per_device_compute =
-        static_cast<std::size_t>(std::floor(1.0 / s.seconds_per_beam));
+        static_cast<std::size_t>(std::floor(s.beams_per_device_realtime));
   }
   const double bytes_per_beam =
       plan.input_bytes() + plan.output_bytes() +
@@ -30,9 +31,17 @@ SurveySizing size_survey(const ocl::DeviceModel& device,
       std::floor(0.9 * device.memory_bytes() / bytes_per_beam));
   s.beams_per_device =
       std::min(s.beams_per_device_compute, s.beams_per_device_memory);
-  s.feasible = s.beams_per_device > 0;
-  if (s.feasible) {
+  // A device slower than one beam-second per second is not infeasible —
+  // several devices share one beam (cpus_needed's semantics; in practice
+  // each owns a DM shard, pipeline/sharding.hpp). Only a beam whose data
+  // cannot fit device memory has no deployment at all.
+  s.feasible = s.beams_per_device_memory > 0;
+  if (!s.feasible) return s;
+  if (s.beams_per_device >= 1) {
     s.devices_needed = ceil_div(beams, s.beams_per_device);
+  } else {
+    s.devices_needed = static_cast<std::size_t>(
+        std::ceil(s.seconds_per_beam * static_cast<double>(beams)));
   }
   return s;
 }

@@ -20,15 +20,23 @@ namespace ddmc::pipeline {
 struct SurveySizing {
   double seconds_per_beam = 0.0;   ///< tuned time to dedisperse 1 s, 1 beam
   double tuned_gflops = 0.0;       ///< tuned kernel throughput
-  std::size_t beams_per_device_compute = 0;  ///< real-time compute limit
+  /// Fractional real-time compute pressure, 1 / seconds_per_beam: 9.4 means
+  /// one device sustains 9 whole beams; 0.25 means four devices share one
+  /// beam (e.g. each owning a DM shard, pipeline/sharding.hpp).
+  double beams_per_device_realtime = 0.0;
+  std::size_t beams_per_device_compute = 0;  ///< floor of the above
   std::size_t beams_per_device_memory = 0;   ///< device-memory limit
   std::size_t beams_per_device = 0;          ///< min of the two
   std::size_t devices_needed = 0;  ///< for all beams, real-time
-  bool feasible = false;           ///< at least one beam fits a device
+  bool feasible = false;           ///< a real-time deployment exists
 };
 
 /// Tune \p device on (obs, dms) and derive how many devices a survey with
-/// \p beams beams needs to stay real-time.
+/// \p beams beams needs to stay real-time. Devices faster than one beam per
+/// second pack floor(beams_per_device) beams each; slower devices *share*
+/// beams — devices_needed = ceil(seconds_per_beam × beams), the same
+/// semantics cpus_needed() always had — instead of declaring the survey
+/// infeasible. Only a beam that cannot fit device memory is infeasible.
 SurveySizing size_survey(const ocl::DeviceModel& device,
                          const sky::Observation& obs, std::size_t dms,
                          std::size_t beams);

@@ -37,6 +37,21 @@ DelayTable::DelayTable(const Observation& obs, std::size_t dms)
   }
 }
 
+DelayTable::DelayTable(const DelayTable& base, std::size_t first_dm,
+                       std::size_t dms)
+    : table_(std::max<std::size_t>(dms, 1), base.channels()) {
+  DDMC_REQUIRE(dms > 0, "need at least one trial DM in the slice");
+  DDMC_REQUIRE(first_dm + dms <= base.dms(),
+               "delay-table slice exceeds the parent DM grid");
+  for (std::size_t dm = 0; dm < dms; ++dm) {
+    for (std::size_t ch = 0; ch < base.channels(); ++ch) {
+      const std::int64_t k = base.table_(first_dm + dm, ch);
+      table_(dm, ch) = k;
+      max_delay_ = std::max(max_delay_, k);
+    }
+  }
+}
+
 SpreadStats DelayTable::tile_spreads(std::size_t tile_dm) const {
   DDMC_REQUIRE(tile_dm > 0, "tile size must be positive");
   DDMC_REQUIRE(dms() % tile_dm == 0,

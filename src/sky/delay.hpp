@@ -47,6 +47,13 @@ class DelayTable {
  public:
   DelayTable(const Observation& obs, std::size_t dms);
 
+  /// Contiguous trial slice [first_dm, first_dm + dms) of \p base. The rows
+  /// are *copied bit-for-bit*, never recomputed: a sharded executor that
+  /// recomputed delays from an offset DM grid could round a delay to a
+  /// different sample (dm_first + step·k is not associative in floating
+  /// point) and silently break bitwise equivalence with the parent plan.
+  DelayTable(const DelayTable& base, std::size_t first_dm, std::size_t dms);
+
   std::size_t dms() const { return table_.rows(); }
   std::size_t channels() const { return table_.cols(); }
 

@@ -10,11 +10,19 @@
 namespace ddmc::sky {
 
 namespace {
-/// Median of a scratch vector (partially sorts it in place).
+/// Median of a scratch vector (partially sorts it in place). Even-length
+/// sets average the two middle elements — taking only the upper-middle one
+/// biases the baseline high, and with it the MAD·1.4826 σ estimate.
 double median_inplace(std::vector<float>& values) {
   const std::size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
-  return static_cast<double>(values[mid]);
+  const double upper = static_cast<double>(values[mid]);
+  if (values.size() % 2 != 0) return upper;
+  // nth_element left the lower half in [begin, mid); its max is the other
+  // middle element.
+  const double lower = static_cast<double>(
+      *std::max_element(values.begin(), values.begin() + mid));
+  return 0.5 * (lower + upper);
 }
 }  // namespace
 

@@ -7,11 +7,9 @@
 
 namespace ddmc::stream {
 
-double percentile(std::span<const double> values, double p) {
-  DDMC_REQUIRE(!values.empty(), "percentile of an empty set");
+double percentile_sorted(std::span<const double> sorted, double p) {
+  DDMC_REQUIRE(!sorted.empty(), "percentile of an empty set");
   DDMC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank out of [0, 100]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   // Nearest-rank: the smallest value with at least p% of the set at or
   // below it.
   const double rank =
@@ -21,8 +19,27 @@ double percentile(std::span<const double> values, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+double percentile(std::span<const double> values, double p) {
+  DDMC_REQUIRE(!values.empty(), "percentile of an empty set");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+LatencyTracker::LatencyTracker(std::size_t capacity) : capacity_(capacity) {
+  DDMC_REQUIRE(capacity_ > 0, "latency tracker needs a positive capacity");
+  latencies_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
 void LatencyTracker::record(const ChunkTiming& timing) {
-  latencies_.push_back(timing.latency_seconds);
+  if (latencies_.size() < capacity_) {
+    latencies_.push_back(timing.latency_seconds);
+  } else {
+    latencies_[next_] = timing.latency_seconds;  // overwrite the oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+  max_latency_ = std::max(max_latency_, timing.latency_seconds);
   compute_.add(timing.compute_seconds);
   data_seconds_ += timing.data_seconds;
   compute_seconds_ += timing.compute_seconds;
@@ -30,22 +47,19 @@ void LatencyTracker::record(const ChunkTiming& timing) {
 
 LatencyReport LatencyTracker::report() const {
   LatencyReport r;
-  r.chunks = latencies_.size();
+  r.chunks = recorded_;
   if (r.chunks == 0) return r;
   r.data_seconds = data_seconds_;
   r.compute_seconds = compute_seconds_;
-  // One sort serves every percentile — report() may be polled per chunk.
+  // One bounded sort serves every percentile — report() may be polled per
+  // chunk, and the window never exceeds capacity().
   std::vector<double> sorted = latencies_;
   std::sort(sorted.begin(), sorted.end());
-  const auto rank = [&](double p) {
-    const double k = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-    const std::size_t idx = k <= 1.0 ? 0 : static_cast<std::size_t>(k) - 1;
-    return sorted[std::min(idx, sorted.size() - 1)];
-  };
-  r.p50_latency = rank(50.0);
-  r.p95_latency = rank(95.0);
-  r.p99_latency = rank(99.0);
-  r.max_latency = sorted.back();
+  r.latency_window = sorted.size();
+  r.p50_latency = percentile_sorted(sorted, 50.0);
+  r.p95_latency = percentile_sorted(sorted, 95.0);
+  r.p99_latency = percentile_sorted(sorted, 99.0);
+  r.max_latency = max_latency_;
   r.mean_compute = compute_.mean();
   if (compute_seconds_ > 0.0) {
     r.real_time_margin = data_seconds_ / compute_seconds_;

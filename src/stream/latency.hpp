@@ -35,12 +35,15 @@ struct ChunkTiming {
 /// Aggregated view of a session's chunk timings.
 struct LatencyReport {
   std::size_t chunks = 0;
+  /// Chunks the latency percentiles cover: chunks while the tracker is
+  /// below its capacity, the trailing-window size afterwards.
+  std::size_t latency_window = 0;
   double data_seconds = 0.0;     ///< Σ data_seconds
   double compute_seconds = 0.0;  ///< Σ compute_seconds (busy time)
   double p50_latency = 0.0;      ///< percentiles of latency_seconds
   double p95_latency = 0.0;
   double p99_latency = 0.0;
-  double max_latency = 0.0;
+  double max_latency = 0.0;      ///< whole-session max, never windowed
   double mean_compute = 0.0;
   /// data_seconds / compute_seconds: > 1 keeps up in real time.
   double real_time_margin = 0.0;
@@ -53,16 +56,38 @@ struct LatencyReport {
 /// sorted. Throws ddmc::invalid_argument when empty or p out of range.
 double percentile(std::span<const double> values, double p);
 
-/// Accumulates ChunkTimings; cheap enough to record every chunk of a long
-/// session (stores one double per chunk for the percentile scan).
+/// Nearest-rank percentile of an already ascending-sorted, non-empty set —
+/// the shared kernel of percentile() and LatencyTracker::report(), which
+/// sorts once and reads every percentile from it.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Accumulates ChunkTimings. Storage is bounded: below \p capacity chunks
+/// the percentiles are exact over the whole session; beyond it the tracker
+/// keeps a trailing window of the last \p capacity latencies (a ring), so
+/// a session streaming for days neither grows without bound nor re-sorts
+/// an ever-larger vector on every report() poll. Scalar aggregates
+/// (margin, busy time, max latency, mean compute) always cover the whole
+/// session.
 class LatencyTracker {
  public:
+  /// 4096 doubles = 32 KiB — hours of 1 s chunks, exact; far beyond that
+  /// the percentiles become a trailing window, which is what a long-running
+  /// session's alerting actually watches.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit LatencyTracker(std::size_t capacity = kDefaultCapacity);
+
   void record(const ChunkTiming& timing);
-  std::size_t chunks() const { return latencies_.size(); }
+  std::size_t chunks() const { return recorded_; }
+  std::size_t capacity() const { return capacity_; }
   LatencyReport report() const;
 
  private:
-  std::vector<double> latencies_;
+  std::size_t capacity_;
+  std::vector<double> latencies_;  ///< ring once recorded_ ≥ capacity_
+  std::size_t next_ = 0;           ///< ring write cursor
+  std::size_t recorded_ = 0;
+  double max_latency_ = 0.0;       ///< whole-session running max
   RunningStats compute_;
   double data_seconds_ = 0.0;
   double compute_seconds_ = 0.0;

@@ -32,6 +32,11 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
       job_input_(plan_.channels(), plan_.in_samples()),
       out_full_(plan_.dms(), plan_.out_samples()) {
   config_.validate(plan_);
+  if (options_.shard_workers >= 2) {
+    sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
+        plan_, config_,
+        pipeline::sharded_options(options_.shard_workers, options_.cpu));
+  }
   if (options_.async) {
     worker_ = std::thread([this] { worker_loop(); });
   }
@@ -191,7 +196,11 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   if (!full) partial_out = Array2D<float>(plan.dms(), plan.out_samples());
   const View2D<float> out = full ? out_full_.view() : partial_out.view();
   Stopwatch compute;
-  dedisp::dedisperse_cpu(plan, config, input, out, options_.cpu);
+  if (full && sharded_) {
+    sharded_->dedisperse(input, out);
+  } else {
+    dedisp::dedisperse_cpu(plan, config, input, out, options_.cpu);
+  }
 
   StreamChunk chunk;
   chunk.index = job.index;
@@ -261,6 +270,11 @@ MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
       options_(options) {
   DDMC_REQUIRE(beams > 0, "need at least one beam");
   config_.validate(plan_);
+  if (options_.shard_workers >= 2) {
+    sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
+        plan_, config_,
+        pipeline::sharded_options(options_.shard_workers, options_.cpu));
+  }
   chunkers_.reserve(beams);
   for (std::size_t b = 0; b < beams; ++b) chunkers_.emplace_back(plan_);
 }
@@ -311,12 +325,20 @@ void MultiBeamStreamingDedisperser::run_chunk(
     const std::vector<ConstView2D<float>>& windows, std::size_t index,
     std::size_t first_sample) {
   const double assembled_at = session_clock_.seconds();
-  pipeline::MultiBeamDedisperser mb(plan, config);
-  mb.set_cpu_options(options_.cpu);
-
+  // Full chunks reuse the session's sharded executor; the final partial
+  // chunk (different plan shape) takes the beam-parallel path, whose
+  // output is bitwise identical anyway.
+  const bool use_sharded =
+      sharded_ && plan.out_samples() == plan_.out_samples();
   Stopwatch compute;
-  const std::vector<Array2D<float>> outputs =
-      mb.dedisperse(windows, options_.cpu.threads);
+  std::vector<Array2D<float>> outputs;
+  if (use_sharded) {
+    outputs = sharded_->dedisperse_batch(windows);
+  } else {
+    pipeline::MultiBeamDedisperser mb(plan, config);
+    mb.set_cpu_options(options_.cpu);
+    outputs = mb.dedisperse(windows, options_.cpu.threads);
+  }
 
   MultiBeamStreamChunk chunk;
   chunk.index = index;

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
 #include "pipeline/multibeam.hpp"
+#include "pipeline/sharding.hpp"
 #include "sky/detection.hpp"
 #include "stream/chunker.hpp"
 #include "stream/latency.hpp"
@@ -64,6 +66,11 @@ struct StreamingOptions {
   /// assembly; false runs chunks inline on the pushing thread
   /// (deterministic profiling, tests).
   bool async = true;
+  /// ≥ 2: each full chunk's DM grid is sharded across this many pool
+  /// workers (pipeline::ShardedDedisperser) behind the existing double
+  /// buffer, instead of one engine call; 0/1 keeps the single engine.
+  /// Output stays bitwise identical either way.
+  std::size_t shard_workers = 0;
 };
 
 /// Single-beam streaming session.
@@ -153,6 +160,10 @@ class StreamingDedisperser {
   Sink sink_;
   StreamingOptions options_;
   std::optional<tuner::GuidedTuningOutcome> tuning_outcome_;
+  /// Sharded executor for full chunks (options_.shard_workers ≥ 2); the
+  /// final partial chunk keeps the single-engine 1×1 path, whose output is
+  /// bitwise identical anyway.
+  std::unique_ptr<pipeline::ShardedDedisperser> sharded_;
   OverlapChunker chunker_;
   Stopwatch session_clock_;
   LatencyTracker tracker_;  // guarded by mutex_ in async mode
@@ -223,6 +234,9 @@ class MultiBeamStreamingDedisperser {
   dedisp::KernelConfig config_;
   Sink sink_;
   StreamingOptions options_;
+  /// Sharded executor reused by every full chunk (shard_workers ≥ 2);
+  /// per-chunk construction would pay pool spawn + planning each time.
+  std::unique_ptr<pipeline::ShardedDedisperser> sharded_;
   std::vector<OverlapChunker> chunkers_;
   Stopwatch session_clock_;
   LatencyTracker tracker_;

@@ -1,7 +1,10 @@
 #include "tuner/tuning_cache.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
 
 #include "common/expect.hpp"
@@ -226,8 +229,19 @@ void TuningCache::load() {
   }
 }
 
+std::size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<CacheEntry> TuningCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
 std::optional<CacheEntry> TuningCache::find_exact(
     const HostSignature& host, const PlanSignature& plan) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const CacheEntry& entry : entries_) {
     if (entry.host == host && entry.plan == plan) return entry;
   }
@@ -238,6 +252,7 @@ std::optional<CacheEntry> TuningCache::find_nearest(
     const HostSignature& host, const dedisp::Plan& plan,
     double max_distance) const {
   const PlanSignature target = PlanSignature::of(plan);
+  std::lock_guard<std::mutex> lock(mutex_);
   std::optional<CacheEntry> best;
   double best_distance = max_distance;
   for (const CacheEntry& entry : entries_) {
@@ -256,6 +271,7 @@ std::optional<CacheEntry> TuningCache::find_nearest(
 }
 
 void TuningCache::store(const CacheEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
   bool replaced = false;
   for (CacheEntry& existing : entries_) {
     if (existing.host == entry.host && existing.plan == entry.plan) {
@@ -265,19 +281,43 @@ void TuningCache::store(const CacheEntry& entry) {
     }
   }
   if (!replaced) entries_.push_back(entry);
-  save();
+  save_locked();
 }
 
 void TuningCache::save() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  save_locked();
+}
+
+void TuningCache::save_locked() const {
   if (path_.empty()) return;
-  std::ofstream os(path_);
-  DDMC_REQUIRE(os.good(), "cannot write tuning cache: " + path_);
-  std::vector<ResultRow> rows;
-  rows.reserve(entries_.size());
-  for (const CacheEntry& entry : entries_) {
-    rows.push_back(to_result_row(entry));
+  // Write-to-temp + atomic rename: a results CSV must never be observable
+  // half-written — two workers' interleaved appends were exactly the
+  // corruption mode this replaces. The temp name embeds the instance
+  // address (distinct caches in this process) *and* a per-process random
+  // token (two processes running the same binary can place objects at the
+  // same address), so no two writers share a temp file; the rename itself
+  // is atomic per POSIX.
+  static const unsigned process_token = std::random_device{}();
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(process_token) + "." +
+      std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  {
+    std::ofstream os(tmp);
+    DDMC_REQUIRE(os.good(), "cannot write tuning cache: " + tmp);
+    std::vector<ResultRow> rows;
+    rows.reserve(entries_.size());
+    for (const CacheEntry& entry : entries_) {
+      rows.push_back(to_result_row(entry));
+    }
+    save_results(os, rows);
+    os.flush();
+    DDMC_REQUIRE(os.good(), "short write to tuning cache: " + tmp);
   }
-  save_results(os, rows);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    DDMC_REQUIRE(false, "cannot replace tuning cache: " + path_);
+  }
 }
 
 // ---------------------------------------------------------- tune_guided --

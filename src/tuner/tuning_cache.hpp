@@ -25,6 +25,7 @@
 /// `observation` column, so a cache file is an ordinary results file that
 /// the existing diagnostics (schema line, column counts) already cover.
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -95,8 +96,15 @@ struct CacheEntry {
 
 /// In-memory or file-backed store of tuned tuples. File-backed caches load
 /// eagerly at construction and rewrite the file on every store (caches are
-/// small — one row per (host, plan) pair). Not thread-safe; sessions tune
-/// at startup, before concurrency begins.
+/// small — one row per (host, plan) pair).
+///
+/// Thread-safe for concurrent lookups and stores on one instance: the
+/// sharded executor's workers tune per-shard plans against a shared cache,
+/// so every operation holds an internal mutex, and the file is rewritten
+/// via a temp file + atomic rename — a concurrent reader (or a crash
+/// mid-write) sees either the old or the new complete file, never an
+/// interleaved/truncated CSV. Distinct *processes* writing one path still
+/// last-writer-win whole files, but can no longer corrupt them.
 class TuningCache {
  public:
   /// In-memory cache (tests, one-process pipelines).
@@ -107,8 +115,9 @@ class TuningCache {
   explicit TuningCache(std::string path);
 
   const std::string& path() const { return path_; }
-  std::size_t size() const { return entries_.size(); }
-  const std::vector<CacheEntry>& entries() const { return entries_; }
+  std::size_t size() const;
+  /// Snapshot of the current entries (copied under the lock).
+  std::vector<CacheEntry> entries() const;
 
   /// Exact hit: same host signature and plan signature.
   std::optional<CacheEntry> find_exact(const HostSignature& host,
@@ -134,9 +143,11 @@ class TuningCache {
 
  private:
   void load();
+  void save_locked() const;
 
   std::string path_;
   std::vector<CacheEntry> entries_;
+  mutable std::mutex mutex_;
 };
 
 /// Options of the cache-guided tuning entry point.

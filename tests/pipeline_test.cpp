@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/expect.hpp"
 #include "ocl/device_presets.hpp"
@@ -167,6 +168,50 @@ TEST(Survey, CpusVastlyOutnumberAccelerators) {
 TEST(Survey, RejectsZeroBeams) {
   EXPECT_THROW(size_survey(ocl::amd_hd7970(), sky::apertif(), 64, 0),
                invalid_argument);
+}
+
+TEST(Survey, FastDevicePathPinsThePackingFormula) {
+  // Regression guard for the fast regime: nothing about beam packing
+  // changed — floor-packed beams per device, ceil-divided device count,
+  // and the fractional pressure is the exact reciprocal of the beam time.
+  const SurveySizing s =
+      size_survey(ocl::amd_hd7970(), sky::apertif(), 2000, 450);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_LT(s.seconds_per_beam, 1.0);
+  EXPECT_DOUBLE_EQ(s.beams_per_device_realtime, 1.0 / s.seconds_per_beam);
+  EXPECT_EQ(s.beams_per_device_compute,
+            static_cast<std::size_t>(std::floor(s.beams_per_device_realtime)));
+  EXPECT_EQ(s.devices_needed, ceil_div<std::size_t>(450, s.beams_per_device));
+}
+
+TEST(Survey, SlowDevicesShareBeamsInsteadOfBeingInfeasible) {
+  // Regression: a device needing > 1 s per beam-second used to make the
+  // whole survey "infeasible" (beams_per_device_compute == 0), while
+  // cpus_needed correctly let several devices share one beam. Both paths
+  // now agree on the sharing semantics.
+  ocl::DeviceModel slow = ocl::intel_xeon_e5_2620();
+  slow.name = "E5-2620/100";
+  slow.clock_ghz /= 100.0;
+  slow.peak_gflops /= 100.0;
+  slow.peak_bandwidth_gbs /= 100.0;
+  const SurveySizing s = size_survey(slow, sky::apertif(), 2000, 450);
+  ASSERT_GT(s.seconds_per_beam, 1.0);
+  EXPECT_EQ(s.beams_per_device_compute, 0u);
+  EXPECT_GT(s.beams_per_device_realtime, 0.0);
+  EXPECT_LT(s.beams_per_device_realtime, 1.0);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.devices_needed,
+            static_cast<std::size_t>(
+                std::ceil(s.seconds_per_beam * 450.0)));
+  EXPECT_GT(s.devices_needed, 450u);  // sharing: more devices than beams
+
+  // Only a beam that cannot fit device memory is genuinely infeasible.
+  ocl::DeviceModel tiny = ocl::amd_hd7970();
+  tiny.memory_gb = 1e-6;
+  const SurveySizing none = size_survey(tiny, sky::apertif(), 2000, 450);
+  EXPECT_FALSE(none.feasible);
+  EXPECT_EQ(none.beams_per_device_memory, 0u);
+  EXPECT_EQ(none.devices_needed, 0u);
 }
 
 }  // namespace

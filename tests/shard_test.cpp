@@ -1,0 +1,450 @@
+// Tests for DM-sharded execution (pipeline/sharding.hpp): planner cost
+// balance and the differential guarantee — sharded output is bitwise
+// identical to the single-engine batch path across shard counts, uneven DM
+// grids, multi-beam batching and streaming chunked mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/random.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "pipeline/dedisperser.hpp"
+#include "pipeline/multibeam.hpp"
+#include "pipeline/sharding.hpp"
+#include "stream/streaming_dedisperser.hpp"
+#include "test_util.hpp"
+
+namespace ddmc::pipeline {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+using testing::random_input;
+
+/// Single-engine reference: one kernel call over the whole plan, one thread.
+Array2D<float> single_engine(const Plan& plan, const KernelConfig& config,
+                             const Array2D<float>& input) {
+  dedisp::CpuKernelOptions cpu;
+  cpu.threads = 1;
+  return dedisp::dedisperse_cpu(plan, config, input.cview(), cpu);
+}
+
+// ------------------------------------------------------------------ plan --
+
+TEST(DmShardPlan, SlicesTheParentDelayTableBitForBit) {
+  const Plan parent = Plan::with_output_samples(mini_obs(), 12, 60);
+  const Plan shard = parent.dm_shard(5, 4);
+  EXPECT_EQ(shard.dms(), 4u);
+  EXPECT_EQ(shard.out_samples(), parent.out_samples());
+  EXPECT_EQ(shard.channels(), parent.channels());
+  for (std::size_t dm = 0; dm < shard.dms(); ++dm) {
+    for (std::size_t ch = 0; ch < shard.channels(); ++ch) {
+      ASSERT_EQ(shard.delays().delay(dm, ch),
+                parent.delays().delay(5 + dm, ch))
+          << "dm " << dm << " ch " << ch;
+    }
+  }
+  // The shard's input window is its own sweep, not the parent's: low-DM
+  // shards carry less history.
+  EXPECT_EQ(shard.in_samples(),
+            shard.out_samples() +
+                static_cast<std::size_t>(shard.delays().max_delay()));
+  EXPECT_LE(shard.in_samples(), parent.in_samples());
+  const Plan low = parent.dm_shard(0, 4);
+  EXPECT_LT(low.in_samples(), parent.in_samples());
+  // The shard observation's grid starts at the sliced trial.
+  EXPECT_DOUBLE_EQ(shard.observation().dm_first(),
+                   parent.observation().dm_value(5));
+
+  EXPECT_THROW(parent.dm_shard(5, 8), invalid_argument);
+  EXPECT_THROW(parent.dm_shard(0, 0), invalid_argument);
+}
+
+// --------------------------------------------------------------- planner --
+
+TEST(DmShardPlanner, PartitionCoversTheGridContiguously) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 24, 60);
+  const DmShardPlanner planner(plan);
+  for (std::size_t workers : {1u, 2u, 3u, 5u, 7u, 24u, 40u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const ShardLayout layout = planner.partition(workers);
+    // One shard per worker, clamped to the trial count.
+    EXPECT_EQ(layout.shards.size(), std::min<std::size_t>(workers, 24));
+    std::size_t next = 0;
+    for (const DmShard& s : layout.shards) {
+      EXPECT_EQ(s.first_dm, next);
+      EXPECT_GE(s.dms, 1u);
+      EXPECT_GT(s.modeled_seconds, 0.0);
+      next += s.dms;
+    }
+    EXPECT_EQ(next, 24u);
+  }
+}
+
+TEST(DmShardPlanner, ModeledCostIsBalancedWithinTolerance) {
+  // A steep DM grid (large step) makes the top shard's input window much
+  // larger than the bottom's, which is exactly what the cost model must
+  // absorb: the balanced layout's critical path must not exceed the mean
+  // by more than the contiguity granularity allows.
+  const Plan plan =
+      Plan::with_output_samples(mini_obs(8, /*dm_step=*/4.0), 64, 50);
+  const DmShardPlanner planner(plan);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const ShardLayout layout = planner.partition(workers);
+    ASSERT_EQ(layout.shards.size(), workers);
+    EXPECT_LT(layout.imbalance(), 1.25);
+  }
+}
+
+TEST(DmShardPlanner, BeatsOrMatchesEqualCountSplits) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs(8, /*dm_step=*/4.0), 64, 50);
+  const DmShardPlanner planner(plan);
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    double equal_max = 0.0;
+    const std::size_t per = 64 / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      equal_max = std::max(equal_max, planner.shard_seconds(w * per, per));
+    }
+    const ShardLayout layout = planner.partition(workers);
+    EXPECT_LE(layout.modeled_max_seconds, equal_max * (1.0 + 1e-12));
+  }
+}
+
+TEST(DmShardPlanner, MoreWorkersNeverRaiseTheCriticalPath) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 32, 60);
+  const DmShardPlanner planner(plan);
+  double prev = planner.partition(1).modeled_max_seconds;
+  for (std::size_t workers : {2u, 3u, 4u, 6u, 8u}) {
+    const double now = planner.partition(workers).modeled_max_seconds;
+    EXPECT_LE(now, prev * (1.0 + 1e-12)) << "workers=" << workers;
+    prev = now;
+  }
+}
+
+TEST(DmShardPlanner, HigherShardsCostMoreAtEqualCounts) {
+  const Plan plan =
+      Plan::with_output_samples(mini_obs(8, /*dm_step=*/4.0), 64, 50);
+  const DmShardPlanner planner(plan);
+  EXPECT_GT(planner.shard_seconds(48, 16), planner.shard_seconds(0, 16));
+  EXPECT_THROW(planner.shard_seconds(60, 8), invalid_argument);
+  EXPECT_THROW(planner.shard_seconds(0, 0), invalid_argument);
+}
+
+// -------------------------------------------------------------- executor --
+
+TEST(ShardedDedisperser, BitwiseIdenticalAcrossShardCounts) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const Array2D<float> input = random_input(plan);
+  const KernelConfig config{5, 2, 4, 2};
+  const Array2D<float> expected = single_engine(plan, config, input);
+
+  // 1, 2, primes, and more workers than trials.
+  for (std::size_t workers : {1u, 2u, 3u, 5u, 7u, 12u, 19u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ShardedOptions opts;
+    opts.workers = workers;
+    const ShardedDedisperser sharded(plan, config, opts);
+    EXPECT_EQ(sharded.shard_count(),
+              sharded.layout().shards.size());
+    expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+  }
+}
+
+TEST(ShardedDedisperser, HandlesUnevenAndPrimeDmGrids) {
+  for (std::size_t dms : {1u, 7u, 13u}) {
+    SCOPED_TRACE("dms=" + std::to_string(dms));
+    const Plan plan = Plan::with_output_samples(mini_obs(), dms, 60);
+    const Array2D<float> input = random_input(plan);
+    const KernelConfig config{5, 1, 4, 1};
+    const Array2D<float> expected = single_engine(plan, config, input);
+    ShardedOptions opts;
+    opts.workers = 3;
+    const ShardedDedisperser sharded(plan, config, opts);
+    expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+  }
+}
+
+TEST(ShardedDedisperser, AdaptsTheDmTileToEachShard) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const KernelConfig config{5, 2, 4, 2};  // tile_dm = 4
+  ShardedOptions opts;
+  opts.workers = 5;  // 12 trials over 5 shards: some shard breaks tile 4
+  const ShardedDedisperser sharded(plan, config, opts);
+  for (std::size_t i = 0; i < sharded.shard_count(); ++i) {
+    SCOPED_TRACE("shard " + std::to_string(i));
+    const KernelConfig& c = sharded.shard_config(i);
+    EXPECT_EQ(c.tile_time(), config.tile_time());  // time tile untouched
+    EXPECT_EQ(sharded.shard_plan(i).dms() % c.tile_dm(), 0u);
+    EXPECT_NO_THROW(c.validate(sharded.shard_plan(i)));
+  }
+  // A config that does not validate against the parent plan is rejected.
+  EXPECT_THROW(ShardedDedisperser(plan, KernelConfig{7, 1, 1, 1}, opts),
+               config_error);
+}
+
+TEST(ShardedDedisperser, RejectsWrongShapes) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 8, 60);
+  const Array2D<float> input = random_input(plan);
+  ShardedOptions opts;
+  opts.workers = 2;
+  const ShardedDedisperser sharded(plan, KernelConfig{1, 1, 1, 1}, opts);
+  Array2D<float> bad_rows(plan.dms() + 1, plan.out_samples());
+  EXPECT_THROW(sharded.dedisperse(input.cview(), bad_rows.view()),
+               invalid_argument);
+  Array2D<float> short_in(plan.channels(), plan.in_samples() - 1);
+  EXPECT_THROW(sharded.dedisperse(short_in.cview()), invalid_argument);
+  EXPECT_THROW(sharded.dedisperse_batch({}), invalid_argument);
+}
+
+TEST(ShardedDedisperser, TunesEachShardThroughTheCache) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const Array2D<float> input = random_input(plan);
+  const Array2D<float> expected =
+      single_engine(plan, KernelConfig{1, 1, 1, 1}, input);
+
+  tuner::TuningCache cache;
+  tuner::GuidedTuningOptions tuning;
+  tuning.host.repetitions = 1;
+  tuning.host.warmup_runs = 0;
+  tuning.strategy = tuner::StrategyKind::kRandom;
+  tuning.random_samples = 2;
+  ShardedOptions opts;
+  opts.workers = 3;
+
+  const ShardedDedisperser cold(plan, cache, opts, tuning);
+  ASSERT_EQ(cold.tuning_outcomes().size(), cold.shard_count());
+  // Cold cache: the first shard always searches; later shards either
+  // transfer from a neighbor (distinct PlanSignature, zero measurements)
+  // or search when no neighbor's config divides their trial count.
+  EXPECT_EQ(cold.tuning_outcomes().front().source,
+            tuner::GuidedTuningOutcome::Source::kSearch);
+  for (const auto& outcome : cold.tuning_outcomes()) {
+    if (outcome.source == tuner::GuidedTuningOutcome::Source::kTransfer) {
+      EXPECT_EQ(outcome.configs_evaluated, 0u);
+      EXPECT_TRUE(outcome.transfer_distance.has_value());
+    }
+  }
+  EXPECT_EQ(cache.size(),
+            static_cast<std::size_t>(std::count_if(
+                cold.tuning_outcomes().begin(), cold.tuning_outcomes().end(),
+                [](const auto& o) {
+                  return o.source ==
+                         tuner::GuidedTuningOutcome::Source::kSearch;
+                })));
+  expect_same_matrix(expected, cold.dedisperse(input.cview()));
+
+  // Same plan, same engine, warm cache: no shard measures anything —
+  // shards whose search was stored are exact hits, the rest transfer.
+  const ShardedDedisperser warm(plan, cache, opts, tuning);
+  EXPECT_EQ(warm.tuning_outcomes().front().source,
+            tuner::GuidedTuningOutcome::Source::kCacheHit);
+  for (const auto& outcome : warm.tuning_outcomes()) {
+    EXPECT_NE(outcome.source, tuner::GuidedTuningOutcome::Source::kSearch);
+    EXPECT_EQ(outcome.configs_evaluated, 0u);
+  }
+  expect_same_matrix(expected, warm.dedisperse(input.cview()));
+}
+
+TEST(ShardedDedisperser, BatchedBeamsMatchThePerBeamPath) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const KernelConfig config{5, 2, 4, 2};
+  std::vector<Array2D<float>> inputs;
+  std::vector<ConstView2D<float>> views;
+  for (std::size_t b = 0; b < 3; ++b) {
+    inputs.push_back(random_input(plan, 100 + b));
+    views.push_back(inputs.back().cview());
+  }
+  ShardedOptions opts;
+  opts.workers = 4;
+  const ShardedDedisperser sharded(plan, config, opts);
+  const std::vector<Array2D<float>> got = sharded.dedisperse_batch(views);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    SCOPED_TRACE("beam " + std::to_string(b));
+    expect_same_matrix(single_engine(plan, config, inputs[b]), got[b]);
+  }
+}
+
+// ---------------------------------------------------------------- wiring --
+
+TEST(Dedisperser, ShardedExecutionKnobIsBitwiseIdentical) {
+  const sky::Observation obs = mini_obs();
+  Dedisperser single =
+      Dedisperser::with_output_samples(obs, 12, 60, Backend::kCpuTiled);
+  single.set_config(KernelConfig{5, 2, 4, 2});
+  const Array2D<float> input = random_input(single.plan());
+  const Array2D<float> expected = single.dedisperse(input.cview());
+
+  Dedisperser sharded =
+      Dedisperser::with_output_samples(obs, 12, 60, Backend::kCpuTiled);
+  sharded.set_config(KernelConfig{5, 2, 4, 2});
+  sharded.set_execution(Execution::kDmSharded, 3);
+  EXPECT_EQ(sharded.execution(), Execution::kDmSharded);
+  expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+
+  // Back to single: the knob is reversible.
+  sharded.set_execution(Execution::kSingle);
+  expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+}
+
+TEST(Dedisperser, ShardedExecutionRequiresTheCpuTiledBackend) {
+  for (Backend b :
+       {Backend::kReference, Backend::kCpuBaseline, Backend::kSimulated}) {
+    Dedisperser dd = Dedisperser::with_output_samples(mini_obs(), 8, 64, b);
+    EXPECT_THROW(dd.set_execution(Execution::kDmSharded, 2),
+                 invalid_argument);
+    EXPECT_NO_THROW(dd.set_execution(Execution::kSingle));
+  }
+}
+
+TEST(MultiBeamDedisperser, ShardedBatchMatchesTheBeamParallelPath) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  MultiBeamDedisperser mb(plan, KernelConfig{5, 2, 4, 2});
+  std::vector<Array2D<float>> inputs;
+  std::vector<ConstView2D<float>> views;
+  for (std::size_t b = 0; b < 3; ++b) {
+    inputs.push_back(random_input(plan, 500 + b));
+    views.push_back(inputs.back().cview());
+  }
+  const std::vector<Array2D<float>> expected = mb.dedisperse(views, 1);
+  const std::vector<Array2D<float>> got = mb.dedisperse_sharded(views, 4);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t b = 0; b < got.size(); ++b) {
+    SCOPED_TRACE("beam " + std::to_string(b));
+    expect_same_matrix(expected[b], got[b]);
+  }
+}
+
+// ------------------------------------------------------------- streaming --
+
+/// Reassemble sink chunks into one dms × total matrix by first_sample.
+struct Collector {
+  Array2D<float> total;
+  std::size_t emitted = 0;
+
+  Collector(std::size_t dms, std::size_t out) : total(dms, out) {}
+
+  void operator()(const stream::StreamChunk& chunk) {
+    ASSERT_LE(chunk.first_sample + chunk.out_samples, total.cols());
+    for (std::size_t dm = 0; dm < total.rows(); ++dm) {
+      for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+        total(dm, chunk.first_sample + t) = chunk.output(dm, t);
+      }
+    }
+    emitted += chunk.out_samples;
+  }
+};
+
+TEST(StreamingDedisperser, ShardedChunksAreBitwiseEqualToBatch) {
+  const std::size_t total_out = 145;  // 4 full chunks of 32 + partial 17
+  const Plan batch = Plan::with_output_samples(mini_obs(), 12, total_out);
+  const Array2D<float> input = random_input(batch);
+  dedisp::CpuKernelOptions cpu;
+  cpu.threads = 1;
+  const Array2D<float> expected = dedisp::dedisperse_cpu(
+      batch, KernelConfig{1, 1, 1, 1}, input.cview(), cpu);
+
+  for (bool async : {false, true}) {
+    SCOPED_TRACE(async ? "async" : "sync");
+    Collector collect(batch.dms(), total_out);
+    stream::StreamingOptions opts;
+    opts.async = async;
+    opts.cpu.threads = 1;
+    opts.shard_workers = 3;
+    stream::StreamingDedisperser session(batch.with_chunk(32),
+                                         KernelConfig{8, 2, 4, 2},
+                                         std::ref(collect), opts);
+    session.push(input.cview());
+    session.close();
+    EXPECT_EQ(collect.emitted, total_out);
+    expect_same_matrix(expected, collect.total);
+  }
+}
+
+TEST(MultiBeamStreamingDedisperser, ShardedChunksMatchTheUnshardedSession) {
+  const std::size_t total_out = 80;  // 2 full chunks of 32 + partial 16
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const std::size_t beams = 2;
+  std::vector<Array2D<float>> inputs;
+  std::vector<ConstView2D<float>> views;
+  for (std::size_t b = 0; b < beams; ++b) {
+    inputs.push_back(random_input(batch, 900 + b));
+    views.push_back(inputs.back().cview());
+  }
+
+  const auto run = [&](std::size_t shard_workers) {
+    std::vector<Array2D<float>> totals;
+    for (std::size_t b = 0; b < beams; ++b) {
+      totals.emplace_back(batch.dms(), total_out);
+    }
+    stream::StreamingOptions opts;
+    opts.cpu.threads = 1;
+    opts.shard_workers = shard_workers;
+    stream::MultiBeamStreamingDedisperser session(
+        batch.with_chunk(32), KernelConfig{8, 2, 4, 2}, beams,
+        [&](const stream::MultiBeamStreamChunk& chunk) {
+          for (std::size_t b = 0; b < beams; ++b) {
+            for (std::size_t dm = 0; dm < batch.dms(); ++dm) {
+              for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+                totals[b](dm, chunk.first_sample + t) =
+                    (*chunk.outputs)[b](dm, t);
+              }
+            }
+          }
+        },
+        opts);
+    session.push(views);
+    session.close();
+    return totals;
+  };
+
+  const std::vector<Array2D<float>> plain = run(0);
+  const std::vector<Array2D<float>> sharded = run(3);
+  for (std::size_t b = 0; b < beams; ++b) {
+    SCOPED_TRACE("beam " + std::to_string(b));
+    expect_same_matrix(plain[b], sharded[b]);
+  }
+}
+
+// ------------------------------------------------------- randomized sweep --
+
+TEST(ShardedRandomSlowTier, RandomInstancesStayBitwiseIdentical) {
+  // Random plan shapes (uneven grids, prime trial counts, varied DM steps)
+  // × random worker counts: the sharded path must never diverge from the
+  // single-engine path by a single bit.
+  Rng rng(20260730);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t dms = 1 + static_cast<std::size_t>(rng.next_below(40));
+    const std::size_t out = 16 + static_cast<std::size_t>(rng.next_below(80));
+    const double dm_step = 0.25 * (1.0 + static_cast<double>(
+                                             rng.next_below(12)));
+    const std::size_t workers =
+        1 + static_cast<std::size_t>(rng.next_below(9));
+    SCOPED_TRACE("iter=" + std::to_string(iter) + " dms=" +
+                 std::to_string(dms) + " out=" + std::to_string(out) +
+                 " step=" + std::to_string(dm_step) + " workers=" +
+                 std::to_string(workers));
+    const Plan plan =
+        Plan::with_output_samples(mini_obs(8, dm_step), dms, out);
+    const Array2D<float> input = random_input(plan, 7000 + iter);
+    const KernelConfig config{1, 1, 1, 1};
+    const Array2D<float> expected = single_engine(plan, config, input);
+    ShardedOptions opts;
+    opts.workers = workers;
+    const ShardedDedisperser sharded(plan, config, opts);
+    expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+  }
+}
+
+}  // namespace
+}  // namespace ddmc::pipeline

@@ -332,6 +332,24 @@ TEST(Detection, EmptySeriesRejected) {
   EXPECT_THROW(series_snr(empty), invalid_argument);
 }
 
+TEST(Detection, EvenLengthMedianAveragesTheMiddlePair) {
+  // Regression: median_inplace used to take the upper-middle element of an
+  // even-length series, biasing the baseline high and the MAD·1.4826 σ
+  // estimate with it. For {0, 1, 2, 10} (every step exact in binary):
+  //   baseline = (1 + 2) / 2           = 1.5
+  //   |x − 1.5| = {1.5, 0.5, 0.5, 8.5} → MAD = (0.5 + 1.5) / 2 = 1.0
+  //   σ = 1.4826,  SNR = (10 − 1.5) / 1.4826
+  const std::vector<float> series = {0.0f, 1.0f, 2.0f, 10.0f};
+  EXPECT_DOUBLE_EQ(series_snr(series), (10.0 - 1.5) / 1.4826);
+  // The upper-middle bias would have produced (10 − 2) / (1.4826 · 2).
+  EXPECT_NE(series_snr(series), (10.0 - 2.0) / (1.4826 * 2.0));
+
+  // Odd lengths keep the single middle element: {0, 1, 10} → baseline 1,
+  // |x − 1| = {1, 0, 9} → MAD 1, σ = 1.4826.
+  const std::vector<float> odd = {0.0f, 1.0f, 10.0f};
+  EXPECT_DOUBLE_EQ(series_snr(odd), (10.0 - 1.0) / 1.4826);
+}
+
 TEST(Detection, FindsRowWithStrongestPeak) {
   Array2D<float> m(4, 64);
   Rng rng(2);

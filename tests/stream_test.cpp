@@ -701,6 +701,7 @@ TEST(Latency, TrackerAggregatesMarginAndBusyTime) {
   tracker.record({1.0, 0.25, 0.5});
   const LatencyReport r = tracker.report();
   EXPECT_EQ(r.chunks, 2u);
+  EXPECT_EQ(r.latency_window, 2u);
   EXPECT_DOUBLE_EQ(r.data_seconds, 2.0);
   EXPECT_DOUBLE_EQ(r.compute_seconds, 0.5);
   EXPECT_DOUBLE_EQ(r.real_time_margin, 4.0);  // 2 s of sky in 0.5 s busy
@@ -708,6 +709,65 @@ TEST(Latency, TrackerAggregatesMarginAndBusyTime) {
   EXPECT_DOUBLE_EQ(r.p50_latency, 0.3);
   EXPECT_DOUBLE_EQ(r.max_latency, 0.5);
   EXPECT_DOUBLE_EQ(r.mean_compute, 0.25);
+}
+
+TEST(Latency, TrackerStaysExactBelowItsCapacity) {
+  // Below the cap the percentiles match a full nearest-rank scan exactly.
+  LatencyTracker tracker(/*capacity=*/256);
+  std::vector<double> all;
+  for (int i = 100; i >= 1; --i) {
+    const double v = static_cast<double>(i) * 1e-3;
+    tracker.record({0.1, 0.01, v});
+    all.push_back(v);
+  }
+  const LatencyReport r = tracker.report();
+  EXPECT_EQ(r.chunks, 100u);
+  EXPECT_EQ(r.latency_window, 100u);
+  EXPECT_DOUBLE_EQ(r.p50_latency, percentile(all, 50.0));
+  EXPECT_DOUBLE_EQ(r.p95_latency, percentile(all, 95.0));
+  EXPECT_DOUBLE_EQ(r.p99_latency, percentile(all, 99.0));
+  EXPECT_DOUBLE_EQ(r.max_latency, 0.1);
+}
+
+TEST(Latency, TrackerWindowsInsteadOfGrowingWithoutBound) {
+  // Regression: latencies_ used to grow by one double per chunk forever —
+  // a long-running session leaked memory and report() re-sorted an
+  // ever-larger vector per poll. Past the cap the tracker must keep a
+  // trailing window of exactly `capacity` latencies...
+  constexpr std::size_t kCapacity = 64;
+  LatencyTracker tracker(kCapacity);
+  for (std::size_t i = 0; i < 10 * kCapacity; ++i) {
+    tracker.record({1.0, 0.5, 100.0});  // old spike, must age out
+  }
+  std::vector<double> window;
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    const double v = static_cast<double>(i + 1) * 1e-3;
+    tracker.record({1.0, 0.5, v});
+    window.push_back(v);
+  }
+  const LatencyReport r = tracker.report();
+  EXPECT_EQ(r.chunks, 11 * kCapacity);  // totals still span the session
+  EXPECT_EQ(r.latency_window, kCapacity);
+  // ...whose percentiles are exact over that window (the spikes aged out)…
+  EXPECT_DOUBLE_EQ(r.p50_latency, percentile(window, 50.0));
+  EXPECT_DOUBLE_EQ(r.p99_latency, percentile(window, 99.0));
+  // …while the scalar aggregates still cover the whole session.
+  EXPECT_DOUBLE_EQ(r.max_latency, 100.0);
+  EXPECT_DOUBLE_EQ(r.data_seconds, 11.0 * kCapacity);
+  EXPECT_DOUBLE_EQ(r.real_time_margin, 2.0);
+
+  EXPECT_THROW(LatencyTracker{0}, invalid_argument);
+}
+
+TEST(Latency, SortedPercentileBacksTheUnsortedOne) {
+  // percentile() and report() share one nearest-rank kernel (the former
+  // copy-pasted lambda); feeding it pre-sorted data must agree.
+  std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 10.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, p), percentile(v, p)) << p;
+  }
 }
 
 }  // namespace

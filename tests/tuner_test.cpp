@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/expect.hpp"
 #include "common/random.hpp"
@@ -772,6 +774,96 @@ TEST(TuningCacheTest, PersistsAcrossProcessesViaResultsIo) {
     EXPECT_EQ(warm.source, GuidedTuningOutcome::Source::kCacheHit);
     EXPECT_EQ(warm.configs_evaluated, 0u);
     EXPECT_EQ(warm.config, tuned);
+  }
+  std::remove(path.c_str());
+}
+
+namespace {
+
+/// Distinct, decodable cache entry for worker \p worker, op \p op.
+CacheEntry synthetic_entry(std::size_t worker, std::size_t op) {
+  CacheEntry entry;
+  dedisp::CpuKernelOptions engine;
+  engine.threads = worker + 1;  // distinct host signature per worker
+  entry.host = HostSignature::of(engine);
+  entry.plan = PlanSignature::of(mini_plan(8 << (op % 4), 64));
+  entry.config = KernelConfig{8, 1, 1, 1};
+  entry.gflops = static_cast<double>(worker * 100 + op + 1);  // never 0
+  entry.seconds = 1.0 / entry.gflops;
+  entry.evaluated = op;
+  return entry;
+}
+
+}  // namespace
+
+TEST(TuningCacheTest, ConcurrentStoresAndLookupsStaySafe) {
+  // Regression: the sharded executor's workers tune shard plans against a
+  // shared cache — concurrent store()s used to interleave writes into the
+  // results CSV. Every operation now locks, and the file is replaced
+  // atomically, so a concurrent mix of stores and lookups must neither
+  // race (the sanitize job watches this) nor corrupt the reloaded file.
+  const std::string path =
+      ::testing::TempDir() + "ddmc_cache_concurrent_fast.csv";
+  std::remove(path.c_str());
+  {
+    TuningCache cache(path);
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < 4; ++w) {
+      workers.emplace_back([&cache, w] {
+        for (std::size_t op = 0; op < 8; ++op) {
+          const CacheEntry entry = synthetic_entry(w, op);
+          cache.store(entry);
+          EXPECT_TRUE(cache.find_exact(entry.host, entry.plan).has_value());
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    EXPECT_EQ(cache.size(), 4u * 4u);  // 4 hosts × 4 distinct plans
+  }
+  TuningCache reloaded(path);  // malformed rows would throw here
+  EXPECT_EQ(reloaded.size(), 4u * 4u);
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheConcurrencySlowTier, HammeringNeverCorruptsTheFile) {
+  const std::string path =
+      ::testing::TempDir() + "ddmc_cache_concurrent_slow.csv";
+  std::remove(path.c_str());
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kOps = 48;
+  const Plan probe = mini_plan(8, 64);
+  {
+    TuningCache cache(path);
+    std::atomic<std::size_t> found{0};
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        dedisp::CpuKernelOptions engine;
+        engine.threads = w + 1;
+        const HostSignature host = HostSignature::of(engine);
+        for (std::size_t op = 0; op < kOps; ++op) {
+          cache.store(synthetic_entry(w, op));
+          if (cache.find_nearest(host, probe).has_value()) ++found;
+          (void)cache.entries();  // snapshot under the lock
+          if (op % 16 == 0) cache.save();
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    EXPECT_GT(found.load(), 0u);
+    EXPECT_EQ(cache.size(), kWorkers * 4u);
+  }
+  // The file parses cleanly and holds the final value of every key: each
+  // (host, plan) pair was last stored by op ≥ kOps − 4 of its worker.
+  TuningCache reloaded(path);
+  EXPECT_EQ(reloaded.size(), kWorkers * 4u);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    for (std::size_t op = kOps - 4; op < kOps; ++op) {
+      const CacheEntry expected = synthetic_entry(w, op);
+      const auto got = reloaded.find_exact(expected.host, expected.plan);
+      ASSERT_TRUE(got.has_value()) << "worker " << w << " op " << op;
+      EXPECT_EQ(got->gflops, expected.gflops);
+    }
   }
   std::remove(path.c_str());
 }
