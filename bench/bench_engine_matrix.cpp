@@ -1,0 +1,215 @@
+/// Engine-matrix throughput: every registered engine under one harness.
+///
+/// The paper's point is that no single implementation wins everywhere; the
+/// registry makes "which engine" a runtime choice, and this bench is the
+/// number behind that choice on *this* machine. For each registered engine
+/// it runs the identical Apertif-default scenario (same plan, same input),
+/// reports measured GFLOP/s on the paper's metric (plan FLOPs / wall
+/// seconds, so approximation engines that do less work score higher), and
+/// records a perf-model estimate next to every measurement — this container
+/// has one CPU, so modeled numbers are what transfer to real hardware.
+///
+/// Bitwise-exact engines are differentially checked against the reference
+/// output before timing.
+///
+///   ./bench_engine_matrix [--dms 64] [--out-samples 10000] [--reps 3]
+///                         [--json out.json]
+
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/array2d.hpp"
+#include "common/random.hpp"
+#include "common/simd.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "dedisp/subband.hpp"
+#include "engine/registry.hpp"
+#include "ocl/device_presets.hpp"
+#include "ocl/perf_model.hpp"
+#include "sky/observation.hpp"
+
+namespace {
+
+using namespace ddmc;
+
+struct EngineResult {
+  std::string id;
+  std::string variant;
+  engine::EngineCapabilities caps;
+  dedisp::KernelConfig config;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double modeled_gflops = 0.0;
+  std::string modeled_note;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_engine_matrix",
+          "throughput of every registered engine on one scenario");
+  cli.add_option("dms", "number of trial DMs", "64");
+  cli.add_option("out-samples", "output samples per trial", "10000");
+  cli.add_option("reps", "timed repetitions", "3");
+  cli.add_option("json", "write machine-readable results to this path", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
+  const auto out_samples =
+      static_cast<std::size_t>(cli.get_int("out-samples"));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+
+  const sky::Observation obs = sky::apertif();
+  const dedisp::Plan plan =
+      dedisp::Plan::with_output_samples(obs, dms, out_samples);
+  const double flop = plan.total_flop();
+
+  // Tunable engines run the PR-1 host-sweep optimum shape; the others
+  // ignore the tile shape and take the always-valid 1×1 point.
+  dedisp::KernelConfig tuned{50, 2, 4, 2, 32, 4};
+  if (!tuned.divides(plan)) tuned = dedisp::KernelConfig{1, 1, 1, 1, 32, 4};
+  const dedisp::KernelConfig untuned{1, 1, 1, 1};
+
+  // One shared input, wide enough for the largest declared input_padding.
+  std::size_t max_padding = 0;
+  for (const std::string& id : engine::EngineRegistry::instance().ids()) {
+    max_padding = std::max(
+        max_padding, engine::make_engine(id)->capabilities().input_padding);
+  }
+  Array2D<float> input(plan.channels(), plan.in_samples() + max_padding);
+  Rng rng(99);
+  for (std::size_t ch = 0; ch < input.rows(); ++ch) {
+    for (auto& v : input.row(ch)) v = rng.next_float(-1.0f, 1.0f);
+  }
+
+  // Perf-model anchors: the §V-D CPU model for the host engines, the
+  // device model the simulator emulates for ocl_sim.
+  const ocl::DeviceModel cpu_model = ocl::intel_xeon_e5_2620();
+  const ocl::DeviceModel sim_device = ocl::amd_hd7970();
+  const double cpu_model_gflops =
+      ocl::estimate_cpu_baseline(cpu_model, plan).gflops;
+
+  Array2D<float> reference_out(plan.dms(), plan.out_samples());
+  engine::make_engine("reference")
+      ->execute(plan, untuned, input.cview(), reference_out.view());
+
+  std::vector<EngineResult> results;
+  for (const std::string& id : engine::EngineRegistry::instance().ids()) {
+    const auto eng = engine::make_engine(id);
+    EngineResult res;
+    res.id = id;
+    res.variant = eng->variant();
+    res.caps = eng->capabilities();
+    // Tunable engines and the device simulator (whose *model* estimate is
+    // config-sensitive even though its execution ignores nothing) run the
+    // tuned shape; the rest take the always-valid 1×1 point.
+    res.config = res.caps.tunable || id == "ocl_sim" ? tuned : untuned;
+
+    Array2D<float> out(plan.dms(), plan.out_samples());
+    eng->execute(plan, res.config, input.cview(), out.view());  // warmup
+    if (res.caps.bitwise_exact) {
+      for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+        for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+          DDMC_REQUIRE(out(dm, t) == reference_out(dm, t),
+                       "engine '" + id + "' diverged from the reference");
+        }
+      }
+    }
+    double total = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      Stopwatch clock;
+      eng->execute(plan, res.config, input.cview(), out.view());
+      total += clock.seconds();
+    }
+    res.seconds = total / static_cast<double>(reps);
+    res.gflops = flop / res.seconds * 1e-9;
+
+    if (id == "ocl_sim") {
+      // The functional simulator's wall time is simulation overhead; the
+      // transferable number is the device model's estimate for this config.
+      ocl::PlanAnalysis analysis(plan);
+      res.modeled_gflops =
+          ocl::estimate_performance(sim_device, analysis, res.config).gflops;
+      res.modeled_note = sim_device.name + " device model";
+    } else if (id == "subband") {
+      // The §V-D CPU model scaled by the two-stage flop reduction (the
+      // paper metric credits the full brute-force FLOPs either way). Use
+      // the same gcd-adapted split the engine actually ran — the default
+      // {32, 16} need not divide small plans.
+      const double ratio =
+          flop / dedisp::subband_flop(
+                     plan, eng->options().subband.adapted_to(plan));
+      res.modeled_gflops = cpu_model_gflops * ratio;
+      res.modeled_note = cpu_model.name + " model x two-stage flop ratio";
+    } else {
+      res.modeled_gflops = cpu_model_gflops;
+      res.modeled_note = cpu_model.name + " cpu-baseline model";
+    }
+    results.push_back(res);
+  }
+
+  const std::size_t host_cpus =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::cout << "== engine matrix, " << obs.name() << ", " << dms << " DMs x "
+            << out_samples << " samples, simd " << simd::backend_name()
+            << ", host cpus " << host_cpus << " ==\n\n";
+
+  TextTable table({"engine", "variant", "caps", "config", "ms", "GFLOP/s",
+                   "modeled GFLOP/s"});
+  for (const EngineResult& r : results) {
+    std::string caps;
+    caps += r.caps.supports_sharding ? 'S' : '-';
+    caps += r.caps.supports_streaming ? 's' : '-';
+    caps += r.caps.bitwise_exact ? 'B' : '-';
+    caps += r.caps.tunable ? 'T' : '-';
+    table.add_row({r.id, r.variant, caps, r.config.to_string(),
+                   TextTable::num(r.seconds * 1e3, 1),
+                   TextTable::num(r.gflops, 2),
+                   TextTable::num(r.modeled_gflops, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(caps: S=sharding s=streaming B=bitwise T=tunable; "
+               "GFLOP/s credits the full\n brute-force FLOPs, so the "
+               "approximate subband engine scores its wall-time win)\n";
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    bench::JsonArray arr;
+    for (const EngineResult& r : results) {
+      arr.add(bench::JsonObject()
+                  .set("engine", r.id)
+                  .set("variant", r.variant)
+                  .set("supports_sharding", r.caps.supports_sharding)
+                  .set("supports_streaming", r.caps.supports_streaming)
+                  .set("bitwise_exact", r.caps.bitwise_exact)
+                  .set("tunable", r.caps.tunable)
+                  .set("input_padding", r.caps.input_padding)
+                  .set("config", r.config.to_string())
+                  .set("seconds", r.seconds)
+                  .set("gflops", r.gflops)
+                  .set("modeled_gflops", r.modeled_gflops)
+                  .set("modeled_note", r.modeled_note));
+    }
+    bench::JsonObject root;
+    root.set("bench", "bench_engine_matrix")
+        .set("simd_backend", simd::backend_name())
+        .set("host_cpus", host_cpus)
+        .set_raw("plan", bench::JsonObject()
+                             .set("observation", obs.name())
+                             .set("dms", dms)
+                             .set("out_samples", out_samples)
+                             .set("channels", plan.channels())
+                             .set("max_delay", plan.max_delay())
+                             .dump())
+        .set_raw("engines", arr.dump());
+    bench::write_json_file(json_path, root);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -5,7 +5,8 @@
 /// Prints the per-trial peak S/N profile around the injected DM, plus the
 /// smearing behaviour that motivates fine DM steps.
 ///
-///   ./pulsar_search [--dms 128] [--dm 9.25] [--threads 0] [--snr-table]
+///   ./pulsar_search [--dms 128] [--dm 9.25] [--engine cpu_tiled]
+///                   [--threads 0] [--snr-table]
 
 #include <algorithm>
 #include <cmath>
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_option("dms", "number of trial DMs", "128");
   cli.add_option("dm", "true pulsar dispersion measure [pc/cm^3]", "9.25");
   cli.add_option("amplitude", "pulse amplitude over a sigma=1 floor", "1.5");
+  cli.add_option("engine", "execution engine (registry id)", "cpu_tiled");
   cli.add_option("threads", "kernel worker threads (0 = machine-sized)", "0");
   cli.add_flag("snr-table", "print the whole per-trial S/N profile");
   if (!cli.parse(argc, argv)) return 0;
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
   const auto dms = static_cast<std::size_t>(cli.get_int("dms"));
   const double true_dm = cli.get_double("dm");
 
-  pipeline::Dedisperser dd(obs, dms, pipeline::Backend::kCpuTiled);
+  pipeline::Dedisperser dd(obs, dms, cli.get("engine"));
   dd.set_config(dedisp::KernelConfig{50, 2, 4, 2});
   dedisp::CpuKernelOptions cpu_options;
   cpu_options.threads = static_cast<std::size_t>(cli.get_int("threads"));

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   cli.add_option("dm", "true pulsar dispersion measure [pc/cm^3]", "4.5");
   cli.add_option("seconds", "seconds of data to stream", "2");
   cli.add_option("chunk-seconds", "output chunk length in seconds", "0.25");
+  cli.add_option("engine", "streaming-capable execution engine", "cpu_tiled");
   cli.add_option("threads", "kernel worker threads (0 = machine-sized)", "0");
   cli.add_option("ring-seconds", "ingest ring capacity in seconds", "0.5");
   if (!cli.parse(argc, argv)) return 0;
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
   TextTable chunks({"chunk", "window [s]", "best DM", "peak S/N",
                     "compute", "latency"});
   stream::StreamingOptions opts;
+  opts.engine = cli.get("engine");
   opts.detect = true;
   opts.cpu.threads = static_cast<std::size_t>(cli.get_int("threads"));
   stream::StreamingDedisperser session(

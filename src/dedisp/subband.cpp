@@ -1,6 +1,7 @@
 #include "dedisp/subband.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -21,6 +22,15 @@ void check_config(const Plan& plan, const SubbandConfig& config) {
 }
 
 }  // namespace
+
+SubbandConfig SubbandConfig::adapted_to(const Plan& plan) const {
+  SubbandConfig adapted = *this;
+  adapted.subbands =
+      std::gcd(std::max<std::size_t>(subbands, 1), plan.channels());
+  adapted.coarse_step =
+      std::gcd(std::max<std::size_t>(coarse_step, 1), plan.dms());
+  return adapted;
+}
 
 double subband_flop(const Plan& plan, const SubbandConfig& config) {
   check_config(plan, config);
@@ -57,6 +67,41 @@ std::int64_t subband_max_delay_error(const Plan& plan,
     }
   }
   return worst;
+}
+
+std::size_t subband_min_input_samples(const Plan& plan,
+                                      const SubbandConfig& config) {
+  check_config(plan, config);
+  const sky::Observation& obs = plan.observation();
+  const std::size_t channels = plan.channels();
+  const std::size_t cs = channels / config.subbands;
+  const double rate = obs.sampling_rate();
+  const double f_top = obs.f_max_mhz();
+  auto subband_top = [&](std::size_t band) {
+    return obs.channel_freq_mhz(band * cs + cs - 1) + obs.channel_bw_mhz();
+  };
+  // Same maxima the execution computes: worst inter-subband shift over
+  // (trial, band) plus worst intra-subband shift over (coarse trial,
+  // channel) — the two stages' reads compose additively.
+  std::int64_t max_inter = 0;
+  for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+    for (std::size_t band = 0; band < config.subbands; ++band) {
+      max_inter = std::max(max_inter, sky::dispersion_delay_samples(
+                                          obs.dm_value(dm),
+                                          subband_top(band), f_top, rate));
+    }
+  }
+  std::int64_t max_intra = 0;
+  const std::size_t n_coarse = plan.dms() / config.coarse_step;
+  for (std::size_t ci = 0; ci < n_coarse; ++ci) {
+    const double coarse_dm = obs.dm_value(ci * config.coarse_step);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      max_intra = std::max(max_intra, sky::dispersion_delay_samples(
+                                          coarse_dm, obs.channel_freq_mhz(ch),
+                                          subband_top(ch / cs), rate));
+    }
+  }
+  return plan.out_samples() + static_cast<std::size_t>(max_inter + max_intra);
 }
 
 void dedisperse_subband(const Plan& plan, const SubbandConfig& config,

@@ -26,6 +26,12 @@ struct SubbandConfig {
   std::size_t subbands = 32;
   /// Fine trials per coarse trial; must divide the plan's trial count.
   std::size_t coarse_step = 16;
+
+  /// This split adapted to \p plan: subbands collapses to its gcd with the
+  /// channel count and coarse_step to its gcd with the trial count (both
+  /// ≥ 1), so any plan runs. Shrinking either only makes the approximation
+  /// *more* exact.
+  SubbandConfig adapted_to(const Plan& plan) const;
 };
 
 /// Floating point operations of the two-stage method for \p plan
@@ -36,6 +42,13 @@ double subband_flop(const Plan& plan, const SubbandConfig& config);
 /// coarse trial's shifts — the smearing bound of the approximation.
 std::int64_t subband_max_delay_error(const Plan& plan,
                                      const SubbandConfig& config);
+
+/// Exact input columns dedisperse_subband reads for \p plan under
+/// \p config: out_samples + the worst split delay (max intra + max inter,
+/// each rounded separately). Bounded by in_samples + 2; often equal to
+/// in_samples, in which case no padding is needed at all.
+std::size_t subband_min_input_samples(const Plan& plan,
+                                      const SubbandConfig& config);
 
 /// Two-stage dedispersion into \p out (dms × out_samples). The input must
 /// provide in_samples + 2 columns of padding (delay splitting rounds the

@@ -1,0 +1,132 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The unified execution-engine abstraction.
+///
+/// The paper's central result is that no single kernel shape — and, in the
+/// follow-up survey work, no single *platform* — wins everywhere: platform
+/// choice is itself a tuning decision. This library grew four de-facto
+/// backends (tiled SIMD CPU, scalar baseline, two-stage subband, simulated
+/// OpenCL) plus the sequential reference, each historically hardwired into
+/// its consumers with special cases. A DedispEngine is the seam that makes
+/// them interchangeable:
+///
+///  - every engine executes the same contract — `execute(plan, config, in,
+///    out)` fills the dms × out_samples trial matrix from a channels ×
+///    ≥in_samples input;
+///  - a capabilities struct declares what a consumer may do with the engine
+///    (shard its DM grid, stream it chunk-by-chunk, trust bitwise equality
+///    with the reference, search its configuration space), so the pipeline,
+///    streaming and tuning layers gate on *capabilities*, never on engine
+///    identity;
+///  - `config_space()` enumerates the KernelConfig candidates a tuner
+///    should measure, collapsing to a single point for engines without a
+///    tunable kernel shape — which is exactly what lets `tune_guided`
+///    compare engines against each other on equal footing.
+///
+/// Engines are created by name through the EngineRegistry
+/// (engine/registry.hpp); consumers hold `std::shared_ptr<const
+/// DedispEngine>` handles. An engine instance is immutable and cheap: it
+/// captures its EngineOptions at construction and owns no buffers, so one
+/// instance may execute concurrently from many worker threads.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "dedisp/subband.hpp"
+#include "ocl/device.hpp"
+#include "ocl/sim_engine.hpp"
+
+namespace ddmc::engine {
+
+/// The registry id consumers default to: the tiled SIMD host engine.
+inline constexpr const char kDefaultEngineId[] = "cpu_tiled";
+
+/// What a consumer may do with an engine. Consumers gate on these bits and
+/// name the missing capability in their errors; they never test engine ids.
+struct EngineCapabilities {
+  /// The engine produces correct rows for Plan::dm_shard slices, so the
+  /// sharded executor may split its DM grid across workers and assemble
+  /// row ranges.
+  bool supports_sharding = false;
+  /// The engine produces correct output for chunk-window plans
+  /// (Plan::with_chunk), so a streaming session may drive it.
+  bool supports_streaming = false;
+  /// Output is bit-identical to dedisp::dedisperse_reference (same float
+  /// additions in the same order). False marks an approximation whose
+  /// error is bounded, not zero (the subband engine).
+  bool bitwise_exact = false;
+  /// The KernelConfig axes change this engine's execution, so its
+  /// config_space() is worth searching. False collapses tuning to a single
+  /// measured point.
+  bool tunable = false;
+  /// Input columns the engine may read beyond Plan::in_samples() (the
+  /// subband engine's split-delay rounding needs up to two). Consumers that
+  /// can supply real samples for the padding should (the streaming chunker
+  /// widens its overlap by this); the engine zero-pads otherwise.
+  std::size_t input_padding = 0;
+
+  friend bool operator==(const EngineCapabilities&,
+                         const EngineCapabilities&) = default;
+};
+
+/// Construction-time knobs shared by every engine factory. Each engine
+/// reads the fields it understands and ignores the rest, so one options
+/// struct configures any registry id.
+struct EngineOptions {
+  /// Host-execution knobs (staging, SIMD-vs-scalar, worker threads) of the
+  /// cpu engines; threads also drives the cpu_baseline pool.
+  dedisp::CpuKernelOptions cpu;
+  /// Two-stage split of the subband engine. The engine adapts both fields
+  /// to a plan by gcd (subbands must divide the channel count, coarse_step
+  /// the trial count), so any plan runs.
+  dedisp::SubbandConfig subband;
+  /// Device model of the ocl_sim engine (default: the AMD HD7970 preset).
+  std::optional<ocl::DeviceModel> device;
+};
+
+/// Per-execution artifacts beyond the output matrix.
+struct EngineRun {
+  /// Traffic counters of a simulated-device execution (ocl_sim only).
+  std::optional<ocl::MemCounters> counters;
+};
+
+/// One execution path for the dedispersion contract. Implementations are
+/// immutable after construction and safe to execute concurrently.
+class DedispEngine {
+ public:
+  virtual ~DedispEngine() = default;
+
+  /// Registry id ("cpu_tiled", "subband", …) — the tuner's engine axis.
+  virtual const std::string& id() const = 0;
+  virtual const EngineCapabilities& capabilities() const = 0;
+  virtual const EngineOptions& options() const = 0;
+
+  /// Execution variant entering the tuning-cache host signature next to the
+  /// id: the SIMD backend actually compiled in ("avx2", "sse2", "neon",
+  /// "scalar") for the cpu engines, the device preset for ocl_sim. Never
+  /// contains '|', ',' or newlines.
+  virtual std::string variant() const = 0;
+
+  /// KernelConfig candidates worth measuring on \p plan, validated and
+  /// deduplicated. Engines without a tunable kernel shape return the single
+  /// 1×1 point, which validates against every plan.
+  virtual std::vector<dedisp::KernelConfig> config_space(
+      const dedisp::Plan& plan) const = 0;
+
+  /// Dedisperse \p in (channels × ≥in_samples) into \p out (dms ×
+  /// ≥out_samples) under \p config. Engines whose capabilities say
+  /// !tunable ignore the config's tile shape (it must still validate
+  /// against the plan — the 1×1 default always does).
+  virtual EngineRun execute(const dedisp::Plan& plan,
+                            const dedisp::KernelConfig& config,
+                            ConstView2D<float> in,
+                            View2D<float> out) const = 0;
+};
+
+}  // namespace ddmc::engine

@@ -1,0 +1,67 @@
+#include "engine/registry.hpp"
+
+#include "common/expect.hpp"
+
+namespace ddmc::engine {
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+EngineRegistry::EngineRegistry() { detail::register_builtin_engines(*this); }
+
+void EngineRegistry::add(const std::string& id, Factory factory) {
+  DDMC_REQUIRE(!id.empty(), "engine id must be non-empty");
+  DDMC_REQUIRE(static_cast<bool>(factory),
+               "engine '" + id + "' needs a factory");
+  std::lock_guard<std::mutex> lock(mutex_);
+  DDMC_REQUIRE(factories_.find(id) == factories_.end(),
+               "engine '" + id + "' is already registered");
+  factories_.emplace(id, std::move(factory));
+}
+
+bool EngineRegistry::contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(id) != factories_.end();
+}
+
+std::vector<std::string> EngineRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [id, factory] : factories_) names.push_back(id);
+  return names;  // std::map iterates sorted
+}
+
+std::shared_ptr<const DedispEngine> EngineRegistry::create(
+    const std::string& id, const EngineOptions& options) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(id);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [name, f] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      DDMC_REQUIRE(false, "unknown engine '" + id +
+                              "'; registered engines: " + known);
+    }
+    factory = it->second;
+  }
+  std::shared_ptr<const DedispEngine> engine = factory(options);
+  DDMC_ENSURE(engine != nullptr, "engine factory '" + id + "' returned null");
+  // The id is the tuning cache's engine axis: an engine that reports a
+  // different id than it was registered under would share another engine's
+  // cached optima (a wrapper returning the wrapped engine's id is the easy
+  // mistake). Enforce the invariant at the only creation point.
+  DDMC_REQUIRE(engine->id() == id,
+               "engine factory registered as '" + id +
+                   "' produced an engine reporting id '" + engine->id() +
+                   "'");
+  return engine;
+}
+
+}  // namespace ddmc::engine

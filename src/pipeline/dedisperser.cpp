@@ -1,46 +1,54 @@
 #include "pipeline/dedisperser.hpp"
 
 #include "common/expect.hpp"
-#include "dedisp/reference.hpp"
-#include "ocl/device_presets.hpp"
-#include "ocl/sim_dedisp.hpp"
+#include "engine/registry.hpp"
 #include "pipeline/sharding.hpp"
 
 namespace ddmc::pipeline {
 
 Dedisperser::Dedisperser(const sky::Observation& obs, std::size_t dms,
-                         Backend backend, std::size_t seconds)
-    : Dedisperser(dedisp::Plan(obs, dms, seconds), backend) {}
+                         std::string engine, std::size_t seconds)
+    : Dedisperser(dedisp::Plan(obs, dms, seconds), std::move(engine)) {}
 
 Dedisperser Dedisperser::with_output_samples(const sky::Observation& obs,
                                              std::size_t dms,
                                              std::size_t out_samples,
-                                             Backend backend) {
-  return Dedisperser(
-      dedisp::Plan::with_output_samples(obs, dms, out_samples), backend);
+                                             std::string engine) {
+  return Dedisperser(dedisp::Plan::with_output_samples(obs, dms, out_samples),
+                     std::move(engine));
 }
 
-Dedisperser::Dedisperser(dedisp::Plan plan, Backend backend)
-    : plan_(std::move(plan)), backend_(backend) {}
+Dedisperser::Dedisperser(dedisp::Plan plan, std::string engine)
+    : plan_(std::move(plan)), engine_id_(std::move(engine)) {
+  rebuild_engine();
+}
+
+void Dedisperser::rebuild_engine() {
+  engine_ = engine::make_engine(engine_id_, engine_options_);
+  sharded_.reset();
+}
 
 tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
   ocl::PlanAnalysis analysis(plan_);
   tuner::TuningResult result = tuner::tune(device, analysis);
   config_ = result.best.config;
   sharded_.reset();
-  device_ = device;
+  set_device(device);
   return result;
 }
 
 tuner::GuidedTuningOutcome Dedisperser::tune_cached(
     tuner::TuningCache& cache, tuner::GuidedTuningOptions options) {
-  DDMC_REQUIRE(backend_ == Backend::kCpuTiled,
-               "tune_cached measures the host kernels and tunes the "
-               "kCpuTiled backend; this Dedisperser runs another backend "
-               "(use tune_for for the device model)");
-  options.host.stage_rows = cpu_options_.stage_rows;
-  options.host.vectorize = cpu_options_.vectorize;
-  options.host.threads = cpu_options_.threads;
+  DDMC_REQUIRE(engine_->capabilities().tunable,
+               "tune_cached measures the engine's kernel-shape space, but "
+               "engine '" + engine_id_ +
+                   "' reports capability tunable = false (its execution "
+                   "does not depend on the KernelConfig axes)");
+  options.engines = {engine_id_};
+  options.engine_options = engine_options_;
+  options.host.stage_rows = engine_options_.cpu.stage_rows;
+  options.host.vectorize = engine_options_.cpu.vectorize;
+  options.host.threads = engine_options_.cpu.threads;
   tuner::GuidedTuningOutcome outcome = tuner::tune_guided(plan_, cache, options);
   config_ = outcome.config;
   sharded_.reset();
@@ -53,15 +61,27 @@ void Dedisperser::set_config(const dedisp::KernelConfig& config) {
   sharded_.reset();
 }
 
+void Dedisperser::set_cpu_options(const dedisp::CpuKernelOptions& options) {
+  engine_options_.cpu = options;
+  rebuild_engine();
+}
+
 void Dedisperser::set_device(const ocl::DeviceModel& device) {
-  device_ = device;
+  engine_options_.device = device;
+  rebuild_engine();
+}
+
+void Dedisperser::set_subband_config(const dedisp::SubbandConfig& config) {
+  engine_options_.subband = config;
+  rebuild_engine();
 }
 
 void Dedisperser::set_execution(Execution execution, std::size_t workers) {
   DDMC_REQUIRE(execution == Execution::kSingle ||
-                   backend_ == Backend::kCpuTiled,
-               "sharded execution runs the tiled host engine; this "
-               "Dedisperser uses another backend");
+                   engine_->capabilities().supports_sharding,
+               "engine '" + engine_id_ +
+                   "' cannot run DM-sharded execution: its capability "
+                   "supports_sharding is false");
   execution_ = execution;
   shard_workers_ = workers;
   sharded_.reset();
@@ -70,33 +90,19 @@ void Dedisperser::set_execution(Execution execution, std::size_t workers) {
 Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
   Array2D<float> out(plan_.dms(), plan_.out_samples());
   counters_.reset();
-  switch (backend_) {
-    case Backend::kReference:
-      dedisp::dedisperse_reference(plan_, input, out.view());
-      break;
-    case Backend::kCpuTiled:
-      if (execution_ == Execution::kDmSharded) {
-        if (!sharded_) {
-          sharded_ = std::make_shared<const ShardedDedisperser>(
-              plan_, config_, sharded_options(shard_workers_, cpu_options_));
-        }
-        sharded_->dedisperse(input, out.view());
-      } else {
-        dedisp::dedisperse_cpu(plan_, config_, input, out.view(),
-                               cpu_options_);
-      }
-      break;
-    case Backend::kCpuBaseline:
-      dedisp::dedisperse_cpu_baseline(plan_, input, out.view());
-      break;
-    case Backend::kSimulated: {
-      const ocl::DeviceModel device =
-          device_.has_value() ? *device_ : ocl::amd_hd7970();
-      const ocl::SimRunResult run =
-          ocl::simulate_dedisp(device, plan_, config_, input, out.view());
-      counters_ = run.counters;
-      break;
+  if (execution_ == Execution::kDmSharded) {
+    if (!sharded_) {
+      ShardedOptions options;
+      options.workers = shard_workers_;
+      options.engine = engine_id_;
+      options.engine_options = engine_options_;
+      sharded_ = std::make_shared<const ShardedDedisperser>(
+          plan_, config_, std::move(options));
     }
+    sharded_->dedisperse(input, out.view());
+  } else {
+    engine::EngineRun run = engine_->execute(plan_, config_, input, out.view());
+    counters_ = std::move(run.counters);
   }
   return out;
 }

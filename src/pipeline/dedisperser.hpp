@@ -6,31 +6,32 @@
 ///
 /// \code{.cpp}
 ///   using namespace ddmc;
-///   pipeline::Dedisperser dd(sky::apertif(), /*dms=*/256);
+///   pipeline::Dedisperser dd(sky::apertif(), /*dms=*/256);   // cpu_tiled
 ///   dd.tune_for(ocl::amd_hd7970());               // optional
 ///   Array2D<float> out = dd.dedisperse(input.cview());
 /// \endcode
 ///
-/// Backends:
-///  - kReference: the sequential Algorithm 1 (ground truth).
-///  - kCpuTiled: the tiled host kernel, honoring the tuned KernelConfig.
-///  - kCpuBaseline: the §V-D OpenMP/AVX-style comparator.
-///  - kSimulated: the MiniCL functional simulator with a device model
-///    (bit-identical output, plus measured traffic counters).
+/// Execution is delegated to a DedispEngine selected by registry id
+/// (engine/registry.hpp): `cpu_tiled` (the tuned SIMD host kernel, the
+/// default), `cpu_baseline`, `reference`, `subband`, `ocl_sim`, or any
+/// engine registered by downstream code. The Dedisperser never branches on
+/// the engine's identity — every mode decision (sharding, tuning) gates on
+/// the engine's declared capabilities.
 ///
 /// For samples that *arrive* instead of sitting in memory, use the
-/// streaming sessions in stream/streaming_dedisperser.hpp: they run the
-/// same kCpuTiled kernel chunk-by-chunk (bitwise-identical output) with
-/// bounded-ring ingest and latency accounting.
+/// streaming sessions in stream/streaming_dedisperser.hpp: they run any
+/// streaming-capable engine chunk-by-chunk with bounded-ring ingest and
+/// latency accounting.
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/array2d.hpp"
-#include "dedisp/cpu_baseline.hpp"
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine.hpp"
 #include "ocl/device.hpp"
 #include "ocl/sim_engine.hpp"
 #include "tuner/tuner.hpp"
@@ -38,45 +39,44 @@
 
 namespace ddmc::pipeline {
 
-enum class Backend { kReference, kCpuTiled, kCpuBaseline, kSimulated };
-
-/// Execution mode, orthogonal to the Backend: kSingle runs one engine over
-/// the whole plan; kDmSharded partitions the DM grid across a worker pool
-/// (pipeline/sharding.hpp) with bitwise-identical output. Only the
-/// kCpuTiled backend supports sharded execution — the other backends are
-/// correctness/model references with no worker decomposition.
+/// Execution mode, orthogonal to the engine: kSingle runs one engine call
+/// over the whole plan; kDmSharded partitions the DM grid across a worker
+/// pool (pipeline/sharding.hpp) with bitwise-identical output. Requires an
+/// engine whose capabilities report supports_sharding.
 enum class Execution { kSingle, kDmSharded };
 
 class ShardedDedisperser;  // pipeline/sharding.hpp
 
 class Dedisperser {
  public:
-  /// Plan a full-seconds instance (the paper's shape).
+  /// Plan a full-seconds instance (the paper's shape) on engine \p engine.
   Dedisperser(const sky::Observation& obs, std::size_t dms,
-              Backend backend = Backend::kCpuTiled, std::size_t seconds = 1);
+              std::string engine = engine::kDefaultEngineId,
+              std::size_t seconds = 1);
 
   /// Plan with an explicit output length (tests, small demos).
-  static Dedisperser with_output_samples(const sky::Observation& obs,
-                                         std::size_t dms,
-                                         std::size_t out_samples,
-                                         Backend backend = Backend::kCpuTiled);
+  static Dedisperser with_output_samples(
+      const sky::Observation& obs, std::size_t dms, std::size_t out_samples,
+      std::string engine = engine::kDefaultEngineId);
 
   const dedisp::Plan& plan() const { return plan_; }
-  Backend backend() const { return backend_; }
+  const std::string& engine_id() const { return engine_id_; }
+  const engine::DedispEngine& engine() const { return *engine_; }
 
   /// Auto-tune the kernel configuration for \p device using the performance
-  /// model; the chosen config drives kCpuTiled and kSimulated execution.
-  /// Returns the full tuning result for inspection.
+  /// model; the chosen config drives tunable engines and the ocl_sim
+  /// simulator. Returns the full tuning result for inspection.
   tuner::TuningResult tune_for(const ocl::DeviceModel& device);
 
-  /// Tune-on-first-use for the kCpuTiled backend (throws
-  /// ddmc::invalid_argument on any other backend — the measured host
-  /// optimum is meaningless to the device model): answer from \p cache
-  /// when it holds this (host, plan) pair or a transferable neighbor —
-  /// zero measurements — and otherwise run the guided search on the real
-  /// kernels and store the winner. The engine knobs of \p options.host are
-  /// overridden by this Dedisperser's cpu_options(), so the signature
-  /// matches what dedisperse() will actually run.
+  /// Tune-on-first-use by *measurement* on this Dedisperser's engine
+  /// (throws ddmc::invalid_argument when the engine's capabilities report
+  /// !tunable — a measured kernel-shape optimum is meaningless to an engine
+  /// without one): answer from \p cache when it holds this (engine, host,
+  /// plan) tuple or a transferable neighbor — zero measurements — and
+  /// otherwise run the guided search on the real engine and store the
+  /// winner. The engine knobs of \p options.host are overridden by this
+  /// Dedisperser's cpu_options(), so the signature matches what
+  /// dedisperse() will actually run.
   tuner::GuidedTuningOutcome tune_cached(
       tuner::TuningCache& cache, tuner::GuidedTuningOptions options = {});
 
@@ -84,47 +84,52 @@ class Dedisperser {
   void set_config(const dedisp::KernelConfig& config);
   const dedisp::KernelConfig& config() const { return config_; }
 
-  /// Execution options of the kCpuTiled backend (engine selection, staging,
-  /// threads) — the knobs of the SIMD host engine.
-  void set_cpu_options(const dedisp::CpuKernelOptions& options) {
-    cpu_options_ = options;
-    sharded_.reset();
+  /// Host-execution knobs (engine selection, staging, threads) passed to
+  /// the engine factory — the knobs of the cpu engines.
+  void set_cpu_options(const dedisp::CpuKernelOptions& options);
+  const dedisp::CpuKernelOptions& cpu_options() const {
+    return engine_options_.cpu;
   }
-  const dedisp::CpuKernelOptions& cpu_options() const { return cpu_options_; }
 
-  /// Device used by the kSimulated backend (defaults to the HD7970 model).
+  /// Device used by the ocl_sim engine (defaults to the HD7970 model).
   void set_device(const ocl::DeviceModel& device);
+
+  /// Two-stage split of the subband engine (adapted to the plan by gcd).
+  void set_subband_config(const dedisp::SubbandConfig& config);
 
   /// Select the execution mode of dedisperse(). kDmSharded splits the DM
   /// grid into cost-balanced shards executed on \p workers pool threads
-  /// (0 = machine concurrency); throws ddmc::invalid_argument on any
-  /// backend other than kCpuTiled.
+  /// (0 = machine concurrency); throws ddmc::invalid_argument when the
+  /// engine's capabilities report !supports_sharding.
   void set_execution(Execution execution, std::size_t workers = 0);
   Execution execution() const { return execution_; }
   std::size_t shard_workers() const { return shard_workers_; }
 
-  /// Execute the selected backend. Input must be channels × ≥in_samples.
+  /// Execute the selected engine. Input must be channels × ≥in_samples.
   Array2D<float> dedisperse(ConstView2D<float> input);
 
-  /// Traffic counters of the last kSimulated run (empty otherwise).
+  /// Traffic counters of the last run on a counter-reporting engine
+  /// (ocl_sim; empty otherwise).
   const std::optional<ocl::MemCounters>& last_counters() const {
     return counters_;
   }
 
  private:
-  Dedisperser(dedisp::Plan plan, Backend backend);
+  Dedisperser(dedisp::Plan plan, std::string engine);
+  /// Recreate the engine from engine_options_ (engines are immutable).
+  void rebuild_engine();
 
   dedisp::Plan plan_;
-  Backend backend_;
+  std::string engine_id_;
+  engine::EngineOptions engine_options_;
+  std::shared_ptr<const engine::DedispEngine> engine_;
   dedisp::KernelConfig config_{1, 1, 1, 1};
-  dedisp::CpuKernelOptions cpu_options_;
   Execution execution_ = Execution::kSingle;
   std::size_t shard_workers_ = 0;
   /// Executor reused across dedisperse() calls in kDmSharded mode (built
   /// lazily: worker pool + planner + shard plans are per-(plan, config,
   /// workers), not per-call); invalidated by every setter that feeds it.
   std::shared_ptr<const ShardedDedisperser> sharded_;
-  std::optional<ocl::DeviceModel> device_;
   std::optional<ocl::MemCounters> counters_;
 };
 

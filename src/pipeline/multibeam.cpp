@@ -2,18 +2,43 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/expect.hpp"
 #include "common/thread_pool.hpp"
-#include "dedisp/cpu_kernel.hpp"
+#include "engine/registry.hpp"
 #include "pipeline/sharding.hpp"
 
 namespace ddmc::pipeline {
 
 MultiBeamDedisperser::MultiBeamDedisperser(dedisp::Plan plan,
-                                           dedisp::KernelConfig config)
-    : plan_(std::move(plan)), config_(config) {
+                                           dedisp::KernelConfig config,
+                                           std::string engine,
+                                           engine::EngineOptions options)
+    : plan_(std::move(plan)),
+      config_(config),
+      engine_id_(std::move(engine)),
+      engine_options_(std::move(options)) {
   config_.validate(plan_);
+  rebuild_engine();
+}
+
+void MultiBeamDedisperser::set_cpu_options(
+    const dedisp::CpuKernelOptions& options) {
+  engine_options_.cpu = options;
+  rebuild_engine();
+}
+
+void MultiBeamDedisperser::set_engine_options(
+    const engine::EngineOptions& options) {
+  engine_options_ = options;
+  rebuild_engine();
+}
+
+void MultiBeamDedisperser::rebuild_engine() {
+  engine::EngineOptions options = engine_options_;
+  options.cpu.threads = 1;  // beams are the parallel dimension
+  engine_ = engine::make_engine(engine_id_, options);
 }
 
 std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
@@ -36,13 +61,9 @@ std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
     outputs.emplace_back(plan_.dms(), plan_.out_samples());
   }
 
-  dedisp::CpuKernelOptions kernel_options = cpu_options_;
-  kernel_options.threads = 1;  // beams are the parallel dimension
-
   auto run_beam = [&](std::size_t begin, std::size_t end) {
     for (std::size_t b = begin; b < end; ++b) {
-      dedisp::dedisperse_cpu(plan_, config_, beams[b], outputs[b].view(),
-                             kernel_options);
+      engine_->execute(plan_, config_, beams[b], outputs[b].view());
     }
   };
 
@@ -64,8 +85,11 @@ std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse(
 
 std::vector<Array2D<float>> MultiBeamDedisperser::dedisperse_sharded(
     const std::vector<ConstView2D<float>>& beams, std::size_t workers) const {
-  const ShardedDedisperser sharded(plan_, config_,
-                                   sharded_options(workers, cpu_options_));
+  ShardedOptions options;
+  options.workers = workers;
+  options.engine = engine_id_;
+  options.engine_options = engine_options_;
+  const ShardedDedisperser sharded(plan_, config_, std::move(options));
   return sharded.dedisperse_batch(beams);
 }
 

@@ -6,34 +6,52 @@
 ///
 /// One plan and one tuned configuration are shared by every beam (the
 /// beams see the same band and DM grid); beams are dispatched in parallel
-/// over the worker pool, each running the tiled kernel inline on its
-/// worker — the same decomposition a production survey backend uses.
+/// over the worker pool, each running the selected engine inline on its
+/// worker — the same decomposition a production survey backend uses. The
+/// engine is selected by registry id (engine/registry.hpp) and never
+/// branched on: any engine runs beam-parallel, and dedisperse_sharded
+/// additionally requires the supports_sharding capability.
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/array2d.hpp"
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine.hpp"
 #include "sky/detection.hpp"
 
 namespace ddmc::pipeline {
 
 class MultiBeamDedisperser {
  public:
-  /// \p config must validate against \p plan.
-  MultiBeamDedisperser(dedisp::Plan plan, dedisp::KernelConfig config);
+  /// \p config must validate against \p plan; \p engine is a registry id,
+  /// created with \p options (subband split, simulator device, cpu knobs).
+  MultiBeamDedisperser(dedisp::Plan plan, dedisp::KernelConfig config,
+                       std::string engine = engine::kDefaultEngineId,
+                       engine::EngineOptions options = {});
 
   const dedisp::Plan& plan() const { return plan_; }
   const dedisp::KernelConfig& config() const { return config_; }
+  const std::string& engine_id() const { return engine_id_; }
+  const engine::DedispEngine& engine() const { return *engine_; }
 
-  /// Engine options shared by every beam. The per-beam thread count is
-  /// always forced to 1 — beams are the parallel dimension — but staging
-  /// and SIMD-vs-scalar selection pass through to the tiled kernel.
-  void set_cpu_options(const dedisp::CpuKernelOptions& options) {
-    cpu_options_ = options;
+  /// Host-execution knobs shared by every beam. The per-beam thread count
+  /// is always forced to 1 — beams are the parallel dimension — but
+  /// staging and SIMD-vs-scalar selection pass through to the engine
+  /// factory.
+  void set_cpu_options(const dedisp::CpuKernelOptions& options);
+  const dedisp::CpuKernelOptions& cpu_options() const {
+    return engine_options_.cpu;
   }
-  const dedisp::CpuKernelOptions& cpu_options() const { return cpu_options_; }
+
+  /// Replace the whole factory-options struct (cpu knobs included).
+  void set_engine_options(const engine::EngineOptions& options);
+  const engine::EngineOptions& engine_options() const {
+    return engine_options_;
+  }
 
   /// Dedisperse every beam (each channels × ≥in_samples) into its own
   /// trial matrix. \p threads = 0 uses the machine-sized global pool.
@@ -44,7 +62,8 @@ class MultiBeamDedisperser {
   /// Same decomposition with the DM grid additionally sharded: all
   /// beams × shards jobs are batched onto one pool of \p workers threads
   /// (0 = machine concurrency), so a few beams still saturate many
-  /// workers. Bitwise identical to dedisperse().
+  /// workers. Bitwise identical to dedisperse(); requires the engine's
+  /// supports_sharding capability.
   std::vector<Array2D<float>> dedisperse_sharded(
       const std::vector<ConstView2D<float>>& beams,
       std::size_t workers = 0) const;
@@ -62,9 +81,14 @@ class MultiBeamDedisperser {
                        std::size_t threads = 0) const;
 
  private:
+  /// Recreate the per-beam engine (thread count forced to 1).
+  void rebuild_engine();
+
   dedisp::Plan plan_;
   dedisp::KernelConfig config_;
-  dedisp::CpuKernelOptions cpu_options_;
+  std::string engine_id_;
+  engine::EngineOptions engine_options_;
+  std::shared_ptr<const engine::DedispEngine> engine_;
 };
 
 }  // namespace ddmc::pipeline

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "engine/registry.hpp"
 #include "ocl/device_presets.hpp"
 #include "ocl/perf_model.hpp"
 
@@ -174,18 +175,16 @@ ShardLayout DmShardPlanner::partition(std::size_t workers) const {
 
 ShardedOptions::ShardedOptions() : cost_device(ocl::intel_xeon_e5_2620()) {}
 
-ShardedOptions sharded_options(std::size_t workers,
-                               const dedisp::CpuKernelOptions& cpu) {
-  ShardedOptions options;
-  options.workers = workers;
-  options.cpu = cpu;
-  return options;
-}
-
 ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
                                        ShardedOptions options)
     : plan_(std::move(plan)), options_(std::move(options)) {
-  options_.cpu.threads = 1;  // shards × beams are the parallel dimension
+  // Shards × beams are the parallel dimension.
+  options_.engine_options.cpu.threads = 1;
+  engine_ = engine::make_engine(options_.engine, options_.engine_options);
+  DDMC_REQUIRE(engine_->capabilities().supports_sharding,
+               "engine '" + options_.engine +
+                   "' cannot run DM-sharded execution: its capability "
+                   "supports_sharding is false");
   pool_ = std::make_unique<ThreadPool>(options_.workers);
   const DmShardPlanner planner(plan_, options_.cost_device);
   layout_ = planner.partition(pool_->worker_count());
@@ -211,9 +210,11 @@ ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
                                        ShardedOptions options,
                                        tuner::GuidedTuningOptions tuning)
     : ShardedDedisperser(std::move(plan), std::move(options)) {
-  tuning.host.stage_rows = options_.cpu.stage_rows;
-  tuning.host.vectorize = options_.cpu.vectorize;
-  tuning.host.threads = options_.cpu.threads;
+  tuning.engines = {options_.engine};
+  tuning.engine_options = options_.engine_options;
+  tuning.host.stage_rows = options_.engine_options.cpu.stage_rows;
+  tuning.host.vectorize = options_.engine_options.cpu.vectorize;
+  tuning.host.threads = options_.engine_options.cpu.threads;
   shard_configs_.reserve(shard_plans_.size());
   tuning_outcomes_.reserve(shard_plans_.size());
   for (const dedisp::Plan& shard : shard_plans_) {
@@ -241,8 +242,8 @@ void ShardedDedisperser::run_batch(
       const View2D<float>& full = outs[beam];
       const View2D<float> rows(full.data() + range.first_dm * full.pitch(),
                                range.dms, full.cols(), full.pitch());
-      dedisp::dedisperse_cpu(shard_plans_[shard], shard_configs_[shard],
-                             beams[beam], rows, options_.cpu);
+      engine_->execute(shard_plans_[shard], shard_configs_[shard],
+                       beams[beam], rows);
     }
   });
 }

@@ -14,21 +14,25 @@
 ///    not equal trial counts: a high-DM shard drags a larger input window
 ///    through memory (its dispersion sweep is longer), so equal-count
 ///    splits systematically overload the top shard.
-///  - ShardedDedisperser executes the shards across an owned worker pool.
-///    Every shard runs on its own worker with its own staging buffers and
-///    its own KernelConfig — either adapted from a caller config or tuned
-///    per shard through TuningCache::tune_guided (shard plans carry their
-///    own PlanSignature, so neighboring shards answer each other's tuning
-///    by nearest-neighbor transfer). Batched submission covers multiple
-///    beams (beams × shards jobs in flight at once); results are assembled
-///    into the full dms × out_samples matrix by writing each shard's rows
-///    at its DM offset, which makes the output *bitwise identical* to the
+///  - ShardedDedisperser executes the shards across an owned worker pool,
+///    through any engine whose capabilities report supports_sharding
+///    (ShardedOptions::engine selects it by registry id; an engine without
+///    the capability is rejected with an error naming it). Every shard runs
+///    on its own worker with its own staging buffers and its own
+///    KernelConfig — either adapted from a caller config or tuned per shard
+///    through TuningCache::tune_guided (shard plans carry their own
+///    PlanSignature, so neighboring shards answer each other's tuning by
+///    nearest-neighbor transfer). Batched submission covers multiple beams
+///    (beams × shards jobs in flight at once); results are assembled into
+///    the full dms × out_samples matrix by writing each shard's rows at its
+///    DM offset, which makes the output *bitwise identical* to the
 ///    single-engine batch path: shard delay tables are sliced, never
-///    recomputed (Plan::dm_shard), and the tiled engine is bitwise
-///    identical across kernel configurations.
+///    recomputed (Plan::dm_shard), and the sharding-capable engines are
+///    bitwise identical across kernel configurations.
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/array2d.hpp"
@@ -36,6 +40,7 @@
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine.hpp"
 #include "ocl/device.hpp"
 #include "tuner/tuning_cache.hpp"
 
@@ -105,20 +110,19 @@ class DmShardPlanner {
 struct ShardedOptions {
   /// Worker threads owning shards; 0 = machine concurrency.
   std::size_t workers = 0;
-  /// Engine knobs shared by every worker. The per-worker thread count is
-  /// always forced to 1 — shards (× beams) are the parallel dimension.
-  dedisp::CpuKernelOptions cpu;
+  /// Registry id of the engine every worker runs; must report the
+  /// supports_sharding capability.
+  std::string engine = engine::kDefaultEngineId;
+  /// Full factory options for the workers' engine (cpu knobs, subband
+  /// split, simulator device — whatever the selected engine reads). The
+  /// per-worker thread count is always forced to 1 — shards (× beams) are
+  /// the parallel dimension.
+  engine::EngineOptions engine_options;
   /// Device model pricing the planner's cost terms.
   ocl::DeviceModel cost_device;
 
   ShardedOptions();
 };
-
-/// The wiring-site construction shared by Dedisperser, MultiBeamDedisperser
-/// and the streaming sessions: \p workers pool threads with the caller's
-/// engine knobs (whose thread count the executor forces to 1 anyway).
-ShardedOptions sharded_options(std::size_t workers,
-                               const dedisp::CpuKernelOptions& cpu);
 
 /// Executes a plan as DM shards on an owned worker pool.
 class ShardedDedisperser {
@@ -140,6 +144,7 @@ class ShardedDedisperser {
                      tuner::GuidedTuningOptions tuning = {});
 
   const dedisp::Plan& plan() const { return plan_; }
+  const engine::DedispEngine& engine() const { return *engine_; }
   const ShardLayout& layout() const { return layout_; }
   std::size_t workers() const { return pool_->worker_count(); }
   std::size_t shard_count() const { return shard_plans_.size(); }
@@ -176,6 +181,7 @@ class ShardedDedisperser {
 
   dedisp::Plan plan_;
   ShardedOptions options_;
+  std::shared_ptr<const engine::DedispEngine> engine_;
   ShardLayout layout_;
   std::vector<dedisp::Plan> shard_plans_;
   std::vector<dedisp::KernelConfig> shard_configs_;

@@ -7,11 +7,13 @@
 
 namespace ddmc::stream {
 
-OverlapChunker::OverlapChunker(const dedisp::Plan& chunk_plan)
-    : window_(chunk_plan.channels(), chunk_plan.in_samples()),
+OverlapChunker::OverlapChunker(const dedisp::Plan& chunk_plan,
+                               std::size_t extra_overlap)
+    : window_(chunk_plan.channels(), chunk_plan.in_samples() + extra_overlap),
       chunk_out_(chunk_plan.out_samples()),
-      overlap_(chunk_plan.max_delay()) {
-  DDMC_REQUIRE(chunk_plan.in_samples() == chunk_out_ + overlap_,
+      overlap_(chunk_plan.max_delay() + extra_overlap),
+      data_overlap_(chunk_plan.max_delay()) {
+  DDMC_REQUIRE(chunk_plan.in_samples() == chunk_out_ + chunk_plan.max_delay(),
                "chunk plan must be unrounded: in = out + max_delay "
                "(use Plan::with_chunk or Plan::with_output_samples)");
 }
@@ -51,7 +53,7 @@ void OverlapChunker::skip_chunk() {
 }
 
 std::size_t OverlapChunker::pending_out() const {
-  return filled_ > overlap_ ? filled_ - overlap_ : 0;
+  return filled_ > data_overlap_ ? filled_ - data_overlap_ : 0;
 }
 
 ConstView2D<float> OverlapChunker::partial_input() const {

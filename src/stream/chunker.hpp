@@ -30,13 +30,19 @@ class OverlapChunker {
   /// \p chunk_plan is a plan whose out_samples is the chunk length
   /// (typically Plan::with_chunk or Plan::with_output_samples); its
   /// in_samples must equal out_samples + max_delay — i.e. an unrounded
-  /// chunk-window plan, not a full-seconds batch plan.
-  explicit OverlapChunker(const dedisp::Plan& chunk_plan);
+  /// chunk-window plan, not a full-seconds batch plan. \p extra_overlap
+  /// widens the carried overlap beyond max_delay (an engine's declared
+  /// input_padding: the subband engine's split-delay rounding reads up to
+  /// two columns past in_samples, and carrying real samples for them keeps
+  /// chunked output identical to a batch run over a padded input).
+  explicit OverlapChunker(const dedisp::Plan& chunk_plan,
+                          std::size_t extra_overlap = 0);
 
   std::size_t channels() const { return window_.rows(); }
   /// Output samples emitted per full chunk.
   std::size_t chunk_out() const { return chunk_out_; }
-  /// Samples carried between consecutive windows (= the plan's max_delay).
+  /// Samples carried between consecutive windows (the plan's max_delay
+  /// plus the construction-time extra_overlap).
   std::size_t overlap() const { return overlap_; }
   /// Input samples per assembled window (= chunk_out + overlap).
   std::size_t window_samples() const { return window_.cols(); }
@@ -76,20 +82,26 @@ class OverlapChunker {
   void skip_chunk();
 
   /// Output samples a final partial chunk would emit from the samples
-  /// buffered so far (0 while nothing beyond the carried overlap is
-  /// buffered). The first overlap() samples of the stream are pure history
-  /// and produce no output, exactly as in a batch run.
+  /// buffered so far (0 while nothing beyond the carried history is
+  /// buffered). Only the plan's max_delay counts as history: the first
+  /// max_delay samples of the stream produce no output, exactly as in a
+  /// batch run, but the engine's extra_overlap does *not* cost output —
+  /// an engine that reads past the fed samples zero-pads at stream end,
+  /// exactly as a batch run over the same samples would, so feeding a
+  /// session the batch input yields the batch output count.
   std::size_t pending_out() const;
 
-  /// Input window of the final partial chunk: channels × (overlap() +
-  /// pending_out()). Valid while pending_out() > 0 and no further feed()
-  /// happens; dedisperse it with a plan of pending_out() output samples.
+  /// Input window of the final partial chunk: channels × (max_delay +
+  /// pending_out() + whatever extra_overlap columns were actually fed).
+  /// Valid while pending_out() > 0 and no further feed() happens;
+  /// dedisperse it with a plan of pending_out() output samples.
   ConstView2D<float> partial_input() const;
 
  private:
   Array2D<float> window_;  // channels × (chunk_out + overlap)
   std::size_t chunk_out_ = 0;
-  std::size_t overlap_ = 0;
+  std::size_t overlap_ = 0;       // carried samples: max_delay + extra
+  std::size_t data_overlap_ = 0;  // history that costs output: max_delay
   std::size_t filled_ = 0;  // assembled columns of the current window
   std::size_t chunk_index_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "engine/registry.hpp"
 
 namespace ddmc::stream {
 
@@ -12,10 +13,34 @@ namespace {
 
 /// Tile shape for flush-time partial chunks, whose length is arbitrary and
 /// need not divide the tuned tile. 1×1 tiles divide every plan and the
-/// engine stays bitwise identical across tile shapes, so only the final
-/// (typically short) chunk pays the untuned shape.
+/// bitwise-exact engines stay identical across tile shapes, so only the
+/// final (typically short) chunk pays the untuned shape.
 dedisp::KernelConfig partial_chunk_config() {
   return dedisp::KernelConfig{1, 1, 1, 1};
+}
+
+/// The one place StreamingOptions maps onto engine-factory options: every
+/// consumer site (session engine, sharded executors, per-chunk multi-beam)
+/// goes through here, so a new EngineOptions field is wired once, not at
+/// each site — missing one silently computes with defaults.
+engine::EngineOptions engine_factory_options(const StreamingOptions& options) {
+  engine::EngineOptions engine_options;
+  engine_options.cpu = options.cpu;
+  engine_options.subband = options.subband;
+  return engine_options;
+}
+
+/// Resolve the session's engine and gate on its streaming capability; the
+/// chunker widens its carried overlap by the engine's input_padding.
+std::shared_ptr<const engine::DedispEngine> streaming_engine(
+    const StreamingOptions& options) {
+  std::shared_ptr<const engine::DedispEngine> engine =
+      engine::make_engine(options.engine, engine_factory_options(options));
+  DDMC_REQUIRE(engine->capabilities().supports_streaming,
+               "engine '" + options.engine +
+                   "' cannot run a streaming session: its capability "
+                   "supports_streaming is false");
+  return engine;
 }
 
 }  // namespace
@@ -28,14 +53,19 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
       config_(config),
       sink_(std::move(sink)),
       options_(options),
-      chunker_(plan_),
-      job_input_(plan_.channels(), plan_.in_samples()),
+      engine_(streaming_engine(options_)),
+      chunker_(plan_, engine_->capabilities().input_padding),
+      job_input_(plan_.channels(),
+                 plan_.in_samples() + engine_->capabilities().input_padding),
       out_full_(plan_.dms(), plan_.out_samples()) {
   config_.validate(plan_);
   if (options_.shard_workers >= 2) {
+    pipeline::ShardedOptions sharded;
+    sharded.workers = options_.shard_workers;
+    sharded.engine = options_.engine;
+    sharded.engine_options = engine_factory_options(options_);
     sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
-        plan_, config_,
-        pipeline::sharded_options(options_.shard_workers, options_.cpu));
+        plan_, config_, std::move(sharded));
   }
   if (options_.async) {
     worker_ = std::thread([this] { worker_loop(); });
@@ -45,6 +75,8 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
 StreamingDedisperser::TunedPlan StreamingDedisperser::resolve_tuning(
     dedisp::Plan chunk_plan, tuner::TuningCache& cache,
     const StreamingOptions& options, tuner::GuidedTuningOptions tuning) {
+  tuning.engines = {options.engine};
+  tuning.engine_options = engine_factory_options(options);
   tuning.host.stage_rows = options.cpu.stage_rows;
   tuning.host.vectorize = options.cpu.vectorize;
   tuning.host.threads = options.cpu.threads;
@@ -138,6 +170,7 @@ void StreamingDedisperser::submit(ConstView2D<float> window,
   job.index = chunker_.chunk_index();
   job.first_sample = chunker_.first_out_sample();
   job.out_samples = out_samples;
+  job.in_cols = window.cols();
   job.assembled_at = session_clock_.seconds();
 
   if (!options_.async) {
@@ -165,9 +198,8 @@ void StreamingDedisperser::worker_loop() {
       if (!job_pending_) return;  // stop requested, queue drained
       job = job_;
     }
-    const std::size_t in_cols = job.out_samples + chunker_.overlap();
     const ConstView2D<float> input(job_input_.cview().data(), channels(),
-                                   in_cols, job_input_.pitch());
+                                   job.in_cols, job_input_.pitch());
     try {
       run_job(job, input);
     } catch (...) {
@@ -199,7 +231,7 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   if (full && sharded_) {
     sharded_->dedisperse(input, out);
   } else {
-    dedisp::dedisperse_cpu(plan, config, input, out, options_.cpu);
+    engine_->execute(plan, config, input, out);
   }
 
   StreamChunk chunk;
@@ -267,16 +299,23 @@ MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
     : plan_(std::move(chunk_plan)),
       config_(config),
       sink_(std::move(sink)),
-      options_(options) {
+      options_(options),
+      engine_(streaming_engine(options_)) {
   DDMC_REQUIRE(beams > 0, "need at least one beam");
   config_.validate(plan_);
   if (options_.shard_workers >= 2) {
+    pipeline::ShardedOptions sharded;
+    sharded.workers = options_.shard_workers;
+    sharded.engine = options_.engine;
+    sharded.engine_options = engine_factory_options(options_);
     sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
-        plan_, config_,
-        pipeline::sharded_options(options_.shard_workers, options_.cpu));
+        plan_, config_, std::move(sharded));
   }
+  const std::size_t padding = engine_->capabilities().input_padding;
   chunkers_.reserve(beams);
-  for (std::size_t b = 0; b < beams; ++b) chunkers_.emplace_back(plan_);
+  for (std::size_t b = 0; b < beams; ++b) {
+    chunkers_.emplace_back(plan_, padding);
+  }
 }
 
 void MultiBeamStreamingDedisperser::push(
@@ -335,8 +374,10 @@ void MultiBeamStreamingDedisperser::run_chunk(
   if (use_sharded) {
     outputs = sharded_->dedisperse_batch(windows);
   } else {
-    pipeline::MultiBeamDedisperser mb(plan, config);
-    mb.set_cpu_options(options_.cpu);
+    // The session's full factory options ride along, so e.g. a configured
+    // subband split reaches the per-beam engines, not just the gate.
+    pipeline::MultiBeamDedisperser mb(plan, config, options_.engine,
+                                      engine_factory_options(options_));
     outputs = mb.dedisperse(windows, options_.cpu.threads);
   }
 

@@ -8,8 +8,14 @@
 ///
 ///   ring (bounded, backpressure)          [optional, consume()]
 ///     └─ OverlapChunker                   assembles overlap-carry windows
-///          └─ CpuTiledKernel              tuned KernelConfig, worker pool
+///          └─ DedispEngine                any streaming-capable engine
 ///               └─ sink callback          dms × chunk output (+ detection)
+///
+/// The engine is selected by registry id (StreamingOptions::engine); a
+/// session requires the supports_streaming capability and widens the
+/// chunker's carried overlap by the engine's declared input_padding, so an
+/// engine that reads past in_samples (subband) streams real samples, not
+/// zero padding.
 ///
 /// Feed raw samples at any granularity with push(); full chunk windows are
 /// handed to a dedicated compute thread (double-buffered: the next window
@@ -35,6 +41,7 @@
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine.hpp"
 #include "pipeline/multibeam.hpp"
 #include "pipeline/sharding.hpp"
 #include "sky/detection.hpp"
@@ -49,7 +56,10 @@ namespace ddmc::stream {
 struct StreamChunk {
   std::size_t index = 0;         ///< chunk sequence number
   std::size_t first_sample = 0;  ///< global output sample of column 0
-  std::size_t out_samples = 0;   ///< chunk length (< chunk size on flush)
+  /// Chunk length: the session's chunk size for full chunks; the flush
+  /// chunk covers whatever remained (usually shorter, at most chunk size
+  /// + the engine's input padding − 1).
+  std::size_t out_samples = 0;
   /// Dedispersed output; valid only during the sink call.
   ConstView2D<float> output;
   /// Strongest candidate in this chunk (StreamingOptions::detect).
@@ -58,8 +68,14 @@ struct StreamChunk {
 };
 
 struct StreamingOptions {
-  /// Engine knobs of the tiled kernel (threads, staging, SIMD).
+  /// Registry id of the engine the session runs; must report the
+  /// supports_streaming capability.
+  std::string engine = engine::kDefaultEngineId;
+  /// Host-execution knobs passed to the engine factory (threads, staging,
+  /// SIMD-vs-scalar).
   dedisp::CpuKernelOptions cpu;
+  /// Two-stage split of the subband engine (adapted to the plan by gcd).
+  dedisp::SubbandConfig subband;
   /// Scan each chunk for its strongest candidate and attach it.
   bool detect = false;
   /// Dedisperse on a dedicated compute thread, double-buffered against
@@ -69,7 +85,8 @@ struct StreamingOptions {
   /// ≥ 2: each full chunk's DM grid is sharded across this many pool
   /// workers (pipeline::ShardedDedisperser) behind the existing double
   /// buffer, instead of one engine call; 0/1 keeps the single engine.
-  /// Output stays bitwise identical either way.
+  /// Output stays bitwise identical either way. Additionally requires the
+  /// engine's supports_sharding capability.
   std::size_t shard_workers = 0;
 };
 
@@ -147,6 +164,11 @@ class StreamingDedisperser {
     std::size_t index = 0;
     std::size_t first_sample = 0;
     std::size_t out_samples = 0;
+    /// Input columns of this job's window. Full chunks carry the whole
+    /// window (out + overlap incl. engine padding); the final partial
+    /// flush carries only what was actually fed — the engine zero-pads
+    /// the rest, exactly as a batch run over the same samples would.
+    std::size_t in_cols = 0;
     double assembled_at = 0.0;  ///< session-clock time the window completed
   };
 
@@ -159,6 +181,7 @@ class StreamingDedisperser {
   dedisp::KernelConfig config_;
   Sink sink_;
   StreamingOptions options_;
+  std::shared_ptr<const engine::DedispEngine> engine_;
   std::optional<tuner::GuidedTuningOutcome> tuning_outcome_;
   /// Sharded executor for full chunks (options_.shard_workers ≥ 2); the
   /// final partial chunk keeps the single-engine 1×1 path, whose output is
@@ -234,6 +257,7 @@ class MultiBeamStreamingDedisperser {
   dedisp::KernelConfig config_;
   Sink sink_;
   StreamingOptions options_;
+  std::shared_ptr<const engine::DedispEngine> engine_;
   /// Sharded executor reused by every full chunk (shard_workers ≥ 2);
   /// per-chunk construction would pay pool spawn + planning each time.
   std::unique_ptr<pipeline::ShardedDedisperser> sharded_;

@@ -7,6 +7,7 @@
 #include "common/expect.hpp"
 #include "common/random.hpp"
 #include "common/timer.hpp"
+#include "engine/registry.hpp"
 #include "tuner/search_space.hpp"
 
 namespace ddmc::tuner {
@@ -57,17 +58,38 @@ constexpr std::size_t dedisp::KernelConfig::* kAxes[] = {
 
 // ------------------------------------------------------------- evaluator --
 
+namespace {
+
+/// The engine the single-plan constructor measures: the tiled host kernel
+/// under the caller's host-execution flags.
+std::shared_ptr<const engine::DedispEngine> default_tuning_engine(
+    const HostTuningOptions& options) {
+  engine::EngineOptions engine_options;
+  engine_options.cpu.stage_rows = options.stage_rows;
+  engine_options.cpu.vectorize = options.vectorize;
+  engine_options.cpu.threads = options.threads;
+  return engine::make_engine(engine::kDefaultEngineId, engine_options);
+}
+
+}  // namespace
+
 HostKernelEvaluator::HostKernelEvaluator(const dedisp::Plan& plan,
                                          const HostTuningOptions& options,
                                          std::uint64_t seed)
-    : plan_(plan),
+    : HostKernelEvaluator(default_tuning_engine(options), plan, options,
+                          seed) {}
+
+HostKernelEvaluator::HostKernelEvaluator(
+    std::shared_ptr<const engine::DedispEngine> engine,
+    const dedisp::Plan& plan, const HostTuningOptions& options,
+    std::uint64_t seed)
+    : engine_(std::move(engine)),
+      plan_(plan),
       options_(options),
-      input_(plan.channels(), plan.in_samples()),
+      input_(plan.channels(),
+             plan.in_samples() + engine_->capabilities().input_padding),
       output_(plan.dms(), plan.out_samples()) {
   DDMC_REQUIRE(options_.repetitions > 0, "need at least one timed run");
-  kernel_options_.stage_rows = options_.stage_rows;
-  kernel_options_.vectorize = options_.vectorize;
-  kernel_options_.threads = options_.threads;
   Rng rng(seed);
   for (std::size_t ch = 0; ch < input_.rows(); ++ch) {
     for (auto& v : input_.row(ch)) v = rng.next_float(-1.0f, 1.0f);
@@ -78,16 +100,14 @@ ConfigEvaluator::Measurement HostKernelEvaluator::measure(
     const dedisp::KernelConfig& config, double incumbent_seconds) {
   ++measurements_;
   for (std::size_t i = 0; i < options_.warmup_runs; ++i) {
-    dedisp::dedisperse_cpu(plan_, config, input_.cview(), output_.view(),
-                           kernel_options_);
+    engine_->execute(plan_, config, input_.cview(), output_.view());
   }
   Measurement m;
   double total = 0.0;
   const auto reps = static_cast<double>(options_.repetitions);
   for (std::size_t i = 0; i < options_.repetitions; ++i) {
     Stopwatch clock;
-    dedisp::dedisperse_cpu(plan_, config, input_.cview(), output_.view(),
-                           kernel_options_);
+    engine_->execute(plan_, config, input_.cview(), output_.view());
     total += clock.seconds();
     ++m.repetitions;
     // Even if every remaining repetition took zero time, the mean over the

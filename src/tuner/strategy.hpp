@@ -38,6 +38,10 @@
 #include "dedisp/plan.hpp"
 #include "tuner/host_tuner.hpp"
 
+namespace ddmc::engine {
+class DedispEngine;
+}  // namespace ddmc::engine
+
 namespace ddmc::tuner {
 
 /// Measurement backend: times one configuration on one plan.
@@ -71,12 +75,22 @@ class ConfigEvaluator {
       std::numeric_limits<double>::infinity();
 };
 
-/// The real evaluator: wall-clock timing of the tiled host kernel, one
-/// shared deterministic input/output pair for the whole search (exactly the
-/// measurement loop of the paper's method).
+/// The real evaluator: wall-clock timing of a DedispEngine, one shared
+/// deterministic input/output pair for the whole search (exactly the
+/// measurement loop of the paper's method). The input is sized for the
+/// engine's declared input_padding, and GFLOP/s is always credited on
+/// plan.total_flop(), so measurements of *different* engines on one plan
+/// rank them by wall time.
 class HostKernelEvaluator : public ConfigEvaluator {
  public:
+  /// Measure the default tiled host engine under \p options.
   HostKernelEvaluator(const dedisp::Plan& plan,
+                      const HostTuningOptions& options,
+                      std::uint64_t seed = 42);
+
+  /// Measure \p engine (any registry engine).
+  HostKernelEvaluator(std::shared_ptr<const engine::DedispEngine> engine,
+                      const dedisp::Plan& plan,
                       const HostTuningOptions& options,
                       std::uint64_t seed = 42);
 
@@ -86,9 +100,9 @@ class HostKernelEvaluator : public ConfigEvaluator {
   std::size_t measurements() const { return measurements_; }
 
  private:
+  std::shared_ptr<const engine::DedispEngine> engine_;
   const dedisp::Plan& plan_;
   HostTuningOptions options_;
-  dedisp::CpuKernelOptions kernel_options_;
   Array2D<float> input_;
   Array2D<float> output_;
   std::size_t measurements_ = 0;

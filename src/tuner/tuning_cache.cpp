@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "common/expect.hpp"
-#include "common/simd.hpp"
+#include "engine/registry.hpp"
 #include "tuner/host_tuner.hpp"
 #include "tuner/results_io.hpp"
 
@@ -118,30 +118,48 @@ CacheEntry from_result_row(const ResultRow& row, const std::string& path) {
 
 // ------------------------------------------------------------ signatures --
 
-HostSignature HostSignature::of(const dedisp::CpuKernelOptions& options) {
+HostSignature HostSignature::of(const engine::DedispEngine& engine) {
   HostSignature sig;
-  sig.engine = options.vectorize ? simd::backend_name() : "scalar";
-  sig.threads = options.threads;
-  sig.stage_rows = options.stage_rows;
+  sig.engine_id = engine.id();
+  sig.variant = engine.variant();
+  sig.threads = engine.options().cpu.threads;
+  sig.stage_rows = engine.options().cpu.stage_rows;
   return sig;
 }
 
+HostSignature HostSignature::of(const dedisp::CpuKernelOptions& options) {
+  engine::EngineOptions engine_options;
+  engine_options.cpu = options;
+  return of(*engine::make_engine(engine::kDefaultEngineId, engine_options));
+}
+
 std::string HostSignature::encode() const {
-  return engine + "|t" + std::to_string(threads) + "|" +
+  return engine_id + "|" + variant + "|t" + std::to_string(threads) + "|" +
          (stage_rows ? "staged" : "direct");
 }
 
 std::optional<HostSignature> HostSignature::decode(const std::string& text) {
   const auto parts = split(text, '|');
-  if (parts.size() != 3 || parts[0].empty()) return std::nullopt;
-  if (parts[1].size() < 2 || parts[1][0] != 't') return std::nullopt;
-  const auto threads = parse_size_opt(parts[1].substr(1));
+  // Legacy three-part form ("variant|tN|staged") predates the engine axis:
+  // everything it describes ran the tiled host engine.
+  if (parts.size() != 3 && parts.size() != 4) return std::nullopt;
+  const std::size_t base = parts.size() - 3;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) return std::nullopt;
+  }
+  if (parts[base + 1].size() < 2 || parts[base + 1][0] != 't') {
+    return std::nullopt;
+  }
+  const auto threads = parse_size_opt(parts[base + 1].substr(1));
   if (!threads) return std::nullopt;
-  if (parts[2] != "staged" && parts[2] != "direct") return std::nullopt;
+  if (parts[base + 2] != "staged" && parts[base + 2] != "direct") {
+    return std::nullopt;
+  }
   HostSignature sig;
-  sig.engine = parts[0];
+  sig.engine_id = base == 1 ? parts[0] : std::string(engine::kDefaultEngineId);
+  sig.variant = parts[base];
   sig.threads = *threads;
-  sig.stage_rows = parts[2] == "staged";
+  sig.stage_rows = parts[base + 2] == "staged";
   return sig;
 }
 
@@ -322,16 +340,27 @@ void TuningCache::save_locked() const {
 
 // ---------------------------------------------------------- tune_guided --
 
-GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
-                                const GuidedTuningOptions& options) {
-  dedisp::CpuKernelOptions engine;
-  engine.stage_rows = options.host.stage_rows;
-  engine.vectorize = options.host.vectorize;
-  engine.threads = options.host.threads;
-  const HostSignature host = HostSignature::of(engine);
+namespace {
+
+/// The single-engine ladder: exact hit → nearest-neighbor transfer →
+/// guided search (stored for next time). \p validate_transfers re-measures
+/// a transferred config once on the *target* plan (and stores the result):
+/// a transfer's stored GFLOP/s was measured on a different plan, which is a
+/// fine 0-measurement answer when one engine tunes alone, but ranking
+/// engines against each other by figures from different plans could crown
+/// the wrong engine — e.g. the subband engine's effective GFLOP/s scales
+/// with the source plan's flop-reduction ratio, which gcd adaptation may
+/// collapse on the target plan.
+GuidedTuningOutcome tune_one_engine(
+    const dedisp::Plan& plan, TuningCache& cache,
+    const GuidedTuningOptions& options,
+    const std::shared_ptr<const engine::DedispEngine>& engine,
+    bool validate_transfers) {
+  const HostSignature host = HostSignature::of(*engine);
   const PlanSignature target = PlanSignature::of(plan);
 
   GuidedTuningOutcome outcome;
+  outcome.engine_id = engine->id();
   if (const auto hit = cache.find_exact(host, target)) {
     hit->config.validate(plan);
     outcome.source = GuidedTuningOutcome::Source::kCacheHit;
@@ -347,15 +376,32 @@ GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
       outcome.config = near->config;
       outcome.gflops = near->gflops;
       outcome.transfer_distance = plan_distance(near->plan, target);
+      if (validate_transfers) {
+        HostKernelEvaluator evaluator(engine, plan, options.host,
+                                      options.seed);
+        const auto m = evaluator.measure(outcome.config,
+                                         ConfigEvaluator::kNoIncumbent);
+        outcome.gflops = plan.total_flop() / m.seconds * 1e-9;
+        outcome.configs_evaluated = 1;
+        CacheEntry entry;
+        entry.host = host;
+        entry.plan = target;
+        entry.config = outcome.config;
+        entry.gflops = outcome.gflops;
+        entry.seconds = m.seconds;
+        entry.evaluated = 1;
+        cache.store(entry);  // next cross-engine call is an exact hit
+      }
       return outcome;
     }
   }
 
   const std::vector<dedisp::KernelConfig> candidates =
-      host_sweep_candidates(plan, options.host);
+      engine->config_space(plan);
   DDMC_REQUIRE(!candidates.empty(),
-               "no candidate configurations for this plan");
-  HostKernelEvaluator evaluator(plan, options.host, options.seed);
+               "engine '" + engine->id() +
+                   "' enumerated no candidate configurations for this plan");
+  HostKernelEvaluator evaluator(engine, plan, options.host, options.seed);
   const auto strategy =
       make_strategy(options.strategy, options.random_samples, options.seed);
   StrategyResult searched = strategy->search(plan, candidates, evaluator);
@@ -375,6 +421,42 @@ GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
   outcome.configs_evaluated = searched.evaluated;
   outcome.search = std::move(searched);
   return outcome;
+}
+
+}  // namespace
+
+GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
+                                const GuidedTuningOptions& options) {
+  DDMC_REQUIRE(!options.engines.empty(),
+               "tune_guided needs at least one engine id");
+  engine::EngineOptions engine_options = options.engine_options;
+  engine_options.cpu.stage_rows = options.host.stage_rows;
+  engine_options.cpu.vectorize = options.host.vectorize;
+  engine_options.cpu.threads = options.host.threads;
+
+  // Resolve every engine's ladder independently; each search winner is
+  // stored under its own (engine, host, plan) signature, so the cross-
+  // engine comparison is itself answered from the cache on the next call.
+  // All engines report the paper's GFLOP/s metric on the *same* credited
+  // flop count (plan.total_flop()), so comparing it ranks engines by wall
+  // time regardless of how much work each actually performs — provided the
+  // figures come from this plan, which is why multi-engine runs validate
+  // transferred configs with one measurement.
+  const bool validate_transfers = options.engines.size() > 1;
+  std::optional<GuidedTuningOutcome> best;
+  std::size_t evaluated = 0;
+  for (const std::string& id : options.engines) {
+    GuidedTuningOutcome outcome =
+        tune_one_engine(plan, cache, options,
+                        engine::make_engine(id, engine_options),
+                        validate_transfers);
+    evaluated += outcome.configs_evaluated;
+    if (!best || outcome.gflops > best->gflops) {
+      best = std::move(outcome);
+    }
+  }
+  best->configs_evaluated = evaluated;
+  return std::move(*best);
 }
 
 }  // namespace ddmc::tuner

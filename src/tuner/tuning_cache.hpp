@@ -33,23 +33,35 @@
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine.hpp"
 #include "tuner/strategy.hpp"
 
 namespace ddmc::tuner {
 
-/// What the tuned numbers were measured *on*: the engine (SIMD backend or
-/// scalar), the staging mode and the thread count. Configs tuned under a
-/// different engine do not transfer — an AVX optimum says little about the
-/// scalar loop — so every cache operation filters on this first.
+/// What the tuned numbers were measured *on*: the registry engine id (a
+/// first-class tuning axis — platform choice is itself a tuning decision),
+/// its execution variant (the compiled SIMD backend, the scalar loop, a
+/// device preset), the staging mode and the thread count. Configs tuned
+/// under a different engine do not transfer — an AVX optimum says little
+/// about the scalar loop, and nothing about the subband split — so every
+/// cache operation filters on this first.
 struct HostSignature {
-  std::string engine;      ///< simd::backend_name() or "scalar"
+  std::string engine_id = engine::kDefaultEngineId;  ///< registry id
+  std::string variant;     ///< DedispEngine::variant() of the measured run
   std::size_t threads = 0; ///< CpuKernelOptions::threads (0 = machine pool)
   bool stage_rows = true;
 
-  /// Signature of the engine selected by \p options on this machine.
+  /// Signature of \p engine as configured (id, variant, thread count and
+  /// staging mode from its options).
+  static HostSignature of(const engine::DedispEngine& engine);
+
+  /// Signature of the default cpu_tiled engine under \p options.
   static HostSignature of(const dedisp::CpuKernelOptions& options);
 
-  /// "engine|t<threads>|staged" — the cache's `device` column.
+  /// "engine_id|variant|t<threads>|staged" — the cache's `device` column.
+  /// decode() also accepts the legacy three-part "variant|t<threads>|staged"
+  /// form (caches written before the engine axis existed), which maps to
+  /// the cpu_tiled engine.
   std::string encode() const;
   static std::optional<HostSignature> decode(const std::string& text);
 
@@ -152,9 +164,19 @@ class TuningCache {
 
 /// Options of the cache-guided tuning entry point.
 struct GuidedTuningOptions {
-  /// Measurement knobs (repetitions, engine, threads) — also the source of
-  /// the host signature.
+  /// Registry ids of the engines to tune over. One id reproduces the
+  /// classic single-engine ladder; several make the engine itself a search
+  /// axis — each engine resolves through its own hit → transfer → search
+  /// ladder and the fastest result wins (platform choice as a tuning
+  /// decision).
+  std::vector<std::string> engines = {engine::kDefaultEngineId};
+  /// Measurement knobs (repetitions, host-execution flags, threads) — also
+  /// the source of the host signature.
   HostTuningOptions host;
+  /// Factory knobs beyond the host flags for engines that need them (the
+  /// subband split, the ocl_sim device); the cpu field is overridden from
+  /// \p host.
+  engine::EngineOptions engine_options;
   /// Strategy for the search fallback.
   StrategyKind strategy = StrategyKind::kCoordinateDescent;
   std::size_t random_samples = 64;  ///< for StrategyKind::kRandom
@@ -168,6 +190,8 @@ struct GuidedTuningOptions {
 struct GuidedTuningOutcome {
   enum class Source { kCacheHit, kTransfer, kSearch };
   Source source = Source::kSearch;
+  /// Registry id of the winning engine (the engine axis of the search).
+  std::string engine_id = engine::kDefaultEngineId;
   dedisp::KernelConfig config;
   /// Measured GFLOP/s (search), or the stored figure of the reused entry
   /// (hit/transfer — measured on the *source* plan, an estimate here).
@@ -179,10 +203,12 @@ struct GuidedTuningOutcome {
   std::optional<StrategyResult> search;
 };
 
-/// Tune-on-first-use: answer from \p cache when possible (exact hit, then
-/// nearest-neighbor transfer), otherwise run the configured guided search
-/// on the real host kernels and store the winner. The returned config
-/// always validates against \p plan.
+/// Tune-on-first-use: for every engine in \p options.engines, answer from
+/// \p cache when possible (exact hit, then nearest-neighbor transfer),
+/// otherwise run the configured guided search on the real engine and store
+/// the winner under its (engine, host, plan) signature; the fastest
+/// engine's outcome is returned. The returned config always validates
+/// against \p plan.
 GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
                                 const GuidedTuningOptions& options = {});
 

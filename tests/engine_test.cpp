@@ -1,0 +1,589 @@
+// Tests for the unified engine abstraction (src/engine/): registry
+// semantics (unknown ids name the alternatives, double registration is
+// rejected), the capability matrix, and the properties the capabilities
+// promise — bitwise engines match the reference on randomized plans,
+// the subband engine stays within its smearing bound, every
+// streaming-capable engine streams bitwise-identically to its batch run,
+// every sharding-capable engine shards bitwise-identically, and
+// tune_guided searches *across* engines with the engine id persisted in
+// the tuning cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "dedisp/subband.hpp"
+#include "engine/registry.hpp"
+#include "pipeline/dedisperser.hpp"
+#include "pipeline/sharding.hpp"
+#include "stream/streaming_dedisperser.hpp"
+#include "test_util.hpp"
+#include "tuner/tuning_cache.hpp"
+
+namespace ddmc::engine {
+namespace {
+
+using dedisp::KernelConfig;
+using dedisp::Plan;
+using testing::expect_same_matrix;
+using testing::mini_obs;
+
+const char* const kBuiltins[] = {"cpu_baseline", "cpu_tiled", "ocl_sim",
+                                 "reference", "subband"};
+
+/// Input with \p slack columns beyond the plan's minimum, so engines with
+/// input_padding read real samples instead of zero padding.
+Array2D<float> padded_input(const Plan& plan, std::size_t slack,
+                            std::uint64_t seed = 7) {
+  Array2D<float> in(plan.channels(), plan.in_samples() + slack);
+  Rng rng(seed);
+  for (std::size_t ch = 0; ch < in.rows(); ++ch) {
+    for (auto& v : in.row(ch)) v = rng.next_float(-1.0f, 1.0f);
+  }
+  return in;
+}
+
+Array2D<float> run_engine(const DedispEngine& engine, const Plan& plan,
+                          const KernelConfig& config,
+                          ConstView2D<float> in) {
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  engine.execute(plan, config, in, out.view());
+  return out;
+}
+
+/// Minimal downstream engine: forwards to the reference implementation but
+/// reports its own identity — the registry enforces that an engine's id()
+/// matches its registration key (the tuning cache keys on it).
+class NamedForwardingEngine final : public DedispEngine {
+ public:
+  NamedForwardingEngine(std::string id, const EngineOptions& options)
+      : id_(std::move(id)), inner_(make_engine("reference", options)) {}
+  const std::string& id() const override { return id_; }
+  const EngineCapabilities& capabilities() const override {
+    return inner_->capabilities();
+  }
+  const EngineOptions& options() const override { return inner_->options(); }
+  std::string variant() const override { return inner_->variant(); }
+  std::vector<KernelConfig> config_space(const Plan& plan) const override {
+    return inner_->config_space(plan);
+  }
+  EngineRun execute(const Plan& plan, const KernelConfig& config,
+                    ConstView2D<float> in, View2D<float> out) const override {
+    return inner_->execute(plan, config, in, out);
+  }
+
+ private:
+  std::string id_;
+  std::shared_ptr<const DedispEngine> inner_;
+};
+
+EngineRegistry::Factory forwarding_factory(const std::string& id) {
+  return [id](const EngineOptions& options) {
+    return std::make_shared<const NamedForwardingEngine>(id, options);
+  };
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
+  const std::vector<std::string> ids = EngineRegistry::instance().ids();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  for (const char* id : kBuiltins) {
+    EXPECT_TRUE(EngineRegistry::instance().contains(id)) << id;
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+TEST(EngineRegistry, UnknownIdNamesTheAlternatives) {
+  try {
+    make_engine("gpu_cuda");
+    FAIL() << "unknown engine id was accepted";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gpu_cuda"), std::string::npos);
+    for (const char* id : kBuiltins) {
+      EXPECT_NE(what.find(id), std::string::npos)
+          << "error should list '" << id << "': " << what;
+    }
+  }
+}
+
+TEST(EngineRegistry, RejectsDoubleRegistration) {
+  const std::string id = "engine_test_dummy";
+  EngineRegistry::instance().add(id, forwarding_factory(id));
+  EXPECT_TRUE(EngineRegistry::instance().contains(id));
+  try {
+    EngineRegistry::instance().add(id, forwarding_factory(id));
+    FAIL() << "double registration was accepted";
+  } catch (const invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("already registered"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineRegistry, RejectsEmptyIdAndNullFactory) {
+  EXPECT_THROW(
+      EngineRegistry::instance().add("", forwarding_factory("")),
+      invalid_argument);
+  EXPECT_THROW(
+      EngineRegistry::instance().add("engine_test_null", nullptr),
+      invalid_argument);
+}
+
+TEST(EngineRegistry, RejectsAFactoryWhoseEngineReportsAnotherId) {
+  // The id is the tuning cache's engine axis: a factory that hands back an
+  // engine reporting a different id (the wrap-a-builtin-without-overriding
+  // mistake) would share the builtin's cached optima. create() enforces
+  // the invariant.
+  const std::string id = "engine_test_liar";
+  EngineRegistry::instance().add(id, [](const EngineOptions& options) {
+    return make_engine("reference", options);  // reports id "reference"
+  });
+  try {
+    make_engine(id);
+    FAIL() << "id-mismatched engine was accepted";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(id), std::string::npos) << what;
+    EXPECT_NE(what.find("reference"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------------------ capabilities --
+
+TEST(EngineCapabilities, MatrixMatchesTheContract) {
+  const auto caps = [](const char* id) {
+    return make_engine(id)->capabilities();
+  };
+
+  const EngineCapabilities tiled = caps("cpu_tiled");
+  EXPECT_TRUE(tiled.supports_sharding);
+  EXPECT_TRUE(tiled.supports_streaming);
+  EXPECT_TRUE(tiled.bitwise_exact);
+  EXPECT_TRUE(tiled.tunable);
+  EXPECT_EQ(tiled.input_padding, 0u);
+
+  const EngineCapabilities baseline = caps("cpu_baseline");
+  EXPECT_TRUE(baseline.supports_sharding);
+  EXPECT_TRUE(baseline.supports_streaming);
+  EXPECT_TRUE(baseline.bitwise_exact);
+  EXPECT_FALSE(baseline.tunable);
+
+  const EngineCapabilities reference = caps("reference");
+  EXPECT_TRUE(reference.supports_sharding);
+  EXPECT_TRUE(reference.supports_streaming);
+  EXPECT_TRUE(reference.bitwise_exact);
+  EXPECT_FALSE(reference.tunable);
+
+  const EngineCapabilities subband = caps("subband");
+  EXPECT_FALSE(subband.supports_sharding);
+  EXPECT_TRUE(subband.supports_streaming);
+  EXPECT_FALSE(subband.bitwise_exact);
+  EXPECT_FALSE(subband.tunable);
+  EXPECT_EQ(subband.input_padding, 2u);
+
+  const EngineCapabilities sim = caps("ocl_sim");
+  EXPECT_FALSE(sim.supports_sharding);
+  EXPECT_FALSE(sim.supports_streaming);
+  EXPECT_TRUE(sim.bitwise_exact);
+  EXPECT_FALSE(sim.tunable);
+}
+
+TEST(EngineCapabilities, VariantsAreSignatureSafe) {
+  // The variant feeds the '|'-delimited host signature inside a
+  // comma-delimited CSV cell; it must never contain either delimiter.
+  for (const char* id : kBuiltins) {
+    const std::string variant = make_engine(id)->variant();
+    EXPECT_FALSE(variant.empty()) << id;
+    EXPECT_EQ(variant.find('|'), std::string::npos) << id;
+    EXPECT_EQ(variant.find(','), std::string::npos) << id;
+  }
+}
+
+TEST(EngineCapabilities, ConfigSpaceMatchesTunability) {
+  const Plan plan = testing::mini_plan(8, 64);
+  for (const char* id : kBuiltins) {
+    const auto engine = make_engine(id);
+    const std::vector<KernelConfig> space = engine->config_space(plan);
+    ASSERT_FALSE(space.empty()) << id;
+    if (engine->capabilities().tunable) {
+      EXPECT_GT(space.size(), 1u) << id;
+    } else {
+      EXPECT_EQ(space.size(), 1u) << id;
+    }
+    for (const KernelConfig& cfg : space) {
+      EXPECT_NO_THROW(cfg.validate(plan)) << id << " " << cfg.to_string();
+    }
+  }
+}
+
+// ------------------------------------------------------------- equivalence --
+
+TEST(EngineEquivalence, BitwiseEnginesMatchTheReference) {
+  const Plan plan = testing::mini_plan(8, 64);
+  const Array2D<float> in = padded_input(plan, 0);
+  const Array2D<float> expected =
+      run_engine(*make_engine("reference"), plan, KernelConfig{1, 1, 1, 1},
+                 in.cview());
+
+  for (const char* id : kBuiltins) {
+    const auto engine = make_engine(id);
+    if (!engine->capabilities().bitwise_exact) continue;
+    for (const KernelConfig& cfg :
+         {KernelConfig{1, 1, 1, 1}, KernelConfig{8, 2, 4, 2}}) {
+      SCOPED_TRACE(std::string(id) + " " + cfg.to_string());
+      expect_same_matrix(expected,
+                         run_engine(*engine, plan, cfg, in.cview()));
+    }
+  }
+}
+
+TEST(EngineEquivalence, SubbandStaysWithinItsSmearingBoundOnARamp) {
+  // On a linear ramp, shifting a channel read by e samples changes its
+  // contribution by exactly e, so |subband − reference| per element is
+  // bounded by channels × (delay error + rounding slack). This is the
+  // engine-level tolerance contract behind bitwise_exact = false.
+  const Plan plan = testing::mini_plan(8, 64);
+  Array2D<float> in(plan.channels(), plan.in_samples() + 2);
+  for (std::size_t ch = 0; ch < in.rows(); ++ch) {
+    for (std::size_t t = 0; t < in.cols(); ++t) {
+      in(ch, t) = static_cast<float>(t);
+    }
+  }
+  const Array2D<float> expected = run_engine(
+      *make_engine("reference"), plan, KernelConfig{1, 1, 1, 1}, in.cview());
+
+  EngineOptions options;
+  options.subband = dedisp::SubbandConfig{4, 4};
+  const auto engine = make_engine("subband", options);
+  const Array2D<float> got =
+      run_engine(*engine, plan, KernelConfig{1, 1, 1, 1}, in.cview());
+  const double bound =
+      static_cast<double>(plan.channels()) *
+      (static_cast<double>(dedisp::subband_max_delay_error(
+           plan, dedisp::SubbandConfig{4, 4})) +
+       2.0);
+  for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+    for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+      ASSERT_LE(std::abs(got(dm, t) - expected(dm, t)), bound)
+          << "dm=" << dm << " t=" << t;
+    }
+  }
+}
+
+TEST(EngineEquivalence, SubbandZeroPadsInputsWithoutPaddingColumns) {
+  // An input with exactly in_samples columns is staged into a zero-padded
+  // copy: the result must equal running the engine on an input that
+  // carries two explicit zero columns.
+  const Plan plan = testing::mini_plan(8, 64);
+  Array2D<float> with_zeros = padded_input(plan, 2);
+  for (std::size_t ch = 0; ch < with_zeros.rows(); ++ch) {
+    with_zeros(ch, plan.in_samples()) = 0.0f;
+    with_zeros(ch, plan.in_samples() + 1) = 0.0f;
+  }
+  const ConstView2D<float> bare(with_zeros.cview().data(), plan.channels(),
+                                plan.in_samples(), with_zeros.pitch());
+
+  const auto engine = make_engine("subband");
+  const KernelConfig cfg{1, 1, 1, 1};
+  expect_same_matrix(run_engine(*engine, plan, cfg, with_zeros.cview()),
+                     run_engine(*engine, plan, cfg, bare));
+}
+
+TEST(EngineEquivalence, SubbandAdaptsItsSplitToThePlanByGcd) {
+  // The default split (32 subbands, coarse step 16) does not divide a
+  // mini plan; the engine collapses both by gcd instead of rejecting.
+  const Plan plan = testing::mini_plan(6, 40);  // 8 channels, 6 trials
+  const Array2D<float> in = padded_input(plan, 2);
+  EXPECT_NO_THROW(run_engine(*make_engine("subband"), plan,
+                             KernelConfig{1, 1, 1, 1}, in.cview()));
+}
+
+/// Randomized cross-engine differential sweep: every engine against the
+/// reference over random plan shapes.
+TEST(EngineEquivalenceSlowTier, RandomizedPlansAndConfigs) {
+  Rng rng(20260730);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t channels = 4u << rng.next_below(2);       // 4 or 8
+    const std::size_t dms = 4u + 2u * rng.next_below(5);        // 4..12
+    const std::size_t out = 24u + 8u * rng.next_below(8);       // 24..80
+    const Plan plan =
+        Plan::with_output_samples(mini_obs(channels), dms, out);
+    const Array2D<float> in = padded_input(plan, 2, 1000 + round);
+    SCOPED_TRACE("round " + std::to_string(round) + ": ch=" +
+                 std::to_string(channels) + " dms=" + std::to_string(dms) +
+                 " out=" + std::to_string(out));
+
+    const Array2D<float> expected =
+        run_engine(*make_engine("reference"), plan, KernelConfig{1, 1, 1, 1},
+                   in.cview());
+    for (const char* id : kBuiltins) {
+      const auto engine = make_engine(id);
+      SCOPED_TRACE(id);
+      const Array2D<float> got = run_engine(
+          *engine, plan, KernelConfig{1, 1, 1, 1}, in.cview());
+      if (engine->capabilities().bitwise_exact) {
+        expect_same_matrix(expected, got);
+      } else {
+        // Tolerance-bounded: random inputs are in [-1, 1], so a shifted
+        // read changes a channel contribution by at most 2.
+        const double bound = 2.0 * static_cast<double>(plan.channels());
+        for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+          for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+            ASSERT_LE(std::abs(got(dm, t) - expected(dm, t)), bound)
+                << "dm=" << dm << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- streaming --
+
+TEST(EngineStreaming, EveryStreamingEngineMatchesItsBatchRun) {
+  // The capability promise: a session fed *exactly the batch input* (no
+  // extra padding columns — what any producer mirroring the batch shape
+  // sends) emits, concatenated, exactly the batch output of the same
+  // engine on that input — bitwise, including the subband engine: full
+  // chunks carry its input_padding as real samples via the widened
+  // chunker overlap, and the final flush zero-pads exactly like the
+  // batch run does. total_out = 80 also covers the boundary where the
+  // last nominally-full chunk cannot complete its padded window and is
+  // flushed as a full-length partial instead.
+  const sky::Observation obs = mini_obs();
+  const std::size_t dms = 6;
+  for (const std::size_t total_out : {std::size_t{90}, std::size_t{80}}) {
+    const Plan batch_plan = Plan::with_output_samples(obs, dms, total_out);
+    const Plan chunk_plan = batch_plan.with_chunk(40);
+
+    // kBuiltins, not ids(): other suites register deliberately broken
+    // engines under engine_test_* names in the process-global registry.
+    for (const std::string id : kBuiltins) {
+      const auto engine = make_engine(id);
+      if (!engine->capabilities().supports_streaming) continue;
+      SCOPED_TRACE(id + " total_out=" + std::to_string(total_out));
+      const Array2D<float> in = padded_input(batch_plan, 0);
+      const Array2D<float> expected = run_engine(
+          *engine, batch_plan, KernelConfig{1, 1, 1, 1}, in.cview());
+
+      Array2D<float> streamed(dms, total_out);
+      std::size_t streamed_out = 0;
+      stream::StreamingOptions options;
+      options.engine = id;
+      options.async = false;
+      stream::StreamingDedisperser session(
+          chunk_plan, KernelConfig{1, 1, 1, 1},
+          [&](const stream::StreamChunk& chunk) {
+            for (std::size_t dm = 0; dm < dms; ++dm) {
+              for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+                streamed(dm, chunk.first_sample + t) = chunk.output(dm, t);
+              }
+            }
+            streamed_out += chunk.out_samples;
+          },
+          options);
+      // Feed in awkward granularities to exercise the assembly path.
+      std::size_t offset = 0;
+      std::size_t step = 17;
+      while (offset < in.cols()) {
+        const std::size_t n = std::min(step, in.cols() - offset);
+        session.push(ConstView2D<float>(&in.cview()(0, offset), in.rows(), n,
+                                        in.pitch()));
+        offset += n;
+        step = step == 17 ? 3 : 17;
+      }
+      session.close();
+      // Regression: the widened overlap must not eat trailing output —
+      // the session emits every sample the batch run would.
+      EXPECT_EQ(streamed_out, total_out);
+      expect_same_matrix(expected, streamed);
+    }
+  }
+}
+
+TEST(EngineStreaming, MultiBeamSubbandSessionHonorsTheConfiguredSplit) {
+  // Regression: the multi-beam chunk path used to rebuild its per-beam
+  // engines from the cpu knobs alone, silently dropping
+  // StreamingOptions::subband and computing with the default split.
+  const sky::Observation obs = mini_obs();
+  const std::size_t dms = 8;
+  const std::size_t total_out = 80;
+  const Plan batch_plan = Plan::with_output_samples(obs, dms, total_out);
+  const Plan chunk_plan = batch_plan.with_chunk(32);
+  const dedisp::SubbandConfig split{2, 2};  // != gcd-adapted default {8, 8}
+
+  EngineOptions engine_options;
+  engine_options.subband = split;
+  const Array2D<float> in = padded_input(batch_plan, 0);
+  const Array2D<float> expected =
+      run_engine(*make_engine("subband", engine_options), batch_plan,
+                 KernelConfig{1, 1, 1, 1}, in.cview());
+
+  Array2D<float> streamed(dms, total_out);
+  stream::StreamingOptions options;
+  options.engine = "subband";
+  options.subband = split;
+  stream::MultiBeamStreamingDedisperser session(
+      chunk_plan, KernelConfig{1, 1, 1, 1}, /*beams=*/2,
+      [&](const stream::MultiBeamStreamChunk& chunk) {
+        const Array2D<float>& beam0 = (*chunk.outputs)[0];
+        for (std::size_t dm = 0; dm < dms; ++dm) {
+          for (std::size_t t = 0; t < chunk.out_samples; ++t) {
+            streamed(dm, chunk.first_sample + t) = beam0(dm, t);
+          }
+        }
+      },
+      options);
+  session.push({in.cview(), in.cview()});
+  session.close();
+  expect_same_matrix(expected, streamed);
+}
+
+TEST(EngineStreaming, NonStreamableEngineIsRejectedWithTheCapabilityName) {
+  const Plan chunk_plan = testing::mini_plan(4, 32);
+  stream::StreamingOptions options;
+  options.engine = "ocl_sim";
+  try {
+    stream::StreamingDedisperser session(chunk_plan, KernelConfig{1, 1, 1, 1},
+                                         nullptr, options);
+    FAIL() << "streaming session accepted an engine without "
+              "supports_streaming";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("supports_streaming"), std::string::npos) << what;
+    EXPECT_NE(what.find("ocl_sim"), std::string::npos) << what;
+  }
+}
+
+// ----------------------------------------------------------------- sharding --
+
+TEST(EngineSharding, CapableEnginesAreBitwiseAcrossShardCounts) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const Array2D<float> in = padded_input(plan, 0);
+
+  // kBuiltins, not ids(): other suites register deliberately broken
+  // engines under engine_test_* names in the process-global registry.
+  for (const std::string id : kBuiltins) {
+    const auto engine = make_engine(id);
+    if (!engine->capabilities().supports_sharding) continue;
+    SCOPED_TRACE(id);
+    const Array2D<float> expected =
+        run_engine(*engine, plan, KernelConfig{1, 1, 1, 1}, in.cview());
+    for (std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+      pipeline::ShardedOptions options;
+      options.workers = workers;
+      options.engine = id;
+      const pipeline::ShardedDedisperser sharded(
+          plan, KernelConfig{1, 1, 1, 1}, options);
+      expect_same_matrix(expected, sharded.dedisperse(in.cview()));
+    }
+  }
+}
+
+TEST(EngineSharding, NonShardableEngineIsRejectedWithTheCapabilityName) {
+  const Plan plan = testing::mini_plan(8, 64);
+  pipeline::ShardedOptions options;
+  options.workers = 2;
+  options.engine = "subband";
+  try {
+    const pipeline::ShardedDedisperser sharded(plan, KernelConfig{1, 1, 1, 1},
+                                               options);
+    FAIL() << "sharded executor accepted an engine without supports_sharding";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("supports_sharding"), std::string::npos) << what;
+    EXPECT_NE(what.find("subband"), std::string::npos) << what;
+  }
+}
+
+// -------------------------------------------------------- cross-engine tune --
+
+tuner::GuidedTuningOptions fast_tuning() {
+  tuner::GuidedTuningOptions options;
+  options.engines = {"cpu_tiled", "subband"};
+  options.host.repetitions = 1;
+  options.host.warmup_runs = 0;
+  options.host.threads = 1;
+  options.strategy = tuner::StrategyKind::kRandom;
+  options.random_samples = 3;
+  return options;
+}
+
+TEST(EngineTuning, TuneGuidedSearchesAcrossEngines) {
+  const Plan plan = testing::mini_plan(8, 64);
+  tuner::TuningCache cache;
+  const tuner::GuidedTuningOptions options = fast_tuning();
+
+  const tuner::GuidedTuningOutcome cold =
+      tuner::tune_guided(plan, cache, options);
+  EXPECT_EQ(cold.source, tuner::GuidedTuningOutcome::Source::kSearch);
+  EXPECT_TRUE(cold.engine_id == "cpu_tiled" || cold.engine_id == "subband")
+      << cold.engine_id;
+  EXPECT_GT(cold.configs_evaluated, 0u);
+  EXPECT_NO_THROW(cold.config.validate(plan));
+
+  // Both engines' ladders were resolved and stored under their own ids.
+  std::set<std::string> stored;
+  for (const tuner::CacheEntry& entry : cache.entries()) {
+    stored.insert(entry.host.engine_id);
+  }
+  EXPECT_EQ(stored, (std::set<std::string>{"cpu_tiled", "subband"}));
+
+  // A warm rerun answers the whole cross-engine comparison from the cache:
+  // zero measurements, same winner.
+  const tuner::GuidedTuningOutcome warm =
+      tuner::tune_guided(plan, cache, options);
+  EXPECT_EQ(warm.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(warm.configs_evaluated, 0u);
+  EXPECT_EQ(warm.engine_id, cold.engine_id);
+  EXPECT_EQ(warm.config, cold.config);
+}
+
+TEST(EngineTuning, EngineIdPersistsInTheCacheFile) {
+  const Plan plan = testing::mini_plan(8, 64);
+  const std::string path =
+      ::testing::TempDir() + "ddmc_engine_cache_test.csv";
+  std::remove(path.c_str());
+  const tuner::GuidedTuningOptions options = fast_tuning();
+  {
+    tuner::TuningCache cache(path);
+    tuner::tune_guided(plan, cache, options);
+  }
+  tuner::TuningCache reloaded(path);
+  ASSERT_EQ(reloaded.size(), 2u);
+  std::set<std::string> stored;
+  for (const tuner::CacheEntry& entry : reloaded.entries()) {
+    stored.insert(entry.host.engine_id);
+    EXPECT_EQ(entry.host.encode().find(entry.host.engine_id + "|"), 0u);
+  }
+  EXPECT_EQ(stored, (std::set<std::string>{"cpu_tiled", "subband"}));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- dedisperser --
+
+TEST(EngineDedisperser, SelectsAnyRegisteredEngineByName) {
+  // The high-level API takes a registry id, not an enum: an engine added
+  // by downstream code is immediately usable.
+  const std::string id = "engine_test_alias";
+  if (!EngineRegistry::instance().contains(id)) {
+    EngineRegistry::instance().add(id, forwarding_factory(id));
+  }
+  pipeline::Dedisperser dd =
+      pipeline::Dedisperser::with_output_samples(mini_obs(), 8, 64, id);
+  pipeline::Dedisperser ref =
+      pipeline::Dedisperser::with_output_samples(mini_obs(), 8, 64,
+                                                 "reference");
+  const Array2D<float> in = padded_input(dd.plan(), 0);
+  expect_same_matrix(ref.dedisperse(in.cview()), dd.dedisperse(in.cview()));
+}
+
+}  // namespace
+}  // namespace ddmc::engine

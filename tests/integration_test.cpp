@@ -165,8 +165,7 @@ TEST(Integration, PipelineQuickstartFlow) {
   // The README quickstart, as a test: plan → tune → dedisperse → detect.
   const PulsarScenario sc = make_scenario();
   pipeline::Dedisperser dd = pipeline::Dedisperser::with_output_samples(
-      mini_obs(), sc.plan.dms(), sc.plan.out_samples(),
-      pipeline::Backend::kCpuTiled);
+      mini_obs(), sc.plan.dms(), sc.plan.out_samples(), "cpu_tiled");
   dd.tune_for(ocl::nvidia_gtx_titan());
   const Array2D<float> out = dd.dedisperse(sc.data.cview());
   const sky::DetectionResult res = sky::detect_best_dm(out.cview());

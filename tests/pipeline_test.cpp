@@ -19,18 +19,18 @@ using testing::expect_same_matrix;
 using testing::mini_obs;
 using testing::random_input;
 
-Dedisperser small(Backend backend) {
-  return Dedisperser::with_output_samples(mini_obs(), 8, 64, backend);
+Dedisperser small(const std::string& engine) {
+  return Dedisperser::with_output_samples(mini_obs(), 8, 64, engine);
 }
 
-TEST(Dedisperser, AllBackendsAgreeBitExactly) {
-  Dedisperser ref = small(Backend::kReference);
+TEST(Dedisperser, AllBitwiseEnginesAgreeBitExactly) {
+  Dedisperser ref = small("reference");
   const Array2D<float> in = random_input(ref.plan());
   const Array2D<float> expected = ref.dedisperse(in.cview());
 
-  for (Backend b : {Backend::kCpuTiled, Backend::kCpuBaseline,
-                    Backend::kSimulated}) {
-    Dedisperser dd = small(b);
+  for (const char* id : {"cpu_tiled", "cpu_baseline", "ocl_sim"}) {
+    SCOPED_TRACE(id);
+    Dedisperser dd = small(id);
     dd.set_config(KernelConfig{8, 2, 4, 2});
     const Array2D<float> got = dd.dedisperse(in.cview());
     expect_same_matrix(expected, got);
@@ -38,7 +38,7 @@ TEST(Dedisperser, AllBackendsAgreeBitExactly) {
 }
 
 TEST(Dedisperser, TuneForSetsTheOptimalConfig) {
-  Dedisperser dd = small(Backend::kCpuTiled);
+  Dedisperser dd = small("cpu_tiled");
   const tuner::TuningResult r = dd.tune_for(ocl::amd_hd7970());
   EXPECT_EQ(dd.config(), r.best.config);
   EXPECT_GT(r.evaluated, 0u);
@@ -55,7 +55,7 @@ TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
   opt.strategy = tuner::StrategyKind::kRandom;
   opt.random_samples = 3;
 
-  Dedisperser first = small(Backend::kCpuTiled);
+  Dedisperser first = small("cpu_tiled");
   dedisp::CpuKernelOptions cpu;
   cpu.threads = 1;
   first.set_cpu_options(cpu);
@@ -64,7 +64,7 @@ TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
   EXPECT_EQ(first.config(), cold.config);
 
   // A second pipeline over the same plan and engine tunes for free…
-  Dedisperser second = small(Backend::kCpuTiled);
+  Dedisperser second = small("cpu_tiled");
   second.set_cpu_options(cpu);
   const tuner::GuidedTuningOutcome warm = second.tune_cached(cache, opt);
   EXPECT_EQ(warm.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
@@ -72,13 +72,13 @@ TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
   EXPECT_EQ(second.config(), first.config());
 
   // …and the tuned config changes nothing about correctness.
-  Dedisperser ref = small(Backend::kReference);
+  Dedisperser ref = small("reference");
   const Array2D<float> in = random_input(ref.plan());
   expect_same_matrix(ref.dedisperse(in.cview()),
                      second.dedisperse(in.cview()));
 
   // A different engine signature (thread count) is a different cache key.
-  Dedisperser other = small(Backend::kCpuTiled);
+  Dedisperser other = small("cpu_tiled");
   dedisp::CpuKernelOptions two;
   two.threads = 2;
   other.set_cpu_options(two);
@@ -86,26 +86,32 @@ TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
   EXPECT_EQ(miss.source, tuner::GuidedTuningOutcome::Source::kSearch);
 }
 
-TEST(Dedisperser, TuneCachedRequiresTheCpuTiledBackend) {
-  // The measured host optimum is meaningless to the other backends, so
-  // tune_cached refuses instead of silently skewing them.
+TEST(Dedisperser, TuneCachedRequiresATunableEngine) {
+  // A measured kernel-shape optimum is meaningless to an engine whose
+  // capabilities report !tunable, so tune_cached refuses (naming the
+  // capability) instead of silently skewing them.
   tuner::TuningCache cache;
-  for (Backend b :
-       {Backend::kReference, Backend::kCpuBaseline, Backend::kSimulated}) {
-    Dedisperser dd = small(b);
-    EXPECT_THROW(dd.tune_cached(cache), invalid_argument);
+  for (const char* id : {"reference", "cpu_baseline", "subband", "ocl_sim"}) {
+    SCOPED_TRACE(id);
+    Dedisperser dd = small(id);
+    try {
+      dd.tune_cached(cache);
+      FAIL() << "tune_cached accepted a non-tunable engine";
+    } catch (const invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("tunable"), std::string::npos);
+    }
   }
   EXPECT_EQ(cache.size(), 0u);  // nothing was measured or stored
 }
 
 TEST(Dedisperser, SetConfigValidates) {
-  Dedisperser dd = small(Backend::kCpuTiled);
+  Dedisperser dd = small("cpu_tiled");
   EXPECT_THROW(dd.set_config(KernelConfig{5, 1, 1, 1}), config_error);
   EXPECT_NO_THROW(dd.set_config(KernelConfig{8, 2, 2, 2}));
 }
 
-TEST(Dedisperser, SimulatedBackendExposesCounters) {
-  Dedisperser dd = small(Backend::kSimulated);
+TEST(Dedisperser, SimulatedEngineExposesCounters) {
+  Dedisperser dd = small("ocl_sim");
   dd.set_config(KernelConfig{8, 2, 4, 2});
   dd.set_device(ocl::amd_hd7970());
   const Array2D<float> in = random_input(dd.plan());
@@ -114,13 +120,13 @@ TEST(Dedisperser, SimulatedBackendExposesCounters) {
   EXPECT_EQ(dd.last_counters()->flops,
             static_cast<std::uint64_t>(dd.plan().total_flop()));
 
-  Dedisperser cpu = small(Backend::kCpuTiled);
+  Dedisperser cpu = small("cpu_tiled");
   cpu.dedisperse(in.cview());
   EXPECT_FALSE(cpu.last_counters().has_value());
 }
 
 TEST(Dedisperser, FullSecondsConstructorMatchesPlanShape) {
-  const Dedisperser dd(mini_obs(), 4, Backend::kReference, 2);
+  const Dedisperser dd(mini_obs(), 4, "reference", 2);
   EXPECT_EQ(dd.plan().out_samples(), 200u);  // two seconds at 100 Hz
   EXPECT_EQ(dd.plan().dms(), 4u);
 }

@@ -280,13 +280,13 @@ TEST(ShardedDedisperser, BatchedBeamsMatchThePerBeamPath) {
 TEST(Dedisperser, ShardedExecutionKnobIsBitwiseIdentical) {
   const sky::Observation obs = mini_obs();
   Dedisperser single =
-      Dedisperser::with_output_samples(obs, 12, 60, Backend::kCpuTiled);
+      Dedisperser::with_output_samples(obs, 12, 60, "cpu_tiled");
   single.set_config(KernelConfig{5, 2, 4, 2});
   const Array2D<float> input = random_input(single.plan());
   const Array2D<float> expected = single.dedisperse(input.cview());
 
   Dedisperser sharded =
-      Dedisperser::with_output_samples(obs, 12, 60, Backend::kCpuTiled);
+      Dedisperser::with_output_samples(obs, 12, 60, "cpu_tiled");
   sharded.set_config(KernelConfig{5, 2, 4, 2});
   sharded.set_execution(Execution::kDmSharded, 3);
   EXPECT_EQ(sharded.execution(), Execution::kDmSharded);
@@ -297,13 +297,29 @@ TEST(Dedisperser, ShardedExecutionKnobIsBitwiseIdentical) {
   expect_same_matrix(expected, sharded.dedisperse(input.cview()));
 }
 
-TEST(Dedisperser, ShardedExecutionRequiresTheCpuTiledBackend) {
-  for (Backend b :
-       {Backend::kReference, Backend::kCpuBaseline, Backend::kSimulated}) {
-    Dedisperser dd = Dedisperser::with_output_samples(mini_obs(), 8, 64, b);
-    EXPECT_THROW(dd.set_execution(Execution::kDmSharded, 2),
-                 invalid_argument);
+TEST(Dedisperser, ShardedExecutionRequiresTheShardingCapability) {
+  // Regression for the old silent-ignore wiring: an engine whose
+  // capabilities report !supports_sharding is rejected with an error that
+  // names the missing capability, instead of quietly dropping the workers.
+  for (const char* id : {"subband", "ocl_sim"}) {
+    SCOPED_TRACE(id);
+    Dedisperser dd = Dedisperser::with_output_samples(mini_obs(), 8, 64, id);
+    try {
+      dd.set_execution(Execution::kDmSharded, 2);
+      FAIL() << "set_execution accepted an engine without supports_sharding";
+    } catch (const invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("supports_sharding"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(id), std::string::npos);
+    }
     EXPECT_NO_THROW(dd.set_execution(Execution::kSingle));
+  }
+  // The capability, not the engine id, is what gates: every
+  // sharding-capable engine takes the knob.
+  for (const char* id : {"cpu_tiled", "cpu_baseline", "reference"}) {
+    SCOPED_TRACE(id);
+    Dedisperser dd = Dedisperser::with_output_samples(mini_obs(), 8, 64, id);
+    EXPECT_NO_THROW(dd.set_execution(Execution::kDmSharded, 2));
   }
 }
 

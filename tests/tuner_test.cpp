@@ -593,10 +593,19 @@ TEST(TuningCacheTest, SignaturesRoundTripThroughEncode) {
   engine.threads = 3;
   engine.vectorize = false;
   const HostSignature hsig = HostSignature::of(engine);
-  EXPECT_EQ(hsig.engine, "scalar");
+  EXPECT_EQ(hsig.engine_id, "cpu_tiled");
+  EXPECT_EQ(hsig.variant, "scalar");
   const auto hdecoded = HostSignature::decode(hsig.encode());
   ASSERT_TRUE(hdecoded.has_value());
   EXPECT_EQ(*hdecoded, hsig);
+
+  // Legacy three-part signatures (pre-engine-axis caches) still decode and
+  // map onto the tiled host engine.
+  const auto legacy = HostSignature::decode("scalar|t3|staged");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->engine_id, "cpu_tiled");
+  EXPECT_EQ(legacy->variant, "scalar");
+  EXPECT_EQ(legacy->threads, 3u);
 
   EXPECT_FALSE(PlanSignature::decode("not a signature").has_value());
   EXPECT_FALSE(HostSignature::decode("HD7970").has_value());
