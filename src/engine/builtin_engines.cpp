@@ -20,6 +20,7 @@
 #include "engine/registry.hpp"
 #include "ocl/device_presets.hpp"
 #include "ocl/sim_dedisp.hpp"
+#include "resilience/fault_injection.hpp"
 #include "tuner/host_tuner.hpp"
 
 namespace ddmc::engine {
@@ -54,6 +55,10 @@ class EngineBase : public DedispEngine {
                  "engine '" + id_ + "': output rows != trial DMs");
     DDMC_REQUIRE(out.cols() >= plan.out_samples(),
                  "engine '" + id_ + "': output too short");
+    // Every builtin execute() validates through here, which makes this the
+    // engine-execute fault-injection seam: an armed "engine.execute"
+    // failpoint fails the call before the kernel touches the output.
+    DDMC_FAILPOINT("engine.execute");
   }
 
   const std::string id_;

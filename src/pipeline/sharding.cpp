@@ -1,7 +1,9 @@
 #include "pipeline/sharding.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "engine/registry.hpp"
 #include "ocl/device_presets.hpp"
 #include "ocl/perf_model.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace ddmc::pipeline {
 
@@ -230,28 +233,168 @@ void ShardedDedisperser::run_batch(
     const std::vector<View2D<float>>& outs) const {
   const std::size_t shards = shard_plans_.size();
   const std::size_t jobs = beams.size() * shards;
-  // One batched submission: every (beam, shard) job enters the pool queue
-  // now; parallel_for is the assembly barrier that completes the matrices
-  // (each job fills its shard's row range, so assembly is ordering-free)
-  // and rethrows the first worker failure.
+  const resilience::SupervisionPolicy& policy = options_.supervision;
+
+  resilience::ShardExecutionReport report;
+  report.jobs = jobs;
+  report.shards.assign(shards, {});
+  std::vector<resilience::ShardFailure> failures;
+  std::mutex state_mutex;  // guards report + failures from worker tasks
+
+  /// Output row range a (beam, shard, sub-range) job owns. Rows are only
+  /// ever written by the engine call that finally succeeds on exactly that
+  /// DM range, which is what keeps every recovery path bitwise identical.
+  const auto rows_of = [&](std::size_t beam, std::size_t first_dm,
+                           std::size_t dms) {
+    const View2D<float>& full = outs[beam];
+    return View2D<float>(full.data() + first_dm * full.pitch(), dms,
+                         full.cols(), full.pitch());
+  };
+
+  /// Execute one engine call with the policy's bounded retry. \p failpoint
+  /// distinguishes first-assignment tasks from reacquired sub-shard tasks;
+  /// \p shard keys both the failpoint context and the report counters.
+  /// Returns the terminal failure, or nullopt on success.
+  const auto attempt =
+      [&](const char* failpoint, std::size_t beam, std::size_t shard,
+          const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+          View2D<float> rows) -> std::optional<resilience::ShardFailure> {
+    for (std::size_t attempts = 1;; ++attempts) {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex);
+        ++report.attempts;
+        ++report.shards[shard].attempts;
+        if (attempts > 1) {
+          ++report.retries;
+          ++report.shards[shard].retries;
+        }
+      }
+      try {
+        DDMC_FAILPOINT_CTX(failpoint, shard);
+        engine_->execute(plan, config, beams[beam], rows);
+        return std::nullopt;
+      } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        const resilience::ErrorClass kind = resilience::classify(error);
+        if (kind == resilience::ErrorClass::kTransient &&
+            attempts < policy.retry.max_attempts) {
+          resilience::backoff_sleep(policy.retry, attempts);
+          continue;  // a fresh attempt overwrites any partial rows
+        }
+        resilience::ShardFailure failure;
+        failure.beam = beam;
+        failure.shard = shard;
+        failure.attempts = attempts;
+        failure.kind = kind;
+        failure.message = resilience::describe(error);
+        return failure;
+      }
+    }
+  };
+
+  // Phase 1 — one batched submission: every (beam, shard) job enters the
+  // pool queue now; parallel_for is the assembly barrier that completes
+  // the matrices (each job fills its shard's row range, so assembly is
+  // ordering-free). Jobs record failures instead of throwing, so one dead
+  // worker never aborts the other shards' work mid-flight.
   pool_->parallel_for(0, jobs, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t j = begin; j < end; ++j) {
       const std::size_t beam = j / shards;
       const std::size_t shard = j % shards;
       const DmShard& range = layout_.shards[shard];
-      const View2D<float>& full = outs[beam];
-      const View2D<float> rows(full.data() + range.first_dm * full.pitch(),
-                               range.dms, full.cols(), full.pitch());
-      engine_->execute(shard_plans_[shard], shard_configs_[shard],
-                       beams[beam], rows);
+      const auto failure =
+          attempt("shard.task", beam, shard, shard_plans_[shard],
+                  shard_configs_[shard],
+                  rows_of(beam, range.first_dm, range.dms));
+      if (failure) {
+        std::lock_guard<std::mutex> lock(state_mutex);
+        failures.push_back(*failure);
+      }
     }
   });
+
+  // Phase 2 — reacquisition: a shard that exhausted its retries on
+  // *transient* failures is a dead worker, not a poisoned request, so the
+  // surviving workers take over its DM range. The range is re-partitioned
+  // through the same DmShardPlanner cost model (on the shard's own plan —
+  // a slice of a slice keeps the delay rows bit-for-bit) and the
+  // sub-shards run with the same retry budget, one level deep.
+  if (policy.reacquire && !failures.empty()) {
+    std::vector<resilience::ShardFailure> remaining;
+    for (const resilience::ShardFailure& failure : failures) {
+      const std::size_t shard = failure.shard;
+      if (failure.kind != resilience::ErrorClass::kTransient) {
+        remaining.push_back(failure);  // fatal: reassignment cannot help
+        continue;
+      }
+      const DmShard& range = layout_.shards[shard];
+      const std::size_t survivors =
+          std::max<std::size_t>(pool_->worker_count() - 1, 1);
+      const std::size_t splits =
+          policy.reacquire_splits > 0 ? policy.reacquire_splits : survivors;
+      const DmShardPlanner sub_planner(shard_plans_[shard],
+                                       options_.cost_device);
+      const ShardLayout sub_layout = sub_planner.partition(splits);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex);
+        ++report.reassignments;
+        ++report.shards[shard].reassignments;
+      }
+      std::optional<resilience::ShardFailure> sub_failure;
+      pool_->parallel_for(
+          0, sub_layout.shards.size(), 1,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s) {
+              const DmShard& sub = sub_layout.shards[s];
+              const dedisp::Plan sub_plan =
+                  shard_plans_[shard].dm_shard(sub.first_dm, sub.dms);
+              const auto f = attempt(
+                  "shard.reacquire.task", failure.beam, shard, sub_plan,
+                  adapt_config(shard_configs_[shard], sub_plan),
+                  rows_of(failure.beam, range.first_dm + sub.first_dm,
+                          sub.dms));
+              if (f) {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                if (!sub_failure) sub_failure = *f;
+              }
+            }
+          });
+      if (sub_failure) {
+        sub_failure->message =
+            "shard " + std::to_string(shard) + " reacquisition failed: " +
+            sub_failure->message + " (original: " + failure.message + ")";
+        remaining.push_back(*sub_failure);
+      }
+    }
+    failures = std::move(remaining);
+  }
+
+  for (const resilience::ShardFailure& failure : failures) {
+    report.shards[failure.shard].failed = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    last_report_ = report;
+  }
+  if (!failures.empty()) {
+    throw resilience::ShardExecutionError(std::move(failures));
+  }
+}
+
+resilience::ShardExecutionReport ShardedDedisperser::last_report() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return last_report_;
 }
 
 void ShardedDedisperser::dedisperse(ConstView2D<float> input,
                                     View2D<float> out) const {
   DDMC_REQUIRE(out.rows() == plan_.dms(), "output rows != trial DMs");
   DDMC_REQUIRE(out.cols() >= plan_.out_samples(), "output too short");
+  // Caller-side shape misuse fails synchronously; only *worker* failures
+  // enter the supervision machinery (retry/reacquire/aggregate).
+  DDMC_REQUIRE(input.rows() == plan_.channels(), "input rows != plan channels");
+  DDMC_REQUIRE(input.cols() >= plan_.in_samples(),
+               "input holds too few samples for the plan");
   run_batch({input}, {out});
 }
 

@@ -29,9 +29,20 @@
 ///    single-engine batch path: shard delay tables are sliced, never
 ///    recomputed (Plan::dm_shard), and the sharding-capable engines are
 ///    bitwise identical across kernel configurations.
+///  - Execution is *supervised* (ShardedOptions::supervision): a failing
+///    shard job is retried with bounded backoff while its failures stay
+///    transient; a shard whose retries exhaust is declared dead and its DM
+///    range reacquired by the surviving workers — re-partitioned through
+///    the same DmShardPlanner cost model and executed as sub-shards, so one
+///    dead worker costs throughput, never coverage. Every recovery path
+///    preserves the bitwise guarantee (sub-shard plans are slices of
+///    slices), jobs that still fail are aggregated into one
+///    resilience::ShardExecutionError naming each failed shard and cause,
+///    and last_report() exposes attempts/retries/reassignments per shard.
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +53,7 @@
 #include "dedisp/plan.hpp"
 #include "engine/engine.hpp"
 #include "ocl/device.hpp"
+#include "resilience/supervisor.hpp"
 #include "tuner/tuning_cache.hpp"
 
 namespace ddmc::pipeline {
@@ -120,6 +132,13 @@ struct ShardedOptions {
   engine::EngineOptions engine_options;
   /// Device model pricing the planner's cost terms.
   ocl::DeviceModel cost_device;
+  /// Supervision of the worker jobs: per-shard bounded retry with backoff
+  /// and (optionally) reacquisition of a dead worker's DM range by the
+  /// surviving workers. The default (one attempt, no reacquisition) keeps
+  /// the historical fail-fast behavior — except that *all* worker failures
+  /// are now aggregated into one resilience::ShardExecutionError naming
+  /// each failed shard and its cause, instead of rethrowing only the first.
+  resilience::SupervisionPolicy supervision;
 
   ShardedOptions();
 };
@@ -161,8 +180,13 @@ class ShardedDedisperser {
 
   /// Dedisperse one beam into \p out (dms × ≥out_samples): all shards are
   /// submitted to the pool at once, each writing its own row range of
-  /// \p out. Blocks until the matrix is fully assembled; rethrows the
-  /// first worker failure. Bitwise identical to the single-engine path.
+  /// \p out. Blocks until the matrix is fully assembled. Worker failures
+  /// are retried/reacquired per ShardedOptions::supervision; jobs that
+  /// still fail are aggregated into one resilience::ShardExecutionError
+  /// naming every failed shard and its cause. Bitwise identical to the
+  /// single-engine path — under any supervised recovery too, because a
+  /// shard's rows are only ever written by the engine that finally
+  /// succeeds on exactly that DM range.
   void dedisperse(ConstView2D<float> input, View2D<float> out) const;
 
   /// Convenience allocating the output matrix.
@@ -173,6 +197,12 @@ class ShardedDedisperser {
   /// outputs[b] is beam b's full dms × out_samples matrix.
   std::vector<Array2D<float>> dedisperse_batch(
       const std::vector<ConstView2D<float>>& beams) const;
+
+  /// Supervision counters of the most recent dedisperse/dedisperse_batch
+  /// call (attempts, retries and reassignments per shard) — set even when
+  /// the call threw. Concurrent calls on one executor each report
+  /// consistently, but last_report() then returns whichever finished last.
+  resilience::ShardExecutionReport last_report() const;
 
  private:
   ShardedDedisperser(dedisp::Plan plan, ShardedOptions options);
@@ -187,6 +217,8 @@ class ShardedDedisperser {
   std::vector<dedisp::KernelConfig> shard_configs_;
   std::vector<tuner::GuidedTuningOutcome> tuning_outcomes_;
   std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex report_mutex_;
+  mutable resilience::ShardExecutionReport last_report_;
 };
 
 }  // namespace ddmc::pipeline

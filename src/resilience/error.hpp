@@ -1,0 +1,104 @@
+#pragma once
+/// \file error.hpp
+/// \brief Typed error taxonomy for supervised execution.
+///
+/// A survey pipeline that keeps emitting candidates through faults needs to
+/// know *which* faults are worth another attempt. The taxonomy splits every
+/// failure a supervisor can observe into three kinds:
+///
+///   TransientError  the operation may succeed if repeated — a worker died,
+///                   an injected fault fired, an I/O rename lost a race.
+///                   Retry policies act on exactly this type.
+///   ConfigError     the setup is wrong (invalid plan/config/option); the
+///                   same call can never succeed, so retrying burns the
+///                   real-time margin for nothing. Fail fast.
+///   DataError       the input itself is unusable (shape mismatch, corrupt
+///                   stream); equally unretryable, but distinguishes "your
+///                   request is wrong" from "your data is wrong" in reports.
+///
+/// classify() maps an arbitrary in-flight exception onto this ladder,
+/// folding the library's pre-existing contract types (ddmc::config_error,
+/// ddmc::invalid_argument) into kConfig so legacy throws get the right
+/// policy without being rewritten. Anything unrecognized is kUnknown and
+/// treated as fatal — a supervisor must never retry what it cannot name.
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace ddmc::resilience {
+
+/// Base of the taxonomy; supervised components throw only subtypes.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Retryable: the same operation may succeed on another attempt.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Fatal: the request (plan, config, option) is wrong; retrying cannot help.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Fatal: the input data is unusable; retrying cannot help.
+class DataError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Classification a policy switches on.
+enum class ErrorClass { kTransient, kConfig, kData, kUnknown };
+
+inline const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kConfig: return "config";
+    case ErrorClass::kData: return "data";
+    case ErrorClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// Map an in-flight exception onto the taxonomy. The library's contract
+/// exceptions count as configuration mistakes; everything unrecognized is
+/// kUnknown, which every policy treats as fatal.
+inline ErrorClass classify(const std::exception_ptr& error) {
+  if (!error) return ErrorClass::kUnknown;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientError&) {
+    return ErrorClass::kTransient;
+  } catch (const DataError&) {
+    return ErrorClass::kData;
+  } catch (const ConfigError&) {
+    return ErrorClass::kConfig;
+  } catch (const ddmc::config_error&) {
+    return ErrorClass::kConfig;
+  } catch (const ddmc::invalid_argument&) {
+    return ErrorClass::kConfig;
+  } catch (...) {
+    return ErrorClass::kUnknown;
+  }
+}
+
+/// Message of an in-flight exception ("<non-std exception>" otherwise).
+inline std::string describe(const std::exception_ptr& error) {
+  if (!error) return "<no error>";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "<non-std exception>";
+  }
+}
+
+}  // namespace ddmc::resilience

@@ -1,0 +1,129 @@
+#include "resilience/fault_injection.hpp"
+
+#include <utility>
+
+namespace ddmc::resilience {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and plenty for fire/no-fire decisions —
+/// faults must reproduce bit-for-bit from the spec's seed alone.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void throw_fault(const std::string& name, const FaultSpec& spec,
+                              std::optional<std::size_t> context,
+                              std::size_t fire_ordinal) {
+  std::string msg = "failpoint '" + name + "' fired";
+  if (context) msg += " (context " + std::to_string(*context) + ")";
+  msg += ", fire " + std::to_string(fire_ordinal);
+  msg += ": " + (spec.message.empty() ? name : spec.message);
+  switch (spec.error) {
+    case ErrorClass::kConfig: throw ConfigError(msg);
+    case ErrorClass::kData: throw DataError(msg);
+    case ErrorClass::kTransient:
+    case ErrorClass::kUnknown: break;
+  }
+  throw TransientError(msg);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& name, FaultSpec spec) {
+  DDMC_REQUIRE(!name.empty(), "failpoint name must not be empty");
+  DDMC_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+               "failpoint probability out of [0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Armed armed;
+  armed.rng_state = spec.seed;
+  armed.spec = std::move(spec);
+  if (failpoints_.find(name) == failpoints_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  failpoints_[name] = std::move(armed);
+}
+
+void FaultInjector::disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failpoints_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failpoints_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failpoints_.find(name) != failpoints_.end();
+}
+
+FaultStats FaultInjector::stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = failpoints_.find(name);
+  return it == failpoints_.end() ? FaultStats{} : it->second.stats;
+}
+
+bool FaultInjector::evaluate(Armed& armed,
+                             std::optional<std::size_t> context) {
+  const FaultSpec& spec = armed.spec;
+  if (spec.context && context != spec.context) return false;
+  FaultStats& stats = armed.stats;
+  ++stats.hits;
+  if (spec.max_fires != 0 && stats.fires >= spec.max_fires) return false;
+  bool fires = false;
+  switch (spec.trigger) {
+    case FaultSpec::Trigger::kCountdown:
+      fires = stats.hits > spec.skip;
+      break;
+    case FaultSpec::Trigger::kProbability:
+      fires = uniform01(armed.rng_state) < spec.probability;
+      break;
+  }
+  if (fires) ++stats.fires;
+  return fires;
+}
+
+void FaultInjector::fire(const std::string& name,
+                         std::optional<std::size_t> context) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return;
+  FaultSpec spec;
+  std::size_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = failpoints_.find(name);
+    if (it == failpoints_.end() || !evaluate(it->second, context)) return;
+    spec = it->second.spec;
+    ordinal = it->second.stats.fires;
+  }
+  // Throw outside the lock: the unwinding path may re-enter the injector
+  // (a retry immediately hits the same failpoint).
+  throw_fault(name, spec, context, ordinal);
+}
+
+bool FaultInjector::triggered(const std::string& name,
+                              std::optional<std::size_t> context) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = failpoints_.find(name);
+  return it != failpoints_.end() && evaluate(it->second, context);
+}
+
+}  // namespace ddmc::resilience

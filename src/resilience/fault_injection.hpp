@@ -1,0 +1,157 @@
+#pragma once
+/// \file fault_injection.hpp
+/// \brief Deterministic fault-injection framework: named failpoints threaded
+/// into the pipeline's hot seams.
+///
+/// None of the supervision machinery (retries, shard reacquisition, the
+/// streaming degradation ladder) is testable against faults that only occur
+/// when real hardware misbehaves. A failpoint is a named hook compiled into
+/// a hot seam — `DDMC_FAILPOINT("shard.task", shard_index)` — that does
+/// nothing until a test *arms* it with a FaultSpec, after which it throws a
+/// taxonomy error (resilience/error.hpp) at a deterministic point:
+///
+///   countdown    fire on the (skip+1)-th matching hit — "fail shard 3's
+///                second attempt", exactly once or forever (max_fires);
+///   probability  fire each matching hit with probability p from a seeded
+///                RNG — randomized soaks that reproduce bit-for-bit.
+///
+/// Hits can be filtered by an integer *context* (the shard index, the chunk
+/// index), which is what lets a test inject a fault at every shard position
+/// in turn and assert the supervised output never changes.
+///
+/// The disarmed fast path is one relaxed atomic load — cheap enough to keep
+/// the hooks compiled into release builds, so the code that runs under test
+/// is the code that ships. Arm via ScopedFault in tests: it disarms on
+/// scope exit even when an assertion throws.
+///
+/// Registered failpoint names (grep for DDMC_FAILPOINT to verify):
+///
+///   engine.execute        every DedispEngine::execute (context: none)
+///   shard.task            sharded executor worker task (context: shard)
+///   shard.reacquire.task  reacquired sub-shard task (context: parent shard)
+///   stream.chunk          streaming chunk compute   (context: chunk index)
+///   ring.push             SampleRing::push/try_push (context: none)
+///   ring.pop              SampleRing::pop           (context: none)
+///   chunker.feed          OverlapChunker::feed      (context: chunk index)
+///   tuning_cache.load     TuningCache file parse    (context: none)
+///   tuning_cache.save     TuningCache file write    (context: none)
+///   tuning_cache.rename   TuningCache atomic rename (context: none)
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/error.hpp"
+
+namespace ddmc::resilience {
+
+/// How an armed failpoint decides to fire, and what it throws.
+struct FaultSpec {
+  enum class Trigger { kCountdown, kProbability };
+
+  Trigger trigger = Trigger::kCountdown;
+  /// kCountdown: matching hits to let pass before firing (0 = first hit).
+  std::size_t skip = 0;
+  /// kProbability: per-hit fire probability in [0, 1].
+  double probability = 0.0;
+  /// Seed of the spec's private RNG (kProbability); same seed, same faults.
+  std::uint64_t seed = 1;
+  /// Total fires before the spec exhausts itself; 0 = unlimited (a
+  /// permanently dead component, the reacquisition scenario).
+  std::size_t max_fires = 1;
+  /// Only hits carrying exactly this context match (e.g. one shard index);
+  /// unset matches every hit, including context-free ones.
+  std::optional<std::size_t> context;
+  /// Which taxonomy error fire() throws; anything but kTransient lets a
+  /// test prove that fatal errors are *not* retried.
+  ErrorClass error = ErrorClass::kTransient;
+  /// Appended to the thrown message (defaults to the failpoint name).
+  std::string message;
+};
+
+/// Per-failpoint observability counters (for test assertions).
+struct FaultStats {
+  std::size_t hits = 0;   ///< matching evaluations while armed
+  std::size_t fires = 0;  ///< times the failpoint threw / reported true
+};
+
+/// Process-wide registry of named failpoints. All operations are
+/// thread-safe; the disarmed fire() path is a single relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arm \p name with \p spec, replacing any previous spec (and resetting
+  /// its counters).
+  void arm(const std::string& name, FaultSpec spec);
+
+  /// Disarm \p name (keeps nothing); unknown names are a no-op.
+  void disarm(const std::string& name);
+
+  /// Disarm everything — test teardown.
+  void disarm_all();
+
+  bool armed(const std::string& name) const;
+
+  /// Counters of \p name since it was last armed (zeros when never armed).
+  FaultStats stats(const std::string& name) const;
+
+  /// Evaluate a hit: if \p name is armed and the spec triggers, throw the
+  /// spec's taxonomy error naming the failpoint, the context and the fire
+  /// ordinal. The disarmed path costs one relaxed atomic load.
+  void fire(const std::string& name,
+            std::optional<std::size_t> context = std::nullopt);
+
+  /// Non-throwing twin of fire() for seams that must *simulate* a failure
+  /// (e.g. a failed std::rename) instead of unwinding: true when the spec
+  /// triggered this hit.
+  bool triggered(const std::string& name,
+                 std::optional<std::size_t> context = std::nullopt);
+
+ private:
+  FaultInjector() = default;
+
+  struct Armed {
+    FaultSpec spec;
+    FaultStats stats;
+    std::uint64_t rng_state = 0;  ///< splitmix64 state (kProbability)
+  };
+
+  // Requires mutex_ held. True when this hit fires.
+  bool evaluate(Armed& armed, std::optional<std::size_t> context);
+
+  std::atomic<std::size_t> armed_count_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, Armed> failpoints_;
+};
+
+/// RAII arming for tests: arms at construction, disarms at scope exit.
+class ScopedFault {
+ public:
+  ScopedFault(std::string name, FaultSpec spec) : name_(std::move(name)) {
+    FaultInjector::instance().arm(name_, std::move(spec));
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(name_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& name() const { return name_; }
+  FaultStats stats() const { return FaultInjector::instance().stats(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ddmc::resilience
+
+/// Failpoint hooks. Function-call syntax keeps them greppable; the disarmed
+/// cost is one relaxed atomic load inside fire().
+#define DDMC_FAILPOINT(name) \
+  ::ddmc::resilience::FaultInjector::instance().fire((name))
+#define DDMC_FAILPOINT_CTX(name, context) \
+  ::ddmc::resilience::FaultInjector::instance().fire((name), (context))

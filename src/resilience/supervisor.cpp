@@ -1,0 +1,69 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "engine/registry.hpp"
+
+namespace ddmc::resilience {
+
+double RetryPolicy::backoff_for(std::size_t retry) const {
+  if (backoff_seconds <= 0.0 || retry == 0) return 0.0;
+  const double raw =
+      backoff_seconds * std::pow(backoff_multiplier,
+                                 static_cast<double>(retry - 1));
+  return std::min(raw, max_backoff_seconds);
+}
+
+void backoff_sleep(const RetryPolicy& policy, std::size_t retry) {
+  const double seconds = policy.backoff_for(retry);
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ShardExecutionError::ShardExecutionError(std::vector<ShardFailure> failures)
+    : Error(format(failures)), failures_(std::move(failures)) {}
+
+std::string ShardExecutionError::format(
+    const std::vector<ShardFailure>& failures) {
+  std::string msg = std::to_string(failures.size()) +
+                    " sharded worker job(s) failed:";
+  for (const ShardFailure& f : failures) {
+    msg += "\n  [beam " + std::to_string(f.beam) + " shard " +
+           std::to_string(f.shard) + ", " + to_string(f.kind) + " after " +
+           std::to_string(f.attempts) + " attempt(s)] " + f.message;
+  }
+  return msg;
+}
+
+std::string select_degrade_engine(const std::string& current_engine,
+                                  const StreamPolicy& policy) {
+  const engine::EngineRegistry& registry = engine::EngineRegistry::instance();
+  const auto streaming_capable = [&](const std::string& id) {
+    return registry.contains(id) &&
+           engine::make_engine(id)->capabilities().supports_streaming;
+  };
+  if (!policy.degrade_engine.empty()) {
+    if (policy.degrade_engine == current_engine) return {};
+    DDMC_REQUIRE(streaming_capable(policy.degrade_engine),
+                 "degrade engine '" + policy.degrade_engine +
+                     "' is unknown or lacks the supports_streaming "
+                     "capability");
+    return policy.degrade_engine;
+  }
+  // Capability query, not an id test: any registered engine that streams
+  // and is *approximate* (bitwise_exact == false) bought that property with
+  // a cheaper algorithm — today that is the subband two-stage engine. An
+  // exact engine is never "cheaper" in the sense the ladder needs: it does
+  // the same additions the failing engine already could not afford.
+  for (const std::string& id : registry.ids()) {
+    if (id == current_engine) continue;
+    if (!streaming_capable(id)) continue;
+    if (!engine::make_engine(id)->capabilities().bitwise_exact) return id;
+  }
+  return {};
+}
+
+}  // namespace ddmc::resilience

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/expect.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace ddmc::stream {
 
@@ -22,6 +23,8 @@ std::size_t OverlapChunker::feed(ConstView2D<float> samples,
                                  std::size_t offset) {
   DDMC_REQUIRE(samples.rows() == channels(), "sample block rows != channels");
   DDMC_REQUIRE(offset <= samples.cols(), "feed offset out of range");
+  // Context = chunk being assembled, so a test can corrupt one window feed.
+  DDMC_FAILPOINT_CTX("chunker.feed", chunk_index_);
   const std::size_t n =
       std::min(samples.cols() - offset, window_.cols() - filled_);
   for (std::size_t ch = 0; ch < channels(); ++ch) {

@@ -45,9 +45,16 @@ void LatencyTracker::record(const ChunkTiming& timing) {
   compute_seconds_ += timing.compute_seconds;
 }
 
+void LatencyTracker::record_gap(double data_seconds) {
+  ++gap_chunks_;
+  gap_data_seconds_ += data_seconds;
+}
+
 LatencyReport LatencyTracker::report() const {
   LatencyReport r;
   r.chunks = recorded_;
+  r.gap_chunks = gap_chunks_;
+  r.gap_data_seconds = gap_data_seconds_;
   if (r.chunks == 0) return r;
   r.data_seconds = data_seconds_;
   r.compute_seconds = compute_seconds_;

@@ -50,6 +50,11 @@ struct LatencyReport {
   /// compute_seconds / data_seconds — comparable to the model-predicted
   /// pipeline::SurveySizing::seconds_per_beam.
   double seconds_per_data_second = 0.0;
+  /// Chunks the supervised session dropped (watchdog skip rung) — their
+  /// observation time is in gap_data_seconds, *not* in data_seconds, so the
+  /// margin stays an honest measure of the work actually done.
+  std::size_t gap_chunks = 0;
+  double gap_data_seconds = 0.0;  ///< observation time lost to gaps
 };
 
 /// Nearest-rank percentile of \p values (p in [0, 100]); values need not be
@@ -78,6 +83,10 @@ class LatencyTracker {
   explicit LatencyTracker(std::size_t capacity = kDefaultCapacity);
 
   void record(const ChunkTiming& timing);
+  /// Account a chunk that was never emitted (supervised skip): \p
+  /// data_seconds of observation time are lost, reported separately from
+  /// the emitted chunks' aggregates.
+  void record_gap(double data_seconds);
   std::size_t chunks() const { return recorded_; }
   std::size_t capacity() const { return capacity_; }
   LatencyReport report() const;
@@ -91,6 +100,8 @@ class LatencyTracker {
   RunningStats compute_;
   double data_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  std::size_t gap_chunks_ = 0;
+  double gap_data_seconds_ = 0.0;
 };
 
 }  // namespace ddmc::stream

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/expect.hpp"
+#include "resilience/error.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace ddmc::stream {
 
@@ -21,6 +23,26 @@ std::size_t SampleRing::size() const {
 bool SampleRing::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+bool SampleRing::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+void SampleRing::fail(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) return;  // first reason wins
+  failed_ = true;
+  fail_reason_ = reason.empty() ? "unspecified" : reason;
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+void SampleRing::throw_if_failed() const {
+  if (failed_) {
+    throw resilience::TransientError("SampleRing aborted: " + fail_reason_);
+  }
 }
 
 void SampleRing::copy_in(ConstView2D<float> src, std::size_t src_col,
@@ -55,10 +77,13 @@ void SampleRing::copy_out(View2D<float> dst, std::size_t n) {
 void SampleRing::push(ConstView2D<float> samples) {
   DDMC_REQUIRE(samples.rows() == channels(),
                "sample block rows != ring channels");
+  DDMC_FAILPOINT("ring.push");
   std::size_t done = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (done < samples.cols()) {
-    cv_space_.wait(lock, [&] { return count_ < capacity() || closed_; });
+    cv_space_.wait(lock,
+                   [&] { return count_ < capacity() || closed_ || failed_; });
+    throw_if_failed();
     DDMC_REQUIRE(!closed_, "push into a closed SampleRing");
     const std::size_t n =
         std::min(samples.cols() - done, capacity() - count_);
@@ -71,7 +96,9 @@ void SampleRing::push(ConstView2D<float> samples) {
 bool SampleRing::try_push(ConstView2D<float> samples) {
   DDMC_REQUIRE(samples.rows() == channels(),
                "sample block rows != ring channels");
+  DDMC_FAILPOINT("ring.push");
   std::lock_guard<std::mutex> lock(mutex_);
+  throw_if_failed();
   DDMC_REQUIRE(!closed_, "push into a closed SampleRing");
   if (capacity() - count_ < samples.cols()) return false;
   copy_in(samples, 0, samples.cols());
@@ -89,8 +116,10 @@ void SampleRing::close() {
 std::size_t SampleRing::pop(View2D<float> dst) {
   DDMC_REQUIRE(dst.rows() == channels(), "destination rows != ring channels");
   DDMC_REQUIRE(dst.cols() > 0, "destination holds no samples");
+  DDMC_FAILPOINT("ring.pop");
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_data_.wait(lock, [&] { return count_ > 0 || closed_; });
+  cv_data_.wait(lock, [&] { return count_ > 0 || closed_ || failed_; });
+  throw_if_failed();
   if (count_ == 0) return 0;  // closed and drained
   const std::size_t n = std::min(dst.cols(), count_);
   copy_out(dst, n);

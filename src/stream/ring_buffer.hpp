@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <string>
 
 #include "common/array2d.hpp"
 
@@ -26,6 +27,14 @@ namespace ddmc::stream {
 /// stream-correct: a blocking push() that waits for space mid-block can
 /// interleave its remaining samples with another producer's — and a sample
 /// stream has exactly one time order, so give each producer its own ring.
+///
+/// Failure propagation: backpressure means a producer can be *asleep inside
+/// push()* when the consuming session dies — without an abort path it would
+/// sleep forever, because the only thing that frees space is the consumer
+/// that no longer exists. fail() poisons the ring: every blocked and future
+/// push/pop throws a resilience::TransientError naming the reason, so the
+/// producer unblocks promptly and its supervisor can reconnect or shut the
+/// stream down.
 class SampleRing {
  public:
   /// Ring holding up to \p capacity_samples samples of \p channels channels.
@@ -51,6 +60,16 @@ class SampleRing {
   /// buffered samples, then pop() returns 0. Idempotent.
   void close();
 
+  /// Either side: poison the ring — the stream is dead, not merely ended.
+  /// Every blocked or future push() and pop() throws
+  /// resilience::TransientError("SampleRing aborted: " + reason); buffered
+  /// samples are NOT drained (unlike close(), there is no consumer left to
+  /// trust them to). Idempotent; the first reason wins.
+  void fail(const std::string& reason);
+
+  /// True once fail() has been called.
+  bool failed() const;
+
   /// Consumer: copy up to dst.cols() samples into \p dst, blocking until at
   /// least one sample is available or the ring is closed. Returns the number
   /// of samples written; 0 means closed-and-drained.
@@ -61,10 +80,15 @@ class SampleRing {
   void copy_in(ConstView2D<float> src, std::size_t src_col, std::size_t n);
   void copy_out(View2D<float> dst, std::size_t n);
 
+  // Requires mutex_ held; throws when the ring has been poisoned.
+  void throw_if_failed() const;
+
   Array2D<float> buf_;  // channels × capacity, circular over columns
   std::size_t head_ = 0;   // oldest buffered sample's column
   std::size_t count_ = 0;  // buffered samples
   bool closed_ = false;
+  bool failed_ = false;
+  std::string fail_reason_;
   mutable std::mutex mutex_;
   std::condition_variable cv_space_;  // signalled when samples are popped
   std::condition_variable cv_data_;   // signalled when samples are pushed

@@ -6,6 +6,8 @@
 
 #include "common/expect.hpp"
 #include "engine/registry.hpp"
+#include "resilience/error.hpp"
+#include "resilience/fault_injection.hpp"
 
 namespace ddmc::stream {
 
@@ -43,6 +45,25 @@ std::shared_ptr<const engine::DedispEngine> streaming_engine(
   return engine;
 }
 
+/// Carried-overlap width of a supervised session: when the watchdog can
+/// degrade, the chunker must already carry enough real samples for the
+/// *fallback* engine too — its input_padding may exceed the session
+/// engine's (subband reads past in_samples), and a mid-session switch
+/// cannot widen windows retroactively.
+std::size_t session_input_padding(const StreamingOptions& options,
+                                  const engine::DedispEngine& engine) {
+  std::size_t padding = engine.capabilities().input_padding;
+  if (!options.supervision.enabled || options.supervision.degrade_after == 0) {
+    return padding;
+  }
+  const std::string target = resilience::select_degrade_engine(
+      options.engine, options.supervision);
+  if (target.empty()) return padding;
+  const std::shared_ptr<const engine::DedispEngine> fallback =
+      engine::make_engine(target, engine_factory_options(options));
+  return std::max(padding, fallback->capabilities().input_padding);
+}
+
 }  // namespace
 
 StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
@@ -54,9 +75,9 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
       sink_(std::move(sink)),
       options_(options),
       engine_(streaming_engine(options_)),
-      chunker_(plan_, engine_->capabilities().input_padding),
+      chunker_(plan_, session_input_padding(options_, *engine_)),
       job_input_(plan_.channels(),
-                 plan_.in_samples() + engine_->capabilities().input_padding),
+                 plan_.in_samples() + session_input_padding(options_, *engine_)),
       out_full_(plan_.dms(), plan_.out_samples()) {
   config_.validate(plan_);
   if (options_.shard_workers >= 2) {
@@ -66,6 +87,15 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
     sharded.engine_options = engine_factory_options(options_);
     sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
         plan_, config_, std::move(sharded));
+  }
+  health_.active_engine = options_.engine;
+  if (options_.supervision.enabled && options_.supervision.degrade_after > 0) {
+    degrade_engine_id_ = resilience::select_degrade_engine(
+        options_.engine, options_.supervision);
+    if (!degrade_engine_id_.empty()) {
+      degrade_engine_ = engine::make_engine(degrade_engine_id_,
+                                            engine_factory_options(options_));
+    }
   }
   if (options_.async) {
     worker_ = std::thread([this] { worker_loop(); });
@@ -159,8 +189,17 @@ void StreamingDedisperser::consume(SampleRing& ring) {
   for (;;) {
     const std::size_t n = ring.pop(transfer.view());
     if (n == 0) break;  // closed and drained
-    push(ConstView2D<float>(transfer.cview().data(), channels(), n,
-                            transfer.pitch()));
+    try {
+      push(ConstView2D<float>(transfer.cview().data(), channels(), n,
+                              transfer.pitch()));
+    } catch (...) {
+      // A dead consumer must never leave producers blocked against the
+      // ring's backpressure: poison it so their push() calls abort with
+      // the session's failure instead of deadlocking.
+      ring.fail("streaming session failed: " +
+                resilience::describe(std::current_exception()));
+      throw;
+    }
   }
 }
 
@@ -215,11 +254,14 @@ void StreamingDedisperser::worker_loop() {
 }
 
 void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
+  const resilience::StreamPolicy& policy = options_.supervision;
   const bool full = job.out_samples == plan_.out_samples();
   const dedisp::Plan plan =
       full ? plan_ : plan_.with_chunk(job.out_samples);
   const dedisp::KernelConfig config =
       full ? config_ : partial_chunk_config();
+  const double data_seconds = static_cast<double>(job.out_samples) /
+                              plan_.observation().sampling_rate();
 
   // Full chunks reuse the session's output buffer (a streaming hot path
   // should not allocate megabytes per chunk); only the final partial
@@ -227,11 +269,50 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   Array2D<float> partial_out;
   if (!full) partial_out = Array2D<float>(plan.dms(), plan.out_samples());
   const View2D<float> out = full ? out_full_.view() : partial_out.view();
+
+  // Watchdog rung 1 — bounded retry of transient chunk failures. A fresh
+  // attempt rewrites the whole output buffer, so a half-written failed
+  // attempt never leaks into the emitted chunk. compute time keeps
+  // covering the failed attempts: the deadline judges the chunk's real
+  // wall cost, which is what the ring feels.
   Stopwatch compute;
-  if (full && sharded_) {
-    sharded_->dedisperse(input, out);
-  } else {
-    engine_->execute(plan, config, input, out);
+  std::size_t chunk_retries = 0;
+  for (;;) {
+    try {
+      DDMC_FAILPOINT_CTX("stream.chunk", job.index);
+      if (full && sharded_ && !degraded_) {
+        sharded_->dedisperse(input, out);
+      } else {
+        const engine::DedispEngine& engine =
+            degraded_ ? *degrade_engine_ : *engine_;
+        engine.execute(plan, config, input, out);
+      }
+      break;
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      const bool transient = resilience::classify(err) ==
+                             resilience::ErrorClass::kTransient;
+      if (policy.enabled && transient &&
+          chunk_retries < policy.max_chunk_retries) {
+        ++chunk_retries;
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (chunk_retries > 0) {
+          health_.retries += chunk_retries;
+          ++health_.chunks_retried;
+        }
+      }
+      // Rung 2 — skip: only transient failures may be dropped; a config
+      // or data error would fail every later chunk the same way, so it
+      // latches the session error exactly as an unsupervised run would.
+      if (policy.enabled && policy.skip_failed_chunks && transient) {
+        skip_chunk_with_gap(job, resilience::describe(err));
+        return;
+      }
+      std::rethrow_exception(err);
+    }
   }
 
   StreamChunk chunk;
@@ -243,14 +324,67 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
     chunk.detection = sky::detect_best_dm(out);
   }
   chunk.timing.compute_seconds = compute.seconds();
-  chunk.timing.data_seconds = static_cast<double>(job.out_samples) /
-                              plan_.observation().sampling_rate();
+  chunk.timing.data_seconds = data_seconds;
   chunk.timing.latency_seconds = session_clock_.seconds() - job.assembled_at;
   if (sink_) sink_(chunk);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   tracker_.record(chunk.timing);
   ++emitted_;
+  health_.chunks_emitted = emitted_;
+  if (chunk_retries > 0) {
+    health_.retries += chunk_retries;
+    ++health_.chunks_retried;
+  }
+  // Rung 3 pressure — the deadline is the real-time-margin criterion per
+  // chunk: factor × data seconds of compute budget. An overrun still
+  // delivered (late science beats no science) but pushes the session
+  // toward the cheaper engine; an on-time chunk resets the streak.
+  if (policy.enabled && policy.deadline_factor > 0.0 &&
+      chunk.timing.compute_seconds > policy.deadline_factor * data_seconds) {
+    ++health_.deadline_overruns;
+    degrade_pressure(lock);
+  } else {
+    pressure_streak_ = 0;
+  }
+}
+
+void StreamingDedisperser::skip_chunk_with_gap(const Job& job,
+                                               const std::string& reason) {
+  const double data_seconds = static_cast<double>(job.out_samples) /
+                              plan_.observation().sampling_rate();
+  resilience::ChunkGap gap;
+  gap.index = job.index;
+  gap.first_sample = job.first_sample;
+  gap.out_samples = job.out_samples;
+  gap.reason = reason;
+  std::unique_lock<std::mutex> lock(mutex_);
+  tracker_.record_gap(data_seconds);
+  ++health_.chunks_skipped;
+  health_.gap_data_seconds += data_seconds;
+  health_.gaps.push_back(std::move(gap));
+  degrade_pressure(lock);
+}
+
+void StreamingDedisperser::degrade_pressure(std::unique_lock<std::mutex>&) {
+  ++pressure_streak_;
+  if (degraded_ || !degrade_engine_ ||
+      options_.supervision.degrade_after == 0 ||
+      pressure_streak_ < options_.supervision.degrade_after) {
+    return;
+  }
+  // The switch is one flag plus bookkeeping: the target engine was built
+  // at construction and the chunker already carries its padding.
+  degraded_ = true;
+  pressure_streak_ = 0;
+  ++health_.degradations;
+  health_.degraded = true;
+  health_.active_engine = degrade_engine_id_;
+}
+
+resilience::StreamHealth StreamingDedisperser::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_;
 }
 
 void StreamingDedisperser::close() {

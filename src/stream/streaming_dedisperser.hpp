@@ -44,6 +44,7 @@
 #include "engine/engine.hpp"
 #include "pipeline/multibeam.hpp"
 #include "pipeline/sharding.hpp"
+#include "resilience/supervisor.hpp"
 #include "sky/detection.hpp"
 #include "stream/chunker.hpp"
 #include "stream/latency.hpp"
@@ -88,6 +89,14 @@ struct StreamingOptions {
   /// Output stays bitwise identical either way. Additionally requires the
   /// engine's supports_sharding capability.
   std::size_t shard_workers = 0;
+  /// Watchdog ladder on chunk failure / deadline overrun (single-beam
+  /// sessions only): retry transient failures → skip the chunk with gap
+  /// accounting → degrade to a cheaper streaming-capable engine. Disabled
+  /// by default: an unsupervised session latches the first error exactly
+  /// as before. When enabled with a degradation target available, the
+  /// chunker's carried overlap is widened to the larger of the two
+  /// engines' input_padding so the fallback streams real samples too.
+  resilience::StreamPolicy supervision;
 };
 
 /// Single-beam streaming session.
@@ -138,8 +147,15 @@ class StreamingDedisperser {
   /// Chunks delivered to the sink so far.
   std::size_t chunks_emitted() const;
 
-  /// Latency/throughput statistics of the chunks delivered so far.
+  /// Latency/throughput statistics of the chunks delivered so far
+  /// (including gap accounting for chunks the watchdog skipped).
   LatencyReport latency() const;
+
+  /// Snapshot of the supervised session's health: retries, skips with
+  /// their gaps, deadline overruns, and the active (possibly degraded)
+  /// engine. Meaningful counters require StreamingOptions::supervision
+  /// .enabled; active_engine is maintained either way.
+  resilience::StreamHealth health() const;
 
   /// How the cache-constructed session got its config (empty when the
   /// explicit-config constructor was used).
@@ -174,6 +190,13 @@ class StreamingDedisperser {
 
   void submit(ConstView2D<float> window, std::size_t out_samples);
   void run_job(const Job& job, ConstView2D<float> input);
+  /// Watchdog rung 2: account the never-emitted chunk as a gap and apply
+  /// degradation pressure. Called from run_job with the terminal failure.
+  void skip_chunk_with_gap(const Job& job, const std::string& reason);
+  /// Apply one unit of degradation pressure (a skip or a deadline
+  /// overrun); a clean chunk resets the streak. Switches to the prebuilt
+  /// degradation target when the streak reaches the policy threshold.
+  void degrade_pressure(std::unique_lock<std::mutex>& lock);
   void worker_loop();
   void rethrow_pending_error();
 
@@ -182,6 +205,12 @@ class StreamingDedisperser {
   Sink sink_;
   StreamingOptions options_;
   std::shared_ptr<const engine::DedispEngine> engine_;
+  /// Prebuilt degradation target (supervision enabled and a capable,
+  /// cheaper engine exists); building it up front means the switch is a
+  /// pointer swap on the compute path, never a mid-session factory call
+  /// that could itself fail.
+  std::shared_ptr<const engine::DedispEngine> degrade_engine_;
+  std::string degrade_engine_id_;
   std::optional<tuner::GuidedTuningOutcome> tuning_outcome_;
   /// Sharded executor for full chunks (options_.shard_workers ≥ 2); the
   /// final partial chunk keeps the single-engine 1×1 path, whose output is
@@ -203,6 +232,11 @@ class StreamingDedisperser {
   bool closed_ = false;
   std::exception_ptr error_;
   std::size_t emitted_ = 0;
+  resilience::StreamHealth health_;     // guarded by mutex_
+  std::size_t pressure_streak_ = 0;     // guarded by mutex_
+  /// Set once by the compute path when the watchdog switches engines; read
+  /// by the compute path only (health_.degraded mirrors it for health()).
+  bool degraded_ = false;
   mutable std::mutex mutex_;
   std::condition_variable cv_job_;
   std::condition_variable cv_idle_;

@@ -4,11 +4,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <random>
 #include <sstream>
 
 #include "common/expect.hpp"
 #include "engine/registry.hpp"
+#include "resilience/error.hpp"
+#include "resilience/fault_injection.hpp"
 #include "tuner/host_tuner.hpp"
 #include "tuner/results_io.hpp"
 
@@ -242,9 +245,30 @@ void TuningCache::load() {
   if (!is.good() || is.peek() == std::ifstream::traits_type::eof()) {
     return;  // missing or empty file: empty cache
   }
-  for (const ResultRow& row : load_results(is)) {
-    entries_.push_back(from_result_row(row, path_));
+  // A corrupt or partially-written cache must never stop a tuned run from
+  // starting: the cache is an optimization, and every entry is recomputable
+  // by measurement. Quarantine the damaged file aside (so the evidence
+  // survives for diagnosis and the next save() cannot be blocked by it),
+  // warn, and start empty.
+  std::vector<CacheEntry> loaded;
+  try {
+    DDMC_FAILPOINT("tuning_cache.load");
+    for (const ResultRow& row : load_results(is)) {
+      loaded.push_back(from_result_row(row, path_));
+    }
+  } catch (const std::exception& e) {
+    is.close();  // release the handle before renaming the file
+    const std::string quarantine = path_ + ".quarantined";
+    std::string disposition = "quarantined to '" + quarantine + "'";
+    if (std::rename(path_.c_str(), quarantine.c_str()) != 0) {
+      disposition = "left in place (quarantine rename failed)";
+    }
+    std::cerr << "ddmc: tuning cache '" << path_ << "' is unreadable ("
+              << e.what() << "); " << disposition
+              << ", starting with an empty cache\n";
+    return;
   }
+  entries_ = std::move(loaded);
 }
 
 std::size_t TuningCache::size() const {
@@ -321,6 +345,7 @@ void TuningCache::save_locked() const {
       path_ + ".tmp." + std::to_string(process_token) + "." +
       std::to_string(reinterpret_cast<std::uintptr_t>(this));
   {
+    DDMC_FAILPOINT("tuning_cache.save");
     std::ofstream os(tmp);
     DDMC_REQUIRE(os.good(), "cannot write tuning cache: " + tmp);
     std::vector<ResultRow> rows;
@@ -332,9 +357,16 @@ void TuningCache::save_locked() const {
     os.flush();
     DDMC_REQUIRE(os.good(), "short write to tuning cache: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+  // The "tuning_cache.rename" failpoint simulates a failed rename (short
+  // device, crossed filesystems) without touching the real file, so the
+  // cleanup branch — remove the temp, keep the old cache intact, throw a
+  // retryable error — stays testable.
+  const bool rename_failed =
+      resilience::FaultInjector::instance().triggered("tuning_cache.rename") ||
+      std::rename(tmp.c_str(), path_.c_str()) != 0;
+  if (rename_failed) {
     std::remove(tmp.c_str());
-    DDMC_REQUIRE(false, "cannot replace tuning cache: " + path_);
+    throw resilience::TransientError("cannot replace tuning cache: " + path_);
   }
 }
 

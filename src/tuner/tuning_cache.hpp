@@ -122,8 +122,12 @@ class TuningCache {
   /// In-memory cache (tests, one-process pipelines).
   TuningCache() = default;
 
-  /// File-backed cache at \p path. A missing file is an empty cache; a
-  /// malformed one throws the results_io diagnostics.
+  /// File-backed cache at \p path. A missing file is an empty cache. A
+  /// malformed (corrupt, partially written, wrong-schema) one is
+  /// *quarantined*: renamed aside to "<path>.quarantined" with a stderr
+  /// warning carrying the results_io diagnostics, and the cache starts
+  /// empty — a damaged cache file must never prevent a tuned run from
+  /// starting, since every entry is recomputable by measurement.
   explicit TuningCache(std::string path);
 
   const std::string& path() const { return path_; }
