@@ -19,6 +19,7 @@
 
 #include "common/cli.hpp"
 #include "common/expect.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dedisp/plan.hpp"
 #include "ocl/device_presets.hpp"
@@ -73,104 +74,23 @@ inline bool parse_bench_cli(Cli& cli, int argc, const char* const* argv) {
 }
 
 // ------------------------------------------------------------------- json --
-// Minimal ordered JSON object/array builders: enough for bench outputs, no
-// parsing, no dependency. Numbers are emitted with max_digits10 so results
-// round-trip exactly.
+// One JSON emission path for the whole repository: the builders live in
+// common/json.hpp (the telemetry exporters share them); these aliases keep
+// the benches' historical bench::JsonObject spelling.
+
+using JsonObject = json::Object;
+using JsonArray = json::Array;
 
 inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return json::escape(s);
 }
 
-inline std::string json_number(double v) {
-  std::ostringstream ss;
-  ss.precision(17);
-  ss << v;
-  return ss.str();
-}
-
-/// Ordered JSON object; values are stored pre-serialized.
-class JsonObject {
- public:
-  JsonObject& set(const std::string& key, const std::string& v) {
-    return set_raw(key, "\"" + json_escape(v) + "\"");
-  }
-  JsonObject& set(const std::string& key, const char* v) {
-    return set(key, std::string(v));
-  }
-  JsonObject& set(const std::string& key, double v) {
-    return set_raw(key, json_number(v));
-  }
-  JsonObject& set(const std::string& key, std::size_t v) {
-    return set_raw(key, std::to_string(v));
-  }
-  JsonObject& set(const std::string& key, bool v) {
-    return set_raw(key, v ? "true" : "false");
-  }
-  /// \p json must already be valid JSON (nested object/array).
-  JsonObject& set_raw(const std::string& key, const std::string& json) {
-    fields_.emplace_back(key, json);
-    return *this;
-  }
-
-  std::string dump() const {
-    std::string out = "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "\"" + json_escape(fields_[i].first) + "\": " +
-             fields_[i].second;
-    }
-    return out + "}";
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-class JsonArray {
- public:
-  JsonArray& add(const JsonObject& obj) { return add_raw(obj.dump()); }
-  JsonArray& add_raw(std::string json) {
-    items_.push_back(std::move(json));
-    return *this;
-  }
-
-  std::string dump() const {
-    std::string out = "[";
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += items_[i];
-    }
-    return out + "]";
-  }
-
- private:
-  std::vector<std::string> items_;
-};
+inline std::string json_number(double v) { return json::number(v); }
 
 /// Write \p root to \p path (pretty enough: one object, trailing newline).
 /// Throws ddmc::invalid_argument when the file cannot be opened.
 inline void write_json_file(const std::string& path, const JsonObject& root) {
-  std::ofstream os(path);
-  DDMC_REQUIRE(os.good(), "cannot open JSON output file: " + path);
-  os << root.dump() << "\n";
+  json::write_file(path, root);
 }
 
 /// Print a per-device series table: one row per instance, one column per

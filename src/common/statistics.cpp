@@ -58,6 +58,24 @@ StatsSummary summarize(std::span<const double> values) {
   return s;
 }
 
+double percentile_sorted(std::span<const double> sorted, double p) {
+  DDMC_REQUIRE(!sorted.empty(), "percentile of an empty set");
+  DDMC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank out of [0, 100]");
+  // Nearest-rank: the smallest value with at least p% of the set at or
+  // below it.
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double percentile(std::span<const double> values, double p) {
+  DDMC_REQUIRE(!values.empty(), "percentile of an empty set");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
 double snr(double value, double mean, double stddev) {
   if (stddev <= 0.0) return 0.0;
   return (value - mean) / stddev;

@@ -51,6 +51,15 @@ struct StatsSummary {
 /// Compute the summary of \p values. Throws ddmc::invalid_argument if empty.
 StatsSummary summarize(std::span<const double> values);
 
+/// Nearest-rank percentile of \p values (p in [0, 100]); values need not be
+/// sorted. Throws ddmc::invalid_argument when empty or p out of range.
+double percentile(std::span<const double> values, double p);
+
+/// Nearest-rank percentile of an already ascending-sorted, non-empty set —
+/// the shared kernel of percentile(), LatencyTracker and the telemetry
+/// Histogram, which sort once and read every percentile from it.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Signal-to-noise ratio of \p value against a population with \p mean and
 /// \p stddev; returns 0 when stddev == 0.
 double snr(double value, double mean, double stddev);

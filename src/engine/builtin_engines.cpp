@@ -27,8 +27,8 @@ namespace ddmc::engine {
 
 namespace {
 
-/// Shared state and shape checks; concrete engines add execute() and the
-/// odd override.
+/// Shared state and shape checks; concrete engines add execute_impl() and
+/// the odd override.
 class EngineBase : public DedispEngine {
  public:
   EngineBase(std::string id, EngineCapabilities caps, EngineOptions options)
@@ -55,7 +55,7 @@ class EngineBase : public DedispEngine {
                  "engine '" + id_ + "': output rows != trial DMs");
     DDMC_REQUIRE(out.cols() >= plan.out_samples(),
                  "engine '" + id_ + "': output too short");
-    // Every builtin execute() validates through here, which makes this the
+    // Every builtin execute_impl() validates through here, making this the
     // engine-execute fault-injection seam: an armed "engine.execute"
     // failpoint fails the call before the kernel touches the output.
     DDMC_FAILPOINT("engine.execute");
@@ -91,9 +91,10 @@ class CpuTiledEngine final : public EngineBase {
     return tuner::host_sweep_candidates(plan, host);
   }
 
-  EngineRun execute(const dedisp::Plan& plan,
-                    const dedisp::KernelConfig& config, ConstView2D<float> in,
-                    View2D<float> out) const override {
+  EngineRun execute_impl(const dedisp::Plan& plan,
+                         const dedisp::KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     check_shapes(plan, in, out);
     dedisp::dedisperse_cpu(plan, config, in, out, options_.cpu);
     return {};
@@ -113,9 +114,10 @@ class CpuBaselineEngine final : public EngineBase {
 
   std::string variant() const override { return "autovec"; }
 
-  EngineRun execute(const dedisp::Plan& plan,
-                    const dedisp::KernelConfig& config, ConstView2D<float> in,
-                    View2D<float> out) const override {
+  EngineRun execute_impl(const dedisp::Plan& plan,
+                         const dedisp::KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     (void)config;  // no tunable kernel shape
     check_shapes(plan, in, out);
     dedisp::CpuBaselineOptions baseline;
@@ -138,9 +140,10 @@ class ReferenceEngine final : public EngineBase {
 
   std::string variant() const override { return "serial"; }
 
-  EngineRun execute(const dedisp::Plan& plan,
-                    const dedisp::KernelConfig& config, ConstView2D<float> in,
-                    View2D<float> out) const override {
+  EngineRun execute_impl(const dedisp::Plan& plan,
+                         const dedisp::KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     (void)config;
     check_shapes(plan, in, out);
     dedisp::dedisperse_reference(plan, in, out);
@@ -160,9 +163,10 @@ class SubbandEngine final : public EngineBase {
 
   std::string variant() const override { return simd::backend_name(); }
 
-  EngineRun execute(const dedisp::Plan& plan,
-                    const dedisp::KernelConfig& config, ConstView2D<float> in,
-                    View2D<float> out) const override {
+  EngineRun execute_impl(const dedisp::Plan& plan,
+                         const dedisp::KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     (void)config;  // the subband split, not the tile shape, is the knob
     check_shapes(plan, in, out);
     const dedisp::SubbandConfig sub = options_.subband.adapted_to(plan);
@@ -210,9 +214,10 @@ class OclSimEngine final : public EngineBase {
     return name.empty() ? "device" : name;
   }
 
-  EngineRun execute(const dedisp::Plan& plan,
-                    const dedisp::KernelConfig& config, ConstView2D<float> in,
-                    View2D<float> out) const override {
+  EngineRun execute_impl(const dedisp::Plan& plan,
+                         const dedisp::KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     check_shapes(plan, in, out);
     const ocl::SimRunResult run =
         ocl::simulate_dedisp(device_, plan, config, in, out);

@@ -1,0 +1,89 @@
+/// \file engine.cpp
+/// \brief The non-virtual DedispEngine::execute wrapper: the one
+/// instrumentation seam every execution path passes through.
+
+#include "engine/engine.hpp"
+
+#include "common/timer.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
+
+namespace ddmc::engine {
+
+namespace {
+
+/// FLOP count of one run: prefer the simulator's exact counter, fall back
+/// to the plan's analytic count (one multiply-accumulate = 2 FLOP per
+/// channel per trial per sample — the paper's GFLOP/s denominator).
+double run_flop(const dedisp::Plan& plan,
+                const std::optional<ocl::MemCounters>& counters) {
+  if (counters.has_value()) return static_cast<double>(counters->flops);
+  return 2.0 * static_cast<double>(plan.channels()) *
+         static_cast<double>(plan.dms()) *
+         static_cast<double>(plan.out_samples());
+}
+
+/// Bytes moved to/from global memory: exact for counter-reporting engines,
+/// the analytic input-read + output-write floor otherwise.
+double run_bytes(const dedisp::Plan& plan,
+                 const std::optional<ocl::MemCounters>& counters) {
+  if (counters.has_value()) {
+    return 4.0 * static_cast<double>(counters->global_loads +
+                                     counters->global_stores);
+  }
+  return 4.0 * (static_cast<double>(plan.channels()) *
+                    static_cast<double>(plan.in_samples()) +
+                static_cast<double>(plan.dms()) *
+                    static_cast<double>(plan.out_samples()));
+}
+
+}  // namespace
+
+void SessionTraffic::add(const EngineRun& run, const dedisp::Plan& plan) {
+  ++runs;
+  engine_seconds += run.seconds;
+  flop += run_flop(plan, run.counters);
+  bytes += run_bytes(plan, run.counters);
+  if (run.counters.has_value()) {
+    ++counter_runs;
+    counters += *run.counters;
+  }
+}
+
+void SessionTraffic::merge(const SessionTraffic& other) {
+  runs += other.runs;
+  counter_runs += other.counter_runs;
+  engine_seconds += other.engine_seconds;
+  counters += other.counters;
+  flop += other.flop;
+  bytes += other.bytes;
+}
+
+EngineRun DedispEngine::execute(const dedisp::Plan& plan,
+                                const dedisp::KernelConfig& config,
+                                ConstView2D<float> in,
+                                View2D<float> out) const {
+  telemetry::TraceSpan span("engine.execute");
+  Stopwatch watch;
+  EngineRun run = execute_impl(plan, config, in, out);
+  run.seconds = watch.seconds();
+
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const telemetry::Labels labels = {{"engine", id()}};
+  registry.counter("ddmc.engine.executions_total", labels)->increment();
+  registry.counter("ddmc.engine.seconds_total", labels)->add(run.seconds);
+  const double flop = run_flop(plan, run.counters);
+  const double bytes = run_bytes(plan, run.counters);
+  registry.counter("ddmc.engine.flop_total", labels)->add(flop);
+  registry.counter("ddmc.engine.bytes_total", labels)->add(bytes);
+  const double gflops =
+      run.seconds > 0.0 ? flop / run.seconds / 1e9 : 0.0;
+  registry.gauge("ddmc.engine.gflops", labels)->set(gflops);
+
+  span.arg("engine", id().c_str())
+      .arg("dms", plan.dms())
+      .arg("gflops", gflops);
+  return run;
+}
+
+}  // namespace ddmc::engine

@@ -94,6 +94,36 @@ struct EngineOptions {
 struct EngineRun {
   /// Traffic counters of a simulated-device execution (ocl_sim only).
   std::optional<ocl::MemCounters> counters;
+  /// Wall-clock seconds of this execution, stamped by the non-virtual
+  /// execute() wrapper — every path gets it for free, which is what lets
+  /// the sharded and streaming consumers aggregate per-session traffic.
+  double seconds = 0.0;
+};
+
+/// Per-session aggregate of EngineRun artifacts. Every consumer that owns
+/// a sequence of engine executions (Dedisperser, ShardedDedisperser,
+/// StreamingDedisperser) accumulates one of these and exposes it via its
+/// telemetry() accessor, so traffic counters survive the sharded and
+/// streaming paths instead of being dropped at the first aggregation seam.
+struct SessionTraffic {
+  std::size_t runs = 0;          ///< engine executions aggregated
+  std::size_t counter_runs = 0;  ///< runs that carried exact MemCounters
+  double engine_seconds = 0.0;   ///< Σ EngineRun::seconds (busy time)
+  /// Σ of the exact simulator counters over counter_runs.
+  ocl::MemCounters counters;
+  /// FLOP and global-memory bytes: exact where a run reported counters,
+  /// the plan's analytic floor otherwise (2 FLOP per channel·trial·sample;
+  /// input-read + output-write floats).
+  double flop = 0.0;
+  double bytes = 0.0;
+
+  void add(const EngineRun& run, const dedisp::Plan& plan);
+  void merge(const SessionTraffic& other);
+
+  /// Aggregate throughput over the session's busy time; 0 when unmeasured.
+  double gflops() const {
+    return engine_seconds > 0.0 ? flop / engine_seconds / 1e9 : 0.0;
+  }
 };
 
 /// One execution path for the dedispersion contract. Implementations are
@@ -123,10 +153,24 @@ class DedispEngine {
   /// ≥out_samples) under \p config. Engines whose capabilities say
   /// !tunable ignore the config's tile shape (it must still validate
   /// against the plan — the 1×1 default always does).
-  virtual EngineRun execute(const dedisp::Plan& plan,
-                            const dedisp::KernelConfig& config,
-                            ConstView2D<float> in,
-                            View2D<float> out) const = 0;
+  ///
+  /// Non-virtual template method (engine.cpp): times the run, stamps
+  /// EngineRun::seconds, opens an `engine.execute` trace span and publishes
+  /// per-engine execution/seconds/FLOP/byte metrics, then delegates to the
+  /// engine's execute_impl(). Instrumenting here — the one seam every
+  /// consumer already dispatches through — is what makes the telemetry
+  /// backend-orthogonal: a new engine is observable the moment it
+  /// registers.
+  EngineRun execute(const dedisp::Plan& plan,
+                    const dedisp::KernelConfig& config, ConstView2D<float> in,
+                    View2D<float> out) const;
+
+ protected:
+  /// The engine's actual execution path; contract as execute() above.
+  virtual EngineRun execute_impl(const dedisp::Plan& plan,
+                                 const dedisp::KernelConfig& config,
+                                 ConstView2D<float> in,
+                                 View2D<float> out) const = 0;
 };
 
 }  // namespace ddmc::engine

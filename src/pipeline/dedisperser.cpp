@@ -25,14 +25,27 @@ Dedisperser::Dedisperser(dedisp::Plan plan, std::string engine)
 
 void Dedisperser::rebuild_engine() {
   engine_ = engine::make_engine(engine_id_, engine_options_);
-  sharded_.reset();
+  absorb_sharded();
+}
+
+void Dedisperser::absorb_sharded() {
+  if (sharded_) {
+    traffic_.merge(sharded_->telemetry());
+    sharded_.reset();
+  }
+}
+
+engine::SessionTraffic Dedisperser::telemetry() const {
+  engine::SessionTraffic total = traffic_;
+  if (sharded_) total.merge(sharded_->telemetry());
+  return total;
 }
 
 tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
   ocl::PlanAnalysis analysis(plan_);
   tuner::TuningResult result = tuner::tune(device, analysis);
   config_ = result.best.config;
-  sharded_.reset();
+  absorb_sharded();
   set_device(device);
   return result;
 }
@@ -51,14 +64,14 @@ tuner::GuidedTuningOutcome Dedisperser::tune_cached(
   options.host.threads = engine_options_.cpu.threads;
   tuner::GuidedTuningOutcome outcome = tuner::tune_guided(plan_, cache, options);
   config_ = outcome.config;
-  sharded_.reset();
+  absorb_sharded();
   return outcome;
 }
 
 void Dedisperser::set_config(const dedisp::KernelConfig& config) {
   config.validate(plan_);
   config_ = config;
-  sharded_.reset();
+  absorb_sharded();
 }
 
 void Dedisperser::set_cpu_options(const dedisp::CpuKernelOptions& options) {
@@ -84,7 +97,7 @@ void Dedisperser::set_execution(Execution execution, std::size_t workers) {
                    "supports_sharding is false");
   execution_ = execution;
   shard_workers_ = workers;
-  sharded_.reset();
+  absorb_sharded();
 }
 
 Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
@@ -102,7 +115,8 @@ Array2D<float> Dedisperser::dedisperse(ConstView2D<float> input) {
     sharded_->dedisperse(input, out.view());
   } else {
     engine::EngineRun run = engine_->execute(plan_, config_, input, out.view());
-    counters_ = std::move(run.counters);
+    counters_ = run.counters;
+    traffic_.add(run, plan_);
   }
   return out;
 }

@@ -114,10 +114,20 @@ class Dedisperser {
     return counters_;
   }
 
+  /// Whole-lifetime traffic aggregate across every dedisperse() call on
+  /// this instance: runs, busy seconds, FLOP and bytes (exact counters
+  /// where the engine reports them), including every shard job in
+  /// kDmSharded mode.
+  engine::SessionTraffic telemetry() const;
+
  private:
   Dedisperser(dedisp::Plan plan, std::string engine);
   /// Recreate the engine from engine_options_ (engines are immutable).
   void rebuild_engine();
+  /// Fold the live sharded executor's traffic into traffic_ and drop it —
+  /// called wherever sharded_ is invalidated so telemetry() never loses
+  /// the runs a discarded executor did.
+  void absorb_sharded();
 
   dedisp::Plan plan_;
   std::string engine_id_;
@@ -131,6 +141,9 @@ class Dedisperser {
   /// workers), not per-call); invalidated by every setter that feeds it.
   std::shared_ptr<const ShardedDedisperser> sharded_;
   std::optional<ocl::MemCounters> counters_;
+  /// Single-path runs aggregate here; sharded runs aggregate inside the
+  /// executor (telemetry() merges both, surviving sharded_ invalidation).
+  engine::SessionTraffic traffic_;
 };
 
 }  // namespace ddmc::pipeline

@@ -12,6 +12,8 @@
 #include "ocl/device_presets.hpp"
 #include "ocl/perf_model.hpp"
 #include "resilience/fault_injection.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace ddmc::pipeline {
 
@@ -189,8 +191,10 @@ ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
                    "' cannot run DM-sharded execution: its capability "
                    "supports_sharding is false");
   pool_ = std::make_unique<ThreadPool>(options_.workers);
+  telemetry::TraceSpan span("shard.plan");
   const DmShardPlanner planner(plan_, options_.cost_device);
   layout_ = planner.partition(pool_->worker_count());
+  span.arg("shards", layout_.shards.size()).arg("dms", plan_.dms());
   shard_plans_.reserve(layout_.shards.size());
   for (const DmShard& s : layout_.shards) {
     shard_plans_.push_back(plan_.dm_shard(s.first_dm, s.dms));
@@ -235,11 +239,25 @@ void ShardedDedisperser::run_batch(
   const std::size_t jobs = beams.size() * shards;
   const resilience::SupervisionPolicy& policy = options_.supervision;
 
-  resilience::ShardExecutionReport report;
-  report.jobs = jobs;
-  report.shards.assign(shards, {});
+  // The report is mutated live in last_report_ under report_mutex_, which
+  // is what makes last_report() safe to poll from a monitoring thread
+  // while this call is in flight (a counter bump and a snapshot copy never
+  // interleave mid-struct).
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    last_report_ = {};
+    last_report_.jobs = jobs;
+    last_report_.shards.assign(shards, {});
+  }
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const auto attempts_metric =
+      registry.counter("ddmc.shard.attempts_total");
+  const auto retries_metric = registry.counter("ddmc.shard.retries_total");
+  const auto reassignments_metric =
+      registry.counter("ddmc.shard.reassignments_total");
+  const auto failures_metric = registry.counter("ddmc.shard.failures_total");
   std::vector<resilience::ShardFailure> failures;
-  std::mutex state_mutex;  // guards report + failures from worker tasks
+  std::mutex state_mutex;  // guards failures from worker tasks
 
   /// Output row range a (beam, shard, sub-range) job owns. Rows are only
   /// ever written by the engine call that finally succeeds on exactly that
@@ -261,17 +279,30 @@ void ShardedDedisperser::run_batch(
           View2D<float> rows) -> std::optional<resilience::ShardFailure> {
     for (std::size_t attempts = 1;; ++attempts) {
       {
-        std::lock_guard<std::mutex> lock(state_mutex);
-        ++report.attempts;
-        ++report.shards[shard].attempts;
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        ++last_report_.attempts;
+        ++last_report_.shards[shard].attempts;
         if (attempts > 1) {
-          ++report.retries;
-          ++report.shards[shard].retries;
+          ++last_report_.retries;
+          ++last_report_.shards[shard].retries;
         }
       }
+      attempts_metric->increment();
+      if (attempts > 1) {
+        retries_metric->increment();
+        telemetry::Tracer::instance().record_instant(
+            "shard.retry", telemetry::Tracer::now_ns());
+      }
       try {
+        telemetry::TraceSpan span(failpoint);
+        span.arg("shard", shard).arg("beam", beam).arg("attempt", attempts);
         DDMC_FAILPOINT_CTX(failpoint, shard);
-        engine_->execute(plan, config, beams[beam], rows);
+        const engine::EngineRun run =
+            engine_->execute(plan, config, beams[beam], rows);
+        {
+          std::lock_guard<std::mutex> lock(report_mutex_);
+          traffic_.add(run, plan);
+        }
         return std::nullopt;
       } catch (...) {
         const std::exception_ptr error = std::current_exception();
@@ -336,10 +367,11 @@ void ShardedDedisperser::run_batch(
                                        options_.cost_device);
       const ShardLayout sub_layout = sub_planner.partition(splits);
       {
-        std::lock_guard<std::mutex> lock(state_mutex);
-        ++report.reassignments;
-        ++report.shards[shard].reassignments;
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        ++last_report_.reassignments;
+        ++last_report_.shards[shard].reassignments;
       }
+      reassignments_metric->increment();
       std::optional<resilience::ShardFailure> sub_failure;
       pool_->parallel_for(
           0, sub_layout.shards.size(), 1,
@@ -369,13 +401,13 @@ void ShardedDedisperser::run_batch(
     failures = std::move(remaining);
   }
 
-  for (const resilience::ShardFailure& failure : failures) {
-    report.shards[failure.shard].failed = true;
-  }
-  {
+  if (!failures.empty()) {
     std::lock_guard<std::mutex> lock(report_mutex_);
-    last_report_ = report;
+    for (const resilience::ShardFailure& failure : failures) {
+      last_report_.shards[failure.shard].failed = true;
+    }
   }
+  failures_metric->add(static_cast<double>(failures.size()));
   if (!failures.empty()) {
     throw resilience::ShardExecutionError(std::move(failures));
   }
@@ -384,6 +416,11 @@ void ShardedDedisperser::run_batch(
 resilience::ShardExecutionReport ShardedDedisperser::last_report() const {
   std::lock_guard<std::mutex> lock(report_mutex_);
   return last_report_;
+}
+
+engine::SessionTraffic ShardedDedisperser::telemetry() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return traffic_;
 }
 
 void ShardedDedisperser::dedisperse(ConstView2D<float> input,

@@ -198,11 +198,20 @@ class ShardedDedisperser {
   std::vector<Array2D<float>> dedisperse_batch(
       const std::vector<ConstView2D<float>>& beams) const;
 
-  /// Supervision counters of the most recent dedisperse/dedisperse_batch
-  /// call (attempts, retries and reassignments per shard) — set even when
-  /// the call threw. Concurrent calls on one executor each report
-  /// consistently, but last_report() then returns whichever finished last.
+  /// Supervision counters (attempts, retries and reassignments per shard).
+  /// The report is mutated *live* under one mutex, so this is safe to call
+  /// from a monitoring thread while a dedisperse/dedisperse_batch is in
+  /// flight — it returns a consistent snapshot of the counters so far; a
+  /// finished call's counters are final, even when the call threw. A new
+  /// dedisperse call resets the report; two calls racing on one executor
+  /// interleave their counters into it.
   resilience::ShardExecutionReport last_report() const;
+
+  /// Whole-lifetime traffic aggregate across every dedisperse call:
+  /// EngineRun counters and seconds summed over all shard jobs (including
+  /// retried and reacquired ones — they do the work, so they count). Safe
+  /// to call concurrently with in-flight work.
+  engine::SessionTraffic telemetry() const;
 
  private:
   ShardedDedisperser(dedisp::Plan plan, ShardedOptions options);
@@ -217,8 +226,11 @@ class ShardedDedisperser {
   std::vector<dedisp::KernelConfig> shard_configs_;
   std::vector<tuner::GuidedTuningOutcome> tuning_outcomes_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Guards last_report_ and traffic_; workers take it per counter bump,
+  /// readers per snapshot — never across an engine call.
   mutable std::mutex report_mutex_;
   mutable resilience::ShardExecutionReport last_report_;
+  mutable engine::SessionTraffic traffic_;
 };
 
 }  // namespace ddmc::pipeline

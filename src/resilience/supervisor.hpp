@@ -111,10 +111,36 @@ class ShardExecutionError : public Error {
 
   const std::vector<ShardFailure>& failures() const { return failures_; }
 
+  /// Taxonomy class of the aggregate: kTransient when *every* failed job
+  /// was transient (a retry of the whole run could succeed — the streaming
+  /// watchdog's retry/skip rungs apply), else the first fatal kind.
+  ErrorClass aggregate_class() const {
+    for (const ShardFailure& f : failures_) {
+      if (f.kind != ErrorClass::kTransient) return f.kind;
+    }
+    return failures_.empty() ? ErrorClass::kUnknown : ErrorClass::kTransient;
+  }
+
  private:
   static std::string format(const std::vector<ShardFailure>& failures);
   std::vector<ShardFailure> failures_;
 };
+
+/// classify() with the sharded aggregate unwrapped: a ShardExecutionError
+/// maps to its aggregate_class() (transient when every failed job was),
+/// so a supervisor above a sharded executor can retry what is retryable.
+/// Plain classify() cannot know the type — it lives below this header.
+inline ErrorClass classify_supervised(const std::exception_ptr& error) {
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const ShardExecutionError& e) {
+      return e.aggregate_class();
+    } catch (...) {
+    }
+  }
+  return classify(error);
+}
 
 /// The streaming watchdog's ladder. Disabled by default: an unsupervised
 /// session latches the first error exactly as before.

@@ -1,78 +1,62 @@
 #include "stream/latency.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "common/expect.hpp"
 
 namespace ddmc::stream {
 
-double percentile_sorted(std::span<const double> sorted, double p) {
-  DDMC_REQUIRE(!sorted.empty(), "percentile of an empty set");
-  DDMC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank out of [0, 100]");
-  // Nearest-rank: the smallest value with at least p% of the set at or
-  // below it.
-  const double rank =
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const std::size_t idx =
-      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
-double percentile(std::span<const double> values, double p) {
-  DDMC_REQUIRE(!values.empty(), "percentile of an empty set");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  return percentile_sorted(sorted, p);
-}
-
-LatencyTracker::LatencyTracker(std::size_t capacity) : capacity_(capacity) {
-  DDMC_REQUIRE(capacity_ > 0, "latency tracker needs a positive capacity");
-  latencies_.reserve(std::min<std::size_t>(capacity_, 1024));
+LatencyTracker::LatencyTracker(std::size_t capacity, std::string session)
+    : session_(session.empty() ? telemetry::next_session_label("stream")
+                               : std::move(session)) {
+  DDMC_REQUIRE(capacity > 0, "latency tracker needs a positive capacity");
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const telemetry::Labels labels = {{"session", session_}};
+  latency_ = registry.histogram("ddmc.stream.chunk_latency_seconds", labels,
+                                capacity);
+  compute_ = registry.histogram("ddmc.stream.chunk_compute_seconds", labels,
+                                capacity);
+  data_seconds_ =
+      registry.counter("ddmc.stream.data_seconds_total", labels);
+  gap_chunks_ = registry.counter("ddmc.stream.gap_chunks_total", labels);
+  gap_data_seconds_ =
+      registry.counter("ddmc.stream.gap_data_seconds_total", labels);
 }
 
 void LatencyTracker::record(const ChunkTiming& timing) {
-  if (latencies_.size() < capacity_) {
-    latencies_.push_back(timing.latency_seconds);
-  } else {
-    latencies_[next_] = timing.latency_seconds;  // overwrite the oldest
-  }
-  next_ = (next_ + 1) % capacity_;
-  ++recorded_;
-  max_latency_ = std::max(max_latency_, timing.latency_seconds);
-  compute_.add(timing.compute_seconds);
-  data_seconds_ += timing.data_seconds;
-  compute_seconds_ += timing.compute_seconds;
+  latency_->record(timing.latency_seconds);
+  compute_->record(timing.compute_seconds);
+  data_seconds_->add(timing.data_seconds);
 }
 
 void LatencyTracker::record_gap(double data_seconds) {
-  ++gap_chunks_;
-  gap_data_seconds_ += data_seconds;
+  gap_chunks_->increment();
+  gap_data_seconds_->add(data_seconds);
 }
 
 LatencyReport LatencyTracker::report() const {
+  // Assembled entirely from the registry-owned metrics: this report, a
+  // Prometheus scrape and snapshot_json() cannot disagree.
+  const telemetry::Histogram::Snapshot lat = latency_->snapshot();
+  const telemetry::Histogram::Snapshot comp = compute_->snapshot();
   LatencyReport r;
-  r.chunks = recorded_;
-  r.gap_chunks = gap_chunks_;
-  r.gap_data_seconds = gap_data_seconds_;
+  r.chunks = lat.count;
+  r.gap_chunks = static_cast<std::size_t>(gap_chunks_->value());
+  r.gap_data_seconds = gap_data_seconds_->value();
   if (r.chunks == 0) return r;
-  r.data_seconds = data_seconds_;
-  r.compute_seconds = compute_seconds_;
-  // One bounded sort serves every percentile — report() may be polled per
-  // chunk, and the window never exceeds capacity().
-  std::vector<double> sorted = latencies_;
-  std::sort(sorted.begin(), sorted.end());
-  r.latency_window = sorted.size();
-  r.p50_latency = percentile_sorted(sorted, 50.0);
-  r.p95_latency = percentile_sorted(sorted, 95.0);
-  r.p99_latency = percentile_sorted(sorted, 99.0);
-  r.max_latency = max_latency_;
-  r.mean_compute = compute_.mean();
-  if (compute_seconds_ > 0.0) {
-    r.real_time_margin = data_seconds_ / compute_seconds_;
+  r.latency_window = lat.window;
+  r.data_seconds = data_seconds_->value();
+  r.compute_seconds = comp.sum;
+  r.p50_latency = lat.p50;
+  r.p95_latency = lat.p95;
+  r.p99_latency = lat.p99;
+  r.max_latency = lat.max;
+  r.mean_compute = comp.mean;
+  if (r.compute_seconds > 0.0) {
+    r.real_time_margin = r.data_seconds / r.compute_seconds;
   }
-  if (data_seconds_ > 0.0) {
-    r.seconds_per_data_second = compute_seconds_ / data_seconds_;
+  if (r.data_seconds > 0.0) {
+    r.seconds_per_data_second = r.compute_seconds / r.data_seconds;
   }
   return r;
 }

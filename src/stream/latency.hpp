@@ -11,15 +11,27 @@
 /// (p50/p95/p99), which is what an alerting pipeline (e.g. triggering
 /// follow-up on an FRB candidate) actually cares about.
 ///
+/// Since the telemetry subsystem landed, the tracker stores nothing of its
+/// own: it is a *view* over session-labeled metrics in the process-wide
+/// MetricsRegistry (`ddmc.stream.chunk_latency_seconds{session=…}` and
+/// friends), so `latency()` on the session, a Prometheus scrape and
+/// `telemetry::snapshot_json()` all read the same numbers. The percentile
+/// semantics are the registry Histogram's: exact below the bounded
+/// capacity, a trailing window beyond it; scalar aggregates (margin, busy
+/// time, max latency) always cover the whole session.
+///
 /// `seconds_per_data_second` is the measured twin of the model-predicted
 /// `pipeline::SurveySizing::seconds_per_beam` — both are "wall seconds to
 /// dedisperse one second of one beam".
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/statistics.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ddmc::stream {
 
@@ -57,51 +69,50 @@ struct LatencyReport {
   double gap_data_seconds = 0.0;  ///< observation time lost to gaps
 };
 
-/// Nearest-rank percentile of \p values (p in [0, 100]); values need not be
-/// sorted. Throws ddmc::invalid_argument when empty or p out of range.
-double percentile(std::span<const double> values, double p);
+/// Nearest-rank percentiles now live in common/statistics (the telemetry
+/// Histogram shares them); these forwarders keep the historical
+/// stream::percentile spelling used throughout the stream tests.
+inline double percentile(std::span<const double> values, double p) {
+  return ddmc::percentile(values, p);
+}
+inline double percentile_sorted(std::span<const double> sorted, double p) {
+  return ddmc::percentile_sorted(sorted, p);
+}
 
-/// Nearest-rank percentile of an already ascending-sorted, non-empty set —
-/// the shared kernel of percentile() and LatencyTracker::report(), which
-/// sorts once and reads every percentile from it.
-double percentile_sorted(std::span<const double> sorted, double p);
-
-/// Accumulates ChunkTimings. Storage is bounded: below \p capacity chunks
-/// the percentiles are exact over the whole session; beyond it the tracker
-/// keeps a trailing window of the last \p capacity latencies (a ring), so
-/// a session streaming for days neither grows without bound nor re-sorts
-/// an ever-larger vector on every report() poll. Scalar aggregates
-/// (margin, busy time, max latency, mean compute) always cover the whole
-/// session.
+/// Accumulates ChunkTimings into session-labeled registry metrics and
+/// assembles LatencyReports from them. Thread-safe (the underlying metrics
+/// are). Each tracker gets a process-unique `session` label unless the
+/// caller names one, so concurrent sessions stay distinguishable in one
+/// export.
 class LatencyTracker {
  public:
   /// 4096 doubles = 32 KiB — hours of 1 s chunks, exact; far beyond that
   /// the percentiles become a trailing window, which is what a long-running
   /// session's alerting actually watches.
-  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kDefaultCapacity =
+      telemetry::Histogram::kDefaultCapacity;
 
-  explicit LatencyTracker(std::size_t capacity = kDefaultCapacity);
+  explicit LatencyTracker(std::size_t capacity = kDefaultCapacity,
+                          std::string session = {});
 
   void record(const ChunkTiming& timing);
   /// Account a chunk that was never emitted (supervised skip): \p
   /// data_seconds of observation time are lost, reported separately from
   /// the emitted chunks' aggregates.
   void record_gap(double data_seconds);
-  std::size_t chunks() const { return recorded_; }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t chunks() const { return latency_->count(); }
+  std::size_t capacity() const { return latency_->capacity(); }
+  /// The session label all this tracker's metrics carry.
+  const std::string& session() const { return session_; }
   LatencyReport report() const;
 
  private:
-  std::size_t capacity_;
-  std::vector<double> latencies_;  ///< ring once recorded_ ≥ capacity_
-  std::size_t next_ = 0;           ///< ring write cursor
-  std::size_t recorded_ = 0;
-  double max_latency_ = 0.0;       ///< whole-session running max
-  RunningStats compute_;
-  double data_seconds_ = 0.0;
-  double compute_seconds_ = 0.0;
-  std::size_t gap_chunks_ = 0;
-  double gap_data_seconds_ = 0.0;
+  std::string session_;
+  std::shared_ptr<telemetry::Histogram> latency_;
+  std::shared_ptr<telemetry::Histogram> compute_;
+  std::shared_ptr<telemetry::Counter> data_seconds_;
+  std::shared_ptr<telemetry::Counter> gap_chunks_;
+  std::shared_ptr<telemetry::Counter> gap_data_seconds_;
 };
 
 }  // namespace ddmc::stream

@@ -6,8 +6,33 @@
 #include "common/expect.hpp"
 #include "resilience/error.hpp"
 #include "resilience/fault_injection.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace ddmc::stream {
+
+namespace {
+
+/// Account one completed blocking wait on the ring. Only ever called from
+/// a path that actually slept — the uncontended push/pop never touches the
+/// registry, so ring throughput is unchanged when there is no backpressure.
+void note_block(bool push, std::uint64_t start_ns, std::uint64_t end_ns) {
+  const double seconds =
+      static_cast<double>(end_ns - start_ns) * 1e-9;
+  auto& registry = telemetry::MetricsRegistry::instance();
+  if (push) {
+    registry.counter("ddmc.ring.push_blocks_total")->increment();
+    registry.counter("ddmc.ring.push_block_seconds_total")->add(seconds);
+  } else {
+    registry.counter("ddmc.ring.pop_blocks_total")->increment();
+    registry.counter("ddmc.ring.pop_block_seconds_total")->add(seconds);
+  }
+  telemetry::Tracer::instance().record_complete(
+      push ? "ring.push.wait" : "ring.pop.wait", start_ns,
+      end_ns - start_ns);
+}
+
+}  // namespace
 
 SampleRing::SampleRing(std::size_t channels, std::size_t capacity_samples)
     : buf_(channels, capacity_samples) {
@@ -81,8 +106,14 @@ void SampleRing::push(ConstView2D<float> samples) {
   std::size_t done = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (done < samples.cols()) {
-    cv_space_.wait(lock,
-                   [&] { return count_ < capacity() || closed_ || failed_; });
+    const auto have_space = [&] {
+      return count_ < capacity() || closed_ || failed_;
+    };
+    if (!have_space()) {  // producer blocked: the ring feels backpressure
+      const std::uint64_t start = telemetry::Tracer::now_ns();
+      cv_space_.wait(lock, have_space);
+      note_block(true, start, telemetry::Tracer::now_ns());
+    }
     throw_if_failed();
     DDMC_REQUIRE(!closed_, "push into a closed SampleRing");
     const std::size_t n =
@@ -118,7 +149,12 @@ std::size_t SampleRing::pop(View2D<float> dst) {
   DDMC_REQUIRE(dst.cols() > 0, "destination holds no samples");
   DDMC_FAILPOINT("ring.pop");
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_data_.wait(lock, [&] { return count_ > 0 || closed_ || failed_; });
+  const auto have_data = [&] { return count_ > 0 || closed_ || failed_; };
+  if (!have_data()) {  // consumer starved: ingest is behind compute
+    const std::uint64_t start = telemetry::Tracer::now_ns();
+    cv_data_.wait(lock, have_data);
+    note_block(false, start, telemetry::Tracer::now_ns());
+  }
   throw_if_failed();
   if (count_ == 0) return 0;  // closed and drained
   const std::size_t n = std::min(dst.cols(), count_);

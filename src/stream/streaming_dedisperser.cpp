@@ -8,6 +8,7 @@
 #include "engine/registry.hpp"
 #include "resilience/error.hpp"
 #include "resilience/fault_injection.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace ddmc::stream {
 
@@ -85,10 +86,22 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
     sharded.workers = options_.shard_workers;
     sharded.engine = options_.engine;
     sharded.engine_options = engine_factory_options(options_);
+    sharded.supervision = options_.shard_supervision;
     sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
         plan_, config_, std::move(sharded));
   }
   health_.active_engine = options_.engine;
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const telemetry::Labels session = {{"session", tracker_.session()}};
+  retries_metric_ = registry.counter("ddmc.stream.retries_total", session);
+  chunks_retried_metric_ =
+      registry.counter("ddmc.stream.chunks_retried_total", session);
+  chunks_skipped_metric_ =
+      registry.counter("ddmc.stream.chunks_skipped_total", session);
+  overruns_metric_ =
+      registry.counter("ddmc.stream.deadline_overruns_total", session);
+  degradations_metric_ =
+      registry.counter("ddmc.stream.degradations_total", session);
   if (options_.supervision.enabled && options_.supervision.degrade_after > 0) {
     degrade_engine_id_ = resilience::select_degrade_engine(
         options_.engine, options_.supervision);
@@ -270,6 +283,9 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   if (!full) partial_out = Array2D<float>(plan.dms(), plan.out_samples());
   const View2D<float> out = full ? out_full_.view() : partial_out.view();
 
+  telemetry::TraceSpan chunk_span("stream.chunk");
+  chunk_span.arg("chunk", job.index).arg("out_samples", job.out_samples);
+
   // Watchdog rung 1 — bounded retry of transient chunk failures. A fresh
   // attempt rewrites the whole output buffer, so a half-written failed
   // attempt never leaks into the emitted chunk. compute time keeps
@@ -277,32 +293,33 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   // wall cost, which is what the ring feels.
   Stopwatch compute;
   std::size_t chunk_retries = 0;
+  bool single_run = false;
+  engine::EngineRun run;
   for (;;) {
     try {
       DDMC_FAILPOINT_CTX("stream.chunk", job.index);
       if (full && sharded_ && !degraded_) {
         sharded_->dedisperse(input, out);
+        single_run = false;
       } else {
         const engine::DedispEngine& engine =
             degraded_ ? *degrade_engine_ : *engine_;
-        engine.execute(plan, config, input, out);
+        run = engine.execute(plan, config, input, out);
+        single_run = true;
       }
       break;
     } catch (...) {
       const std::exception_ptr err = std::current_exception();
-      const bool transient = resilience::classify(err) ==
+      const bool transient = resilience::classify_supervised(err) ==
                              resilience::ErrorClass::kTransient;
       if (policy.enabled && transient &&
           chunk_retries < policy.max_chunk_retries) {
         ++chunk_retries;
         continue;
       }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (chunk_retries > 0) {
-          health_.retries += chunk_retries;
-          ++health_.chunks_retried;
-        }
+      if (chunk_retries > 0) {
+        retries_metric_->add(static_cast<double>(chunk_retries));
+        chunks_retried_metric_->increment();
       }
       // Rung 2 — skip: only transient failures may be dropped; a config
       // or data error would fail every later chunk the same way, so it
@@ -326,23 +343,29 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   chunk.timing.compute_seconds = compute.seconds();
   chunk.timing.data_seconds = data_seconds;
   chunk.timing.latency_seconds = session_clock_.seconds() - job.assembled_at;
-  if (sink_) sink_(chunk);
+  if (sink_) {
+    telemetry::TraceSpan sink_span("stream.sink");
+    sink_span.arg("chunk", job.index);
+    sink_(chunk);
+  }
+  if (chunk_retries > 0) {
+    retries_metric_->add(static_cast<double>(chunk_retries));
+    chunks_retried_metric_->increment();
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   tracker_.record(chunk.timing);
   ++emitted_;
-  health_.chunks_emitted = emitted_;
-  if (chunk_retries > 0) {
-    health_.retries += chunk_retries;
-    ++health_.chunks_retried;
-  }
+  if (single_run) traffic_.add(run, plan);
   // Rung 3 pressure — the deadline is the real-time-margin criterion per
   // chunk: factor × data seconds of compute budget. An overrun still
   // delivered (late science beats no science) but pushes the session
   // toward the cheaper engine; an on-time chunk resets the streak.
   if (policy.enabled && policy.deadline_factor > 0.0 &&
       chunk.timing.compute_seconds > policy.deadline_factor * data_seconds) {
-    ++health_.deadline_overruns;
+    overruns_metric_->increment();
+    telemetry::Tracer::instance().record_instant(
+        "stream.deadline", telemetry::Tracer::now_ns());
     degrade_pressure(lock);
   } else {
     pressure_streak_ = 0;
@@ -358,10 +381,11 @@ void StreamingDedisperser::skip_chunk_with_gap(const Job& job,
   gap.first_sample = job.first_sample;
   gap.out_samples = job.out_samples;
   gap.reason = reason;
+  chunks_skipped_metric_->increment();
+  telemetry::Tracer::instance().record_instant("stream.gap",
+                                               telemetry::Tracer::now_ns());
   std::unique_lock<std::mutex> lock(mutex_);
   tracker_.record_gap(data_seconds);
-  ++health_.chunks_skipped;
-  health_.gap_data_seconds += data_seconds;
   health_.gaps.push_back(std::move(gap));
   degrade_pressure(lock);
 }
@@ -377,14 +401,39 @@ void StreamingDedisperser::degrade_pressure(std::unique_lock<std::mutex>&) {
   // at construction and the chunker already carries its padding.
   degraded_ = true;
   pressure_streak_ = 0;
-  ++health_.degradations;
+  degradations_metric_->increment();
+  telemetry::Tracer::instance().record_instant("stream.degrade",
+                                               telemetry::Tracer::now_ns());
   health_.degraded = true;
   health_.active_engine = degrade_engine_id_;
 }
 
 resilience::StreamHealth StreamingDedisperser::health() const {
+  // gaps / engine identity under the session mutex; numeric counters from
+  // the registry metrics, so health(), a Prometheus scrape and
+  // snapshot_json() report the same numbers.
+  resilience::StreamHealth h;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    h = health_;
+    h.chunks_emitted = emitted_;
+  }
+  h.retries = static_cast<std::size_t>(retries_metric_->value());
+  h.chunks_retried =
+      static_cast<std::size_t>(chunks_retried_metric_->value());
+  h.chunks_skipped =
+      static_cast<std::size_t>(chunks_skipped_metric_->value());
+  h.deadline_overruns = static_cast<std::size_t>(overruns_metric_->value());
+  h.degradations = static_cast<std::size_t>(degradations_metric_->value());
+  h.gap_data_seconds = tracker_.report().gap_data_seconds;
+  return h;
+}
+
+engine::SessionTraffic StreamingDedisperser::telemetry() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return health_;
+  engine::SessionTraffic total = traffic_;
+  if (sharded_) total.merge(sharded_->telemetry());
+  return total;
 }
 
 void StreamingDedisperser::close() {
@@ -442,6 +491,7 @@ MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
     sharded.workers = options_.shard_workers;
     sharded.engine = options_.engine;
     sharded.engine_options = engine_factory_options(options_);
+    sharded.supervision = options_.shard_supervision;
     sharded_ = std::make_unique<pipeline::ShardedDedisperser>(
         plan_, config_, std::move(sharded));
   }
@@ -491,6 +541,10 @@ void MultiBeamStreamingDedisperser::close() {
   for (const auto& c : chunkers_) windows.push_back(c.partial_input());
   run_chunk(plan_.with_chunk(pending), partial_chunk_config(), windows,
             chunkers_[0].chunk_index(), chunkers_[0].first_out_sample());
+}
+
+engine::SessionTraffic MultiBeamStreamingDedisperser::telemetry() const {
+  return sharded_ ? sharded_->telemetry() : engine::SessionTraffic{};
 }
 
 void MultiBeamStreamingDedisperser::run_chunk(

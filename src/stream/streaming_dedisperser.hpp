@@ -49,6 +49,7 @@
 #include "stream/chunker.hpp"
 #include "stream/latency.hpp"
 #include "stream/ring_buffer.hpp"
+#include "telemetry/metrics.hpp"
 #include "tuner/tuning_cache.hpp"
 
 namespace ddmc::stream {
@@ -89,6 +90,12 @@ struct StreamingOptions {
   /// Output stays bitwise identical either way. Additionally requires the
   /// engine's supports_sharding capability.
   std::size_t shard_workers = 0;
+  /// Supervision of the sharded executor's worker jobs (shard_workers
+  /// >= 2): per-shard bounded retry, optionally reacquisition. The default
+  /// (one attempt) fails the whole chunk on the first shard error, leaving
+  /// recovery to the chunk-level watchdog below; a shard-level retry budget
+  /// absorbs transient faults without repeating the chunk's other shards.
+  resilience::SupervisionPolicy shard_supervision;
   /// Watchdog ladder on chunk failure / deadline overrun (single-beam
   /// sessions only): retry transient failures → skip the chunk with gap
   /// accounting → degrade to a cheaper streaming-capable engine. Disabled
@@ -154,8 +161,19 @@ class StreamingDedisperser {
   /// Snapshot of the supervised session's health: retries, skips with
   /// their gaps, deadline overruns, and the active (possibly degraded)
   /// engine. Meaningful counters require StreamingOptions::supervision
-  /// .enabled; active_engine is maintained either way.
+  /// .enabled; active_engine is maintained either way. The numeric fields
+  /// are assembled from this session's registry counters (one source of
+  /// truth with the exporters); the gaps list and the engine identity live
+  /// on the session.
   resilience::StreamHealth health() const;
+
+  /// Whole-session traffic aggregate: EngineRun counters and busy seconds
+  /// over every chunk, including the DM-sharded executor's jobs when
+  /// StreamingOptions::shard_workers routes full chunks through it.
+  engine::SessionTraffic telemetry() const;
+
+  /// The session label this session's registry metrics carry.
+  const std::string& session_label() const { return tracker_.session(); }
 
   /// How the cache-constructed session got its config (empty when the
   /// explicit-config constructor was used).
@@ -232,7 +250,18 @@ class StreamingDedisperser {
   bool closed_ = false;
   std::exception_ptr error_;
   std::size_t emitted_ = 0;
-  resilience::StreamHealth health_;     // guarded by mutex_
+  /// Only the gaps list, active_engine and degraded flag are kept here
+  /// (guarded by mutex_); every numeric counter lives in the session's
+  /// registry metrics below and is folded back in by health().
+  resilience::StreamHealth health_;
+  /// Session-labeled supervision counters — the numeric source of truth
+  /// behind health() and the exporters.
+  std::shared_ptr<telemetry::Counter> retries_metric_;
+  std::shared_ptr<telemetry::Counter> chunks_retried_metric_;
+  std::shared_ptr<telemetry::Counter> chunks_skipped_metric_;
+  std::shared_ptr<telemetry::Counter> overruns_metric_;
+  std::shared_ptr<telemetry::Counter> degradations_metric_;
+  engine::SessionTraffic traffic_;      // guarded by mutex_
   std::size_t pressure_streak_ = 0;     // guarded by mutex_
   /// Set once by the compute path when the watchdog switches engines; read
   /// by the compute path only (health_.degraded mirrors it for health()).
@@ -281,6 +310,10 @@ class MultiBeamStreamingDedisperser {
 
   std::size_t chunks_emitted() const { return emitted_; }
   LatencyReport latency() const { return tracker_.report(); }
+
+  /// Traffic aggregate of the session's sharded executor (full chunks when
+  /// shard_workers ≥ 2); the beam-parallel path does not report EngineRuns.
+  engine::SessionTraffic telemetry() const;
 
  private:
   void run_chunk(const dedisp::Plan& plan, const dedisp::KernelConfig& config,

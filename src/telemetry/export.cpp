@@ -1,0 +1,204 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace ddmc::telemetry {
+
+namespace {
+
+/// Prometheus metric name: dots → underscores; the registry already
+/// restricts names to [a-z0-9_.].
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+/// `{k="v",…}` with an optional extra label (the summary quantile).
+std::string prometheus_labels(const Labels& labels, const std::string& extra_key = {},
+                              const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + json::escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  return out + "}";
+}
+
+const char* prometheus_kind(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "summary";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string export_prometheus(const std::vector<MetricSnapshot>& metrics) {
+  std::ostringstream os;
+  std::string last_typed;  // one # TYPE line per metric family
+  for (const MetricSnapshot& m : metrics) {
+    const std::string name = prometheus_name(m.name);
+    if (name != last_typed) {
+      os << "# TYPE " << name << " " << prometheus_kind(m.kind) << "\n";
+      last_typed = name;
+    }
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        os << name << prometheus_labels(m.labels) << " "
+           << json::number(m.value) << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const Histogram::Snapshot& h = m.histogram;
+        const struct {
+          const char* q;
+          double v;
+        } quantiles[] = {{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+        for (const auto& [q, v] : quantiles) {
+          os << name << prometheus_labels(m.labels, "quantile", q) << " "
+             << json::number(v) << "\n";
+        }
+        os << name << "_sum" << prometheus_labels(m.labels) << " "
+           << json::number(h.sum) << "\n";
+        os << name << "_count" << prometheus_labels(m.labels) << " "
+           << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string export_prometheus() {
+  return export_prometheus(MetricsRegistry::instance().snapshot());
+}
+
+json::Object metrics_to_json(const std::vector<MetricSnapshot>& metrics) {
+  json::Object out;
+  for (const MetricSnapshot& m : metrics) {
+    const std::string id = encode_metric_id(m.name, m.labels);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        out.set(id, m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const Histogram::Snapshot& h = m.histogram;
+        json::Object hist;
+        hist.set("count", h.count)
+            .set("window", h.window)
+            .set("sum", h.sum)
+            .set("min", h.min)
+            .set("max", h.max)
+            .set("mean", h.mean)
+            .set("p50", h.p50)
+            .set("p95", h.p95)
+            .set("p99", h.p99);
+        out.set_raw(id, hist.dump());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+json::Object snapshot_json() {
+  json::Object out;
+  out.set_raw("metrics",
+              metrics_to_json(MetricsRegistry::instance().snapshot()).dump());
+  const Tracer& tracer = Tracer::instance();
+  json::Object trace;
+  trace.set("enabled", tracer.enabled())
+      .set("recorded", tracer.events().size())
+      .set("dropped", tracer.dropped())
+      .set("capacity", tracer.capacity());
+  out.set_raw("trace", trace.dump());
+  return out;
+}
+
+std::string export_chrome_trace(const std::vector<TraceEvent>& events) {
+  // trace_event JSON object format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+  // ph:"X" complete events with ts/dur in microseconds; ph:"i" instants.
+  // One pid (this process), tid = the tracer's sequential thread ids.
+  json::Array trace_events;
+  for (const TraceEvent& e : events) {
+    std::ostringstream ev;
+    ev << "{\"name\": \"" << json::escape(e.name) << "\", ";
+    if (e.kind == TraceEvent::Kind::kComplete) {
+      ev << "\"ph\": \"X\", \"ts\": " << json::number(
+                static_cast<double>(e.start_ns) / 1000.0)
+         << ", \"dur\": "
+         << json::number(static_cast<double>(e.dur_ns) / 1000.0) << ", ";
+    } else {
+      ev << "\"ph\": \"i\", \"s\": \"t\", \"ts\": "
+         << json::number(static_cast<double>(e.start_ns) / 1000.0) << ", ";
+    }
+    ev << "\"pid\": 1, \"tid\": " << e.tid;
+    if (e.args[0] != '\0') {
+      ev << ", \"args\": {" << e.args << "}";
+    }
+    ev << "}";
+    trace_events.add_raw(ev.str());
+  }
+  json::Object root;
+  root.set_raw("traceEvents", trace_events.dump());
+  root.set("displayTimeUnit", "ms");
+  return root.dump();
+}
+
+std::string export_chrome_trace() {
+  return export_chrome_trace(Tracer::instance().events());
+}
+
+json::Object latency_report_to_json(const stream::LatencyReport& report) {
+  json::Object out;
+  out.set("chunks", report.chunks)
+      .set("latency_window", report.latency_window)
+      .set("data_seconds", report.data_seconds)
+      .set("compute_seconds", report.compute_seconds)
+      .set("p50_latency", report.p50_latency)
+      .set("p95_latency", report.p95_latency)
+      .set("p99_latency", report.p99_latency)
+      .set("max_latency", report.max_latency)
+      .set("mean_compute", report.mean_compute)
+      .set("real_time_margin", report.real_time_margin)
+      .set("seconds_per_data_second", report.seconds_per_data_second)
+      .set("gap_chunks", report.gap_chunks)
+      .set("gap_data_seconds", report.gap_data_seconds);
+  return out;
+}
+
+stream::LatencyReport latency_report_from_json(const json::Value& v) {
+  DDMC_REQUIRE(v.is_object(), "latency report JSON must be an object");
+  stream::LatencyReport r;
+  r.chunks = static_cast<std::size_t>(v.at("chunks").as_number());
+  r.latency_window =
+      static_cast<std::size_t>(v.at("latency_window").as_number());
+  r.data_seconds = v.at("data_seconds").as_number();
+  r.compute_seconds = v.at("compute_seconds").as_number();
+  r.p50_latency = v.at("p50_latency").as_number();
+  r.p95_latency = v.at("p95_latency").as_number();
+  r.p99_latency = v.at("p99_latency").as_number();
+  r.max_latency = v.at("max_latency").as_number();
+  r.mean_compute = v.at("mean_compute").as_number();
+  r.real_time_margin = v.at("real_time_margin").as_number();
+  r.seconds_per_data_second = v.at("seconds_per_data_second").as_number();
+  r.gap_chunks = static_cast<std::size_t>(v.at("gap_chunks").as_number());
+  r.gap_data_seconds = v.at("gap_data_seconds").as_number();
+  return r;
+}
+
+}  // namespace ddmc::telemetry

@@ -1,0 +1,60 @@
+#pragma once
+/// \file export.hpp
+/// \brief Telemetry exporters: Prometheus text format, JSON snapshot, and
+/// Chrome trace_event JSON.
+///
+/// Three consumers, three formats, one registry:
+///
+///   export_prometheus()    text exposition format for a scrape endpoint —
+///                          dots become underscores, counters keep their
+///                          `_total` suffix, histograms export as summaries
+///                          with quantile labels;
+///   snapshot_json()        one-call JSON dump of every metric (and the
+///                          trace-buffer status) for logs and benches;
+///   export_chrome_trace()  the recorded spans as a trace_event array that
+///                          opens directly in chrome://tracing / Perfetto.
+///
+/// The LatencyReport round-trip helpers live here too: a streaming
+/// session's report can be exported, shipped, and reconstructed without
+/// losing the gap accounting that keeps the real-time margin honest.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "stream/latency.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
+
+namespace ddmc::telemetry {
+
+/// Prometheus text exposition of \p metrics: one `# TYPE` line per metric
+/// name, counters as-is (names should already end in `_total`), gauges
+/// as-is, histograms as summaries (`{quantile="0.5"}`… plus `_sum` and
+/// `_count` series). Dots in names map to underscores.
+std::string export_prometheus(const std::vector<MetricSnapshot>& metrics);
+
+/// Convenience: export the process-wide registry.
+std::string export_prometheus();
+
+/// JSON object with every metric keyed by its encoded id; histograms
+/// expand to their full Snapshot fields.
+json::Object metrics_to_json(const std::vector<MetricSnapshot>& metrics);
+
+/// One-call export: {"metrics": {...}, "trace": {recorded, dropped,
+/// enabled}} from the process-wide registry and tracer.
+json::Object snapshot_json();
+
+/// Chrome trace_event JSON (the {"traceEvents": [...]} envelope): complete
+/// events as ph:"X", instants as ph:"i", timestamps/durations in µs.
+std::string export_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Convenience: export the process-wide tracer's buffer.
+std::string export_chrome_trace();
+
+/// LatencyReport → JSON and back. Every field round-trips exactly
+/// (max_digits10 serialization), so gap seconds stay out of the real-time
+/// margin after export/import.
+json::Object latency_report_to_json(const stream::LatencyReport& report);
+stream::LatencyReport latency_report_from_json(const json::Value& v);
+
+}  // namespace ddmc::telemetry

@@ -1,0 +1,217 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/expect.hpp"
+#include "common/statistics.hpp"
+
+namespace ddmc::telemetry {
+
+Histogram::Histogram(std::size_t capacity) : capacity_(capacity) {
+  DDMC_REQUIRE(capacity_ > 0, "histogram needs a positive capacity");
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(v);
+  } else {
+    ring_[next_] = v;  // overwrite the oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::vector<double> sorted;
+  Snapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    sorted = ring_;
+  }
+  if (s.count == 0) return s;
+  s.mean = s.sum / static_cast<double>(s.count);
+  // One bounded sort serves every percentile; the window never exceeds
+  // capacity(), so a per-chunk snapshot poll stays cheap.
+  std::sort(sorted.begin(), sorted.end());
+  s.window = sorted.size();
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+
+void check_name(const std::string& name) {
+  DDMC_REQUIRE(!name.empty(), "metric name must not be empty");
+  for (char c : name) {
+    DDMC_REQUIRE(valid_name_char(c),
+                 "metric name '" + name +
+                     "' must match [a-z0-9_.] (Prometheus-mappable)");
+  }
+}
+
+const char* kind_word(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string encode_metric_id(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string id = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) id += ",";
+    id += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  return id + "}";
+}
+
+std::string next_session_label(const std::string& prefix) {
+  static std::atomic<std::uint64_t> next{0};
+  return prefix + "-" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, Labels labels, MetricSnapshot::Kind kind,
+    std::size_t capacity) {
+  check_name(name);
+  std::sort(labels.begin(), labels.end());
+  const std::string id = encode_metric_id(name, labels);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    DDMC_REQUIRE(it->second.kind == kind,
+                 "metric '" + id + "' already registered as " +
+                     kind_word(it->second.kind) + ", requested as " +
+                     kind_word(kind));
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.labels = std::move(labels);
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      entry.counter = std::make_shared<Counter>();
+      break;
+    case MetricSnapshot::Kind::kGauge:
+      entry.gauge = std::make_shared<Gauge>();
+      break;
+    case MetricSnapshot::Kind::kHistogram:
+      entry.histogram = std::make_shared<Histogram>(capacity);
+      break;
+  }
+  return entries_.emplace(id, std::move(entry)).first->second;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name,
+                                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(name, std::move(labels),
+                        MetricSnapshot::Kind::kCounter, 0)
+      .counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name,
+                                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(name, std::move(labels), MetricSnapshot::Kind::kGauge,
+                        0)
+      .gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(const std::string& name,
+                                                      Labels labels,
+                                                      std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(name, std::move(labels),
+                        MetricSnapshot::Kind::kHistogram, capacity)
+      .histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  // Collect the shared_ptrs under the registry lock, then read each metric
+  // outside it — a histogram snapshot takes the histogram's own lock and
+  // must not nest inside ours while writers are recording.
+  std::vector<Entry> copies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copies.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) copies.push_back(entry);
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(copies.size());
+  for (const Entry& entry : copies) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.labels = entry.labels;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        m.value = entry.counter->value();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        m.value = entry.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        m.histogram = entry.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  // std::map iteration already yields encoded-id order; keep it explicit so
+  // exporters can rely on (name, labels) sorting even if storage changes.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace ddmc::telemetry

@@ -1,0 +1,178 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Process-wide metrics registry: counters, gauges, and bounded-ring
+/// histograms with exact percentiles.
+///
+/// The paper's whole argument is quantitative — auto-tuning works because
+/// every kernel execution is *measured* — yet the runtime's observability
+/// was fragmented across per-subsystem structs (LatencyTracker saw only
+/// streaming, ShardExecutionReport only shards, StreamHealth only
+/// degradation). The MetricsRegistry is the one store they all publish
+/// into: every hot seam increments named, labeled metrics, and the
+/// subsystem reports (`LatencyReport`, `StreamHealth`,
+/// `ShardExecutionReport`) become *views* assembled from registry-owned
+/// objects, so a Prometheus scrape, a JSON snapshot and a session's own
+/// report() can never disagree.
+///
+/// Metric identity is a dot-delimited name plus a sorted label set —
+/// `ddmc.stream.chunk_latency_seconds{session="stream-3"}`. Names use only
+/// [a-z0-9_.] so the Prometheus exporter's dot→underscore mapping yields
+/// valid metric names; counters end in `_total` by convention (the format
+/// checker in CI enforces it on the export).
+///
+/// Cost discipline: counters and gauges are single relaxed atomics (a
+/// CAS-add for the double-valued ones), histograms take one short mutex.
+/// Handles are shared_ptr so a `MetricsRegistry::reset()` (test/bench
+/// isolation) never dangles a live session's handles — they just detach
+/// from future exports.
+///
+/// The Histogram generalizes LatencyTracker's bounded ring: below
+/// `capacity` recorded values the percentiles are exact over the whole
+/// series; beyond it they cover a trailing window of the last `capacity`
+/// values, while count / sum / min / max / mean always cover the whole
+/// series. 4096 doubles = 32 KiB — hours of 1 s chunks, exact.
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ddmc::telemetry {
+
+/// Sorted (key, value) label pairs; the registry sorts on first use so
+/// `{a=1,b=2}` and `{b=2,a=1}` are one metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter. add() is one relaxed CAS loop (doubles have no
+/// fetch_add on every toolchain); negative increments are a contract
+/// violation the caller must not make (the exporter declares it monotone).
+class Counter {
+ public:
+  void add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void increment() { add(1.0); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-value gauge (e.g. the most recent GFLOP/s figure, a queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bounded-ring histogram: exact nearest-rank percentiles below capacity,
+/// a trailing window beyond it; whole-series count/sum/min/max regardless.
+class Histogram {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Histogram(std::size_t capacity = kDefaultCapacity);
+
+  void record(double v);
+
+  struct Snapshot {
+    std::size_t count = 0;   ///< whole-series recorded values
+    std::size_t window = 0;  ///< values the percentiles cover
+    double sum = 0.0;        ///< whole-series Σ
+    double min = 0.0;        ///< whole-series min (0 when empty)
+    double max = 0.0;        ///< whole-series max (0 when empty)
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t count() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;  ///< trailing window once count_ ≥ capacity_
+  std::size_t next_ = 0;      ///< ring write cursor
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One exported metric: identity, kind, and the value(s) at snapshot time.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;              ///< counter / gauge
+  Histogram::Snapshot histogram;   ///< kind == kHistogram
+};
+
+/// Thread-safe named-metric store. counter()/gauge()/histogram() create on
+/// first use and return the existing object afterwards; requesting an
+/// existing id as a different kind throws ddmc::invalid_argument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// The process-wide registry every instrumented seam publishes into.
+  static MetricsRegistry& instance();
+
+  std::shared_ptr<Counter> counter(const std::string& name,
+                                   Labels labels = {});
+  std::shared_ptr<Gauge> gauge(const std::string& name, Labels labels = {});
+  std::shared_ptr<Histogram> histogram(
+      const std::string& name, Labels labels = {},
+      std::size_t capacity = Histogram::kDefaultCapacity);
+
+  /// Metrics currently registered, sorted by (name, labels) so exports are
+  /// stable; histogram snapshots are taken under each histogram's own lock.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  std::size_t size() const;
+
+  /// Drop every metric (test/bench isolation). Live handles stay valid —
+  /// they keep counting into detached objects that no longer export.
+  void reset();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    Labels labels;
+    std::string name;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, Labels labels,
+                        MetricSnapshot::Kind kind, std::size_t capacity);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< keyed by encoded id
+};
+
+/// "name{k="v",…}" — the registry key and the debugging spelling.
+std::string encode_metric_id(const std::string& name, const Labels& labels);
+
+/// Process-unique session label value ("<prefix>-<n>"): every streaming /
+/// batch session labels its metrics with one of these so concurrent
+/// sessions stay distinguishable in one export.
+std::string next_session_label(const std::string& prefix);
+
+}  // namespace ddmc::telemetry

@@ -1,0 +1,144 @@
+#include "telemetry/tracing.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json.hpp"
+
+namespace ddmc::telemetry {
+
+namespace {
+
+/// Copy \p src into a fixed buffer, always NUL-terminated.
+void copy_bounded(char* dst, std::size_t dst_size, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::snprintf(dst, dst_size, "%s", src);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : slots_(capacity) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t Tracer::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+void Tracer::record(TraceEvent::Kind kind, const char* name,
+                    std::uint64_t start_ns, std::uint64_t dur_ns,
+                    const char* args) {
+  // fetch_add hands each event a unique slot; no CAS loop, no lock. Once
+  // the buffer is exhausted the pipeline keeps running untraced — dropping
+  // telemetry must never distort the timings it measures.
+  const std::size_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = slots_[idx];
+  copy_bounded(slot.event.name, TraceEvent::kNameSize, name);
+  copy_bounded(slot.event.args, TraceEvent::kArgsSize, args);
+  slot.event.start_ns = start_ns;
+  slot.event.dur_ns = dur_ns;
+  slot.event.tid = thread_id();
+  slot.event.kind = kind;
+  slot.ready.store(true, std::memory_order_release);
+}
+
+void Tracer::record_complete(const char* name, std::uint64_t start_ns,
+                             std::uint64_t dur_ns, const char* args) {
+  if (!enabled()) return;
+  record(TraceEvent::Kind::kComplete, name, start_ns, dur_ns, args);
+}
+
+void Tracer::record_instant(const char* name, std::uint64_t at_ns,
+                            const char* args) {
+  if (!enabled()) return;
+  record(TraceEvent::Kind::kInstant, name, at_ns, 0, args);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::size_t claimed =
+      std::min(cursor_.load(std::memory_order_relaxed), slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(claimed);
+  for (std::size_t i = 0; i < claimed; ++i) {
+    // acquire pairs with the writer's release: a ready slot's event fields
+    // are fully written. A claimed-but-not-ready slot (writer mid-store) is
+    // skipped rather than waited on.
+    if (slots_[i].ready.load(std::memory_order_acquire)) {
+      out.push_back(slots_[i].event);
+    }
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  const std::size_t claimed =
+      std::min(cursor_.load(std::memory_order_relaxed), slots_.size());
+  for (std::size_t i = 0; i < claimed; ++i) {
+    slots_[i].ready.store(false, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan& TraceSpan::append_arg_raw(const char* key,
+                                     const char* serialized_value) {
+  // Build `"key": value` pairs in place; the exporter wraps them in braces.
+  const std::size_t cap = sizeof(args_);
+  const int written = std::snprintf(args_ + args_len_, cap - args_len_,
+                                    "%s\"%s\": %s",
+                                    args_len_ > 0 ? ", " : "", key,
+                                    serialized_value);
+  if (written > 0) {
+    const std::size_t want = args_len_ + static_cast<std::size_t>(written);
+    if (want < cap) {
+      args_len_ = want;
+    } else {
+      args_[args_len_] = '\0';  // didn't fit: roll back to the last full pair
+    }
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, const char* value) {
+  if (!active_) return *this;
+  const std::string quoted = "\"" + json::escape(value) + "\"";
+  return append_arg_raw(key, quoted.c_str());
+}
+
+TraceSpan& TraceSpan::arg(const char* key, double value) {
+  if (!active_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return append_arg_raw(key, buf);
+}
+
+TraceSpan& TraceSpan::arg(const char* key, std::size_t value) {
+  if (!active_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return append_arg_raw(key, buf);
+}
+
+}  // namespace ddmc::telemetry

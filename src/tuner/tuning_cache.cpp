@@ -12,6 +12,8 @@
 #include "engine/registry.hpp"
 #include "resilience/error.hpp"
 #include "resilience/fault_injection.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 #include "tuner/host_tuner.hpp"
 #include "tuner/results_io.hpp"
 
@@ -391,6 +393,26 @@ GuidedTuningOutcome tune_one_engine(
   const HostSignature host = HostSignature::of(*engine);
   const PlanSignature target = PlanSignature::of(plan);
 
+  telemetry::TraceSpan span("tuner.tune");
+  span.arg("engine", engine->id().c_str());
+  // One ladder resolution = one outcome sample: the hit/transfer/search mix
+  // over a session is the cache's effectiveness, scrape-able as
+  // ddmc.tuner.outcomes_total{source=...}.
+  const auto note = [&](const char* source, std::size_t evaluated,
+                        double gflops) {
+    auto& registry = telemetry::MetricsRegistry::instance();
+    registry
+        .counter("ddmc.tuner.outcomes_total",
+                 {{"engine", engine->id()}, {"source", source}})
+        ->increment();
+    registry
+        .counter("ddmc.tuner.configs_evaluated_total",
+                 {{"engine", engine->id()}})
+        ->add(static_cast<double>(evaluated));
+    span.arg("source", source).arg("evaluated", evaluated);
+    span.arg("gflops", gflops);
+  };
+
   GuidedTuningOutcome outcome;
   outcome.engine_id = engine->id();
   if (const auto hit = cache.find_exact(host, target)) {
@@ -399,6 +421,7 @@ GuidedTuningOutcome tune_one_engine(
     outcome.config = hit->config;
     outcome.gflops = hit->gflops;
     outcome.transfer_distance = 0.0;
+    note("hit", 0, outcome.gflops);
     return outcome;
   }
   if (options.allow_transfer) {
@@ -424,6 +447,7 @@ GuidedTuningOutcome tune_one_engine(
         entry.evaluated = 1;
         cache.store(entry);  // next cross-engine call is an exact hit
       }
+      note("transfer", outcome.configs_evaluated, outcome.gflops);
       return outcome;
     }
   }
@@ -452,6 +476,7 @@ GuidedTuningOutcome tune_one_engine(
   outcome.gflops = searched.best.gflops;
   outcome.configs_evaluated = searched.evaluated;
   outcome.search = std::move(searched);
+  note("search", outcome.configs_evaluated, outcome.gflops);
   return outcome;
 }
 

@@ -73,8 +73,9 @@ class NamedForwardingEngine final : public DedispEngine {
   std::vector<KernelConfig> config_space(const Plan& plan) const override {
     return inner_->config_space(plan);
   }
-  EngineRun execute(const Plan& plan, const KernelConfig& config,
-                    ConstView2D<float> in, View2D<float> out) const override {
+  EngineRun execute_impl(const Plan& plan, const KernelConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
     return inner_->execute(plan, config, in, out);
   }
 

@@ -332,6 +332,59 @@ TEST(SupervisedSharding, FatalErrorsAreNeitherRetriedNorReacquired) {
   EXPECT_EQ(fault.stats().fires, 1u);
 }
 
+// Satellite regression: last_report() must be safe (and coherent) while a
+// dedisperse is in flight — the old executor swapped in a fresh report at
+// the *end* of the run, so a concurrent reader raced the swap. The report
+// is now mutated live under a mutex: a mid-flight reader sees a consistent
+// partial report whose invariants already hold.
+TEST(SupervisedSharding, LastReportIsSafeToReadMidFlight) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const Array2D<float> input = random_input(plan);
+  const KernelConfig config{5, 2, 4, 2};
+  pipeline::ShardedOptions opts;
+  opts.workers = 3;
+  opts.supervision.retry.max_attempts = 3;
+  opts.supervision.retry.backoff_seconds = 0.0;
+  const pipeline::ShardedDedisperser sharded(plan, config, opts);
+
+  FaultSpec spec;
+  spec.trigger = FaultSpec::Trigger::kProbability;
+  spec.probability = 0.5;  // plenty of retries to interleave with reads
+  spec.seed = 99;
+  spec.max_fires = 8;
+  ScopedFault fault("shard.task", spec);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const resilience::ShardExecutionReport report = sharded.last_report();
+      // Coherence invariants that must hold at *any* instant of the run.
+      EXPECT_LE(report.retries, report.attempts);
+      std::size_t shard_attempts = 0;
+      for (const auto& shard : report.shards) {
+        shard_attempts += shard.attempts;
+        EXPECT_LE(shard.retries, shard.attempts);
+      }
+      EXPECT_EQ(shard_attempts, report.attempts);
+      reads.fetch_add(1);
+    }
+  });
+
+  const Array2D<float> expected = single_engine(plan, config, input);
+  for (int run = 0; run < 20; ++run) {
+    try {
+      expect_same_matrix(expected, sharded.dedisperse(input.cview()));
+    } catch (const resilience::ShardExecutionError&) {
+      // Retry budget exhausted under the injected fault rate: fine — the
+      // reader's invariants are what this test is about.
+    }
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
 TEST(SupervisedSharding, FailedReacquisitionKeepsTheShardFailed) {
   const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
   const Array2D<float> input = random_input(plan);

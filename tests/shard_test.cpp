@@ -432,6 +432,75 @@ TEST(MultiBeamStreamingDedisperser, ShardedChunksMatchTheUnshardedSession) {
   }
 }
 
+// --------------------------------------------------------------- traffic --
+
+TEST(ShardedDedisperser, TrafficAggregatesEveryShardRun) {
+  const Plan plan = Plan::with_output_samples(mini_obs(), 12, 60);
+  const KernelConfig config{5, 2, 4, 2};
+  ShardedOptions opts;
+  opts.workers = 3;
+  const ShardedDedisperser sharded(plan, config, opts);
+  EXPECT_EQ(sharded.telemetry().runs, 0u);
+
+  const Array2D<float> input = random_input(plan);
+  sharded.dedisperse(input.cview());
+  const engine::SessionTraffic t1 = sharded.telemetry();
+  EXPECT_EQ(t1.runs, sharded.shard_count());
+  EXPECT_GT(t1.flop, 0.0);
+  EXPECT_GT(t1.bytes, 0.0);
+  EXPECT_GT(t1.engine_seconds, 0.0);
+  EXPECT_GT(t1.gflops(), 0.0);
+
+  sharded.dedisperse(input.cview());
+  EXPECT_EQ(sharded.telemetry().runs, 2 * sharded.shard_count());
+}
+
+TEST(Dedisperser, TelemetrySurvivesReconfiguration) {
+  Dedisperser dd = Dedisperser::with_output_samples(mini_obs(), 12, 60);
+  dd.set_config(KernelConfig{5, 2, 4, 2});
+  dd.set_execution(Execution::kDmSharded, 3);
+  const Array2D<float> input = random_input(dd.plan());
+  dd.dedisperse(input.cview());
+  const std::size_t sharded_runs = dd.telemetry().runs;
+  EXPECT_GT(sharded_runs, 1u);  // one engine run per shard
+
+  // Switching back to single invalidates the sharded executor; the traffic
+  // it accumulated must be absorbed, not lost.
+  dd.set_execution(Execution::kSingle);
+  dd.dedisperse(input.cview());
+  const engine::SessionTraffic total = dd.telemetry();
+  EXPECT_EQ(total.runs, sharded_runs + 1);
+  EXPECT_GT(total.gflops(), 0.0);
+}
+
+TEST(StreamingDedisperser, TelemetryCountsEveryChunkRun) {
+  const std::size_t total_out = 145;  // 4 full chunks of 32 + partial 17
+  const Plan batch = Plan::with_output_samples(mini_obs(), 12, total_out);
+  const Array2D<float> input = random_input(batch);
+
+  for (std::size_t shard_workers : {std::size_t{0}, std::size_t{3}}) {
+    SCOPED_TRACE("shard_workers " + std::to_string(shard_workers));
+    Collector collect(batch.dms(), total_out);
+    stream::StreamingOptions opts;
+    opts.cpu.threads = 1;
+    opts.shard_workers = shard_workers;
+    stream::StreamingDedisperser session(batch.with_chunk(32),
+                                         KernelConfig{8, 2, 4, 2},
+                                         std::ref(collect), opts);
+    session.push(input.cview());
+    session.close();
+    const engine::SessionTraffic traffic = session.telemetry();
+    const std::size_t chunks = 5;  // 145 / 32 rounded up
+    if (shard_workers == 0) {
+      EXPECT_EQ(traffic.runs, chunks);
+    } else {
+      EXPECT_GE(traffic.runs, chunks);  // >= one engine run per shard/chunk
+    }
+    EXPECT_GT(traffic.flop, 0.0);
+    EXPECT_GT(traffic.gflops(), 0.0);
+  }
+}
+
 // ------------------------------------------------------- randomized sweep --
 
 TEST(ShardedRandomSlowTier, RandomInstancesStayBitwiseIdentical) {

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate the telemetry exporters' output (CI gate, stdlib only).
+
+Checks a Prometheus text-exposition file against the format the scrape
+endpoint would have to serve, and a Chrome trace_event JSON file against
+the subset of the trace-event schema the exporter emits. Exits non-zero
+with a line-numbered complaint on the first violation.
+
+Usage:
+  check_telemetry_exports.py --prometheus telemetry.prom \
+      --chrome-trace telemetry.trace.json \
+      [--require-span engine.execute --require-span shard.task ...]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
+LABEL_PAIR = re.compile(r'^[a-z_][a-z0-9_]*="(?:[^"\\]|\\.)*"$')
+NUMBER = re.compile(r"^-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\d+)$")
+SAMPLE = re.compile(r"^(?P<name>[a-z_][a-z0-9_]*)(?:\{(?P<labels>[^}]*)\})?"
+                    r" (?P<value>\S+)$")
+KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def fail(what):
+    print(f"check_telemetry_exports: {what}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name):
+    """Summary series share their family's TYPE line: strip _sum/_count."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prometheus(path):
+    typed = {}
+    samples = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4:
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                _, _, name, kind = parts
+                if not METRIC_NAME.match(name):
+                    fail(f"{path}:{lineno}: invalid metric name {name!r}")
+                if kind not in KINDS:
+                    fail(f"{path}:{lineno}: unknown metric kind {kind!r}")
+                if name in typed:
+                    fail(f"{path}:{lineno}: duplicate TYPE for {name!r}")
+                typed[name] = kind
+                continue
+            if line.startswith("#"):
+                continue  # comment
+            m = SAMPLE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+            name = m.group("name")
+            family = base_family(name)
+            if family not in typed and name not in typed:
+                fail(f"{path}:{lineno}: sample {name!r} has no TYPE line")
+            kind = typed.get(family, typed.get(name))
+            if kind == "counter" and not name.endswith("_total"):
+                fail(f"{path}:{lineno}: counter {name!r} does not end in "
+                     "'_total'")
+            if m.group("labels"):
+                for pair in m.group("labels").split(","):
+                    if not LABEL_PAIR.match(pair):
+                        fail(f"{path}:{lineno}: malformed label {pair!r}")
+            if not NUMBER.match(m.group("value")):
+                fail(f"{path}:{lineno}: non-numeric value "
+                     f"{m.group('value')!r}")
+            samples += 1
+    if not typed:
+        fail(f"{path}: no TYPE lines — not a Prometheus exposition?")
+    if samples == 0:
+        fail(f"{path}: no samples")
+    print(f"{path}: OK ({len(typed)} families, {samples} samples)")
+
+
+def check_chrome_trace(path, required_spans):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing the traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+    seen = set()
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where}: empty name")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"{where}: unexpected phase {ev['ph']!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{where}: complete event without dur")
+        if ev["ph"] == "i" and ev.get("s") not in ("t", "p", "g"):
+            fail(f"{where}: instant without a valid scope")
+        for key in ("ts", "dur"):
+            if key in ev and not isinstance(ev[key], (int, float)):
+                fail(f"{where}: {key} is not a number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"{where}: args is not an object")
+        seen.add(ev["name"])
+    for span in required_spans:
+        if span not in seen:
+            fail(f"{path}: required span {span!r} never recorded "
+                 f"(saw: {', '.join(sorted(seen)) or 'nothing'})")
+    print(f"{path}: OK ({len(events)} events, "
+          f"{len(seen)} distinct span names)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--prometheus", help="Prometheus text file to validate")
+    ap.add_argument("--chrome-trace", help="Chrome trace JSON to validate")
+    ap.add_argument("--require-span", action="append", default=[],
+                    help="span name that must appear in the Chrome trace "
+                         "(repeatable)")
+    args = ap.parse_args()
+    if not args.prometheus and not args.chrome_trace:
+        ap.error("nothing to check: pass --prometheus and/or --chrome-trace")
+    if args.prometheus:
+        check_prometheus(args.prometheus)
+    if args.chrome_trace:
+        check_chrome_trace(args.chrome_trace, args.require_span)
+
+
+if __name__ == "__main__":
+    main()
