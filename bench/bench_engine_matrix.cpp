@@ -28,6 +28,7 @@
 #include "common/simd.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "dedisp/quantize.hpp"
 #include "dedisp/subband.hpp"
 #include "engine/registry.hpp"
 #include "ocl/device_presets.hpp"
@@ -45,6 +46,8 @@ struct EngineResult {
   dedisp::KernelConfig config;
   double seconds = 0.0;
   double gflops = 0.0;
+  double bytes = 0.0;  ///< per-run bytes moved as stamped by execute()
+  double gbps = 0.0;   ///< bytes / wall seconds
   double modeled_gflops = 0.0;
   std::string modeled_note;
 };
@@ -70,10 +73,16 @@ int main(int argc, char** argv) {
       dedisp::Plan::with_output_samples(obs, dms, out_samples);
   const double flop = plan.total_flop();
 
-  // Tunable engines run the PR-1 host-sweep optimum shape; the others
-  // ignore the tile shape and take the always-valid 1×1 point.
-  dedisp::KernelConfig tuned{50, 2, 4, 2, 32, 4};
+  // Tunable engines run their host-sweep optimum shape; the others ignore
+  // the tile shape and take the always-valid 1×1 point. The optima differ
+  // per engine — the u8 kernel packs 4× the samples per vector, which
+  // shifts the register-tile and cache-block sweet spots (more DMs per
+  // tile, a far larger channel block) — which is exactly why the engine id
+  // is a tuning-cache signature axis.
+  dedisp::KernelConfig tuned{50, 2, 4, 2, 32, 4};        // cpu_tiled (PR 1)
+  dedisp::KernelConfig tuned_u8{125, 1, 8, 8, 128, 4};   // cpu_tiled_u8
   if (!tuned.divides(plan)) tuned = dedisp::KernelConfig{1, 1, 1, 1, 32, 4};
+  if (!tuned_u8.divides(plan)) tuned_u8 = tuned;
   const dedisp::KernelConfig untuned{1, 1, 1, 1};
 
   // One shared input, wide enough for the largest declared input_padding.
@@ -110,14 +119,29 @@ int main(int argc, char** argv) {
     // config-sensitive even though its execution ignores nothing) run the
     // tuned shape; the rest take the always-valid 1×1 point.
     res.config = res.caps.tunable || id == "ocl_sim" ? tuned : untuned;
+    if (id == "cpu_tiled_u8") res.config = tuned_u8;
 
     Array2D<float> out(plan.dms(), plan.out_samples());
-    eng->execute(plan, res.config, input.cview(), out.view());  // warmup
+    const engine::EngineRun warmup =
+        eng->execute(plan, res.config, input.cview(), out.view());
+    res.bytes = warmup.bytes;  // element-size-aware analytic/counter bytes
     if (res.caps.bitwise_exact) {
       for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
         for (std::size_t t = 0; t < plan.out_samples(); ++t) {
           DDMC_REQUIRE(out(dm, t) == reference_out(dm, t),
                        "engine '" + id + "' diverged from the reference");
+        }
+      }
+    } else if (id == "cpu_tiled_u8") {
+      // Not bitwise, but the quantization error bound is documented —
+      // enforce it differentially like the exact engines.
+      const double bound =
+          dedisp::quantization_error_bound(plan, eng->options().quant);
+      for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+        for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+          DDMC_REQUIRE(std::abs(out(dm, t) - reference_out(dm, t)) <= bound,
+                       "engine '" + id +
+                           "' exceeded its quantization error bound");
         }
       }
     }
@@ -129,6 +153,7 @@ int main(int argc, char** argv) {
     }
     res.seconds = total / static_cast<double>(reps);
     res.gflops = flop / res.seconds * 1e-9;
+    res.gbps = res.bytes / res.seconds * 1e-9;
 
     if (id == "ocl_sim") {
       // The functional simulator's wall time is simulation overhead; the
@@ -161,22 +186,27 @@ int main(int argc, char** argv) {
             << ", host cpus " << host_cpus << " ==\n\n";
 
   TextTable table({"engine", "variant", "caps", "config", "ms", "GFLOP/s",
-                   "modeled GFLOP/s"});
+                   "MB moved", "GB/s", "modeled GFLOP/s"});
   for (const EngineResult& r : results) {
     std::string caps;
     caps += r.caps.supports_sharding ? 'S' : '-';
     caps += r.caps.supports_streaming ? 's' : '-';
     caps += r.caps.bitwise_exact ? 'B' : '-';
     caps += r.caps.tunable ? 'T' : '-';
+    caps += r.caps.input_element_bytes == 1 ? 'q' : '-';
     table.add_row({r.id, r.variant, caps, r.config.to_string(),
                    TextTable::num(r.seconds * 1e3, 1),
                    TextTable::num(r.gflops, 2),
+                   TextTable::num(r.bytes * 1e-6, 1),
+                   TextTable::num(r.gbps, 2),
                    TextTable::num(r.modeled_gflops, 2)});
   }
   table.print(std::cout);
-  std::cout << "\n(caps: S=sharding s=streaming B=bitwise T=tunable; "
-               "GFLOP/s credits the full\n brute-force FLOPs, so the "
-               "approximate subband engine scores its wall-time win)\n";
+  std::cout << "\n(caps: S=sharding s=streaming B=bitwise T=tunable "
+               "q=quantized-u8-input;\n GFLOP/s credits the full "
+               "brute-force FLOPs, so the approximate subband and\n "
+               "quantized engines score their wall-time win; bytes moved "
+               "follow each engine's\n declared input element size)\n";
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
@@ -190,9 +220,12 @@ int main(int argc, char** argv) {
                   .set("bitwise_exact", r.caps.bitwise_exact)
                   .set("tunable", r.caps.tunable)
                   .set("input_padding", r.caps.input_padding)
+                  .set("input_element_bytes", r.caps.input_element_bytes)
                   .set("config", r.config.to_string())
                   .set("seconds", r.seconds)
                   .set("gflops", r.gflops)
+                  .set("bytes_moved", r.bytes)
+                  .set("gbps", r.gbps)
                   .set("modeled_gflops", r.modeled_gflops)
                   .set("modeled_note", r.modeled_note));
     }

@@ -15,6 +15,7 @@
 /// tracks across PRs.
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "common/timer.hpp"
 #include "dedisp/cpu_baseline.hpp"
 #include "dedisp/cpu_kernel.hpp"
+#include "dedisp/cpu_kernel_u8.hpp"
+#include "dedisp/quantize.hpp"
 #include "dedisp/reference.hpp"
 #include "sky/observation.hpp"
 
@@ -37,12 +40,15 @@ using namespace ddmc;
 
 struct Entry {
   std::string name;
-  std::string engine;  // "reference", "baseline", "scalar", "simd"
+  std::string engine;  // "reference", "baseline", "scalar", "simd", "simd_u8"
   dedisp::KernelConfig config;
   bool tiled = false;
   bool stage_rows = true;
+  std::size_t elem_bytes = sizeof(float);  // stored input sample size
   double seconds = 0.0;
   double gflops = 0.0;
+  double bytes = 0.0;  // analytic bytes moved: elem·c·in + 4·d·out
+  double gbps = 0.0;
 };
 
 template <typename Fn>
@@ -85,10 +91,24 @@ int main(int argc, char** argv) {
   Array2D<float> output(plan.dms(), plan.out_samples());
   const double flop = plan.total_flop();
 
+  // Analytic bytes-moved floor at a given stored input sample size: the
+  // whole input plane read once plus the float output written once. The
+  // u8 kernel's input term is a quarter of the float kernels' — the
+  // number this bench exists to make visible next to GFLOP/s.
+  auto bytes_moved = [&](std::size_t elem_bytes) {
+    return static_cast<double>(elem_bytes) *
+               static_cast<double>(plan.channels()) *
+               static_cast<double>(plan.in_samples()) +
+           4.0 * static_cast<double>(plan.dms()) *
+               static_cast<double>(plan.out_samples());
+  };
+
   std::vector<Entry> entries;
   auto record = [&](Entry e, double seconds) {
     e.seconds = seconds;
     e.gflops = flop / seconds * 1e-9;
+    e.bytes = bytes_moved(e.elem_bytes);
+    e.gbps = e.bytes / seconds * 1e-9;
     entries.push_back(std::move(e));
   };
 
@@ -160,6 +180,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The quantized u8 kernel over the same shapes: same tiling, a quarter
+  // of the input bytes streamed (samples stay one byte until the register
+  // tile widens them).
+  {
+    const dedisp::QuantizationParams quant;
+    const Array2D<std::uint8_t> qplane =
+        dedisp::quantize_plane(plan, input.cview(), quant);
+    dedisp::CpuKernelOptions opt;
+    opt.threads = threads;
+    for (const auto& cfg : shapes) {
+      if (!cfg.divides(plan)) continue;
+      Entry e;
+      e.name = "tiled_u8 " + cfg.to_string();
+      e.engine = "simd_u8";
+      e.config = cfg;
+      e.tiled = true;
+      e.elem_bytes = sizeof(std::uint8_t);
+      record(std::move(e), time_mean_seconds([&] {
+               dedisp::dedisperse_cpu_u8(plan, cfg, qplane.cview(), quant,
+                                         output.view(), opt);
+             }, reps));
+    }
+  }
+
   // Tuned = best SIMD entry of the grid above; seed = the scalar engine on
   // the seed's default thin-tile shape.
   const Entry* seed_scalar = nullptr;
@@ -184,10 +228,12 @@ int main(int argc, char** argv) {
             << " DMs x " << out_samples << " samples, "
             << plan.channels() << " channels, simd backend "
             << simd::backend_name() << " ==\n\n";
-  TextTable table({"kernel", "GFLOP/s", "ms"});
+  TextTable table({"kernel", "GFLOP/s", "ms", "MB moved", "GB/s"});
   for (const Entry& e : entries) {
     table.add_row({e.name, TextTable::num(e.gflops, 2),
-                   TextTable::num(e.seconds * 1e3, 1)});
+                   TextTable::num(e.seconds * 1e3, 1),
+                   TextTable::num(e.bytes * 1e-6, 1),
+                   TextTable::num(e.gbps, 2)});
   }
   table.print(std::cout);
   std::cout << "\nseed scalar (tiled " << seed_scalar->config.to_string()
@@ -217,7 +263,11 @@ int main(int argc, char** argv) {
             .set("unroll", e.config.unroll)
             .set("stage_rows", e.stage_rows);
       }
-      o.set("seconds", e.seconds).set("gflops", e.gflops);
+      o.set("seconds", e.seconds)
+          .set("gflops", e.gflops)
+          .set("input_element_bytes", e.elem_bytes)
+          .set("bytes_moved", e.bytes)
+          .set("gbps", e.gbps);
       arr.add(o);
     }
     bench::JsonObject root;

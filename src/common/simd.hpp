@@ -21,8 +21,16 @@
 /// tiled kernel and the subband engine; fma is provided for downstream
 /// consumers (detection, intensity weighting) and is NOT used on the
 /// bitwise-equality-critical accumulate path.
+///
+/// A widening u8 layer (`vload_u8`, `accumulate_span_u8`) serves the
+/// quantized-input engine: samples stay one byte each in memory — a quarter
+/// of the float input traffic, which is the whole game for a
+/// bandwidth-bound kernel — and are unpacked to float lanes only inside
+/// the register tile.
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 #if !defined(DDMC_FORCE_SCALAR)
 #if defined(__AVX__)
@@ -63,6 +71,16 @@ inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
   return {_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
 #endif
 }
+inline vfloat vload_u8(const std::uint8_t* p) {
+  // Exactly kFloatLanes bytes; widen u8 → u16 → u32 → f32 with 128-bit
+  // integer ops (plain AVX has no 256-bit integer unpacks — that is AVX2).
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i w = _mm_unpacklo_epi8(b, zero);
+  const __m128 lo = _mm_cvtepi32_ps(_mm_unpacklo_epi16(w, zero));
+  const __m128 hi = _mm_cvtepi32_ps(_mm_unpackhi_epi16(w, zero));
+  return {_mm256_insertf128_ps(_mm256_castps128_ps256(lo), hi, 1)};
+}
 
 #elif defined(DDMC_SIMD_SSE2)
 
@@ -82,6 +100,16 @@ inline vfloat vadd(vfloat a, vfloat b) { return {_mm_add_ps(a.v, b.v)}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {_mm_mul_ps(a.v, b.v)}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
   return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
+}
+inline vfloat vload_u8(const std::uint8_t* p) {
+  // memcpy exactly kFloatLanes bytes so the widening load never reads past
+  // the span a float vload of the same index would.
+  std::uint32_t raw;
+  std::memcpy(&raw, p, sizeof(raw));
+  const __m128i b = _mm_cvtsi32_si128(static_cast<int>(raw));
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i w = _mm_unpacklo_epi8(b, zero);
+  return {_mm_cvtepi32_ps(_mm_unpacklo_epi16(w, zero))};
 }
 
 #elif defined(DDMC_SIMD_NEON)
@@ -103,6 +131,15 @@ inline vfloat vmul(vfloat a, vfloat b) { return {vmulq_f32(a.v, b.v)}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
   return {vfmaq_f32(c.v, a.v, b.v)};
 }
+inline vfloat vload_u8(const std::uint8_t* p) {
+  // memcpy exactly kFloatLanes bytes so the widening load never reads past
+  // the span a float vload of the same index would.
+  std::uint32_t raw;
+  std::memcpy(&raw, p, sizeof(raw));
+  const uint8x8_t b = vreinterpret_u8_u32(vdup_n_u32(raw));
+  const uint16x4_t w = vget_low_u16(vmovl_u8(b));
+  return {vcvtq_f32_u32(vmovl_u16(w))};
+}
 
 #else  // scalar fallback
 
@@ -121,6 +158,9 @@ inline void vstore_aligned(float* p, vfloat a) { *p = a.v; }
 inline vfloat vadd(vfloat a, vfloat b) { return {a.v + b.v}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {a.v * b.v}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) { return {a.v * b.v + c.v}; }
+inline vfloat vload_u8(const std::uint8_t* p) {
+  return {static_cast<float>(*p)};
+}
 
 #endif
 
@@ -143,8 +183,18 @@ inline void accumulate_span_unrolled(float* a, const float* s, std::size_t n) {
   for (; t < n; ++t) a[t] += s[t];
 }
 
+/// The unroll hints with a compiled instantiation behind them. Anything
+/// else would silently measure the un-unrolled loop under the wrong label,
+/// so KernelConfig::validate rejects unsupported hints before they reach a
+/// kernel or a tuning measurement.
+inline constexpr bool is_supported_unroll(std::size_t unroll) {
+  return unroll == 1 || unroll == 2 || unroll == 4 || unroll == 8;
+}
+
 /// a[t] += s[t] with a runtime unroll hint (the kernel's `unroll` knob).
-/// Hints outside {1, 2, 4, 8} fall back to the un-unrolled loop.
+/// Hints outside is_supported_unroll run the un-unrolled loop; validated
+/// configs never carry one (KernelConfig::validate rejects them), so the
+/// fallback only serves direct low-level callers.
 inline void accumulate_span(float* a, const float* s, std::size_t n,
                             std::size_t unroll = 1) {
   switch (unroll) {
@@ -159,6 +209,49 @@ inline void accumulate_span(float* a, const float* s, std::size_t n,
       break;
     default:
       accumulate_span_unrolled<1>(a, s, n);
+      break;
+  }
+}
+
+/// a[t] += widen(s[t]) for quantized 8-bit samples: the sample plane stays
+/// one byte per element in memory and is widened to float lanes only inside
+/// the register file. Accumulating raw u8 codes in float lanes is *exact*
+/// as long as the running sum stays below 2^24 (255 · channels ≤ 2^24 for
+/// any survey-sized channel count), so — like the float span — every
+/// instantiation produces bitwise-identical results.
+template <std::size_t Unroll>
+inline void accumulate_span_u8_unrolled(float* a, const std::uint8_t* s,
+                                        std::size_t n) {
+  constexpr std::size_t step = Unroll * kFloatLanes;
+  std::size_t t = 0;
+  for (; t + step <= n; t += step) {
+    for (std::size_t u = 0; u < Unroll; ++u) {
+      const std::size_t off = t + u * kFloatLanes;
+      vstore(a + off, vadd(vload(a + off), vload_u8(s + off)));
+    }
+  }
+  for (; t + kFloatLanes <= n; t += kFloatLanes) {
+    vstore(a + t, vadd(vload(a + t), vload_u8(s + t)));
+  }
+  for (; t < n; ++t) a[t] += static_cast<float>(s[t]);
+}
+
+/// Runtime-unroll dispatch of the u8 widening accumulate, mirror of
+/// accumulate_span above.
+inline void accumulate_span_u8(float* a, const std::uint8_t* s, std::size_t n,
+                               std::size_t unroll = 1) {
+  switch (unroll) {
+    case 8:
+      accumulate_span_u8_unrolled<8>(a, s, n);
+      break;
+    case 4:
+      accumulate_span_u8_unrolled<4>(a, s, n);
+      break;
+    case 2:
+      accumulate_span_u8_unrolled<2>(a, s, n);
+      break;
+    default:
+      accumulate_span_u8_unrolled<1>(a, s, n);
       break;
   }
 }

@@ -1,0 +1,46 @@
+#pragma once
+/// \file cpu_kernel_u8.hpp
+/// \brief The tiled host kernel on quantized 8-bit samples.
+///
+/// Structurally the twin of cpu_kernel.hpp — the same tile_dm × tile_time
+/// work-groups, channel blocking, staged rows and register-blocked
+/// accumulate — but the sample plane is one byte per element from DRAM all
+/// the way into the register tile, where simd::vload_u8 widens it to float
+/// lanes. Dedispersion is memory-bandwidth-bound (the paper's central
+/// premise), so streaming a quarter of the input bytes is worth more than
+/// any ALU trick.
+///
+/// The kernel accumulates *raw u8 codes* in float lanes — exact as long as
+/// the running sum stays below 2^24, i.e. for any channel count up to
+/// 65 793 — and applies the affine dequantization once per output element
+/// at writeback: out = C·lo + scale·Σq. Per output element the channels
+/// are summed in channel order and the sum is an exact integer, so every
+/// tile shape, channel block, unroll, SIMD backend and thread count
+/// produces bitwise-identical output. Only the quantization itself is
+/// approximate (see quantize.hpp for the bound).
+
+#include <cstdint>
+
+#include "common/array2d.hpp"
+#include "dedisp/cpu_kernel.hpp"
+#include "dedisp/kernel_config.hpp"
+#include "dedisp/plan.hpp"
+#include "dedisp/quantize.hpp"
+
+namespace ddmc::dedisp {
+
+/// Execute the tiled kernel on a quantized byte plane (channels ×
+/// ≥in_samples codes under \p params). \p config must validate against
+/// \p plan; options are the same host-execution knobs as the float kernel.
+void dedisperse_cpu_u8(const Plan& plan, const KernelConfig& config,
+                       ConstView2D<std::uint8_t> in,
+                       const QuantizationParams& params, View2D<float> out,
+                       const CpuKernelOptions& options = {});
+
+/// Convenience allocating the output matrix.
+Array2D<float> dedisperse_cpu_u8(const Plan& plan, const KernelConfig& config,
+                                 ConstView2D<std::uint8_t> in,
+                                 const QuantizationParams& params,
+                                 const CpuKernelOptions& options = {});
+
+}  // namespace ddmc::dedisp

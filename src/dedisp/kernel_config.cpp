@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "common/simd.hpp"
 
 namespace ddmc::dedisp {
 
@@ -21,8 +22,14 @@ void KernelConfig::validate(const Plan& plan) const {
                        " does not divide trial count " +
                        std::to_string(plan.dms()));
   }
-  if (unroll == 0) {
-    throw config_error("unroll must be positive: " + to_string());
+  if (!simd::is_supported_unroll(unroll)) {
+    // The accumulate kernels compile exactly the {1,2,4,8} instantiations;
+    // any other hint would silently run the un-unrolled loop while timings
+    // and the tuning cache credit the requested unroll. Fail fast instead.
+    throw config_error(
+        "unroll must be one of {1, 2, 4, 8} (the compiled accumulate "
+        "instantiations): " +
+        to_string());
   }
 }
 

@@ -1,0 +1,51 @@
+#include "dedisp/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace ddmc::dedisp {
+
+void quantize_plane(ConstView2D<float> in, const QuantizationParams& params,
+                    View2D<std::uint8_t> out) {
+  DDMC_REQUIRE(params.hi > params.lo,
+               "quantization window must be non-empty (hi > lo)");
+  DDMC_REQUIRE(in.rows() >= out.rows() && in.cols() >= out.cols(),
+               "quantize_plane: float input smaller than the byte plane");
+  for (std::size_t ch = 0; ch < out.rows(); ++ch) {
+    const float* src = &in(ch, 0);
+    std::uint8_t* dst = &out(ch, 0);
+    // Tight call to the inline branch-free quantizer: the compiler turns
+    // this into vectorized convert+pack, which matters because this pass
+    // runs once per engine execute over the whole sample plane.
+    for (std::size_t t = 0; t < out.cols(); ++t) {
+      dst[t] = params.quantize(src[t]);
+    }
+  }
+}
+
+Array2D<std::uint8_t> quantize_plane(const dedisp::Plan& plan,
+                                     ConstView2D<float> in,
+                                     const QuantizationParams& params) {
+  Array2D<std::uint8_t> out(plan.channels(), plan.in_samples());
+  quantize_plane(in, params, out.view());
+  return out;
+}
+
+double quantization_error_bound(const Plan& plan,
+                                const QuantizationParams& params) {
+  const double c = static_cast<double>(plan.channels());
+  const double quant = 0.5 * static_cast<double>(params.scale()) * c;
+  // Float-accumulation rounding slack, covering both the u8 engine's sum
+  // and the reference's: each side performs ~c additions of values bounded
+  // by max(|lo|, |hi|), each contributing at most one ulp of the running
+  // sum (≤ c·bound magnitude).
+  const double mag =
+      std::max(std::abs(static_cast<double>(params.lo)),
+               std::abs(static_cast<double>(params.hi)));
+  const double rounding = 2.0 * c * c * mag * 1.2e-7;
+  return quant + rounding;
+}
+
+}  // namespace ddmc::dedisp

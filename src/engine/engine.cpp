@@ -23,18 +23,22 @@ double run_flop(const dedisp::Plan& plan,
          static_cast<double>(plan.out_samples());
 }
 
-/// Bytes moved to/from global memory: exact for counter-reporting engines,
-/// the analytic input-read + output-write floor otherwise.
+/// Bytes moved to/from global memory: exact for counter-reporting engines
+/// (the simulator counts float elements), the analytic input-read +
+/// output-write floor otherwise — input at the engine's declared element
+/// size, output always float32.
 double run_bytes(const dedisp::Plan& plan,
-                 const std::optional<ocl::MemCounters>& counters) {
+                 const std::optional<ocl::MemCounters>& counters,
+                 std::size_t input_element_bytes) {
   if (counters.has_value()) {
     return 4.0 * static_cast<double>(counters->global_loads +
                                      counters->global_stores);
   }
-  return 4.0 * (static_cast<double>(plan.channels()) *
-                    static_cast<double>(plan.in_samples()) +
-                static_cast<double>(plan.dms()) *
-                    static_cast<double>(plan.out_samples()));
+  return static_cast<double>(input_element_bytes) *
+             static_cast<double>(plan.channels()) *
+             static_cast<double>(plan.in_samples()) +
+         4.0 * static_cast<double>(plan.dms()) *
+             static_cast<double>(plan.out_samples());
 }
 
 }  // namespace
@@ -42,8 +46,11 @@ double run_bytes(const dedisp::Plan& plan,
 void SessionTraffic::add(const EngineRun& run, const dedisp::Plan& plan) {
   ++runs;
   engine_seconds += run.seconds;
-  flop += run_flop(plan, run.counters);
-  bytes += run_bytes(plan, run.counters);
+  // Prefer the per-run stamped numbers (element-size aware); fall back to
+  // the float-element analytic model for hand-built EngineRuns.
+  flop += run.flop > 0.0 ? run.flop : run_flop(plan, run.counters);
+  bytes += run.bytes > 0.0 ? run.bytes
+                           : run_bytes(plan, run.counters, sizeof(float));
   if (run.counters.has_value()) {
     ++counter_runs;
     counters += *run.counters;
@@ -67,13 +74,16 @@ EngineRun DedispEngine::execute(const dedisp::Plan& plan,
   Stopwatch watch;
   EngineRun run = execute_impl(plan, config, in, out);
   run.seconds = watch.seconds();
+  run.flop = run_flop(plan, run.counters);
+  run.bytes =
+      run_bytes(plan, run.counters, capabilities().input_element_bytes);
 
   auto& registry = telemetry::MetricsRegistry::instance();
   const telemetry::Labels labels = {{"engine", id()}};
   registry.counter("ddmc.engine.executions_total", labels)->increment();
   registry.counter("ddmc.engine.seconds_total", labels)->add(run.seconds);
-  const double flop = run_flop(plan, run.counters);
-  const double bytes = run_bytes(plan, run.counters);
+  const double flop = run.flop;
+  const double bytes = run.bytes;
   registry.counter("ddmc.engine.flop_total", labels)->add(flop);
   registry.counter("ddmc.engine.bytes_total", labels)->add(bytes);
   const double gflops =

@@ -38,6 +38,7 @@
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "dedisp/quantize.hpp"
 #include "dedisp/subband.hpp"
 #include "ocl/device.hpp"
 #include "ocl/sim_engine.hpp"
@@ -70,6 +71,12 @@ struct EngineCapabilities {
   /// can supply real samples for the padding should (the streaming chunker
   /// widens its overlap by this); the engine zero-pads otherwise.
   std::size_t input_padding = 0;
+  /// Bytes per input sample the engine's kernel actually streams from
+  /// memory: 4 for the float engines, 1 for cpu_tiled_u8. Traffic
+  /// accounting (EngineRun::bytes, SessionTraffic, the benches) derives
+  /// per-engine bytes-moved from this instead of assuming sizeof(float) —
+  /// the number that makes the quantized engine's bandwidth win honest.
+  std::size_t input_element_bytes = sizeof(float);
 
   friend bool operator==(const EngineCapabilities&,
                          const EngineCapabilities&) = default;
@@ -88,6 +95,11 @@ struct EngineOptions {
   dedisp::SubbandConfig subband;
   /// Device model of the ocl_sim engine (default: the AMD HD7970 preset).
   std::optional<ocl::DeviceModel> device;
+  /// Fixed quantization window of the cpu_tiled_u8 engine. Construction
+  /// time only (like a telescope gain setting), never data-dependent —
+  /// that is what keeps the u8 engine's streaming and sharded runs bitwise
+  /// identical to its batch run.
+  dedisp::QuantizationParams quant;
 };
 
 /// Per-execution artifacts beyond the output matrix.
@@ -98,6 +110,12 @@ struct EngineRun {
   /// execute() wrapper — every path gets it for free, which is what lets
   /// the sharded and streaming consumers aggregate per-session traffic.
   double seconds = 0.0;
+  /// FLOP and global-memory bytes of this execution, stamped by execute():
+  /// the simulator's exact counters where available, the analytic model
+  /// otherwise — with input bytes scaled by the engine's declared
+  /// input_element_bytes, so a quantized engine reports its real traffic.
+  double flop = 0.0;
+  double bytes = 0.0;
 };
 
 /// Per-session aggregate of EngineRun artifacts. Every consumer that owns
@@ -113,7 +131,8 @@ struct SessionTraffic {
   ocl::MemCounters counters;
   /// FLOP and global-memory bytes: exact where a run reported counters,
   /// the plan's analytic floor otherwise (2 FLOP per channel·trial·sample;
-  /// input-read + output-write floats).
+  /// input reads at the engine's declared element size + output-write
+  /// floats), as stamped into each EngineRun by execute().
   double flop = 0.0;
   double bytes = 0.0;
 

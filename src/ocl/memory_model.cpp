@@ -22,13 +22,15 @@ double line_quantized_bytes(double bytes, std::size_t line) {
 TrafficEstimate estimate_traffic(const DeviceModel& device,
                                  const dedisp::Plan& plan,
                                  const dedisp::KernelConfig& config,
-                                 const sky::SpreadStats& spreads) {
+                                 const sky::SpreadStats& spreads,
+                                 std::size_t input_element_bytes) {
   config.validate(plan);
   TrafficEstimate t;
 
   const double d = static_cast<double>(plan.dms());
   const double s = static_cast<double>(plan.out_samples());
   const double c = static_cast<double>(plan.channels());
+  const double elem = static_cast<double>(input_element_bytes);
   const double tile_time = static_cast<double>(config.tile_time());
   const double tiles_time = static_cast<double>(config.groups_time(plan));
   const std::size_t line = device.cache_line_bytes;
@@ -44,7 +46,7 @@ TrafficEstimate estimate_traffic(const DeviceModel& device,
     t.capture = ReuseCapture::kLocalMemory;
     t.staging_bytes_per_group =
         (config.tile_time() + static_cast<std::size_t>(spreads.max_spread)) *
-        sizeof(float);
+        input_element_bytes;
   } else if (config.tile_dm() > 1) {
     // Direct variant: reuse only materializes if a tile's working set stays
     // resident in the CU's cache while its trials stream through it. We
@@ -53,7 +55,7 @@ TrafficEstimate estimate_traffic(const DeviceModel& device,
         spreads.rows == 0 ? 0.0
                           : spreads.total_spread /
                                 static_cast<double>(spreads.rows);
-    const double span_bytes = (tile_time + avg_spread) * sizeof(float);
+    const double span_bytes = (tile_time + avg_spread) * elem;
     t.capture = (2.0 * span_bytes <=
                  static_cast<double>(device.cache_per_cu_bytes))
                     ? ReuseCapture::kCache
@@ -65,10 +67,10 @@ TrafficEstimate estimate_traffic(const DeviceModel& device,
   // Streaming traffic: every (trial, time-tile, channel) fetches its own
   // row of tile_time contiguous floats, unaligned ⇒ line-quantized per row.
   const double streaming_bytes =
-      d * tiles_time * c * line_quantized_bytes(4.0 * tile_time, line);
+      d * tiles_time * c * line_quantized_bytes(elem * tile_time, line);
   // Captured traffic: each (channel, DM-tile, time-tile) row fetched once.
   const double captured_bytes =
-      4.0 * t.unique_input_floats +
+      elem * t.unique_input_floats +
       tiles_time * static_cast<double>(spreads.rows) *
           (static_cast<double>(line) - 1.0);
 
@@ -90,8 +92,8 @@ TrafficEstimate estimate_traffic(const DeviceModel& device,
 
   if (t.capture == ReuseCapture::kLocalMemory) {
     // Staged traffic through local memory: one store per staged element and
-    // one load per accumulate.
-    t.lds_bytes = 4.0 * (t.unique_input_floats + plan.total_flop());
+    // one load per accumulate, both at the stored element size.
+    t.lds_bytes = elem * (t.unique_input_floats + plan.total_flop());
   }
 
   // Output stores: a SIMD bundle writes wi_time consecutive samples per DM
@@ -107,7 +109,7 @@ TrafficEstimate estimate_traffic(const DeviceModel& device,
   t.delay_bytes = 4.0 * d * c;
 
   t.total_bytes = t.input_bytes + t.output_bytes + t.delay_bytes;
-  t.reuse_factor = 4.0 * naive_reads / t.input_bytes;
+  t.reuse_factor = elem * naive_reads / t.input_bytes;
   DDMC_ENSURE(t.reuse_factor > 0.0, "reuse factor must be positive");
   return t;
 }

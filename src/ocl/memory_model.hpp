@@ -45,11 +45,17 @@ struct TrafficEstimate {
 };
 
 /// Estimate DRAM and local-memory traffic. \p spreads must come from
-/// plan.delays().tile_spreads(config.tile_dm()).
+/// plan.delays().tile_spreads(config.tile_dm()). \p input_element_bytes is
+/// the stored size of one input sample (4 for float32 pipelines, 1 for the
+/// quantized u8 path — EngineCapabilities::input_element_bytes); every
+/// input-side term scales with it, while output stores and the Δ table
+/// stay float32.
 TrafficEstimate estimate_traffic(const DeviceModel& device,
                                  const dedisp::Plan& plan,
                                  const dedisp::KernelConfig& config,
-                                 const sky::SpreadStats& spreads);
+                                 const sky::SpreadStats& spreads,
+                                 std::size_t input_element_bytes =
+                                     sizeof(float));
 
 /// Expected cache lines touched by a contiguous read of \p bytes at a
 /// uniformly random offset, times the line size: bytes + line − 1.

@@ -53,17 +53,35 @@ std::string select_degrade_engine(const std::string& current_engine,
                      "capability");
     return policy.degrade_engine;
   }
-  // Capability query, not an id test: any registered engine that streams
-  // and is *approximate* (bitwise_exact == false) bought that property with
-  // a cheaper algorithm — today that is the subband two-stage engine. An
-  // exact engine is never "cheaper" in the sense the ladder needs: it does
-  // the same additions the failing engine already could not afford.
+  // Capability query, not an id test — with a cost ordering. An engine
+  // gave up bitwise exactness one of two ways, and they are not equally
+  // cheap: an *algorithmic* approximation (subband's two-stage split,
+  // input_element_bytes still 4) removes additions outright, while a
+  // *quantized* engine (input_element_bytes < 4) does every addition the
+  // failing engine could not afford and saves only memory traffic. The
+  // ladder exists to keep a drowning session alive, so it takes the
+  // cheapest tier on offer: exact (tier 2) → quantized (tier 1) →
+  // algorithmic (tier 0), never sideways or up.
+  const auto cost_tier = [](const engine::EngineCapabilities& caps) {
+    if (caps.bitwise_exact) return 2;
+    return caps.input_element_bytes < sizeof(float) ? 1 : 0;
+  };
+  const int current_tier =
+      registry.contains(current_engine)
+          ? cost_tier(engine::make_engine(current_engine)->capabilities())
+          : 2;
+  std::string best;
+  int best_tier = current_tier;
   for (const std::string& id : registry.ids()) {
     if (id == current_engine) continue;
     if (!streaming_capable(id)) continue;
-    if (!engine::make_engine(id)->capabilities().bitwise_exact) return id;
+    const int tier = cost_tier(engine::make_engine(id)->capabilities());
+    if (tier < best_tier) {
+      best = id;
+      best_tier = tier;
+    }
   }
-  return {};
+  return best;
 }
 
 }  // namespace ddmc::resilience

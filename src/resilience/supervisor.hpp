@@ -193,11 +193,13 @@ struct StreamHealth {
 
 /// Pick the degradation target for a session running \p current_engine:
 /// \p policy.degrade_engine when set (validated for supports_streaming),
-/// else the cheapest streaming-capable engine the registry offers — the
-/// subband engine when registered (its two-stage approximation trades
-/// bounded smearing for a large flop reduction, the canonical "keep the
-/// survey alive" fallback). Returns an empty string when nothing cheaper
-/// and capable exists.
+/// else the cheapest streaming-capable engine the registry offers, by
+/// cost tier: exact → quantized (input_element_bytes < 4, traffic
+/// savings only) → algorithmically approximate — the subband engine when
+/// registered (its two-stage approximation trades bounded smearing for a
+/// large flop reduction, the canonical "keep the survey alive"
+/// fallback). Returns an empty string when nothing in a strictly cheaper
+/// tier exists.
 std::string select_degrade_engine(const std::string& current_engine,
                                   const StreamPolicy& policy);
 

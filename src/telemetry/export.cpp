@@ -17,6 +17,24 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus text-exposition label-value escaping. The format defines
+/// exactly three escapes — backslash, double quote and newline — so this
+/// is NOT json::escape: JSON would emit \uXXXX and \t sequences a
+/// Prometheus scraper has no rule for and would ingest literally.
+std::string prometheus_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
 /// `{k="v",…}` with an optional extra label (the summary quantile).
 std::string prometheus_labels(const Labels& labels, const std::string& extra_key = {},
                               const std::string& extra_value = {}) {
@@ -26,7 +44,7 @@ std::string prometheus_labels(const Labels& labels, const std::string& extra_key
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + json::escape(v) + "\"";
+    out += k + "=\"" + prometheus_label_value(v) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";

@@ -98,6 +98,23 @@ TEST(KernelConfig, ValidateRejectsNonDividingTiles) {
   EXPECT_NO_THROW((KernelConfig{8, 2, 8, 4}).validate(plan));
 }
 
+TEST(KernelConfig, ValidateRejectsUnsupportedUnrollHints) {
+  // Regression: unroll hints without a compiled accumulate instantiation
+  // used to fall back silently to the plain loop — a mislabeled timing in
+  // any sweep that measured them. They must fail validation instead.
+  const Plan plan = mini_plan(8, 64);
+  for (const std::size_t unroll : {1ul, 2ul, 4ul, 8ul}) {
+    KernelConfig cfg{8, 2, 4, 2};
+    cfg.unroll = unroll;
+    EXPECT_NO_THROW(cfg.validate(plan)) << unroll;
+  }
+  for (const std::size_t unroll : {0ul, 3ul, 5ul, 6ul, 7ul, 9ul, 16ul}) {
+    KernelConfig cfg{8, 2, 4, 2};
+    cfg.unroll = unroll;
+    EXPECT_THROW(cfg.validate(plan), config_error) << unroll;
+  }
+}
+
 TEST(KernelConfig, ToStringAndEquality) {
   const KernelConfig a{1, 2, 3, 4};
   EXPECT_EQ(a.to_string(), "{wi_time=1, wi_dm=2, elem_time=3, elem_dm=4}");
@@ -319,7 +336,7 @@ TEST(CpuKernel, RandomizedExtendedConfigsMatchReference) {
     const auto [wd, ed] = split(dms);
     KernelConfig cfg{wt, wd, et, ed};
     cfg.channel_block = pick({0, 1, 2, 3, 5, channels, 64});
-    cfg.unroll = pick({1, 2, 3, 4, 8});
+    cfg.unroll = pick({1, 2, 4, 8});  // the validated set
 
     CpuKernelOptions opt;
     opt.stage_rows = (gen() % 2) == 0;

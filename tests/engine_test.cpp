@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "common/simd.hpp"
+#include "dedisp/quantize.hpp"
 #include "dedisp/subband.hpp"
 #include "engine/registry.hpp"
 #include "pipeline/dedisperser.hpp"
@@ -34,8 +36,24 @@ using dedisp::Plan;
 using testing::expect_same_matrix;
 using testing::mini_obs;
 
-const char* const kBuiltins[] = {"cpu_baseline", "cpu_tiled", "ocl_sim",
-                                 "reference", "subband"};
+const char* const kBuiltins[] = {"cpu_baseline", "cpu_tiled",
+                                 "cpu_tiled_u8", "ocl_sim", "reference",
+                                 "subband"};
+
+/// Per-engine tolerance of the differential harness: 0 means "bitwise".
+/// Engines with bitwise_exact = false document an error bound instead —
+/// the quantization bound for cpu_tiled_u8, the [-1, 1]-input smearing
+/// bound for subband — and the harness enforces that bound.
+double equivalence_bound(const DedispEngine& engine,
+                         const dedisp::Plan& plan) {
+  if (engine.capabilities().bitwise_exact) return 0.0;
+  if (engine.id() == "cpu_tiled_u8") {
+    return dedisp::quantization_error_bound(plan, engine.options().quant);
+  }
+  // subband on inputs in [-1, 1]: a shifted channel read changes that
+  // channel's contribution by at most 2.
+  return 2.0 * static_cast<double>(plan.channels());
+}
 
 /// Input with \p slack columns beyond the plan's minimum, so engines with
 /// input_padding read real samples instead of zero padding.
@@ -169,6 +187,18 @@ TEST(EngineCapabilities, MatrixMatchesTheContract) {
   EXPECT_TRUE(tiled.bitwise_exact);
   EXPECT_TRUE(tiled.tunable);
   EXPECT_EQ(tiled.input_padding, 0u);
+  EXPECT_EQ(tiled.input_element_bytes, sizeof(float));
+
+  // Full capability coverage minus bitwise exactness: the quantized engine
+  // shards, streams and tunes like cpu_tiled, declares 1-byte samples and
+  // a documented error bound instead of bitwise equality.
+  const EngineCapabilities u8 = caps("cpu_tiled_u8");
+  EXPECT_TRUE(u8.supports_sharding);
+  EXPECT_TRUE(u8.supports_streaming);
+  EXPECT_FALSE(u8.bitwise_exact);
+  EXPECT_TRUE(u8.tunable);
+  EXPECT_EQ(u8.input_padding, 0u);
+  EXPECT_EQ(u8.input_element_bytes, 1u);
 
   const EngineCapabilities baseline = caps("cpu_baseline");
   EXPECT_TRUE(baseline.supports_sharding);
@@ -194,6 +224,7 @@ TEST(EngineCapabilities, MatrixMatchesTheContract) {
   EXPECT_FALSE(sim.supports_streaming);
   EXPECT_TRUE(sim.bitwise_exact);
   EXPECT_FALSE(sim.tunable);
+  EXPECT_EQ(sim.input_element_bytes, sizeof(float));
 }
 
 TEST(EngineCapabilities, VariantsAreSignatureSafe) {
@@ -278,6 +309,59 @@ TEST(EngineEquivalence, SubbandStaysWithinItsSmearingBoundOnARamp) {
   }
 }
 
+TEST(EngineEquivalence, U8StaysWithinItsQuantizationBound) {
+  // quantize → dedisperse lands within the documented error bound of the
+  // float reference: C channels × half a quantization step (+ accumulation
+  // rounding slack), for both the default window and a custom one — and
+  // across tiled configs, which must not change the quantized result.
+  const Plan plan = testing::mini_plan(8, 64);
+  const Array2D<float> in = padded_input(plan, 0);
+  const Array2D<float> expected = run_engine(
+      *make_engine("reference"), plan, KernelConfig{1, 1, 1, 1}, in.cview());
+
+  for (const float window : {8.0f, 1.0f}) {
+    EngineOptions options;
+    options.quant = dedisp::QuantizationParams{-window, window};
+    const auto engine = make_engine("cpu_tiled_u8", options);
+    const double bound =
+        dedisp::quantization_error_bound(plan, options.quant);
+    SCOPED_TRACE("window=" + std::to_string(window));
+    const Array2D<float> first = run_engine(
+        *engine, plan, KernelConfig{1, 1, 1, 1}, in.cview());
+    for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+      for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+        ASSERT_LE(std::abs(first(dm, t) - expected(dm, t)), bound)
+            << "dm=" << dm << " t=" << t;
+      }
+    }
+    // The quantized engine is deterministic across its own tile shapes:
+    // the codes sum exactly, so every config is bitwise equal to the 1×1
+    // run (only vs the float reference is it approximate).
+    for (const KernelConfig& cfg :
+         {KernelConfig{8, 2, 4, 2}, KernelConfig{16, 1, 2, 4, 4, 2}}) {
+      SCOPED_TRACE(cfg.to_string());
+      expect_same_matrix(first, run_engine(*engine, plan, cfg, in.cview()));
+    }
+  }
+}
+
+TEST(EngineEquivalence, U8ClampsSamplesOutsideTheQuantizationWindow) {
+  // Values beyond [lo, hi] saturate like an ADC instead of wrapping: a
+  // narrow window on a bright input still yields outputs within the bound
+  // of the *clamped* reference signal.
+  const dedisp::QuantizationParams quant{-1.0f, 1.0f};
+  EXPECT_EQ(quant.quantize(50.0f), 255u);
+  EXPECT_EQ(quant.quantize(-50.0f), 0u);
+  EXPECT_EQ(quant.quantize(quant.lo), 0u);
+  EXPECT_EQ(quant.quantize(quant.hi), 255u);
+  // Round-trip of in-window values stays within half a step.
+  for (const float x : {-1.0f, -0.73f, 0.0f, 0.2f, 0.999f}) {
+    EXPECT_LE(std::abs(quant.dequantize(quant.quantize(x)) - x),
+              0.5f * quant.scale() + 1e-6f)
+        << x;
+  }
+}
+
 TEST(EngineEquivalence, SubbandZeroPadsInputsWithoutPaddingColumns) {
   // An input with exactly in_samples columns is staged into a zero-padded
   // copy: the result must equal running the engine on an input that
@@ -329,12 +413,10 @@ TEST(EngineEquivalenceSlowTier, RandomizedPlansAndConfigs) {
       SCOPED_TRACE(id);
       const Array2D<float> got = run_engine(
           *engine, plan, KernelConfig{1, 1, 1, 1}, in.cview());
-      if (engine->capabilities().bitwise_exact) {
+      const double bound = equivalence_bound(*engine, plan);
+      if (bound == 0.0) {
         expect_same_matrix(expected, got);
       } else {
-        // Tolerance-bounded: random inputs are in [-1, 1], so a shifted
-        // read changes a channel contribution by at most 2.
-        const double bound = 2.0 * static_cast<double>(plan.channels());
         for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
           for (std::size_t t = 0; t < plan.out_samples(); ++t) {
             ASSERT_LE(std::abs(got(dm, t) - expected(dm, t)), bound)
@@ -565,6 +647,104 @@ TEST(EngineTuning, EngineIdPersistsInTheCacheFile) {
     EXPECT_EQ(entry.host.encode().find(entry.host.engine_id + "|"), 0u);
   }
   EXPECT_EQ(stored, (std::set<std::string>{"cpu_tiled", "subband"}));
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- traffic --
+
+TEST(EngineTraffic, ReportedBytesFollowTheDeclaredElementSize) {
+  // Same plan, same work — but the quantized engine streams 1-byte input
+  // samples, and every traffic consumer must see that, not sizeof(float).
+  const Plan plan = testing::mini_plan(8, 64);
+  const Array2D<float> in = padded_input(plan, 0);
+  Array2D<float> out(plan.dms(), plan.out_samples());
+  const KernelConfig cfg{1, 1, 1, 1};
+
+  const EngineRun f32 =
+      make_engine("cpu_tiled")->execute(plan, cfg, in.cview(), out.view());
+  const EngineRun u8 =
+      make_engine("cpu_tiled_u8")->execute(plan, cfg, in.cview(), out.view());
+
+  const double c = static_cast<double>(plan.channels());
+  const double i = static_cast<double>(plan.in_samples());
+  const double d = static_cast<double>(plan.dms());
+  const double o = static_cast<double>(plan.out_samples());
+  EXPECT_DOUBLE_EQ(f32.bytes, 4.0 * c * i + 4.0 * d * o);
+  EXPECT_DOUBLE_EQ(u8.bytes, 1.0 * c * i + 4.0 * d * o);
+  EXPECT_DOUBLE_EQ(f32.flop, u8.flop);  // same arithmetic, fewer bytes
+  EXPECT_LT(u8.bytes, f32.bytes);
+
+  // Session aggregation consumes the stamped element-size-aware numbers.
+  SessionTraffic traffic;
+  traffic.add(f32, plan);
+  traffic.add(u8, plan);
+  EXPECT_DOUBLE_EQ(traffic.bytes, f32.bytes + u8.bytes);
+  EXPECT_DOUBLE_EQ(traffic.flop, f32.flop + u8.flop);
+}
+
+// ---------------------------------------------------------- config validity --
+
+TEST(EngineConfig, UnsupportedUnrollHintsFailFast) {
+  // simd::accumulate_span* compile exactly the {1,2,4,8} instantiations;
+  // any other hint used to fall back silently, measuring the un-unrolled
+  // loop under the wrong label and poisoning the tuning cache. Validation
+  // now rejects it at every entry point.
+  const Plan plan = testing::mini_plan(8, 64);
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{3},
+                                std::size_t{5}, std::size_t{6},
+                                std::size_t{7}, std::size_t{16}}) {
+    KernelConfig cfg{1, 1, 1, 1};
+    cfg.unroll = bad;
+    SCOPED_TRACE("unroll=" + std::to_string(bad));
+    EXPECT_THROW(cfg.validate(plan), config_error);
+    pipeline::Dedisperser dd =
+        pipeline::Dedisperser::with_output_samples(mini_obs(), 8, 64,
+                                                   "cpu_tiled");
+    EXPECT_THROW(dd.set_config(cfg), config_error);
+  }
+  // No engine offers an unsupported hint to the tuner.
+  for (const char* id : kBuiltins) {
+    for (const KernelConfig& cfg : make_engine(id)->config_space(plan)) {
+      EXPECT_TRUE(simd::is_supported_unroll(cfg.unroll))
+          << id << " " << cfg.to_string();
+    }
+  }
+}
+
+TEST(EngineTuning, U8EngineIdRoundTripsThroughTheCacheFile) {
+  // The engine id is a cache-signature axis: racing cpu_tiled against
+  // cpu_tiled_u8 stores one ladder per id, survives a file round-trip and
+  // answers the warm rerun without measuring.
+  const Plan plan = testing::mini_plan(8, 64);
+  const std::string path =
+      ::testing::TempDir() + "ddmc_engine_u8_cache_test.csv";
+  std::remove(path.c_str());
+  tuner::GuidedTuningOptions options = fast_tuning();
+  options.engines = {"cpu_tiled", "cpu_tiled_u8"};
+  std::string cold_winner;
+  {
+    tuner::TuningCache cache(path);
+    const tuner::GuidedTuningOutcome cold =
+        tuner::tune_guided(plan, cache, options);
+    EXPECT_EQ(cold.source, tuner::GuidedTuningOutcome::Source::kSearch);
+    EXPECT_TRUE(cold.engine_id == "cpu_tiled" ||
+                cold.engine_id == "cpu_tiled_u8")
+        << cold.engine_id;
+    cold_winner = cold.engine_id;
+  }
+  tuner::TuningCache reloaded(path);
+  ASSERT_EQ(reloaded.size(), 2u);
+  std::set<std::string> stored;
+  for (const tuner::CacheEntry& entry : reloaded.entries()) {
+    stored.insert(entry.host.engine_id);
+    EXPECT_EQ(entry.host.encode().find(entry.host.engine_id + "|"), 0u);
+  }
+  EXPECT_EQ(stored, (std::set<std::string>{"cpu_tiled", "cpu_tiled_u8"}));
+  const tuner::GuidedTuningOutcome warm =
+      tuner::tune_guided(plan, reloaded, options);
+  EXPECT_EQ(warm.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(warm.configs_evaluated, 0u);
+  EXPECT_EQ(warm.engine_id, cold_winner);
   std::remove(path.c_str());
 }
 

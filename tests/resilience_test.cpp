@@ -711,8 +711,15 @@ TEST(StreamingWatchdog, UnsupervisedSessionStillFailsFast) {
 
 TEST(StreamingWatchdog, SelectDegradeEngineQueriesCapabilities) {
   resilience::StreamPolicy policy;
-  // Auto-selection: the approximate streaming engine, never the current one.
+  // Auto-selection walks the cost tiers (exact → quantized →
+  // algorithmic) and takes the cheapest on offer, never the current one.
+  // cpu_tiled_u8 streams and is approximate, but it does every addition
+  // the drowning session already could not afford — the ladder must
+  // still prefer subband's flop reduction, and never degrade "up" from
+  // subband to the quantized engine.
   EXPECT_EQ(resilience::select_degrade_engine("cpu_tiled", policy),
+            "subband");
+  EXPECT_EQ(resilience::select_degrade_engine("cpu_tiled_u8", policy),
             "subband");
   EXPECT_EQ(resilience::select_degrade_engine("subband", policy), "");
   // Explicit target: validated for the streaming capability.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <random>
 #include <vector>
@@ -82,8 +83,10 @@ TEST(Simd, AccumulateSpanMatchesScalarBitwise) {
   std::mt19937 gen(20260730);
   std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
   // Cover empty spans, sub-lane tails, exact multiples and long spans, at
-  // unaligned source offsets, for every unroll hint (including hints the
-  // dispatcher maps to the plain loop).
+  // unaligned source offsets, for every unroll hint. Unroll 3 has no
+  // compiled instantiation — KernelConfig::validate rejects it upstream —
+  // but the low-level dispatcher still maps it to the plain loop for
+  // direct callers, and that fallback must stay bitwise-correct.
   for (std::size_t n : {0ul, 1ul, 3ul, 7ul, 8ul, 15ul, 16ul, 31ul, 64ul,
                         97ul, 200ul}) {
     for (std::size_t unroll : {1ul, 2ul, 3ul, 4ul, 8ul}) {
@@ -106,6 +109,79 @@ TEST(Simd, AccumulateSpanMatchesScalarBitwise) {
       }
     }
   }
+}
+
+TEST(Simd, SupportedUnrollSetIsExactlyTheCompiledLadder) {
+  for (std::size_t u : {1ul, 2ul, 4ul, 8ul}) EXPECT_TRUE(is_supported_unroll(u));
+  for (std::size_t u : {0ul, 3ul, 5ul, 6ul, 7ul, 9ul, 16ul}) {
+    EXPECT_FALSE(is_supported_unroll(u)) << u;
+  }
+}
+
+TEST(Simd, LoadU8WidensExactly) {
+  // Every uint8 code widens to the exact float of its integer value, at any
+  // source offset — the widening load must read exactly kFloatLanes bytes.
+  std::vector<std::uint8_t> src(4 * kFloatLanes + 1);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>((i * 37 + 11) % 256);
+  }
+  std::vector<float> out(kFloatLanes, -1.0f);
+  for (std::size_t offset : {0ul, 1ul, 2ul, 3ul}) {
+    vstore(out.data(), vload_u8(src.data() + offset));
+    for (std::size_t i = 0; i < kFloatLanes; ++i) {
+      EXPECT_EQ(out[i], static_cast<float>(src[offset + i]))
+          << "offset=" << offset << " i=" << i;
+    }
+  }
+  // Extremes widen exactly too.
+  std::vector<std::uint8_t> edge(kFloatLanes, 255);
+  vstore(out.data(), vload_u8(edge.data()));
+  for (std::size_t i = 0; i < kFloatLanes; ++i) EXPECT_EQ(out[i], 255.0f);
+}
+
+TEST(Simd, AccumulateSpanU8MatchesScalarBitwise) {
+  std::mt19937 gen(20260808);
+  std::uniform_int_distribution<int> dist(0, 255);
+  std::uniform_real_distribution<float> fdist(-1.0f, 1.0f);
+  for (std::size_t n : {0ul, 1ul, 3ul, 7ul, 8ul, 15ul, 16ul, 31ul, 64ul,
+                        97ul, 200ul}) {
+    for (std::size_t unroll : {1ul, 2ul, 3ul, 4ul, 8ul}) {
+      for (std::size_t offset : {0ul, 1ul}) {
+        std::vector<std::uint8_t> src(n + offset + 1);
+        std::vector<float> acc_simd(n), acc_scalar(n);
+        for (auto& v : src) v = static_cast<std::uint8_t>(dist(gen));
+        for (std::size_t i = 0; i < n; ++i) {
+          acc_simd[i] = acc_scalar[i] = fdist(gen);
+        }
+        accumulate_span_u8(acc_simd.data(), src.data() + offset, n, unroll);
+        for (std::size_t i = 0; i < n; ++i) {
+          acc_scalar[i] += static_cast<float>(src[offset + i]);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(acc_simd[i], acc_scalar[i])
+              << "n=" << n << " unroll=" << unroll << " offset=" << offset
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, AccumulateSpanU8IsAdditiveOverCalls) {
+  // Channel-blocking identity for the u8 path: two blocked passes with
+  // different unroll hints equal one full pass bitwise.
+  const std::size_t n = 70;
+  std::vector<std::uint8_t> a(n), b(n);
+  std::vector<float> acc_once(n, 0.0f), acc_split(n, 0.0f);
+  std::mt19937 gen(9);
+  std::uniform_int_distribution<int> dist(0, 255);
+  for (auto& v : a) v = static_cast<std::uint8_t>(dist(gen));
+  for (auto& v : b) v = static_cast<std::uint8_t>(dist(gen));
+  accumulate_span_u8(acc_once.data(), a.data(), n);
+  accumulate_span_u8(acc_once.data(), b.data(), n);
+  accumulate_span_u8(acc_split.data(), a.data(), n, 4);
+  accumulate_span_u8(acc_split.data(), b.data(), n, 2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(acc_once[i], acc_split[i]);
 }
 
 TEST(Simd, AccumulateSpanIsAdditiveOverCalls) {

@@ -273,6 +273,27 @@ TEST_F(TelemetryRegistryTest, PrometheusExportFormat) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST_F(TelemetryRegistryTest, PrometheusLabelValuesUseExpositionEscapes) {
+  // The exposition format defines exactly three label-value escapes:
+  // \\ , \" and \n. The exporter used to route values through
+  // json::escape, which emits \uXXXX and \t sequences a Prometheus
+  // scraper has no rule for and would ingest literally.
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("ddmc.engine.executions_total",
+              {{"engine", "we\"ird\\name\nline\ttab"}})
+      ->add(1);
+  const std::string text = ddmc::telemetry::export_prometheus();
+  // Quote, backslash and newline use the exposition escapes...
+  EXPECT_NE(
+      text.find("engine=\"we\\\"ird\\\\name\\nline\ttab\""),
+      std::string::npos)
+      << text;
+  // ...and no JSON-style escape ever appears: the tab stays literal and
+  // nothing is \u-encoded.
+  EXPECT_EQ(text.find("\\t"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\\u"), std::string::npos) << text;
+}
+
 TEST_F(TelemetryRegistryTest, SnapshotJsonParsesAndCarriesMetrics) {
   auto& reg = MetricsRegistry::instance();
   reg.counter("ddmc.shard.retries_total")->add(4);

@@ -18,7 +18,10 @@ import re
 import sys
 
 METRIC_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
-LABEL_PAIR = re.compile(r'^[a-z_][a-z0-9_]*="(?:[^"\\]|\\.)*"$')
+# Label values may use exactly the three escapes the exposition format
+# defines: \\ , \" and \n. Anything else (JSON-style \uXXXX, \t, ...) is an
+# exporter bug a scraper would ingest literally, so reject it.
+LABEL_PAIR = re.compile(r'^[a-z_][a-z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"$')
 NUMBER = re.compile(r"^-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\d+)$")
 SAMPLE = re.compile(r"^(?P<name>[a-z_][a-z0-9_]*)(?:\{(?P<labels>[^}]*)\})?"
                     r" (?P<value>\S+)$")
@@ -128,6 +131,47 @@ def check_chrome_trace(path, required_spans):
           f"{len(seen)} distinct span names)")
 
 
+def selftest():
+    """Gate the label grammar itself on hostile values.
+
+    A label value containing a quote, a backslash and a newline must pass
+    when escaped with the exposition format's three escapes — and must FAIL
+    when escaped JSON-style (\\uXXXX / \\t), which is exactly the exporter
+    bug this checker exists to catch.
+    """
+    import tempfile, os
+
+    def run_on(text):
+        with tempfile.NamedTemporaryFile("w", suffix=".prom",
+                                         delete=False) as f:
+            f.write(text)
+            path = f.name
+        try:
+            check_prometheus(path)
+            return True
+        except SystemExit:
+            return False
+        finally:
+            os.unlink(path)
+
+    hostile_ok = ('# TYPE ddmc_engine_executions_total counter\n'
+                  'ddmc_engine_executions_total'
+                  '{engine="we\\"ird\\\\name\\nline"} 1\n')
+    if not run_on(hostile_ok):
+        fail("selftest: properly escaped hostile label was rejected")
+    json_style = ('# TYPE ddmc_engine_executions_total counter\n'
+                  'ddmc_engine_executions_total'
+                  '{engine="we\\u0022ird\\u005cname\\u000aline"} 1\n')
+    if run_on(json_style):
+        fail("selftest: JSON-style \\uXXXX label escapes were accepted")
+    tab_escape = ('# TYPE ddmc_engine_executions_total counter\n'
+                  'ddmc_engine_executions_total{engine="a\\tb"} 1\n')
+    if run_on(tab_escape):
+        fail("selftest: undefined \\t label escape was accepted")
+    print("selftest: OK (hostile label accepted only with exposition "
+          "escaping)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--prometheus", help="Prometheus text file to validate")
@@ -135,9 +179,14 @@ def main():
     ap.add_argument("--require-span", action="append", default=[],
                     help="span name that must appear in the Chrome trace "
                          "(repeatable)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="validate the label grammar against hostile values")
     args = ap.parse_args()
-    if not args.prometheus and not args.chrome_trace:
-        ap.error("nothing to check: pass --prometheus and/or --chrome-trace")
+    if not args.prometheus and not args.chrome_trace and not args.selftest:
+        ap.error("nothing to check: pass --prometheus, --chrome-trace "
+                 "and/or --selftest")
+    if args.selftest:
+        selftest()
     if args.prometheus:
         check_prometheus(args.prometheus)
     if args.chrome_trace:
