@@ -7,6 +7,10 @@
 /// hit (zero measurements) and a nearest-neighbor transfer onto a plan the
 /// cache has never seen (also zero measurements).
 ///
+/// The final leg races whole engines: tune_guided with several registry
+/// ids searches each engine's *own* declared axes and ranks the finalists
+/// by measured wall seconds — platform choice as a tuning decision.
+///
 ///   ./bench_tuner_strategies [--dms 16] [--out-samples 2000] [--reps 2]
 ///                            [--random-samples 64] [--seed 42] [--scalar]
 ///                            [--json BENCH_tuner_strategies.json]
@@ -18,6 +22,7 @@
 #include "common/simd.hpp"
 #include "common/table.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine_config.hpp"
 #include "sky/observation.hpp"
 #include "tuner/host_tuner.hpp"
 #include "tuner/search_space.hpp"
@@ -64,7 +69,13 @@ int main(int argc, char** argv) {
 
   const auto raw =
       tuner::enumerate_host_configs(plan, opt.max_work_group_size);
-  const auto candidates = tuner::host_sweep_candidates(plan, opt);
+  const auto kernel_candidates = tuner::host_sweep_candidates(plan, opt);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  std::vector<engine::EngineConfig> candidates;
+  candidates.reserve(kernel_candidates.size());
+  for (const dedisp::KernelConfig& cfg : kernel_candidates) {
+    candidates.push_back(engine::encode_kernel_config(cfg));
+  }
   std::cout << "== tuner strategies, Apertif-reduced, " << dms << " DMs x "
             << out << " samples, engine "
             << (opt.vectorize ? simd::backend_name() : "scalar") << " ==\n"
@@ -81,19 +92,20 @@ int main(int argc, char** argv) {
     tuner::HostKernelEvaluator evaluator(plan, opt, seed);
     rows.push_back(
         {"exhaustive",
-         tuner::ExhaustiveSearch().search(plan, candidates, evaluator)});
+         tuner::ExhaustiveSearch().search(plan, axes, candidates, evaluator)});
   }
   {
     tuner::HostKernelEvaluator evaluator(plan, opt, seed);
     const tuner::RandomSearch random(
         static_cast<std::size_t>(cli.get_int("random-samples")), seed);
-    rows.push_back({"random", random.search(plan, candidates, evaluator)});
+    rows.push_back(
+        {"random", random.search(plan, axes, candidates, evaluator)});
   }
   {
     tuner::HostKernelEvaluator evaluator(plan, opt, seed);
     const tuner::CoordinateDescent descent(seed);
-    rows.push_back(
-        {"coordinate-descent", descent.search(plan, candidates, evaluator)});
+    rows.push_back({"coordinate-descent",
+                    descent.search(plan, axes, candidates, evaluator)});
   }
 
   const double exhaustive_gflops = rows.front().result.best.gflops;
@@ -136,17 +148,39 @@ int main(int argc, char** argv) {
             << " configs measured (transfer from the " << dms
             << "-DM entry)\n";
 
+  // --- the engine race: platform choice as a tuning axis -----------------
+  // Each engine searches its *own* declared axes (the tiled kernel shape,
+  // the subband split, the baseline's single empty config) and the
+  // finalists are ranked by measured wall seconds. The warm rerun answers
+  // every engine from the cache: zero measurements.
+  tuner::TuningCache race_cache;
+  tuner::GuidedTuningOptions race = guided;
+  race.engines = {"cpu_tiled", "cpu_baseline", "subband"};
+  const tuner::GuidedTuningOutcome race_cold =
+      tuner::tune_guided(plan, race_cache, race);
+  const tuner::GuidedTuningOutcome race_warm =
+      tuner::tune_guided(plan, race_cache, race);
+  std::cout << "\nengine race (cpu_tiled vs cpu_baseline vs subband, ranked"
+               " by wall seconds):\n"
+            << "  cold: " << race_cold.engine_id << " wins at "
+            << TextTable::num(race_cold.seconds * 1e3, 3) << " ms/call ("
+            << TextTable::num(race_cold.gflops, 2) << " GFLOP/s), "
+            << race_cold.configs_evaluated
+            << " configs measured across all engines -> "
+            << race_cold.config.to_string() << "\n"
+            << "  warm: " << source_name(race_warm.source) << ", "
+            << race_warm.configs_evaluated << " configs measured, winner "
+            << race_warm.engine_id << "\n";
+
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
-    auto config_json = [](const dedisp::KernelConfig& c) {
-      return bench::JsonObject()
-          .set("wi_time", c.wi_time)
-          .set("wi_dm", c.wi_dm)
-          .set("elem_time", c.elem_time)
-          .set("elem_dm", c.elem_dm)
-          .set("channel_block", c.channel_block)
-          .set("unroll", c.unroll)
-          .dump();
+    auto config_json = [](const engine::EngineConfig& c) {
+      bench::JsonObject j;
+      j.set("encoded", c.encode());
+      for (const auto& [name, value] : c.axes) {
+        j.set(name, static_cast<std::size_t>(value));
+      }
+      return j.dump();
     };
     bench::JsonArray strategies;
     for (const Row& row : rows) {
@@ -169,6 +203,9 @@ int main(int argc, char** argv) {
     auto outcome_json = [&](const tuner::GuidedTuningOutcome& o) {
       bench::JsonObject j;
       j.set("source", source_name(o.source))
+          .set("engine", o.engine_id)
+          .set("seconds", o.seconds)
+          .set("gflops", o.gflops)
           .set("configs_evaluated", o.configs_evaluated)
           .set_raw("config", config_json(o.config));
       return j.dump();
@@ -191,7 +228,13 @@ int main(int argc, char** argv) {
                               .set_raw("cold", outcome_json(cold))
                               .set_raw("warm", outcome_json(warm))
                               .set_raw("transfer", outcome_json(transfer))
-                              .dump());
+                              .dump())
+        .set_raw("engine_race",
+                 bench::JsonObject()
+                     .set("engines", "cpu_tiled,cpu_baseline,subband")
+                     .set_raw("cold", outcome_json(race_cold))
+                     .set_raw("warm", outcome_json(race_warm))
+                     .dump());
     bench::write_json_file(json_path, root);
     std::cout << "\nwrote " << json_path << "\n";
   }

@@ -8,9 +8,18 @@
 /// consumer above it dispatches through the DedispEngine interface, so a
 /// grep for those symbols outside src/engine/ and src/dedisp/ should come
 /// back empty — that is the refactor's invariant.
+///
+/// Each engine also *owns its tuning parameterization* here: the tiled
+/// engines (and the simulator) interpret the six kernel axes of
+/// engine_config.hpp, the subband engine declares its channel split and
+/// coarse DM step, and the scalar engines declare nothing. No layer above
+/// this file knows which axes exist — the tuner walks whatever
+/// config_axes() returns.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <numeric>
 #include <utility>
 
 #include "common/expect.hpp"
@@ -26,6 +35,7 @@
 #include "ocl/sim_dedisp.hpp"
 #include "resilience/fault_injection.hpp"
 #include "tuner/host_tuner.hpp"
+#include "tuner/search_space.hpp"
 
 namespace ddmc::engine {
 
@@ -41,12 +51,6 @@ class EngineBase : public DedispEngine {
   const std::string& id() const override { return id_; }
   const EngineCapabilities& capabilities() const override { return caps_; }
   const EngineOptions& options() const override { return options_; }
-
-  std::vector<dedisp::KernelConfig> config_space(
-      const dedisp::Plan& plan) const override {
-    (void)plan;
-    return {dedisp::KernelConfig{1, 1, 1, 1}};
-  }
 
  protected:
   void check_shapes(const dedisp::Plan& plan, ConstView2D<float> in,
@@ -70,23 +74,139 @@ class EngineBase : public DedispEngine {
   const EngineOptions options_;
 };
 
-// -------------------------------------------------------------- cpu_tiled --
+// --------------------------------------------------- kernel-axes engines --
 
-class CpuTiledEngine final : public EngineBase {
+bool is_kernel_axis(const std::string& name) {
+  for (const char* axis : kKernelAxisNames) {
+    if (name == axis) return true;
+  }
+  return false;
+}
+
+/// Kernel-axes adaptation: keep the time tile, gcd-shrink the DM tile to
+/// divide \p plan (a shard's out_samples equals its parent's, so the time
+/// dimension still divides); fall back to the untuned 1×1 shape when even
+/// the shrunk tile cannot validate. For bitwise-exact engines adaptation
+/// never changes results — only efficiency.
+dedisp::KernelConfig adapt_kernel_config(const dedisp::Plan& plan,
+                                         dedisp::KernelConfig cfg) {
+  const std::size_t tile =
+      std::gcd(std::max<std::size_t>(cfg.tile_dm(), 1), plan.dms());
+  cfg.elem_dm = std::gcd(std::max<std::size_t>(cfg.elem_dm, 1), tile);
+  cfg.wi_dm = tile / cfg.elem_dm;
+  try {
+    cfg.validate(plan);
+    return cfg;
+  } catch (const config_error&) {
+  }
+  cfg.wi_dm = 1;
+  cfg.elem_dm = 1;
+  try {
+    cfg.validate(plan);
+    return cfg;
+  } catch (const config_error&) {
+    return dedisp::KernelConfig{};  // 1×1 everywhere divides every plan
+  }
+}
+
+/// Shared interpretation of the six kernel axes (engine_config.hpp) for
+/// the engines whose execution is the tiled/work-group kernel: the two cpu
+/// tiled engines and the device simulator.
+class KernelAxesEngine : public EngineBase {
  public:
-  explicit CpuTiledEngine(EngineOptions options)
-      : EngineBase("cpu_tiled",
-                   EngineCapabilities{.supports_sharding = true,
-                                      .supports_streaming = true,
-                                      .bitwise_exact = true,
-                                      .tunable = true},
-                   std::move(options)) {}
+  using EngineBase::EngineBase;
+
+  std::vector<AxisSpec> config_axes(
+      const dedisp::Plan& plan) const override {
+    return kernel_config_axes(kernel_candidates(plan));
+  }
+
+  std::vector<EngineConfig> config_space(
+      const dedisp::Plan& plan) const override {
+    std::vector<EngineConfig> space;
+    const std::vector<dedisp::KernelConfig> candidates =
+        kernel_candidates(plan);
+    space.reserve(candidates.size());
+    for (const dedisp::KernelConfig& cfg : candidates) {
+      space.push_back(encode_kernel_config(cfg));
+    }
+    return space;
+  }
+
+  void validate_config(const dedisp::Plan& plan,
+                       const EngineConfig& config) const override {
+    for (const auto& [name, value] : config.axes) {
+      if (!is_kernel_axis(name) && !is_extra_axis(name)) {
+        throw config_error("engine '" + id_ +
+                           "' declares no config axis '" + name + "'");
+      }
+      validate_extra_axis(name, value);
+    }
+    decode_kernel_config(config).validate(plan);
+  }
+
+  EngineConfig adapt_config(const dedisp::Plan& plan,
+                            const EngineConfig& config) const override {
+    EngineConfig adapted = encode_kernel_config(
+        adapt_kernel_config(plan, decode_kernel_config(config)));
+    copy_extra_axes(config, adapted);
+    return adapted;
+  }
+
+  std::string config_key(const dedisp::Plan& plan,
+                         const EngineConfig& config) const override {
+    // Two configs that compile to the same host kernel (same tile extents,
+    // register rows, effective channel block and unroll instantiation) are
+    // one measurement; extra axes append so they stay distinguishing.
+    const tuner::HostKernelKey key = tuner::host_kernel_key(
+        decode_kernel_config(config), plan, options_.cpu.vectorize);
+    std::string out = "tT=" + std::to_string(key.tile_time) +
+                      ";tD=" + std::to_string(key.tile_dm) +
+                      ";rr=" + std::to_string(key.reg_rows) +
+                      ";cb=" + std::to_string(key.channel_block) +
+                      ";u=" + std::to_string(key.unroll);
+    EngineConfig extras;
+    copy_extra_axes(config, extras);
+    if (!extras.empty()) out += ";" + extras.encode();
+    return out;
+  }
+
+ protected:
+  /// The KernelConfig candidate ladder the six axes are collected from.
+  virtual std::vector<dedisp::KernelConfig> kernel_candidates(
+      const dedisp::Plan& plan) const {
+    return {dedisp::KernelConfig{}};
+  }
+
+  /// Engine-specific axes beyond the six kernel ones (the u8 engine's
+  /// quantization window). Base: none.
+  virtual bool is_extra_axis(const std::string& name) const {
+    (void)name;
+    return false;
+  }
+  virtual void validate_extra_axis(const std::string& name,
+                                   std::int64_t value) const {
+    (void)name;
+    (void)value;
+  }
+  void copy_extra_axes(const EngineConfig& from, EngineConfig& to) const {
+    for (const auto& [name, value] : from.axes) {
+      if (is_extra_axis(name)) to.set(name, value);
+    }
+  }
+};
+
+/// Shared host-sweep candidate enumeration of the two cpu tiled engines.
+class CpuTiledBase : public KernelAxesEngine {
+ public:
+  using KernelAxesEngine::KernelAxesEngine;
 
   std::string variant() const override {
     return options_.cpu.vectorize ? simd::backend_name() : "scalar";
   }
 
-  std::vector<dedisp::KernelConfig> config_space(
+ protected:
+  std::vector<dedisp::KernelConfig> kernel_candidates(
       const dedisp::Plan& plan) const override {
     tuner::HostTuningOptions host;
     host.stage_rows = options_.cpu.stage_rows;
@@ -94,13 +214,26 @@ class CpuTiledEngine final : public EngineBase {
     host.threads = options_.cpu.threads;
     return tuner::host_sweep_candidates(plan, host);
   }
+};
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+// -------------------------------------------------------------- cpu_tiled --
+
+class CpuTiledEngine final : public CpuTiledBase {
+ public:
+  explicit CpuTiledEngine(EngineOptions options)
+      : CpuTiledBase("cpu_tiled",
+                     EngineCapabilities{.supports_sharding = true,
+                                        .supports_streaming = true,
+                                        .bitwise_exact = true,
+                                        .tunable = true},
+                     std::move(options)) {}
+
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
     check_shapes(plan, in, out);
-    dedisp::dedisperse_cpu(plan, config, in, out, options_.cpu);
+    dedisp::dedisperse_cpu(plan, decode_kernel_config(config), in, out,
+                           options_.cpu);
     return {};
   }
 };
@@ -119,10 +252,17 @@ class CpuTiledEngine final : public EngineBase {
 /// pointwise with fixed construction-time parameters and the raw-code
 /// accumulation is exact integer arithmetic below 2^24, so streaming ==
 /// batch and sharded == single remain bitwise identities of this engine.
-class CpuTiledU8Engine final : public EngineBase {
+///
+/// Beyond the six kernel axes, the engine declares its quantization window
+/// as the `quant_window` axis (the symmetric clamp half-width: a value of
+/// w quantizes over [-w, +w]). The default sweep holds it at the engine's
+/// configured window — the window is an accuracy knob, not a speed knob,
+/// so auto-tuning never trades precision silently — but a caller may pin
+/// it per-config, and it round-trips through the cache like any axis.
+class CpuTiledU8Engine final : public CpuTiledBase {
  public:
   explicit CpuTiledU8Engine(EngineOptions options)
-      : EngineBase(
+      : CpuTiledBase(
             "cpu_tiled_u8",
             EngineCapabilities{.supports_sharding = true,
                                .supports_streaming = true,
@@ -131,26 +271,18 @@ class CpuTiledU8Engine final : public EngineBase {
                                .input_element_bytes = sizeof(std::uint8_t)},
             std::move(options)) {}
 
-  std::string variant() const override {
-    return options_.cpu.vectorize ? simd::backend_name() : "scalar";
-  }
-
-  std::vector<dedisp::KernelConfig> config_space(
+  std::vector<AxisSpec> config_axes(
       const dedisp::Plan& plan) const override {
-    // Same tiling axes as cpu_tiled — the u8 kernel compiles the same
-    // (elem_dm, unroll) register-tile ladder — but the optimum generally
-    // differs (4× the samples per vector shift the staging/cache
-    // trade-offs), which is exactly why the engine id is a cache-signature
-    // axis and tune_guided races the two engines.
-    tuner::HostTuningOptions host;
-    host.stage_rows = options_.cpu.stage_rows;
-    host.vectorize = options_.cpu.vectorize;
-    host.threads = options_.cpu.threads;
-    return tuner::host_sweep_candidates(plan, host);
+    std::vector<AxisSpec> axes = CpuTiledBase::config_axes(plan);
+    AxisSpec window;
+    window.name = "quant_window";
+    window.default_value = default_window();
+    window.values = {window.default_value};
+    axes.push_back(std::move(window));
+    return axes;
   }
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
     check_shapes(plan, in, out);
@@ -169,10 +301,35 @@ class CpuTiledU8Engine final : public EngineBase {
         plane.cols() != plan.in_samples()) {
       plane = Array2D<std::uint8_t>(plan.channels(), plan.in_samples());
     }
-    dedisp::quantize_plane(in, options_.quant, plane.view());
-    dedisp::dedisperse_cpu_u8(plan, config, plane.cview(), options_.quant,
-                              out, options_.cpu);
+    const dedisp::QuantizationParams quant = quant_of(config);
+    dedisp::quantize_plane(in, quant, plane.view());
+    dedisp::dedisperse_cpu_u8(plan, decode_kernel_config(config),
+                              plane.cview(), quant, out, options_.cpu);
     return {};
+  }
+
+ protected:
+  bool is_extra_axis(const std::string& name) const override {
+    return name == "quant_window";
+  }
+  void validate_extra_axis(const std::string& name,
+                           std::int64_t value) const override {
+    if (name == "quant_window" && value < 1) {
+      throw config_error(
+          "engine 'cpu_tiled_u8': axis 'quant_window' must be >= 1");
+    }
+  }
+
+ private:
+  std::int64_t default_window() const {
+    const double half = (options_.quant.hi - options_.quant.lo) / 2.0;
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(half + 0.5));
+  }
+  dedisp::QuantizationParams quant_of(const EngineConfig& config) const {
+    if (!config.has("quant_window")) return options_.quant;
+    const auto w = static_cast<float>(
+        std::max<std::int64_t>(config.get("quant_window", 0), 1));
+    return dedisp::QuantizationParams{-w, w};
   }
 };
 
@@ -189,11 +346,10 @@ class CpuBaselineEngine final : public EngineBase {
 
   std::string variant() const override { return "autovec"; }
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
-    (void)config;  // no tunable kernel shape
+    (void)config;  // no tunable knobs
     check_shapes(plan, in, out);
     dedisp::CpuBaselineOptions baseline;
     baseline.threads = options_.cpu.threads;
@@ -215,8 +371,7 @@ class ReferenceEngine final : public EngineBase {
 
   std::string variant() const override { return "serial"; }
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
     (void)config;
@@ -228,23 +383,132 @@ class ReferenceEngine final : public EngineBase {
 
 // ---------------------------------------------------------------- subband --
 
+/// Divisors of \p n as an axis ladder, thinned to at most \p cap values
+/// (evenly spaced through the sorted divisor list, endpoints kept) so a
+/// highly composite channel count cannot explode the search space.
+std::vector<std::int64_t> divisor_ladder(std::size_t n, std::size_t cap) {
+  std::vector<std::int64_t> divisors;
+  for (std::size_t d = 1; d <= n; ++d) {
+    if (n % d == 0) divisors.push_back(static_cast<std::int64_t>(d));
+  }
+  if (divisors.size() <= cap || cap < 2) return divisors;
+  std::vector<std::int64_t> out;
+  out.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    out.push_back(divisors[i * (divisors.size() - 1) / (cap - 1)]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Two-stage engine. Its tuning axes are its *real* knobs — `subbands`
+/// (how many adjacent-channel groups stage 1 dedisperses) and
+/// `coarse_step` (fine trials reusing one coarse trial's shifts) — not the
+/// tiled kernel's shape, which means nothing to it. The search space only
+/// offers splits whose smearing bound does not exceed the configured
+/// default split's: tuning may trade throughput within the accuracy the
+/// caller already accepted, never loosen it silently.
 class SubbandEngine final : public EngineBase {
  public:
   explicit SubbandEngine(EngineOptions options)
       : EngineBase("subband",
                    EngineCapabilities{.supports_streaming = true,
+                                      .tunable = true,
                                       .input_padding = 2},
                    std::move(options)) {}
 
   std::string variant() const override { return simd::backend_name(); }
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+  std::vector<AxisSpec> config_axes(
+      const dedisp::Plan& plan) const override {
+    const dedisp::SubbandConfig def = options_.subband.adapted_to(plan);
+    AxisSpec subbands;
+    subbands.name = "subbands";
+    subbands.values = divisor_ladder(plan.channels(), 12);
+    subbands.default_value = static_cast<std::int64_t>(def.subbands);
+    AxisSpec coarse;
+    coarse.name = "coarse_step";
+    coarse.values = divisor_ladder(plan.dms(), 12);
+    coarse.default_value = static_cast<std::int64_t>(def.coarse_step);
+    return {std::move(subbands), std::move(coarse)};
+  }
+
+  std::vector<EngineConfig> config_space(
+      const dedisp::Plan& plan) const override {
+    const std::vector<AxisSpec> axes = config_axes(plan);
+    const dedisp::SubbandConfig def = options_.subband.adapted_to(plan);
+    const std::int64_t budget = dedisp::subband_max_delay_error(plan, def);
+    std::vector<EngineConfig> space;
+    for (const std::int64_t sb : axes[0].values) {
+      for (const std::int64_t cs : axes[1].values) {
+        const dedisp::SubbandConfig split{static_cast<std::size_t>(sb),
+                                          static_cast<std::size_t>(cs)};
+        // Smearing budget: shrinking either knob only makes the
+        // approximation more exact, so the filter keeps every split at
+        // least as accurate as the configured default.
+        if (dedisp::subband_max_delay_error(plan, split) > budget) continue;
+        EngineConfig cfg;
+        cfg.set("subbands", sb).set("coarse_step", cs);
+        space.push_back(std::move(cfg));
+      }
+    }
+    return space;
+  }
+
+  void validate_config(const dedisp::Plan& plan,
+                       const EngineConfig& config) const override {
+    for (const auto& [name, value] : config.axes) {
+      if (name != "subbands" && name != "coarse_step") {
+        throw config_error("engine 'subband' declares no config axis '" +
+                           name + "'");
+      }
+      if (value < 1) {
+        throw config_error("engine 'subband': axis '" + name +
+                           "' must be >= 1");
+      }
+    }
+    if (config.has("subbands") &&
+        plan.channels() %
+                static_cast<std::size_t>(config.get("subbands", 1)) !=
+            0) {
+      throw config_error(
+          "engine 'subband': axis 'subbands' must divide the channel "
+          "count " +
+          std::to_string(plan.channels()));
+    }
+    if (config.has("coarse_step") &&
+        plan.dms() %
+                static_cast<std::size_t>(config.get("coarse_step", 1)) !=
+            0) {
+      throw config_error(
+          "engine 'subband': axis 'coarse_step' must divide the trial "
+          "count " +
+          std::to_string(plan.dms()));
+    }
+  }
+
+  EngineConfig adapt_config(const dedisp::Plan& plan,
+                            const EngineConfig& config) const override {
+    const dedisp::SubbandConfig split = split_of(config).adapted_to(plan);
+    EngineConfig adapted;
+    adapted.set("subbands", static_cast<std::int64_t>(split.subbands));
+    adapted.set("coarse_step",
+                static_cast<std::int64_t>(split.coarse_step));
+    return adapted;
+  }
+
+  std::string config_key(const dedisp::Plan& plan,
+                         const EngineConfig& config) const override {
+    // gcd adaptation collapses off-plan splits, so two configs that adapt
+    // onto the same effective split are one measurement.
+    return adapt_config(plan, config).encode();
+  }
+
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
-    (void)config;  // the subband split, not the tile shape, is the knob
     check_shapes(plan, in, out);
-    const dedisp::SubbandConfig sub = options_.subband.adapted_to(plan);
+    const dedisp::SubbandConfig sub = split_of(config).adapted_to(plan);
     // The split delays may read up to input_padding columns past
     // in_samples. Callers that provide the worst-case padding (the
     // streaming chunker and the tuning evaluator do) take the direct path
@@ -269,15 +533,32 @@ class SubbandEngine final : public EngineBase {
     return {};
   }
 
+ private:
+  /// The split a config selects: its axes where present, the engine's
+  /// configured default where absent (so the empty config — and any
+  /// kernel-shaped config another engine tuned — runs the configured
+  /// split, exactly the pre-axes behavior).
+  dedisp::SubbandConfig split_of(const EngineConfig& config) const {
+    dedisp::SubbandConfig split = options_.subband;
+    if (config.has("subbands")) {
+      split.subbands = static_cast<std::size_t>(
+          std::max<std::int64_t>(config.get("subbands", 1), 1));
+    }
+    if (config.has("coarse_step")) {
+      split.coarse_step = static_cast<std::size_t>(
+          std::max<std::int64_t>(config.get("coarse_step", 1), 1));
+    }
+    return split;
+  }
 };
 
 // ---------------------------------------------------------------- ocl_sim --
 
-class OclSimEngine final : public EngineBase {
+class OclSimEngine final : public KernelAxesEngine {
  public:
   explicit OclSimEngine(EngineOptions options)
-      : EngineBase("ocl_sim", EngineCapabilities{.bitwise_exact = true},
-                   std::move(options)),
+      : KernelAxesEngine("ocl_sim", EngineCapabilities{.bitwise_exact = true},
+                         std::move(options)),
         device_(options_.device.has_value() ? *options_.device
                                             : ocl::amd_hd7970()) {}
 
@@ -289,13 +570,12 @@ class OclSimEngine final : public EngineBase {
     return name.empty() ? "device" : name;
   }
 
-  EngineRun execute_impl(const dedisp::Plan& plan,
-                         const dedisp::KernelConfig& config,
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
     check_shapes(plan, in, out);
-    const ocl::SimRunResult run =
-        ocl::simulate_dedisp(device_, plan, config, in, out);
+    const ocl::SimRunResult run = ocl::simulate_dedisp(
+        device_, plan, decode_kernel_config(config), in, out);
     EngineRun result;
     result.counters = run.counters;
     return result;

@@ -4,6 +4,7 @@
 
 #include "engine/engine.hpp"
 
+#include "common/expect.hpp"
 #include "common/timer.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracing.hpp"
@@ -66,8 +67,56 @@ void SessionTraffic::merge(const SessionTraffic& other) {
   bytes += other.bytes;
 }
 
+void DedispEngine::validate_config(const dedisp::Plan& plan,
+                                   const EngineConfig& config) const {
+  const std::vector<AxisSpec> axes = config_axes(plan);
+  for (const auto& [name, value] : config.axes) {
+    (void)value;
+    bool known = false;
+    for (const AxisSpec& axis : axes) {
+      if (axis.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw config_error("engine '" + id() + "' declares no config axis '" +
+                         name + "'");
+    }
+  }
+}
+
+EngineConfig DedispEngine::adapt_config(const dedisp::Plan& plan,
+                                        const EngineConfig& config) const {
+  try {
+    validate_config(plan, config);
+    return config;
+  } catch (const config_error&) {
+    return EngineConfig{};  // the engine's defaults run on every plan
+  }
+}
+
+std::string DedispEngine::config_key(const dedisp::Plan& plan,
+                                     const EngineConfig& config) const {
+  return normalized(config, config_axes(plan)).encode();
+}
+
 EngineRun DedispEngine::execute(const dedisp::Plan& plan,
                                 const dedisp::KernelConfig& config,
+                                ConstView2D<float> in,
+                                View2D<float> out) const {
+  // Legacy entry point: a KernelConfig is the tiled engines' shape. An
+  // engine that does not declare those axes runs its defaults instead of
+  // rejecting the foreign parameterization (restrict_to_axes keeps all
+  // six axes — and strict validation — on the engines that declare them).
+  return execute(plan,
+                 restrict_to_axes(encode_kernel_config(config),
+                                  config_axes(plan)),
+                 in, out);
+}
+
+EngineRun DedispEngine::execute(const dedisp::Plan& plan,
+                                const EngineConfig& config,
                                 ConstView2D<float> in,
                                 View2D<float> out) const {
   telemetry::TraceSpan span("engine.execute");

@@ -18,10 +18,15 @@
 ///    with the reference, search its configuration space), so the pipeline,
 ///    streaming and tuning layers gate on *capabilities*, never on engine
 ///    identity;
-///  - `config_space()` enumerates the KernelConfig candidates a tuner
-///    should measure, collapsing to a single point for engines without a
-///    tunable kernel shape — which is exactly what lets `tune_guided`
-///    compare engines against each other on equal footing.
+///  - the engine declares its own tuning parameterization as named axes
+///    (`config_axes()`, engine_config.hpp) and enumerates the EngineConfig
+///    candidates worth measuring (`config_space()`), collapsing to the
+///    single empty config for engines without tunable knobs — which is
+///    exactly what lets `tune_guided` race arbitrary engines against each
+///    other on equal footing. The tiled engines interpret the six kernel
+///    axes (KernelConfig is their *encoding*); the subband engine's axes
+///    are its channel split and coarse DM step; a KernelConfig never
+///    reaches a layer above the engine boundary as "the" config shape.
 ///
 /// Engines are created by name through the EngineRegistry
 /// (engine/registry.hpp); consumers hold `std::shared_ptr<const
@@ -38,6 +43,7 @@
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine_config.hpp"
 #include "dedisp/quantize.hpp"
 #include "dedisp/subband.hpp"
 #include "ocl/device.hpp"
@@ -62,9 +68,9 @@ struct EngineCapabilities {
   /// additions in the same order). False marks an approximation whose
   /// error is bounded, not zero (the subband engine).
   bool bitwise_exact = false;
-  /// The KernelConfig axes change this engine's execution, so its
+  /// The engine's declared config axes change its execution, so its
   /// config_space() is worth searching. False collapses tuning to a single
-  /// measured point.
+  /// measured point (the empty config) — still a valid race entrant.
   bool tunable = false;
   /// Input columns the engine may read beyond Plan::in_samples() (the
   /// subband engine's split-delay rounding needs up to two). Consumers that
@@ -162,16 +168,49 @@ class DedispEngine {
   /// contains '|', ',' or newlines.
   virtual std::string variant() const = 0;
 
-  /// KernelConfig candidates worth measuring on \p plan, validated and
-  /// deduplicated. Engines without a tunable kernel shape return the single
-  /// 1×1 point, which validates against every plan.
-  virtual std::vector<dedisp::KernelConfig> config_space(
-      const dedisp::Plan& plan) const = 0;
+  /// The named axes this engine's execution depends on, with their search
+  /// ladders and defaults for \p plan. Empty for engines without knobs.
+  /// Axis *names* are the validity contract (validate_config rejects
+  /// unknown names); the listed values are only the ladder a search walks.
+  virtual std::vector<AxisSpec> config_axes(const dedisp::Plan& plan) const {
+    (void)plan;
+    return {};
+  }
+
+  /// EngineConfig candidates worth measuring on \p plan, valid and
+  /// deduplicated. Engines without tunable knobs return the single empty
+  /// config (their defaults), which is valid for every plan.
+  virtual std::vector<EngineConfig> config_space(
+      const dedisp::Plan& plan) const {
+    (void)plan;
+    return {EngineConfig{}};
+  }
+
+  /// Strict validity check of \p config for \p plan: throws
+  /// ddmc::config_error naming the axis and engine when the config cannot
+  /// run (an axis this engine does not declare, a tile that does not
+  /// divide the plan, …). The empty config always passes.
+  virtual void validate_config(const dedisp::Plan& plan,
+                               const EngineConfig& config) const;
+
+  /// Lenient adaptation: the closest config to \p config that is valid for
+  /// \p plan. A valid config comes back unchanged; the tiled engines
+  /// gcd-shrink their DM tile onto shard plans; anything unusable falls
+  /// back to the empty config (engine defaults). Never throws.
+  virtual EngineConfig adapt_config(const dedisp::Plan& plan,
+                                    const EngineConfig& config) const;
+
+  /// Deduplication key: two configs with the same key run the identical
+  /// execution on \p plan, so a search measures only one of them. The
+  /// default collapses declared-default axes; the tiled engines collapse
+  /// tile splits that compile to the same host kernel.
+  virtual std::string config_key(const dedisp::Plan& plan,
+                                 const EngineConfig& config) const;
 
   /// Dedisperse \p in (channels × ≥in_samples) into \p out (dms ×
-  /// ≥out_samples) under \p config. Engines whose capabilities say
-  /// !tunable ignore the config's tile shape (it must still validate
-  /// against the plan — the 1×1 default always does).
+  /// ≥out_samples) under \p config, whose axes the engine interprets
+  /// itself (unknown axes are ignored at execution time; absent axes take
+  /// their defaults — the empty config runs the engine untuned).
   ///
   /// Non-virtual template method (engine.cpp): times the run, stamps
   /// EngineRun::seconds, opens an `engine.execute` trace span and publishes
@@ -180,6 +219,12 @@ class DedispEngine {
   /// consumer already dispatches through — is what makes the telemetry
   /// backend-orthogonal: a new engine is observable the moment it
   /// registers.
+  EngineRun execute(const dedisp::Plan& plan, const EngineConfig& config,
+                    ConstView2D<float> in, View2D<float> out) const;
+
+  /// KernelConfig convenience: \p config re-encoded as the six kernel
+  /// axes. Engines that do not interpret them ignore it, exactly as they
+  /// ignored the KernelConfig before the axes became engine-native.
   EngineRun execute(const dedisp::Plan& plan,
                     const dedisp::KernelConfig& config, ConstView2D<float> in,
                     View2D<float> out) const;
@@ -187,7 +232,7 @@ class DedispEngine {
  protected:
   /// The engine's actual execution path; contract as execute() above.
   virtual EngineRun execute_impl(const dedisp::Plan& plan,
-                                 const dedisp::KernelConfig& config,
+                                 const EngineConfig& config,
                                  ConstView2D<float> in,
                                  View2D<float> out) const = 0;
 };

@@ -44,7 +44,11 @@ engine::SessionTraffic Dedisperser::telemetry() const {
 tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
   ocl::PlanAnalysis analysis(plan_);
   tuner::TuningResult result = tuner::tune(device, analysis);
-  config_ = result.best.config;
+  // The model tuner parameterizes the tiled kernel; an engine that does
+  // not declare those axes keeps its defaults.
+  config_ = engine::restrict_to_axes(
+      engine::encode_kernel_config(result.best.config),
+      engine_->config_axes(plan_));
   absorb_sharded();
   set_device(device);
   return result;
@@ -52,17 +56,26 @@ tuner::TuningResult Dedisperser::tune_for(const ocl::DeviceModel& device) {
 
 tuner::GuidedTuningOutcome Dedisperser::tune_cached(
     tuner::TuningCache& cache, tuner::GuidedTuningOptions options) {
-  DDMC_REQUIRE(engine_->capabilities().tunable,
-               "tune_cached measures the engine's kernel-shape space, but "
-               "engine '" + engine_id_ +
-                   "' reports capability tunable = false (its execution "
-                   "does not depend on the KernelConfig axes)");
-  options.engines = {engine_id_};
+  if (options.engines.empty()) options.engines = {engine_id_};
   options.engine_options = engine_options_;
   options.host.stage_rows = engine_options_.cpu.stage_rows;
   options.host.vectorize = engine_options_.cpu.vectorize;
   options.host.threads = engine_options_.cpu.threads;
   tuner::GuidedTuningOutcome outcome = tuner::tune_guided(plan_, cache, options);
+  // Adopt the winner: the race's engine choice is part of the tuning
+  // decision, so subsequent dedisperse() calls run it. The adoption must
+  // honor the execution mode already selected — a winner that cannot
+  // shard fails fast here, not inside a worker pool later.
+  if (outcome.engine_id != engine_id_) {
+    auto adopted = engine::make_engine(outcome.engine_id, engine_options_);
+    DDMC_REQUIRE(execution_ == Execution::kSingle ||
+                     adopted->capabilities().supports_sharding,
+                 "tuned winner '" + outcome.engine_id +
+                     "' cannot run the selected DM-sharded execution: its "
+                     "capability supports_sharding is false");
+    engine_id_ = outcome.engine_id;
+    engine_ = std::move(adopted);
+  }
   config_ = outcome.config;
   absorb_sharded();
   return outcome;
@@ -70,6 +83,14 @@ tuner::GuidedTuningOutcome Dedisperser::tune_cached(
 
 void Dedisperser::set_config(const dedisp::KernelConfig& config) {
   config.validate(plan_);
+  // Legacy kernel-shaped configs degrade to the axes the engine declares.
+  config_ = engine::restrict_to_axes(engine::encode_kernel_config(config),
+                                     engine_->config_axes(plan_));
+  absorb_sharded();
+}
+
+void Dedisperser::set_config(const engine::EngineConfig& config) {
+  engine_->validate_config(plan_, config);
   config_ = config;
   absorb_sharded();
 }

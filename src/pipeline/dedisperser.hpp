@@ -68,21 +68,29 @@ class Dedisperser {
   /// simulator. Returns the full tuning result for inspection.
   tuner::TuningResult tune_for(const ocl::DeviceModel& device);
 
-  /// Tune-on-first-use by *measurement* on this Dedisperser's engine
-  /// (throws ddmc::invalid_argument when the engine's capabilities report
-  /// !tunable — a measured kernel-shape optimum is meaningless to an engine
-  /// without one): answer from \p cache when it holds this (engine, host,
-  /// plan) tuple or a transferable neighbor — zero measurements — and
-  /// otherwise run the guided search on the real engine and store the
-  /// winner. The engine knobs of \p options.host are overridden by this
-  /// Dedisperser's cpu_options(), so the signature matches what
-  /// dedisperse() will actually run.
+  /// Tune-on-first-use by *measurement*: answer from \p cache when it
+  /// holds a matching (engine, host, plan) tuple or a transferable
+  /// neighbor — zero measurements — and otherwise run the guided search
+  /// over the engine's declared config space and store the winner. When
+  /// \p options.engines is empty (the default) only this Dedisperser's
+  /// engine is tuned; listing several ids races them and this Dedisperser
+  /// *adopts the winner* — subsequent dedisperse() calls run the winning
+  /// engine under the winning config. Non-tunable engines race as
+  /// single-candidate entries. Throws ddmc::invalid_argument when the
+  /// winner cannot run the currently selected execution mode (a
+  /// non-sharding engine under kDmSharded). The engine knobs of
+  /// \p options.host are overridden by this Dedisperser's cpu_options(),
+  /// so the signature matches what dedisperse() will actually run.
   tuner::GuidedTuningOutcome tune_cached(
       tuner::TuningCache& cache, tuner::GuidedTuningOptions options = {});
 
-  /// Set an explicit configuration (validated against the plan).
+  /// Set an explicit kernel-shape configuration (validated against the
+  /// plan; stored as its kernel-axes encoding).
   void set_config(const dedisp::KernelConfig& config);
-  const dedisp::KernelConfig& config() const { return config_; }
+  /// Set an explicit engine-native configuration (validated by the engine:
+  /// unknown axes and plan-incompatible values throw ddmc::config_error).
+  void set_config(const engine::EngineConfig& config);
+  const engine::EngineConfig& config() const { return config_; }
 
   /// Host-execution knobs (engine selection, staging, threads) passed to
   /// the engine factory — the knobs of the cpu engines.
@@ -133,7 +141,8 @@ class Dedisperser {
   std::string engine_id_;
   engine::EngineOptions engine_options_;
   std::shared_ptr<const engine::DedispEngine> engine_;
-  dedisp::KernelConfig config_{1, 1, 1, 1};
+  /// Engine-native config; empty = the engine's defaults.
+  engine::EngineConfig config_;
   Execution execution_ = Execution::kSingle;
   std::size_t shard_workers_ = 0;
   /// Executor reused across dedisperse() calls in kDmSharded mode (built

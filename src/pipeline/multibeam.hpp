@@ -27,14 +27,20 @@ namespace ddmc::pipeline {
 
 class MultiBeamDedisperser {
  public:
-  /// \p config must validate against \p plan; \p engine is a registry id,
-  /// created with \p options (subband split, simulator device, cpu knobs).
+  /// \p config must validate against \p plan on the selected engine;
+  /// \p engine is a registry id, created with \p options (subband split,
+  /// simulator device, cpu knobs).
+  MultiBeamDedisperser(dedisp::Plan plan, engine::EngineConfig config,
+                       std::string engine = engine::kDefaultEngineId,
+                       engine::EngineOptions options = {});
+
+  /// Kernel-shape convenience: \p config re-encoded as the kernel axes.
   MultiBeamDedisperser(dedisp::Plan plan, dedisp::KernelConfig config,
                        std::string engine = engine::kDefaultEngineId,
                        engine::EngineOptions options = {});
 
   const dedisp::Plan& plan() const { return plan_; }
-  const dedisp::KernelConfig& config() const { return config_; }
+  const engine::EngineConfig& config() const { return config_; }
   const std::string& engine_id() const { return engine_id_; }
   const engine::DedispEngine& engine() const { return *engine_; }
 
@@ -85,7 +91,7 @@ class MultiBeamDedisperser {
   void rebuild_engine();
 
   dedisp::Plan plan_;
-  dedisp::KernelConfig config_;
+  engine::EngineConfig config_;
   std::string engine_id_;
   engine::EngineOptions engine_options_;
   std::shared_ptr<const engine::DedispEngine> engine_;

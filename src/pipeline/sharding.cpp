@@ -17,32 +17,6 @@
 
 namespace ddmc::pipeline {
 
-namespace {
-
-/// Shrink \p base's DM tile to divide \p shard while keeping the time tile
-/// (the shard's out_samples equals the parent's, so the time dimension
-/// still divides). The engine is bitwise identical across configurations,
-/// so adaptation never changes results — only efficiency.
-dedisp::KernelConfig adapt_config(const dedisp::KernelConfig& base,
-                                  const dedisp::Plan& shard) {
-  dedisp::KernelConfig cfg = base;
-  const std::size_t tile =
-      std::gcd(std::max<std::size_t>(base.tile_dm(), 1), shard.dms());
-  cfg.elem_dm = std::gcd(std::max<std::size_t>(base.elem_dm, 1), tile);
-  cfg.wi_dm = tile / cfg.elem_dm;
-  try {
-    cfg.validate(shard);
-    return cfg;
-  } catch (const config_error&) {
-    cfg.wi_dm = 1;
-    cfg.elem_dm = 1;
-    cfg.validate(shard);  // time tile must divide; the ctor checked the base
-    return cfg;
-  }
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------- planner --
 
 DmShardPlanner::DmShardPlanner(const dedisp::Plan& plan,
@@ -202,32 +176,68 @@ ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
 }
 
 ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
-                                       dedisp::KernelConfig config,
+                                       engine::EngineConfig config,
                                        ShardedOptions options)
     : ShardedDedisperser(std::move(plan), std::move(options)) {
-  config.validate(plan_);
+  engine_->validate_config(plan_, config);
+  // Only the engine knows how its axes bend onto a shard's trial count —
+  // the tiled engines gcd-shrink their DM tile, the subband engine
+  // re-divides its coarse step — so adaptation is the engine's call.
   shard_configs_.reserve(shard_plans_.size());
   for (const dedisp::Plan& shard : shard_plans_) {
-    shard_configs_.push_back(adapt_config(config, shard));
+    shard_configs_.push_back(engine_->adapt_config(shard, config));
   }
 }
+
+ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
+                                       dedisp::KernelConfig config,
+                                       ShardedOptions options)
+    // Plan and options passed by copy, not moved: the delegated arguments
+    // are unsequenced and the restriction below reads both. A KernelConfig
+    // is the tiled engines' parameterization — an engine that does not
+    // declare those axes sheds them and runs its defaults.
+    : ShardedDedisperser(
+          plan,
+          engine::restrict_to_axes(
+              engine::encode_kernel_config(config),
+              engine::make_engine(options.engine, options.engine_options)
+                  ->config_axes(plan)),
+          options) {}
 
 ShardedDedisperser::ShardedDedisperser(dedisp::Plan plan,
                                        tuner::TuningCache& cache,
                                        ShardedOptions options,
                                        tuner::GuidedTuningOptions tuning)
     : ShardedDedisperser(std::move(plan), std::move(options)) {
-  tuning.engines = {options_.engine};
+  if (tuning.engines.empty()) tuning.engines = {options_.engine};
   tuning.engine_options = options_.engine_options;
   tuning.host.stage_rows = options_.engine_options.cpu.stage_rows;
   tuning.host.vectorize = options_.engine_options.cpu.vectorize;
   tuning.host.threads = options_.engine_options.cpu.threads;
+  // Several engines race once on the *full* plan and every shard adopts
+  // the winner: per-shard races could crown different engines on different
+  // shards, breaking the single-engine bitwise assembly guarantee.
+  if (tuning.engines.size() > 1) {
+    const tuner::GuidedTuningOutcome race =
+        tuner::tune_guided(plan_, cache, tuning);
+    if (race.engine_id != options_.engine) {
+      auto adopted =
+          engine::make_engine(race.engine_id, options_.engine_options);
+      DDMC_REQUIRE(adopted->capabilities().supports_sharding,
+                   "tuned winner '" + race.engine_id +
+                       "' cannot run DM-sharded execution: its capability "
+                       "supports_sharding is false");
+      options_.engine = race.engine_id;
+      engine_ = std::move(adopted);
+    }
+    tuning.engines = {options_.engine};
+  }
   shard_configs_.reserve(shard_plans_.size());
   tuning_outcomes_.reserve(shard_plans_.size());
   for (const dedisp::Plan& shard : shard_plans_) {
     tuner::GuidedTuningOutcome outcome =
         tuner::tune_guided(shard, cache, tuning);
-    shard_configs_.push_back(outcome.config);
+    shard_configs_.push_back(engine_->adapt_config(shard, outcome.config));
     tuning_outcomes_.push_back(std::move(outcome));
   }
 }
@@ -275,7 +285,7 @@ void ShardedDedisperser::run_batch(
   /// Returns the terminal failure, or nullopt on success.
   const auto attempt =
       [&](const char* failpoint, std::size_t beam, std::size_t shard,
-          const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+          const dedisp::Plan& plan, const engine::EngineConfig& config,
           View2D<float> rows) -> std::optional<resilience::ShardFailure> {
     for (std::size_t attempts = 1;; ++attempts) {
       {
@@ -382,7 +392,7 @@ void ShardedDedisperser::run_batch(
                   shard_plans_[shard].dm_shard(sub.first_dm, sub.dms);
               const auto f = attempt(
                   "shard.reacquire.task", failure.beam, shard, sub_plan,
-                  adapt_config(shard_configs_[shard], sub_plan),
+                  engine_->adapt_config(sub_plan, shard_configs_[shard]),
                   rows_of(failure.beam, range.first_dm + sub.first_dm,
                           sub.dms));
               if (f) {

@@ -19,7 +19,8 @@
 ///    (ShardedOptions::engine selects it by registry id; an engine without
 ///    the capability is rejected with an error naming it). Every shard runs
 ///    on its own worker with its own staging buffers and its own
-///    KernelConfig — either adapted from a caller config or tuned per shard
+///    engine-native config — either adapted from a caller config by the
+///    engine itself (DedispEngine::adapt_config) or tuned per shard
 ///    through TuningCache::tune_guided (shard plans carry their own
 ///    PlanSignature, so neighboring shards answer each other's tuning by
 ///    nearest-neighbor transfer). Batched submission covers multiple beams
@@ -146,18 +147,27 @@ struct ShardedOptions {
 /// Executes a plan as DM shards on an owned worker pool.
 class ShardedDedisperser {
  public:
-  /// Every shard derives its config from \p config: the DM tile is shrunk
-  /// (gcd with the shard's trial count) where the shard breaks the
-  /// divisibility constraint; the time tile is untouched. \p config must
-  /// validate against \p plan.
+  /// Every shard derives its config from \p config through the engine's
+  /// own adapt_config (the tiled engines gcd-shrink their DM tile where a
+  /// shard breaks divisibility; the time tile is untouched). \p config
+  /// must validate against \p plan on the selected engine.
+  ShardedDedisperser(dedisp::Plan plan, engine::EngineConfig config,
+                     ShardedOptions options = {});
+
+  /// Kernel-shape convenience: \p config re-encoded as the kernel axes.
   ShardedDedisperser(dedisp::Plan plan, dedisp::KernelConfig config,
                      ShardedOptions options = {});
 
   /// Tune each shard through \p cache: shard plans carry their own
   /// PlanSignature, so the first shard's guided search seeds the cache and
   /// neighboring shards resolve by exact hit or nearest-neighbor transfer
-  /// (zero measurements). The engine knobs of \p tuning.host are overridden
-  /// by \p options.cpu, matching what the workers will run.
+  /// (zero measurements). When \p tuning.engines lists several ids, the
+  /// engines race once on the *full* plan and the winner is adopted for
+  /// every shard (per-shard races could crown different engines per shard
+  /// and break the single-engine bitwise assembly guarantee); a winner
+  /// without the supports_sharding capability is rejected with an error
+  /// naming it. The engine knobs of \p tuning.host are overridden by
+  /// \p options.cpu, matching what the workers will run.
   ShardedDedisperser(dedisp::Plan plan, tuner::TuningCache& cache,
                      ShardedOptions options = {},
                      tuner::GuidedTuningOptions tuning = {});
@@ -170,7 +180,7 @@ class ShardedDedisperser {
   const dedisp::Plan& shard_plan(std::size_t shard) const {
     return shard_plans_.at(shard);
   }
-  const dedisp::KernelConfig& shard_config(std::size_t shard) const {
+  const engine::EngineConfig& shard_config(std::size_t shard) const {
     return shard_configs_.at(shard);
   }
   /// Per-shard tuning outcomes (cache constructor only; else empty).
@@ -223,7 +233,7 @@ class ShardedDedisperser {
   std::shared_ptr<const engine::DedispEngine> engine_;
   ShardLayout layout_;
   std::vector<dedisp::Plan> shard_plans_;
-  std::vector<dedisp::KernelConfig> shard_configs_;
+  std::vector<engine::EngineConfig> shard_configs_;
   std::vector<tuner::GuidedTuningOutcome> tuning_outcomes_;
   std::unique_ptr<ThreadPool> pool_;
   /// Guards last_report_ and traffic_; workers take it per counter bump,

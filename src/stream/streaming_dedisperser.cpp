@@ -14,13 +14,13 @@ namespace ddmc::stream {
 
 namespace {
 
-/// Tile shape for flush-time partial chunks, whose length is arbitrary and
-/// need not divide the tuned tile. 1×1 tiles divide every plan and the
-/// bitwise-exact engines stay identical across tile shapes, so only the
-/// final (typically short) chunk pays the untuned shape.
-dedisp::KernelConfig partial_chunk_config() {
-  return dedisp::KernelConfig{1, 1, 1, 1};
-}
+/// Config for flush-time partial chunks, whose length is arbitrary and
+/// need not divide the tuned tile. The empty config means "the engine's
+/// defaults", which every engine accepts on every plan shape (the tiled
+/// engines run 1×1 tiles; subband re-adapts its split), and the
+/// bitwise-exact engines stay identical across configs, so only the final
+/// (typically short) chunk pays the untuned shape.
+engine::EngineConfig partial_chunk_config() { return engine::EngineConfig{}; }
 
 /// The one place StreamingOptions maps onto engine-factory options: every
 /// consumer site (session engine, sharded executors, per-chunk multi-beam)
@@ -65,14 +65,26 @@ std::size_t session_input_padding(const StreamingOptions& options,
   return std::max(padding, fallback->capabilities().input_padding);
 }
 
+/// A legacy KernelConfig is a tiled-engine parameterization; when the
+/// session runs another engine, only the axes that engine declares carry
+/// over (pre-EngineConfig sessions ignored the foreign config entirely) —
+/// the tiled engines keep all six axes and stay strictly validated.
+engine::EngineConfig legacy_config(const dedisp::Plan& plan,
+                                   const dedisp::KernelConfig& config,
+                                   const StreamingOptions& options) {
+  return engine::restrict_to_axes(
+      engine::encode_kernel_config(config),
+      streaming_engine(options)->config_axes(plan));
+}
+
 }  // namespace
 
 StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
-                                           dedisp::KernelConfig config,
+                                           engine::EngineConfig config,
                                            Sink sink,
                                            StreamingOptions options)
     : plan_(std::move(chunk_plan)),
-      config_(config),
+      config_(std::move(config)),
       sink_(std::move(sink)),
       options_(options),
       engine_(streaming_engine(options_)),
@@ -80,7 +92,7 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
       job_input_(plan_.channels(),
                  plan_.in_samples() + session_input_padding(options_, *engine_)),
       out_full_(plan_.dms(), plan_.out_samples()) {
-  config_.validate(plan_);
+  engine_->validate_config(plan_, config_);
   if (options_.shard_workers >= 2) {
     pipeline::ShardedOptions sharded;
     sharded.workers = options_.shard_workers;
@@ -115,17 +127,33 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
   }
 }
 
+StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
+                                           dedisp::KernelConfig config,
+                                           Sink sink,
+                                           StreamingOptions options)
+    // The plan and options are passed by copy, not moved: the delegated
+    // arguments are unsequenced and legacy_config reads both.
+    : StreamingDedisperser(chunk_plan,
+                           legacy_config(chunk_plan, config, options),
+                           std::move(sink), options) {}
+
 StreamingDedisperser::TunedPlan StreamingDedisperser::resolve_tuning(
     dedisp::Plan chunk_plan, tuner::TuningCache& cache,
-    const StreamingOptions& options, tuner::GuidedTuningOptions tuning) {
-  tuning.engines = {options.engine};
+    StreamingOptions options, tuner::GuidedTuningOptions tuning) {
+  if (tuning.engines.empty()) tuning.engines = {options.engine};
   tuning.engine_options = engine_factory_options(options);
   tuning.host.stage_rows = options.cpu.stage_rows;
   tuning.host.vectorize = options.cpu.vectorize;
   tuning.host.threads = options.cpu.threads;
   tuner::GuidedTuningOutcome outcome =
       tuner::tune_guided(chunk_plan, cache, tuning);
-  return TunedPlan{std::move(chunk_plan), std::move(outcome)};
+  // Adopt the winner *before* the session is built: the delegated
+  // constructor gates the streaming capability and sizes the chunker's
+  // carried overlap from options.engine, so a winner with a larger
+  // input_padding gets a widened window instead of zero padding.
+  options.engine = outcome.engine_id;
+  return TunedPlan{std::move(chunk_plan), std::move(options),
+                   std::move(outcome)};
 }
 
 StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
@@ -134,13 +162,13 @@ StreamingDedisperser::StreamingDedisperser(dedisp::Plan chunk_plan,
                                            StreamingOptions options,
                                            tuner::GuidedTuningOptions tuning)
     : StreamingDedisperser(resolve_tuning(std::move(chunk_plan), cache,
-                                          options, std::move(tuning)),
-                           std::move(sink), options) {}
+                                          std::move(options),
+                                          std::move(tuning)),
+                           std::move(sink)) {}
 
-StreamingDedisperser::StreamingDedisperser(TunedPlan tuned, Sink sink,
-                                           StreamingOptions options)
+StreamingDedisperser::StreamingDedisperser(TunedPlan tuned, Sink sink)
     : StreamingDedisperser(std::move(tuned.plan), tuned.outcome.config,
-                           std::move(sink), std::move(options)) {
+                           std::move(sink), std::move(tuned.options)) {
   tuning_outcome_ = std::move(tuned.outcome);
 }
 
@@ -271,7 +299,7 @@ void StreamingDedisperser::run_job(const Job& job, ConstView2D<float> input) {
   const bool full = job.out_samples == plan_.out_samples();
   const dedisp::Plan plan =
       full ? plan_ : plan_.with_chunk(job.out_samples);
-  const dedisp::KernelConfig config =
+  const engine::EngineConfig config =
       full ? config_ : partial_chunk_config();
   const double data_seconds = static_cast<double>(job.out_samples) /
                               plan_.observation().sampling_rate();
@@ -477,15 +505,15 @@ LatencyReport StreamingDedisperser::latency() const {
 // ----------------------------------------------------------- multi-beam --
 
 MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
-    dedisp::Plan chunk_plan, dedisp::KernelConfig config, std::size_t beams,
+    dedisp::Plan chunk_plan, engine::EngineConfig config, std::size_t beams,
     Sink sink, StreamingOptions options)
     : plan_(std::move(chunk_plan)),
-      config_(config),
+      config_(std::move(config)),
       sink_(std::move(sink)),
       options_(options),
       engine_(streaming_engine(options_)) {
   DDMC_REQUIRE(beams > 0, "need at least one beam");
-  config_.validate(plan_);
+  engine_->validate_config(plan_, config_);
   if (options_.shard_workers >= 2) {
     pipeline::ShardedOptions sharded;
     sharded.workers = options_.shard_workers;
@@ -501,6 +529,15 @@ MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
     chunkers_.emplace_back(plan_, padding);
   }
 }
+
+MultiBeamStreamingDedisperser::MultiBeamStreamingDedisperser(
+    dedisp::Plan chunk_plan, dedisp::KernelConfig config, std::size_t beams,
+    Sink sink, StreamingOptions options)
+    // Plan and options copied, not moved: the delegated arguments are
+    // unsequenced and legacy_config reads both.
+    : MultiBeamStreamingDedisperser(chunk_plan,
+                                    legacy_config(chunk_plan, config, options),
+                                    beams, std::move(sink), options) {}
 
 void MultiBeamStreamingDedisperser::push(
     const std::vector<ConstView2D<float>>& beam_samples) {
@@ -548,7 +585,7 @@ engine::SessionTraffic MultiBeamStreamingDedisperser::telemetry() const {
 }
 
 void MultiBeamStreamingDedisperser::run_chunk(
-    const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+    const dedisp::Plan& plan, const engine::EngineConfig& config,
     const std::vector<ConstView2D<float>>& windows, std::size_t index,
     std::size_t first_sample) {
   const double assembled_at = session_clock_.seconds();

@@ -113,17 +113,28 @@ class StreamingDedisperser {
 
   /// \p chunk_plan fixes the instance (observation, DM grid) and the chunk
   /// length via its out_samples; build it with Plan::with_output_samples or
-  /// Plan::with_chunk. \p config must validate against it.
+  /// Plan::with_chunk. \p config must validate against it on the selected
+  /// engine (engine-native axes; empty = the engine's defaults).
+  StreamingDedisperser(dedisp::Plan chunk_plan, engine::EngineConfig config,
+                       Sink sink, StreamingOptions options = {});
+
+  /// Kernel-shape convenience: \p config re-encoded as the kernel axes.
   StreamingDedisperser(dedisp::Plan chunk_plan, dedisp::KernelConfig config,
                        Sink sink, StreamingOptions options = {});
 
-  /// Tune-on-first-use: resolve the kernel config from \p cache before the
+  /// Tune-on-first-use: resolve the engine config from \p cache before the
   /// session starts — an exact hit or a nearest-neighbor transfer costs no
   /// measurements (the startup path a real-time backend wants), a cold
   /// cache runs the guided search once on the chunk plan and stores the
-  /// winner for every later session. The engine knobs of \p tuning.host
-  /// are overridden by \p options.cpu so the tuned signature matches what
-  /// the session will run; inspect tuning_outcome() for what happened.
+  /// winner for every later session. When \p tuning.engines is empty only
+  /// \p options.engine is tuned; listing several ids races them by
+  /// measured wall seconds and the session *adopts the winner* before it
+  /// starts: the streaming-capability gate and the chunker's carried
+  /// overlap are taken from the winning engine, so a winner with a larger
+  /// input_padding streams real samples, not zero padding. The engine
+  /// knobs of \p tuning.host are overridden by \p options.cpu so the tuned
+  /// signature matches what the session will run; inspect tuning_outcome()
+  /// for what happened.
   StreamingDedisperser(dedisp::Plan chunk_plan, tuner::TuningCache& cache,
                        Sink sink, StreamingOptions options = {},
                        tuner::GuidedTuningOptions tuning = {});
@@ -182,17 +193,20 @@ class StreamingDedisperser {
   }
 
  private:
-  /// Plan + resolved tuning, so the cache lookup runs exactly once before
-  /// the delegated constructor starts the compute thread.
+  /// Plan + resolved tuning + the options the session will actually run
+  /// (the tuning race's winning engine adopted into options.engine), so the
+  /// cache lookup runs exactly once before the delegated constructor sizes
+  /// the chunker and starts the compute thread.
   struct TunedPlan {
     dedisp::Plan plan;
+    StreamingOptions options;
     tuner::GuidedTuningOutcome outcome;
   };
   static TunedPlan resolve_tuning(dedisp::Plan chunk_plan,
                                   tuner::TuningCache& cache,
-                                  const StreamingOptions& options,
+                                  StreamingOptions options,
                                   tuner::GuidedTuningOptions tuning);
-  StreamingDedisperser(TunedPlan tuned, Sink sink, StreamingOptions options);
+  StreamingDedisperser(TunedPlan tuned, Sink sink);
 
   struct Job {
     std::size_t index = 0;
@@ -219,7 +233,7 @@ class StreamingDedisperser {
   void rethrow_pending_error();
 
   dedisp::Plan plan_;
-  dedisp::KernelConfig config_;
+  engine::EngineConfig config_;
   Sink sink_;
   StreamingOptions options_;
   std::shared_ptr<const engine::DedispEngine> engine_;
@@ -294,6 +308,12 @@ class MultiBeamStreamingDedisperser {
   using Sink = std::function<void(const MultiBeamStreamChunk&)>;
 
   MultiBeamStreamingDedisperser(dedisp::Plan chunk_plan,
+                                engine::EngineConfig config,
+                                std::size_t beams, Sink sink,
+                                StreamingOptions options = {});
+
+  /// Kernel-shape convenience: \p config re-encoded as the kernel axes.
+  MultiBeamStreamingDedisperser(dedisp::Plan chunk_plan,
                                 dedisp::KernelConfig config,
                                 std::size_t beams, Sink sink,
                                 StreamingOptions options = {});
@@ -316,12 +336,12 @@ class MultiBeamStreamingDedisperser {
   engine::SessionTraffic telemetry() const;
 
  private:
-  void run_chunk(const dedisp::Plan& plan, const dedisp::KernelConfig& config,
+  void run_chunk(const dedisp::Plan& plan, const engine::EngineConfig& config,
                  const std::vector<ConstView2D<float>>& windows,
                  std::size_t index, std::size_t first_sample);
 
   dedisp::Plan plan_;
-  dedisp::KernelConfig config_;
+  engine::EngineConfig config_;
   Sink sink_;
   StreamingOptions options_;
   std::shared_ptr<const engine::DedispEngine> engine_;

@@ -1,6 +1,7 @@
 #include "tuner/host_tuner.hpp"
 
 #include "common/expect.hpp"
+#include "engine/engine_config.hpp"
 #include "tuner/search_space.hpp"
 #include "tuner/strategy.hpp"
 
@@ -38,14 +39,32 @@ HostTuningResult tune_host(const dedisp::Plan& plan,
   DDMC_REQUIRE(!candidates.empty(),
                "no candidate configurations for this plan");
 
+  // The strategy layer is engine-native: hand it the candidates as encoded
+  // kernel axes, translate the timings back to this module's KernelConfig
+  // vocabulary at the boundary.
+  std::vector<engine::EngineConfig> encoded;
+  encoded.reserve(candidates.size());
+  for (const dedisp::KernelConfig& cfg : candidates) {
+    encoded.push_back(engine::encode_kernel_config(cfg));
+  }
   HostKernelEvaluator evaluator(plan, options, seed);
-  const StrategyResult swept =
-      ExhaustiveSearch().search(plan, candidates, evaluator);
+  const StrategyResult swept = ExhaustiveSearch().search(
+      plan, engine::kernel_config_axes(candidates), encoded, evaluator);
 
+  const auto to_host = [](const ConfigTiming& t) {
+    HostConfigTiming host;
+    host.config = engine::decode_kernel_config(t.config);
+    host.seconds = t.seconds;
+    host.gflops = t.gflops;
+    return host;
+  };
   HostTuningResult result;
-  result.best = swept.best;
+  result.best = to_host(swept.best);
   result.stats = swept.stats;
-  result.timings = swept.timings;
+  result.timings.reserve(swept.timings.size());
+  for (const ConfigTiming& t : swept.timings) {
+    result.timings.push_back(to_host(t));
+  }
   return result;
 }
 

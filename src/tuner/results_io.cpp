@@ -14,9 +14,15 @@ namespace {
 // channel_block/unroll tuner axes, which made stale files fail with an
 // unhelpful "unexpected header" message. Since v2 the CSV leads with an
 // explicit schema line so version/column mismatches are diagnosed clearly.
+// v3 replaced the six per-kernel-axis columns with one engine-native
+// config cell ("name=value;…"), so a row can persist any engine's axes;
+// v2 files still load, their kernel-axis columns migrating into the
+// config cell.
 constexpr const char* kSchemaPrefix = "# ddmc-tuner-results ";
-constexpr int kSchemaVersion = 2;
-constexpr std::size_t kColumns = 13;
+constexpr int kSchemaVersion = 3;
+constexpr std::size_t kColumns = 8;
+constexpr int kLegacyVersion = 2;
+constexpr std::size_t kLegacyColumns = 13;
 
 /// Built from the two constants above so save and load can never disagree
 /// about what the schema line says.
@@ -28,6 +34,8 @@ const std::string& schema_line() {
 }
 
 constexpr const char* kHeader =
+    "device,observation,dms,config,gflops,seconds,snr,evaluated";
+constexpr const char* kLegacyHeader =
     "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,channel_block,"
     "unroll,gflops,seconds,snr,evaluated";
 
@@ -60,6 +68,50 @@ std::size_t parse_size(const std::string& s) {
     throw invalid_argument("malformed integer field: " + s);
   }
 }
+
+/// Shared tail of a v2 and a v3 row: everything after the config cell(s).
+void parse_row_tail(ResultRow& r, const std::vector<std::string>& cells,
+                    std::size_t first) {
+  r.gflops = parse_double(cells[first]);
+  r.seconds = parse_double(cells[first + 1]);
+  r.snr = parse_double(cells[first + 2]);
+  r.evaluated = parse_size(cells[first + 3]);
+}
+
+ResultRow parse_v3_row(const std::vector<std::string>& cells,
+                       const std::string& line) {
+  ResultRow r;
+  r.device = cells[0];
+  r.observation = cells[1];
+  r.dms = parse_size(cells[2]);
+  const auto config = engine::EngineConfig::decode(cells[3]);
+  DDMC_REQUIRE(config.has_value(),
+               "malformed config field '" + cells[3] + "': " + line);
+  r.config = *config;
+  parse_row_tail(r, cells, 4);
+  return r;
+}
+
+/// A v2 row's six kernel-axis columns become the kernel axes of an
+/// EngineConfig; encode_kernel_config omits neutral values, so a legacy
+/// untuned (1×1) row migrates to the *empty* config — valid for every
+/// engine, not just the tiled ones.
+ResultRow parse_v2_row(const std::vector<std::string>& cells) {
+  ResultRow r;
+  r.device = cells[0];
+  r.observation = cells[1];
+  r.dms = parse_size(cells[2]);
+  dedisp::KernelConfig kc;
+  kc.wi_time = parse_size(cells[3]);
+  kc.wi_dm = parse_size(cells[4]);
+  kc.elem_time = parse_size(cells[5]);
+  kc.elem_dm = parse_size(cells[6]);
+  kc.channel_block = parse_size(cells[7]);
+  kc.unroll = parse_size(cells[8]);
+  r.config = engine::encode_kernel_config(kc);
+  parse_row_tail(r, cells, 9);
+  return r;
+}
 }  // namespace
 
 ResultRow to_row(const TuningResult& result) {
@@ -67,7 +119,7 @@ ResultRow to_row(const TuningResult& result) {
   row.device = result.device_name;
   row.observation = result.observation_name;
   row.dms = result.dms;
-  row.config = result.best.config;
+  row.config = engine::encode_kernel_config(result.best.config);
   row.gflops = result.best.perf.gflops;
   row.seconds = result.best.perf.seconds;
   row.snr = result.snr_of_optimum();
@@ -83,11 +135,8 @@ void save_results(std::ostream& os, const std::vector<ResultRow>& rows) {
   os << schema_line() << "\n" << kHeader << "\n";
   for (const ResultRow& r : rows) {
     os << r.device << ',' << r.observation << ',' << r.dms << ','
-       << r.config.wi_time << ',' << r.config.wi_dm << ','
-       << r.config.elem_time << ',' << r.config.elem_dm << ','
-       << r.config.channel_block << ',' << r.config.unroll << ','
-       << r.gflops << ',' << r.seconds << ',' << r.snr << ','
-       << r.evaluated << "\n";
+       << r.config.encode() << ',' << r.gflops << ',' << r.seconds << ','
+       << r.snr << ',' << r.evaluated << "\n";
   }
   os.precision(old_precision);
 }
@@ -101,9 +150,9 @@ std::vector<ResultRow> load_results(std::istream& is) {
       "results file has no schema line (expected '" + schema_line() +
           "' as the first line, got '" + line +
           "'); the file was written by a pre-v2 build — re-run the sweep");
+  int version = 0;
+  std::size_t cols = 0;
   {
-    int version = 0;
-    std::size_t cols = 0;
     std::istringstream tag(line.substr(std::string(kSchemaPrefix).size()));
     char v = '\0';
     tag >> v >> version;
@@ -112,46 +161,39 @@ std::vector<ResultRow> load_results(std::istream& is) {
     if (cols_field.rfind("cols=", 0) == 0) {
       cols = parse_size(cols_field.substr(5));
     }
-    DDMC_REQUIRE(v == 'v' && version == kSchemaVersion,
-                 "results schema version mismatch: file says '" + line +
-                     "', this build reads v" +
-                     std::to_string(kSchemaVersion) +
-                     " — re-run the sweep to regenerate");
-    DDMC_REQUIRE(cols == kColumns,
+    DDMC_REQUIRE(
+        v == 'v' && (version == kSchemaVersion || version == kLegacyVersion),
+        "results schema version mismatch: file says '" + line +
+            "', this build reads v" + std::to_string(kSchemaVersion) +
+            " (and migrates v" + std::to_string(kLegacyVersion) +
+            ") — re-run the sweep to regenerate");
+    const std::size_t expected =
+        version == kLegacyVersion ? kLegacyColumns : kColumns;
+    DDMC_REQUIRE(cols == expected,
                  "results schema has " + std::to_string(cols) +
                      " columns, this build expects " +
-                     std::to_string(kColumns) + " ('" + line + "')");
+                     std::to_string(expected) + " for v" +
+                     std::to_string(version) + " ('" + line + "')");
   }
+  const bool legacy = version == kLegacyVersion;
+  const std::size_t columns = legacy ? kLegacyColumns : kColumns;
   DDMC_REQUIRE(static_cast<bool>(std::getline(is, line)),
                "results stream ends after the schema line");
   const std::size_t header_cols = split_csv(line).size();
-  DDMC_REQUIRE(line == kHeader,
+  DDMC_REQUIRE(line == (legacy ? kLegacyHeader : kHeader),
                "unexpected results header (" +
                    std::to_string(header_cols) + " columns, expected " +
-                   std::to_string(kColumns) + "): " + line);
+                   std::to_string(columns) + "): " + line);
   std::vector<ResultRow> rows;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    DDMC_REQUIRE(cells.size() == kColumns,
+    DDMC_REQUIRE(cells.size() == columns,
                  "results row has " + std::to_string(cells.size()) +
-                     " columns, expected " + std::to_string(kColumns) +
+                     " columns, expected " + std::to_string(columns) +
                      ": " + line);
-    ResultRow r;
-    r.device = cells[0];
-    r.observation = cells[1];
-    r.dms = parse_size(cells[2]);
-    r.config.wi_time = parse_size(cells[3]);
-    r.config.wi_dm = parse_size(cells[4]);
-    r.config.elem_time = parse_size(cells[5]);
-    r.config.elem_dm = parse_size(cells[6]);
-    r.config.channel_block = parse_size(cells[7]);
-    r.config.unroll = parse_size(cells[8]);
-    r.gflops = parse_double(cells[9]);
-    r.seconds = parse_double(cells[10]);
-    r.snr = parse_double(cells[11]);
-    r.evaluated = parse_size(cells[12]);
-    rows.push_back(std::move(r));
+    rows.push_back(legacy ? parse_v2_row(cells)
+                          : parse_v3_row(cells, line));
   }
   return rows;
 }

@@ -10,16 +10,19 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_config.hpp"
 #include "tuner/tuner.hpp"
 
 namespace ddmc::tuner {
 
-/// One persisted row: the optimal tuple plus its headline statistics.
+/// One persisted row: the optimal tuple plus its headline statistics. The
+/// config is engine-native (named axis=value pairs), so a row can carry a
+/// subband split or a quantization window as naturally as a kernel shape.
 struct ResultRow {
   std::string device;
   std::string observation;
   std::size_t dms = 0;
-  dedisp::KernelConfig config;
+  engine::EngineConfig config;
   double gflops = 0.0;
   double seconds = 0.0;
   double snr = 0.0;
@@ -30,14 +33,20 @@ struct ResultRow {
 
 ResultRow to_row(const TuningResult& result);
 
-/// Write rows as CSV, led by a schema line ("# ddmc-tuner-results v2
-/// cols=13") and a fixed column header.
+/// Write rows as CSV, led by a schema line ("# ddmc-tuner-results v3
+/// cols=8") and a fixed column header. The config cell is the
+/// EngineConfig encoding ("name=value;…", "-" when empty) — ','-free by
+/// construction, so it stays a single CSV cell.
 void save_results(std::ostream& os, const std::vector<ResultRow>& rows);
 
-/// Parse rows written by save_results. Throws ddmc::invalid_argument with a
-/// precise diagnosis on malformed input: a missing or version-mismatched
-/// schema line (a file written by an older build), a column count that does
-/// not match this build's schema, or non-numeric fields.
+/// Parse rows written by save_results. v2 files (13 columns, one column
+/// per kernel axis) still load: their six axis columns migrate into an
+/// EngineConfig as the kernel axes, with neutral values omitted — a legacy
+/// untuned row becomes the empty config, valid for every engine. Throws
+/// ddmc::invalid_argument with a precise diagnosis on malformed input: a
+/// missing schema line (a file written by a pre-v2 build), an unknown
+/// schema version, a column count that does not match the declared schema,
+/// or non-numeric fields.
 std::vector<ResultRow> load_results(std::istream& is);
 
 }  // namespace ddmc::tuner

@@ -14,14 +14,21 @@ namespace ddmc::tuner {
 
 namespace {
 
-/// Fill best/stats/chebyshev from the completed timings.
+/// Fill best/stats/chebyshev from the completed timings. The winner is the
+/// lowest *measured seconds* (a non-positive seconds — possible only in
+/// synthetic evaluators — never wins); the GFLOP/s statistics stay for the
+/// paper's population analysis.
 void finalize(StrategyResult& result) {
   DDMC_ENSURE(!result.timings.empty(), "search measured no configuration");
+  const auto rank = [](const ConfigTiming& t) {
+    return t.seconds > 0.0 ? t.seconds
+                           : std::numeric_limits<double>::infinity();
+  };
   RunningStats stats;
-  const HostConfigTiming* best = &result.timings.front();
-  for (const HostConfigTiming& t : result.timings) {
+  const ConfigTiming* best = &result.timings.front();
+  for (const ConfigTiming& t : result.timings) {
     stats.add(t.gflops);
-    if (t.gflops > best->gflops) best = &t;
+    if (rank(t) < rank(*best)) best = &t;
   }
   result.best = *best;
   result.stats.count = stats.count();
@@ -34,25 +41,14 @@ void finalize(StrategyResult& result) {
   result.chebyshev_p = chebyshev_bound(result.stats.snr_of_max);
 }
 
-HostConfigTiming to_timing(const dedisp::Plan& plan,
-                           const dedisp::KernelConfig& config,
-                           double seconds) {
-  HostConfigTiming t;
+ConfigTiming to_timing(const dedisp::Plan& plan,
+                       const engine::EngineConfig& config, double seconds) {
+  ConfigTiming t;
   t.config = config;
   t.seconds = seconds;
   t.gflops = plan.total_flop() / seconds * 1e-9;
   return t;
 }
-
-/// The six tunable axes, in the order CoordinateDescent cycles them. The
-/// cheap cache-behaviour knobs go first: they move performance the most on
-/// the host engine, so the incumbent drops early and later axis sweeps
-/// abort more of their repetitions.
-constexpr std::size_t dedisp::KernelConfig::* kAxes[] = {
-    &dedisp::KernelConfig::channel_block, &dedisp::KernelConfig::unroll,
-    &dedisp::KernelConfig::elem_dm,       &dedisp::KernelConfig::elem_time,
-    &dedisp::KernelConfig::wi_time,       &dedisp::KernelConfig::wi_dm,
-};
 
 }  // namespace
 
@@ -97,7 +93,7 @@ HostKernelEvaluator::HostKernelEvaluator(
 }
 
 ConfigEvaluator::Measurement HostKernelEvaluator::measure(
-    const dedisp::KernelConfig& config, double incumbent_seconds) {
+    const engine::EngineConfig& config, double incumbent_seconds) {
   ++measurements_;
   for (std::size_t i = 0; i < options_.warmup_runs; ++i) {
     engine_->execute(plan_, config, input_.cview(), output_.view());
@@ -124,17 +120,22 @@ ConfigEvaluator::Measurement HostKernelEvaluator::measure(
   return m;
 }
 
+std::string HostKernelEvaluator::key(const engine::EngineConfig& config) {
+  return engine_->config_key(plan_, config);
+}
+
 // ------------------------------------------------------------ exhaustive --
 
 StrategyResult ExhaustiveSearch::search(
-    const dedisp::Plan& plan,
-    const std::vector<dedisp::KernelConfig>& candidates,
+    const dedisp::Plan& plan, const std::vector<engine::AxisSpec>& axes,
+    const std::vector<engine::EngineConfig>& candidates,
     ConfigEvaluator& evaluator) const {
+  (void)axes;
   DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
   StrategyResult result;
   result.candidates = candidates.size();
   result.timings.reserve(candidates.size());
-  for (const dedisp::KernelConfig& cfg : candidates) {
+  for (const engine::EngineConfig& cfg : candidates) {
     const auto m = evaluator.measure(cfg, ConfigEvaluator::kNoIncumbent);
     ++result.evaluated;
     result.timings.push_back(to_timing(plan, cfg, m.seconds));
@@ -146,9 +147,10 @@ StrategyResult ExhaustiveSearch::search(
 // ---------------------------------------------------------------- random --
 
 StrategyResult RandomSearch::search(
-    const dedisp::Plan& plan,
-    const std::vector<dedisp::KernelConfig>& candidates,
+    const dedisp::Plan& plan, const std::vector<engine::AxisSpec>& axes,
+    const std::vector<engine::EngineConfig>& candidates,
     ConfigEvaluator& evaluator) const {
+  (void)axes;
   DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
   DDMC_REQUIRE(samples_ > 0, "RandomSearch needs at least one sample");
   StrategyResult result;
@@ -168,7 +170,7 @@ StrategyResult RandomSearch::search(
 
   result.timings.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const dedisp::KernelConfig& cfg = candidates[order[i]];
+    const engine::EngineConfig& cfg = candidates[order[i]];
     const auto m = evaluator.measure(cfg, ConfigEvaluator::kNoIncumbent);
     ++result.evaluated;
     result.timings.push_back(to_timing(plan, cfg, m.seconds));
@@ -180,36 +182,41 @@ StrategyResult RandomSearch::search(
 // --------------------------------------------------- coordinate descent --
 
 StrategyResult CoordinateDescent::search(
-    const dedisp::Plan& plan,
-    const std::vector<dedisp::KernelConfig>& candidates,
+    const dedisp::Plan& plan, const std::vector<engine::AxisSpec>& axes,
+    const std::vector<engine::EngineConfig>& candidates,
     ConfigEvaluator& evaluator) const {
   DDMC_REQUIRE(!candidates.empty(), "no candidate configurations");
   StrategyResult result;
   result.candidates = candidates.size();
 
-  // Membership is by host-execution key, so an axis move that lands on a
-  // config whose kernel we already measured under a different (wi, elem)
-  // split resolves to that measurement instead of a duplicate timing. The
-  // key is computed for the vectorized engine; for a scalar-deduped
-  // candidate list the collapsed axes simply have single-value ladders.
-  std::map<HostKernelKey, std::size_t> by_key;
+  // Membership is by the evaluator's dedup key (the engine's config_key),
+  // so an axis move that lands on a config whose execution we already
+  // measured under a different encoding resolves to that measurement
+  // instead of a duplicate timing.
+  std::map<std::string, std::size_t> by_key;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    by_key.emplace(host_kernel_key(candidates[i], plan, true), i);
+    by_key.emplace(evaluator.key(candidates[i]), i);
   }
 
-  // Per-axis ladders of the values that occur among the candidates.
-  std::vector<std::size_t> ladders[std::size(kAxes)];
-  for (std::size_t a = 0; a < std::size(kAxes); ++a) {
-    std::set<std::size_t> values;
-    for (const auto& cfg : candidates) values.insert(cfg.*kAxes[a]);
+  // Per-axis ladders: the engine's declared values, extended with any
+  // value the candidate list actually uses (caller-supplied candidates
+  // may sit off the declared ladder).
+  std::vector<std::vector<std::int64_t>> ladders(axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    std::set<std::int64_t> values(axes[a].values.begin(),
+                                  axes[a].values.end());
+    for (const engine::EngineConfig& cfg : candidates) {
+      values.insert(cfg.get(axes[a].name, axes[a].default_value));
+    }
     ladders[a].assign(values.begin(), values.end());
   }
 
-  // Memo: candidate index -> last measurement, so no kernel is timed twice
-  // — unless an earlier early-abort proved too little. An aborted entry
-  // only records a *floor* on the true mean; when a later restart asks
-  // whether the config beats a threshold above that floor, the question is
-  // genuinely open and the config is re-measured against the new threshold.
+  // Memo: candidate index -> last measurement, so no execution is timed
+  // twice — unless an earlier early-abort proved too little. An aborted
+  // entry only records a *floor* on the true mean; when a later restart
+  // asks whether the config beats a threshold above that floor, the
+  // question is genuinely open and the config is re-measured against the
+  // new threshold.
   struct Memoized {
     double seconds = 0.0;
     double lower_bound = 0.0;
@@ -264,20 +271,21 @@ StrategyResult CoordinateDescent::search(
     // Cycle the axes; line-search each along its ladder while improving.
     for (std::size_t round = 0; round < max_rounds_; ++round) {
       bool improved = false;
-      for (std::size_t a = 0; a < std::size(kAxes); ++a) {
-        const std::vector<std::size_t>& ladder = ladders[a];
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        const std::vector<std::int64_t>& ladder = ladders[a];
         if (ladder.size() < 2) continue;
         for (int dir : {+1, -1}) {
           bool moved = true;
           while (moved) {
             moved = false;
-            const std::size_t cur_value = candidates[cur].*kAxes[a];
+            const std::int64_t cur_value =
+                candidates[cur].get(axes[a].name, axes[a].default_value);
             const auto pos = static_cast<std::size_t>(
                 std::lower_bound(ladder.begin(), ladder.end(), cur_value) -
                 ladder.begin());
             // Step outward along the ladder until a value yields a valid
             // candidate (intermediate values may be invalid for this plan
-            // with the other five axes fixed).
+            // with the other axes fixed).
             for (std::size_t step = 1;; ++step) {
               const std::ptrdiff_t j =
                   static_cast<std::ptrdiff_t>(pos) +
@@ -285,10 +293,10 @@ StrategyResult CoordinateDescent::search(
               if (j < 0 || j >= static_cast<std::ptrdiff_t>(ladder.size())) {
                 break;
               }
-              dedisp::KernelConfig neighbor = candidates[cur];
-              neighbor.*kAxes[a] = ladder[static_cast<std::size_t>(j)];
-              const auto it =
-                  by_key.find(host_kernel_key(neighbor, plan, true));
+              engine::EngineConfig neighbor = candidates[cur];
+              neighbor.set(axes[a].name,
+                           ladder[static_cast<std::size_t>(j)]);
+              const auto it = by_key.find(evaluator.key(neighbor));
               if (it == by_key.end()) continue;  // invalid; keep stepping
               const Memoized m = measure_index(it->second, cur_seconds);
               if (!m.aborted && m.seconds < cur_seconds) {

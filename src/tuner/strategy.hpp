@@ -11,19 +11,24 @@
 /// a fraction of the sweep cost. This module separates the two concerns:
 ///
 ///  - a ConfigEvaluator measures one configuration (the real
-///    HostKernelEvaluator times the tiled kernel; tests plug in
+///    HostKernelEvaluator times a DedispEngine; tests plug in
 ///    deterministic synthetic evaluators);
 ///  - a SearchStrategy decides *which* configurations to measure:
 ///    ExhaustiveSearch (the paper's method), RandomSearch (N sampled
 ///    configs, quality bounded via Chebyshev over the sampled population)
-///    and CoordinateDescent (hill-climb each of the six axes with
+///    and CoordinateDescent (hill-climb each declared axis with
 ///    early-abort repetitions that stop timing a config as soon as its
 ///    partial mean proves it cannot beat the incumbent).
 ///
-/// Strategies measure each distinct host execution at most once: callers
-/// pass candidates through dedupe_host_configs, and CoordinateDescent
-/// additionally memoizes by HostKernelKey so axis moves that collapse onto
-/// an already-measured kernel are free.
+/// Strategies are engine-agnostic: they walk whatever axes the engine
+/// declares (engine::AxisSpec) over whatever candidates it enumerates, and
+/// rank by *measured seconds* — the only scale on which configurations of
+/// different engines are comparable. GFLOP/s is derived for display.
+///
+/// Strategies measure each distinct execution at most once: membership and
+/// memoization are keyed by ConfigEvaluator::key(), which the real
+/// evaluator delegates to the engine's config_key() — so axis moves that
+/// collapse onto an already-measured execution are free.
 
 #include <cstdint>
 #include <limits>
@@ -34,8 +39,8 @@
 #include "common/array2d.hpp"
 #include "common/statistics.hpp"
 #include "dedisp/cpu_kernel.hpp"
-#include "dedisp/kernel_config.hpp"
 #include "dedisp/plan.hpp"
+#include "engine/engine_config.hpp"
 #include "tuner/host_tuner.hpp"
 
 namespace ddmc::engine {
@@ -68,8 +73,15 @@ class ConfigEvaluator {
   /// (infinity disables early abort): implementations may stop timing once
   /// the repetitions already spent prove the mean over the full repetition
   /// count must exceed the incumbent.
-  virtual Measurement measure(const dedisp::KernelConfig& config,
+  virtual Measurement measure(const engine::EngineConfig& config,
                               double incumbent_seconds) = 0;
+
+  /// Deduplication key of \p config: two configs with equal keys run the
+  /// identical execution, so strategies time only one of them. The real
+  /// evaluator delegates to the engine's config_key().
+  virtual std::string key(const engine::EngineConfig& config) {
+    return config.encode();
+  }
 
   static constexpr double kNoIncumbent =
       std::numeric_limits<double>::infinity();
@@ -94,8 +106,10 @@ class HostKernelEvaluator : public ConfigEvaluator {
                       const HostTuningOptions& options,
                       std::uint64_t seed = 42);
 
-  Measurement measure(const dedisp::KernelConfig& config,
+  Measurement measure(const engine::EngineConfig& config,
                       double incumbent_seconds) override;
+
+  std::string key(const engine::EngineConfig& config) override;
 
   std::size_t measurements() const { return measurements_; }
 
@@ -108,30 +122,43 @@ class HostKernelEvaluator : public ConfigEvaluator {
   std::size_t measurements_ = 0;
 };
 
+/// One completed measurement: an engine-native config and its timing.
+struct ConfigTiming {
+  engine::EngineConfig config;
+  double seconds = 0.0;  ///< mean of the timed repetitions
+  double gflops = 0.0;   ///< paper metric on the mean time (display only)
+};
+
 /// Outcome of one strategy run over one candidate space.
 struct StrategyResult {
-  HostConfigTiming best;
+  /// The candidate with the lowest measured seconds — *wall time*, not
+  /// GFLOP/s, decides: on one plan the two rank identically within one
+  /// engine, but seconds is the scale that stays comparable across
+  /// engines (and across differently-credited cache entries).
+  ConfigTiming best;
   std::size_t candidates = 0;  ///< size of the (deduplicated) search space
   std::size_t evaluated = 0;   ///< distinct configs timed (incl. aborted)
   std::size_t aborted = 0;     ///< of which stopped by early abort
   StatsSummary stats;          ///< over GFLOP/s of the completed timings
-  std::vector<HostConfigTiming> timings;  ///< completed measurements only
+  std::vector<ConfigTiming> timings;  ///< completed measurements only
   /// Chebyshev upper bound on the probability that a uniformly guessed
   /// configuration performs at least as far above the population mean as
   /// the found optimum (the paper's guessing argument, §IV-C).
   double chebyshev_p = 1.0;
 };
 
-/// A search policy over a fixed candidate list. Candidates must already be
-/// validated against the plan and deduplicated (tune_host and tune_guided
-/// do both); strategies never re-measure a configuration they have seen.
+/// A search policy over a fixed candidate list. \p axes is the engine's
+/// declared parameterization (CoordinateDescent walks their ladders;
+/// space-sampling strategies ignore it). Candidates must already be valid
+/// for the plan and deduplicated (engines enumerate them so); strategies
+/// never re-measure a configuration they have seen.
 class SearchStrategy {
  public:
   virtual ~SearchStrategy() = default;
   virtual std::string name() const = 0;
   virtual StrategyResult search(
-      const dedisp::Plan& plan,
-      const std::vector<dedisp::KernelConfig>& candidates,
+      const dedisp::Plan& plan, const std::vector<engine::AxisSpec>& axes,
+      const std::vector<engine::EngineConfig>& candidates,
       ConfigEvaluator& evaluator) const = 0;
 };
 
@@ -141,7 +168,8 @@ class ExhaustiveSearch : public SearchStrategy {
  public:
   std::string name() const override { return "exhaustive"; }
   StrategyResult search(const dedisp::Plan& plan,
-                        const std::vector<dedisp::KernelConfig>& candidates,
+                        const std::vector<engine::AxisSpec>& axes,
+                        const std::vector<engine::EngineConfig>& candidates,
                         ConfigEvaluator& evaluator) const override;
 };
 
@@ -156,7 +184,8 @@ class RandomSearch : public SearchStrategy {
 
   std::string name() const override { return "random"; }
   StrategyResult search(const dedisp::Plan& plan,
-                        const std::vector<dedisp::KernelConfig>& candidates,
+                        const std::vector<engine::AxisSpec>& axes,
+                        const std::vector<engine::EngineConfig>& candidates,
                         ConfigEvaluator& evaluator) const override;
 
  private:
@@ -164,16 +193,15 @@ class RandomSearch : public SearchStrategy {
   std::uint64_t seed_;
 };
 
-/// Hill-climb each of the six axes (wi_time, wi_dm, elem_time, elem_dm,
-/// channel_block, unroll) in turn: from a seeded random probe of the space,
-/// line-search every axis along its ladder of valid values, moving while
-/// the measured time improves, until a full round over all axes finds
-/// nothing better. Every non-probe measurement passes the current point's
-/// time to the evaluator as the abort threshold, so hopeless configs are
-/// abandoned after a partial repetition count (early abort). `restarts`
-/// additional descents from fresh seeded probes escape local optima; all
-/// restarts share the measurement memo, so re-entering an explored basin
-/// costs nothing.
+/// Hill-climb each declared axis in turn: from a seeded random probe of
+/// the space, line-search every axis along its ladder of values, moving
+/// while the measured time improves, until a full round over all axes
+/// finds nothing better. Every non-probe measurement passes the current
+/// point's time to the evaluator as the abort threshold, so hopeless
+/// configs are abandoned after a partial repetition count (early abort).
+/// `restarts` additional descents from fresh seeded probes escape local
+/// optima; all restarts share the measurement memo, so re-entering an
+/// explored basin costs nothing.
 class CoordinateDescent : public SearchStrategy {
  public:
   explicit CoordinateDescent(std::uint64_t seed = 42,
@@ -187,7 +215,8 @@ class CoordinateDescent : public SearchStrategy {
 
   std::string name() const override { return "coordinate-descent"; }
   StrategyResult search(const dedisp::Plan& plan,
-                        const std::vector<dedisp::KernelConfig>& candidates,
+                        const std::vector<engine::AxisSpec>& axes,
+                        const std::vector<engine::EngineConfig>& candidates,
                         ConfigEvaluator& evaluator) const override;
 
  private:

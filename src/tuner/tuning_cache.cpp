@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -293,8 +294,8 @@ std::optional<CacheEntry> TuningCache::find_exact(
 }
 
 std::optional<CacheEntry> TuningCache::find_nearest(
-    const HostSignature& host, const dedisp::Plan& plan,
-    double max_distance) const {
+    const HostSignature& host, const dedisp::Plan& plan, double max_distance,
+    const std::function<bool(const engine::EngineConfig&)>& usable) const {
   const PlanSignature target = PlanSignature::of(plan);
   std::lock_guard<std::mutex> lock(mutex_);
   std::optional<CacheEntry> best;
@@ -303,10 +304,8 @@ std::optional<CacheEntry> TuningCache::find_nearest(
     if (entry.host != host) continue;
     const double d = plan_distance(entry.plan, target);
     if (d > best_distance || (best && d >= best_distance)) continue;
-    try {
-      entry.config.validate(plan);
-    } catch (const config_error&) {
-      continue;  // does not divide the target plan; try the next-closest
+    if (usable && !usable(entry.config)) {
+      continue;  // not valid for the target plan; try the next-closest
     }
     best = entry;
     best_distance = d;
@@ -413,22 +412,37 @@ GuidedTuningOutcome tune_one_engine(
     span.arg("gflops", gflops);
   };
 
+  // Only the engine can judge its configs: the same predicate gates the
+  // exact hit (a stale or hand-seeded entry must not crash the ladder —
+  // an unusable hit falls through to transfer/search) and the
+  // nearest-neighbor scan.
+  const auto usable = [&](const engine::EngineConfig& config) {
+    try {
+      engine->validate_config(plan, config);
+      return true;
+    } catch (const config_error&) {
+      return false;
+    }
+  };
+
   GuidedTuningOutcome outcome;
   outcome.engine_id = engine->id();
-  if (const auto hit = cache.find_exact(host, target)) {
-    hit->config.validate(plan);
+  if (const auto hit = cache.find_exact(host, target);
+      hit && usable(hit->config)) {
     outcome.source = GuidedTuningOutcome::Source::kCacheHit;
     outcome.config = hit->config;
+    outcome.seconds = hit->seconds;
     outcome.gflops = hit->gflops;
     outcome.transfer_distance = 0.0;
     note("hit", 0, outcome.gflops);
     return outcome;
   }
   if (options.allow_transfer) {
-    if (const auto near =
-            cache.find_nearest(host, plan, options.max_transfer_distance)) {
+    if (const auto near = cache.find_nearest(
+            host, plan, options.max_transfer_distance, usable)) {
       outcome.source = GuidedTuningOutcome::Source::kTransfer;
       outcome.config = near->config;
+      outcome.seconds = near->seconds;
       outcome.gflops = near->gflops;
       outcome.transfer_distance = plan_distance(near->plan, target);
       if (validate_transfers) {
@@ -436,6 +450,7 @@ GuidedTuningOutcome tune_one_engine(
                                       options.seed);
         const auto m = evaluator.measure(outcome.config,
                                          ConfigEvaluator::kNoIncumbent);
+        outcome.seconds = m.seconds;
         outcome.gflops = plan.total_flop() / m.seconds * 1e-9;
         outcome.configs_evaluated = 1;
         CacheEntry entry;
@@ -452,7 +467,7 @@ GuidedTuningOutcome tune_one_engine(
     }
   }
 
-  const std::vector<dedisp::KernelConfig> candidates =
+  const std::vector<engine::EngineConfig> candidates =
       engine->config_space(plan);
   DDMC_REQUIRE(!candidates.empty(),
                "engine '" + engine->id() +
@@ -460,7 +475,8 @@ GuidedTuningOutcome tune_one_engine(
   HostKernelEvaluator evaluator(engine, plan, options.host, options.seed);
   const auto strategy =
       make_strategy(options.strategy, options.random_samples, options.seed);
-  StrategyResult searched = strategy->search(plan, candidates, evaluator);
+  StrategyResult searched = strategy->search(plan, engine->config_axes(plan),
+                                             candidates, evaluator);
 
   CacheEntry entry;
   entry.host = host;
@@ -473,6 +489,7 @@ GuidedTuningOutcome tune_one_engine(
 
   outcome.source = GuidedTuningOutcome::Source::kSearch;
   outcome.config = searched.best.config;
+  outcome.seconds = searched.best.seconds;
   outcome.gflops = searched.best.gflops;
   outcome.configs_evaluated = searched.evaluated;
   outcome.search = std::move(searched);
@@ -484,8 +501,10 @@ GuidedTuningOutcome tune_one_engine(
 
 GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
                                 const GuidedTuningOptions& options) {
-  DDMC_REQUIRE(!options.engines.empty(),
-               "tune_guided needs at least one engine id");
+  const std::vector<std::string> engines =
+      options.engines.empty()
+          ? std::vector<std::string>{engine::kDefaultEngineId}
+          : options.engines;
   engine::EngineOptions engine_options = options.engine_options;
   engine_options.cpu.stage_rows = options.host.stage_rows;
   engine_options.cpu.vectorize = options.host.vectorize;
@@ -494,21 +513,26 @@ GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
   // Resolve every engine's ladder independently; each search winner is
   // stored under its own (engine, host, plan) signature, so the cross-
   // engine comparison is itself answered from the cache on the next call.
-  // All engines report the paper's GFLOP/s metric on the *same* credited
-  // flop count (plan.total_flop()), so comparing it ranks engines by wall
-  // time regardless of how much work each actually performs — provided the
-  // figures come from this plan, which is why multi-engine runs validate
+  // The race is decided on *measured wall seconds* — engines' GFLOP/s
+  // figures may credit different flop counts (stored entries, the subband
+  // engine's flop reduction), so the derived metric can rank in the wrong
+  // order while seconds cannot. Figures must come from this plan for the
+  // comparison to hold, which is why multi-engine runs validate
   // transferred configs with one measurement.
-  const bool validate_transfers = options.engines.size() > 1;
+  const bool validate_transfers = engines.size() > 1;
+  const auto rank = [](const GuidedTuningOutcome& o) {
+    return o.seconds > 0.0 ? o.seconds
+                           : std::numeric_limits<double>::infinity();
+  };
   std::optional<GuidedTuningOutcome> best;
   std::size_t evaluated = 0;
-  for (const std::string& id : options.engines) {
+  for (const std::string& id : engines) {
     GuidedTuningOutcome outcome =
         tune_one_engine(plan, cache, options,
                         engine::make_engine(id, engine_options),
                         validate_transfers);
     evaluated += outcome.configs_evaluated;
-    if (!best || outcome.gflops > best->gflops) {
+    if (!best || rank(outcome) < rank(*best)) {
       best = std::move(outcome);
     }
   }

@@ -17,14 +17,16 @@
 ///                    the requested plan: reuse its config, zero
 ///                    measurements;
 ///   3. guided search — fall back to a SearchStrategy (CoordinateDescent
-///                    by default) over the deduplicated host space, and
-///                    store the winner for next time.
+///                    by default) over the engine's declared config space,
+///                    and store the winner for next time.
 ///
-/// Persistence is layered on results_io's v2 CSV: the host signature is
-/// encoded in the `device` column and the plan signature in the
-/// `observation` column, so a cache file is an ordinary results file that
-/// the existing diagnostics (schema line, column counts) already cover.
+/// Persistence is layered on results_io's v3 CSV: the host signature is
+/// encoded in the `device` column, the plan signature in the
+/// `observation` column and the engine-native config in the `config`
+/// column, so a cache file is an ordinary results file that the existing
+/// diagnostics (schema line, column counts, v2 migration) already cover.
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -96,11 +98,13 @@ struct PlanSignature {
 /// as 1024→2048.
 double plan_distance(const PlanSignature& a, const PlanSignature& b);
 
-/// One cached tuple.
+/// One cached tuple. The config is engine-native: named axis=value pairs
+/// that only the entry's engine (host.engine_id) interprets — a kernel
+/// shape for the tiled engines, a channel split for the subband engine.
 struct CacheEntry {
   HostSignature host;
   PlanSignature plan;
-  dedisp::KernelConfig config;
+  engine::EngineConfig config;
   double gflops = 0.0;
   double seconds = 0.0;
   std::size_t evaluated = 0;  ///< configs the producing search measured
@@ -141,10 +145,15 @@ class TuningCache {
 
   /// Nearest-neighbor transfer: the entry with the same host signature
   /// closest to \p plan (plan_distance ≤ \p max_distance) whose config
-  /// validates against \p plan. Exact hits are also found by this.
+  /// passes \p usable (callers pass the engine's validate_config; an empty
+  /// predicate accepts everything). The cache itself cannot judge a
+  /// config's validity — only the engine that declares the axes can.
+  /// Exact hits are also found by this.
   std::optional<CacheEntry> find_nearest(
       const HostSignature& host, const dedisp::Plan& plan,
-      double max_distance = kDefaultMaxTransferDistance) const;
+      double max_distance = kDefaultMaxTransferDistance,
+      const std::function<bool(const engine::EngineConfig&)>& usable =
+          {}) const;
 
   /// Insert or replace the entry with \p entry's (host, plan) key; rewrites
   /// the backing file when file-backed.
@@ -172,8 +181,10 @@ struct GuidedTuningOptions {
   /// classic single-engine ladder; several make the engine itself a search
   /// axis — each engine resolves through its own hit → transfer → search
   /// ladder and the fastest result wins (platform choice as a tuning
-  /// decision).
-  std::vector<std::string> engines = {engine::kDefaultEngineId};
+  /// decision). Empty means "the caller decides": consumers (the
+  /// pipeline, sharded and streaming layers) substitute their configured
+  /// engine, and a bare tune_guided call substitutes the default engine.
+  std::vector<std::string> engines;
   /// Measurement knobs (repetitions, host-execution flags, threads) — also
   /// the source of the host signature.
   HostTuningOptions host;
@@ -195,10 +206,18 @@ struct GuidedTuningOutcome {
   enum class Source { kCacheHit, kTransfer, kSearch };
   Source source = Source::kSearch;
   /// Registry id of the winning engine (the engine axis of the search).
+  /// The consumer that requested the tuning *adopts* this engine — it may
+  /// differ from the engine the consumer was constructed with.
   std::string engine_id = engine::kDefaultEngineId;
-  dedisp::KernelConfig config;
-  /// Measured GFLOP/s (search), or the stored figure of the reused entry
-  /// (hit/transfer — measured on the *source* plan, an estimate here).
+  engine::EngineConfig config;
+  /// Measured wall seconds (search), or the stored figure of the reused
+  /// entry (hit/transfer — measured on the *source* plan, an estimate
+  /// here). This — not GFLOP/s — is what ranks engines against each other:
+  /// seconds is the only scale still comparable when entries credit
+  /// different flop counts. Non-positive means unmeasured and never wins
+  /// a multi-engine race.
+  double seconds = 0.0;
+  /// The paper's GFLOP/s figure on the same measurement, for display.
   double gflops = 0.0;
   std::size_t configs_evaluated = 0;  ///< 0 on a hit or transfer
   /// Distance of the transfer source (0 for exact hits, unset for search).
@@ -207,12 +226,14 @@ struct GuidedTuningOutcome {
   std::optional<StrategyResult> search;
 };
 
-/// Tune-on-first-use: for every engine in \p options.engines, answer from
-/// \p cache when possible (exact hit, then nearest-neighbor transfer),
-/// otherwise run the configured guided search on the real engine and store
-/// the winner under its (engine, host, plan) signature; the fastest
-/// engine's outcome is returned. The returned config always validates
-/// against \p plan.
+/// Tune-on-first-use: for every engine in \p options.engines (the default
+/// engine when empty), answer from \p cache when possible (exact hit, then
+/// nearest-neighbor transfer), otherwise run the configured guided search
+/// over the engine's declared config space and store the winner under its
+/// (engine, host, plan) signature; the outcome with the lowest measured
+/// seconds is returned. Engines without tunable knobs race as
+/// single-candidate entries (their empty config). The returned config
+/// always validates against \p plan on the returned engine.
 GuidedTuningOutcome tune_guided(const dedisp::Plan& plan, TuningCache& cache,
                                 const GuidedTuningOptions& options = {});
 

@@ -88,10 +88,10 @@ class NamedForwardingEngine final : public DedispEngine {
   }
   const EngineOptions& options() const override { return inner_->options(); }
   std::string variant() const override { return inner_->variant(); }
-  std::vector<KernelConfig> config_space(const Plan& plan) const override {
+  std::vector<EngineConfig> config_space(const Plan& plan) const override {
     return inner_->config_space(plan);
   }
-  EngineRun execute_impl(const Plan& plan, const KernelConfig& config,
+  EngineRun execute_impl(const Plan& plan, const EngineConfig& config,
                          ConstView2D<float> in,
                          View2D<float> out) const override {
     return inner_->execute(plan, config, in, out);
@@ -212,11 +212,13 @@ TEST(EngineCapabilities, MatrixMatchesTheContract) {
   EXPECT_TRUE(reference.bitwise_exact);
   EXPECT_FALSE(reference.tunable);
 
+  // The subband engine now declares its own axes (subbands, coarse_step):
+  // tunable through the engine-native config space, still not shardable.
   const EngineCapabilities subband = caps("subband");
   EXPECT_FALSE(subband.supports_sharding);
   EXPECT_TRUE(subband.supports_streaming);
   EXPECT_FALSE(subband.bitwise_exact);
-  EXPECT_FALSE(subband.tunable);
+  EXPECT_TRUE(subband.tunable);
   EXPECT_EQ(subband.input_padding, 2u);
 
   const EngineCapabilities sim = caps("ocl_sim");
@@ -242,17 +244,92 @@ TEST(EngineCapabilities, ConfigSpaceMatchesTunability) {
   const Plan plan = testing::mini_plan(8, 64);
   for (const char* id : kBuiltins) {
     const auto engine = make_engine(id);
-    const std::vector<KernelConfig> space = engine->config_space(plan);
+    const std::vector<EngineConfig> space = engine->config_space(plan);
     ASSERT_FALSE(space.empty()) << id;
     if (engine->capabilities().tunable) {
       EXPECT_GT(space.size(), 1u) << id;
     } else {
       EXPECT_EQ(space.size(), 1u) << id;
     }
-    for (const KernelConfig& cfg : space) {
-      EXPECT_NO_THROW(cfg.validate(plan)) << id << " " << cfg.to_string();
+    for (const EngineConfig& cfg : space) {
+      EXPECT_NO_THROW(engine->validate_config(plan, cfg))
+          << id << " " << cfg.to_string();
     }
   }
+}
+
+TEST(EngineCapabilities, DeclaredAxesAreEngineNative) {
+  const Plan plan = testing::mini_plan(8, 64);
+
+  // The tiled engines declare the six kernel axes.
+  const auto tiled_axes = make_engine("cpu_tiled")->config_axes(plan);
+  std::set<std::string> tiled_names;
+  for (const AxisSpec& axis : tiled_axes) tiled_names.insert(axis.name);
+  for (const char* name : kKernelAxisNames) {
+    EXPECT_TRUE(tiled_names.count(name)) << name;
+  }
+
+  // The subband engine declares its own two knobs — the paper's point that
+  // profitable axes are kernel-specific — and none of the tile axes.
+  const auto subband_axes = make_engine("subband")->config_axes(plan);
+  std::set<std::string> subband_names;
+  for (const AxisSpec& axis : subband_axes) {
+    subband_names.insert(axis.name);
+    EXPECT_GT(axis.values.size(), 0u) << axis.name;
+  }
+  EXPECT_EQ(subband_names,
+            (std::set<std::string>{"subbands", "coarse_step"}));
+
+  // The u8 engine rides the kernel axes plus its quantization window.
+  const auto u8_axes = make_engine("cpu_tiled_u8")->config_axes(plan);
+  std::set<std::string> u8_names;
+  for (const AxisSpec& axis : u8_axes) u8_names.insert(axis.name);
+  EXPECT_TRUE(u8_names.count("quant_window"));
+  EXPECT_TRUE(u8_names.count("wi_time"));
+
+  // Non-tunable engines declare nothing.
+  EXPECT_TRUE(make_engine("reference")->config_axes(plan).empty());
+  EXPECT_TRUE(make_engine("cpu_baseline")->config_axes(plan).empty());
+}
+
+TEST(EngineConfigValidation, UnknownAxisNamesTheEngineAndAxis) {
+  const Plan plan = testing::mini_plan(8, 64);
+  // A tile axis is meaningless to subband; a split axis is meaningless to
+  // cpu_tiled. Both reject with the engine and axis named.
+  try {
+    make_engine("subband")->validate_config(
+        plan, EngineConfig{}.set("wi_time", 4));
+    FAIL() << "subband accepted a kernel axis";
+  } catch (const config_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("subband"), std::string::npos) << what;
+    EXPECT_NE(what.find("wi_time"), std::string::npos) << what;
+  }
+  EXPECT_THROW(make_engine("cpu_tiled")->validate_config(
+                   plan, EngineConfig{}.set("subbands", 4)),
+               config_error);
+  // The empty config is valid for every engine (its untuned defaults).
+  for (const char* id : kBuiltins) {
+    EXPECT_NO_THROW(make_engine(id)->validate_config(plan, EngineConfig{}))
+        << id;
+  }
+}
+
+TEST(EngineConfigValidation, SubbandRejectsNonDivisorSplits) {
+  const Plan plan = testing::mini_plan(8, 64);
+  const auto engine = make_engine("subband");
+  try {
+    engine->validate_config(plan, EngineConfig{}.set("subbands", 3));
+    FAIL() << "subband accepted a non-divisor split";
+  } catch (const config_error& e) {
+    EXPECT_NE(std::string(e.what()).find("subbands"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      engine->validate_config(plan, EngineConfig{}.set("coarse_step", 3)),
+      config_error);
+  EXPECT_NO_THROW(engine->validate_config(
+      plan, EngineConfig{}.set("subbands", 4).set("coarse_step", 2)));
 }
 
 // ------------------------------------------------------------- equivalence --
@@ -610,7 +687,8 @@ TEST(EngineTuning, TuneGuidedSearchesAcrossEngines) {
   EXPECT_TRUE(cold.engine_id == "cpu_tiled" || cold.engine_id == "subband")
       << cold.engine_id;
   EXPECT_GT(cold.configs_evaluated, 0u);
-  EXPECT_NO_THROW(cold.config.validate(plan));
+  EXPECT_NO_THROW(
+      make_engine(cold.engine_id)->validate_config(plan, cold.config));
 
   // Both engines' ladders were resolved and stored under their own ids.
   std::set<std::string> stored;
@@ -702,10 +780,12 @@ TEST(EngineConfig, UnsupportedUnrollHintsFailFast) {
                                                    "cpu_tiled");
     EXPECT_THROW(dd.set_config(cfg), config_error);
   }
-  // No engine offers an unsupported hint to the tuner.
+  // No engine offers an unsupported hint to the tuner (absent axes decode
+  // to their neutral defaults, which are supported).
   for (const char* id : kBuiltins) {
-    for (const KernelConfig& cfg : make_engine(id)->config_space(plan)) {
-      EXPECT_TRUE(simd::is_supported_unroll(cfg.unroll))
+    for (const EngineConfig& cfg : make_engine(id)->config_space(plan)) {
+      const KernelConfig kc = decode_kernel_config(cfg);
+      EXPECT_TRUE(simd::is_supported_unroll(kc.unroll))
           << id << " " << cfg.to_string();
     }
   }

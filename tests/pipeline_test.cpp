@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/expect.hpp"
 #include "ocl/device_presets.hpp"
@@ -40,7 +42,7 @@ TEST(Dedisperser, AllBitwiseEnginesAgreeBitExactly) {
 TEST(Dedisperser, TuneForSetsTheOptimalConfig) {
   Dedisperser dd = small("cpu_tiled");
   const tuner::TuningResult r = dd.tune_for(ocl::amd_hd7970());
-  EXPECT_EQ(dd.config(), r.best.config);
+  EXPECT_EQ(dd.config(), engine::encode_kernel_config(r.best.config));
   EXPECT_GT(r.evaluated, 0u);
   // The tuned config must execute.
   const Array2D<float> in = random_input(dd.plan());
@@ -86,22 +88,130 @@ TEST(Dedisperser, TuneCachedHitsTheCacheOnSecondUse) {
   EXPECT_EQ(miss.source, tuner::GuidedTuningOutcome::Source::kSearch);
 }
 
-TEST(Dedisperser, TuneCachedRequiresATunableEngine) {
-  // A measured kernel-shape optimum is meaningless to an engine whose
-  // capabilities report !tunable, so tune_cached refuses (naming the
-  // capability) instead of silently skewing them.
+TEST(Dedisperser, TuneCachedRacesNonTunableEnginesAsSingleCandidates) {
+  // Engines without tunable knobs used to be rejected outright; with
+  // engine-native config spaces they race as single-candidate entries —
+  // the empty config, "the engine's defaults" — so a cross-engine race can
+  // include e.g. the reference baseline without special-casing.
   tuner::TuningCache cache;
-  for (const char* id : {"reference", "cpu_baseline", "subband", "ocl_sim"}) {
+  tuner::GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  for (const char* id : {"reference", "cpu_baseline", "ocl_sim"}) {
     SCOPED_TRACE(id);
     Dedisperser dd = small(id);
-    try {
-      dd.tune_cached(cache);
-      FAIL() << "tune_cached accepted a non-tunable engine";
-    } catch (const invalid_argument& e) {
-      EXPECT_NE(std::string(e.what()).find("tunable"), std::string::npos);
+    const tuner::GuidedTuningOutcome o = dd.tune_cached(cache, opt);
+    EXPECT_EQ(o.engine_id, id);
+    EXPECT_EQ(o.source, tuner::GuidedTuningOutcome::Source::kSearch);
+    EXPECT_EQ(o.configs_evaluated, 1u);
+    EXPECT_TRUE(o.config.empty()) << o.config.to_string();
+  }
+  EXPECT_EQ(cache.size(), 3u);  // one defaults entry per engine
+}
+
+TEST(Dedisperser, TuneCachedSearchesTheSubbandNativeAxes) {
+  // The acceptance seam of the engine-native refactor: tuning the subband
+  // engine searches *its* axes (subbands × coarse_step), not the tiled
+  // kernel shape that is meaningless to it.
+  tuner::TuningCache cache;
+  tuner::GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  Dedisperser dd = small("subband");
+  dedisp::CpuKernelOptions cpu;
+  cpu.threads = 1;
+  dd.set_cpu_options(cpu);
+  const tuner::GuidedTuningOutcome o = dd.tune_cached(cache, opt);
+  EXPECT_EQ(o.engine_id, "subband");
+  EXPECT_EQ(o.source, tuner::GuidedTuningOutcome::Source::kSearch);
+  EXPECT_GT(o.configs_evaluated, 1u);
+  for (const auto& [name, value] : o.config.axes) {
+    EXPECT_TRUE(name == "subbands" || name == "coarse_step") << name;
+  }
+  EXPECT_EQ(dd.config(), o.config);
+  // The tuned session still computes: the adopted split is valid.
+  const Array2D<float> in = random_input(dd.plan());
+  EXPECT_NO_THROW(dd.dedisperse(in.cview()));
+}
+
+// ---------------------------------------------------------- engine adoption --
+
+tuner::GuidedTuningOptions race_options(std::vector<std::string> engines) {
+  tuner::GuidedTuningOptions opt;
+  opt.engines = std::move(engines);
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  return opt;
+}
+
+/// Rewrite every cached entry of \p engine_id to report \p seconds, so a
+/// warm multi-engine race has a deterministic winner (store() replaces by
+/// (host, plan) signature).
+void pin_cached_seconds(tuner::TuningCache& cache, const std::string& engine_id,
+                        double seconds) {
+  const std::vector<tuner::CacheEntry> entries = cache.entries();
+  for (tuner::CacheEntry entry : entries) {
+    if (entry.host.engine_id == engine_id) {
+      entry.seconds = seconds;
+      cache.store(entry);
     }
   }
-  EXPECT_EQ(cache.size(), 0u);  // nothing was measured or stored
+}
+
+TEST(Dedisperser, TuneCachedAdoptsTheRaceWinner) {
+  // When tune_cached races several engines, the winner is part of the
+  // tuning decision: the Dedisperser switches to it, so subsequent
+  // dedisperse() calls run the winning engine — here deliberately not the
+  // engine the Dedisperser was constructed with.
+  tuner::TuningCache cache;
+  for (const char* id : {"cpu_tiled", "cpu_baseline"}) {
+    Dedisperser dd = small(id);
+    dd.tune_cached(cache, race_options({id}));
+  }
+  pin_cached_seconds(cache, "cpu_baseline", 1e-9);
+  pin_cached_seconds(cache, "cpu_tiled", 1.0);
+
+  Dedisperser dd = small("cpu_tiled");
+  const tuner::GuidedTuningOutcome o =
+      dd.tune_cached(cache, race_options({"cpu_tiled", "cpu_baseline"}));
+  EXPECT_EQ(o.engine_id, "cpu_baseline");
+  EXPECT_EQ(dd.engine_id(), "cpu_baseline");  // adopted != requested
+  EXPECT_EQ(o.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(o.configs_evaluated, 0u);  // whole race answered from the cache
+
+  // The adopted engine computes the same science (bitwise here: both the
+  // requested and the adopted engine are bitwise-exact).
+  Dedisperser ref = small("reference");
+  const Array2D<float> in = random_input(ref.plan());
+  expect_same_matrix(ref.dedisperse(in.cview()), dd.dedisperse(in.cview()));
+}
+
+TEST(Dedisperser, ShardedExecutionRejectsANonShardingRaceWinner) {
+  // Adoption must honor the already-selected execution mode: a winner
+  // whose capabilities cannot shard fails fast, naming the capability —
+  // not later inside a worker pool.
+  tuner::TuningCache cache;
+  for (const char* id : {"cpu_tiled", "subband"}) {
+    Dedisperser dd = small(id);
+    dd.tune_cached(cache, race_options({id}));
+  }
+  pin_cached_seconds(cache, "subband", 1e-9);
+  pin_cached_seconds(cache, "cpu_tiled", 1.0);
+
+  Dedisperser dd = small("cpu_tiled");
+  dd.set_execution(Execution::kDmSharded, 2);
+  try {
+    dd.tune_cached(cache, race_options({"cpu_tiled", "subband"}));
+    FAIL() << "a non-sharding winner was adopted under kDmSharded";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("supports_sharding"), std::string::npos) << what;
+    EXPECT_NE(what.find("subband"), std::string::npos) << what;
+  }
+  // The session stays on its original engine and remains usable.
+  EXPECT_EQ(dd.engine_id(), "cpu_tiled");
+  const Array2D<float> in = random_input(dd.plan());
+  EXPECT_NO_THROW(dd.dedisperse(in.cview()));
 }
 
 TEST(Dedisperser, SetConfigValidates) {

@@ -743,7 +743,7 @@ tuner::CacheEntry sample_entry(const Plan& plan) {
   tuner::CacheEntry entry;
   entry.host = tuner::HostSignature::of(dedisp::CpuKernelOptions{});
   entry.plan = tuner::PlanSignature::of(plan);
-  entry.config = KernelConfig{1, 1, 1, 1};
+  entry.config = engine::encode_kernel_config(KernelConfig{1, 1, 1, 1});
   entry.gflops = 1.0;
   entry.seconds = 0.5;
   entry.evaluated = 1;

@@ -13,6 +13,7 @@
 #include "common/expect.hpp"
 #include "common/random.hpp"
 #include "dedisp/cpu_kernel.hpp"
+#include "engine/engine_config.hpp"
 #include "pipeline/dedisperser.hpp"
 #include "pipeline/multibeam.hpp"
 #include "pipeline/sharding.hpp"
@@ -182,7 +183,8 @@ TEST(ShardedDedisperser, AdaptsTheDmTileToEachShard) {
   const ShardedDedisperser sharded(plan, config, opts);
   for (std::size_t i = 0; i < sharded.shard_count(); ++i) {
     SCOPED_TRACE("shard " + std::to_string(i));
-    const KernelConfig& c = sharded.shard_config(i);
+    const KernelConfig c =
+        engine::decode_kernel_config(sharded.shard_config(i));
     EXPECT_EQ(c.tile_time(), config.tile_time());  // time tile untouched
     EXPECT_EQ(sharded.shard_plan(i).dms() % c.tile_dm(), 0u);
     EXPECT_NO_THROW(c.validate(sharded.shard_plan(i)));

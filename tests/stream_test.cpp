@@ -14,6 +14,8 @@
 #include "common/expect.hpp"
 #include "common/random.hpp"
 #include "dedisp/reference.hpp"
+#include "engine/engine_config.hpp"
+#include "engine/registry.hpp"
 #include "stream/chunker.hpp"
 #include "stream/latency.hpp"
 #include "stream/ring_buffer.hpp"
@@ -429,7 +431,7 @@ TEST(StreamingDedisperser, TuneOnFirstUseFromTheCache) {
   opts.async = false;
   opts.cpu.threads = 1;
 
-  dedisp::KernelConfig tuned;
+  engine::EngineConfig tuned;
   {
     Collector collect(batch.dms(), total_out);
     StreamingDedisperser session(batch.with_chunk(32), cache,
@@ -477,6 +479,105 @@ TEST(StreamingDedisperser, TuneOnFirstUseFromTheCache) {
   StreamingDedisperser manual(batch.with_chunk(64), KernelConfig{8, 2, 4, 2},
                               [](const StreamChunk&) {}, opts);
   EXPECT_FALSE(manual.tuning_outcome().has_value());
+}
+
+TEST(StreamingDedisperser, AdoptsTheRaceWinnerAndWidensTheOverlap) {
+  // A multi-engine tuning race can hand the session a different engine
+  // than the one it was configured with. The subband engine declares
+  // input_padding = 2: had the session adopted the winner's id but sized
+  // the chunker for the *requested* engine, interior chunks would feed
+  // zero padding where the subband kernel reads real samples, and chunked
+  // output would drift from the batch run of the same engine and config.
+  const std::size_t total_out = 128;
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const Array2D<float> input = random_input(batch);
+  const Plan chunked = batch.with_chunk(32);
+
+  tuner::TuningCache cache;
+  tuner::GuidedTuningOptions tuning;
+  tuning.host.repetitions = 1;
+  tuning.host.warmup_runs = 0;
+  tuning.strategy = tuner::StrategyKind::kRandom;
+  tuning.random_samples = 2;
+  StreamingOptions opts;
+  opts.async = false;
+  opts.cpu.threads = 1;
+  opts.engine = "cpu_tiled";  // the session *requests* the tiled engine
+
+  // Seed one cache entry per engine via single-engine sessions, then pin
+  // the stored seconds so the subband engine wins deterministically and
+  // the race itself measures nothing.
+  for (const char* id : {"cpu_tiled", "subband"}) {
+    StreamingOptions seed_opts = opts;
+    seed_opts.engine = id;
+    Collector sink(batch.dms(), total_out);
+    StreamingDedisperser session(chunked, cache, std::ref(sink), seed_opts,
+                                 tuning);
+    session.close();
+  }
+  ASSERT_EQ(cache.size(), 2u);
+  for (tuner::CacheEntry entry : cache.entries()) {
+    entry.seconds = entry.host.engine_id == "subband" ? 1e-9 : 1.0;
+    cache.store(entry);
+  }
+
+  tuner::GuidedTuningOptions race = tuning;
+  race.engines = {"cpu_tiled", "subband"};
+  Collector collect(batch.dms(), total_out);
+  engine::EngineConfig winner_config;
+  {
+    StreamingDedisperser session(chunked, cache, std::ref(collect), opts,
+                                 race);
+    ASSERT_TRUE(session.tuning_outcome().has_value());
+    EXPECT_EQ(session.tuning_outcome()->engine_id, "subband");  // adopted
+    EXPECT_EQ(session.tuning_outcome()->source,
+              tuner::GuidedTuningOutcome::Source::kCacheHit);
+    EXPECT_EQ(session.tuning_outcome()->configs_evaluated, 0u);
+    winner_config = session.tuning_outcome()->config;
+    feed_in_slices(session, input, 17, 321);
+    session.close();
+  }
+  EXPECT_EQ(collect.emitted, total_out);
+
+  // Batch run of the winning engine under the winning config: the widened
+  // carried overlap must make the chunked output bitwise identical.
+  const auto subband = engine::make_engine("subband");
+  Array2D<float> expected(batch.dms(), batch.out_samples());
+  subband->execute(batch, winner_config, input.cview(), expected.view());
+  expect_same_matrix(expected, collect.total);
+}
+
+TEST(StreamingDedisperser, LegacyKernelConfigShedsAxesForeignToTheEngine) {
+  // The KernelConfig constructor predates engine-native configs: a session
+  // built with a tiled kernel shape but a different engine must shed the
+  // axes that engine never declared and run its defaults, as pre-config
+  // sessions did (regression: the subband session threw "declares no
+  // config axis 'channel_block'" at construction).
+  const std::size_t total_out = 96;
+  const Plan batch = Plan::with_output_samples(mini_obs(), 8, total_out);
+  const Array2D<float> input = random_input(batch);
+  const Plan chunked = batch.with_chunk(32);
+
+  StreamingOptions opts;
+  opts.async = false;
+  opts.cpu.threads = 1;
+  opts.engine = "subband";
+  Collector collect(batch.dms(), total_out);
+  {
+    StreamingDedisperser session(chunked,
+                                 dedisp::KernelConfig{1, 1, 1, 1, 32, 4},
+                                 std::ref(collect), opts);
+    feed_in_slices(session, input, 13, 257);
+    session.close();
+  }
+  EXPECT_EQ(collect.emitted, total_out);
+
+  // The session ran the subband engine's defaults — the empty config.
+  const auto subband = engine::make_engine("subband");
+  Array2D<float> expected(batch.dms(), batch.out_samples());
+  subband->execute(batch, engine::EngineConfig{}, input.cview(),
+                   expected.view());
+  expect_same_matrix(expected, collect.total);
 }
 
 TEST(StreamingDedisperser, RandomizedChunkAndFeedProperty) {

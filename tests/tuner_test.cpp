@@ -18,6 +18,8 @@
 
 #include "common/expect.hpp"
 #include "common/random.hpp"
+#include "engine/engine_config.hpp"
+#include "engine/registry.hpp"
 #include "ocl/device_presets.hpp"
 #include "test_util.hpp"
 #include "tuner/fixed_config.hpp"
@@ -267,8 +269,12 @@ TEST(ResultsIo, RoundTrips) {
 }
 
 namespace {
-constexpr const char* kSchemaLine = "# ddmc-tuner-results v2 cols=13\n";
+constexpr const char* kSchemaLine = "# ddmc-tuner-results v3 cols=8\n";
 constexpr const char* kHeaderLine =
+    "device,observation,dms,config,gflops,seconds,snr,evaluated\n";
+// The v2 layout (one column per kernel axis) that load_results migrates.
+constexpr const char* kLegacySchemaLine = "# ddmc-tuner-results v2 cols=13\n";
+constexpr const char* kLegacyHeaderLine =
     "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
     "channel_block,unroll,gflops,seconds,snr,evaluated\n";
 
@@ -287,7 +293,7 @@ TEST(ResultsIo, SavesTheSchemaLineFirst) {
   save_results(ss, {});
   std::string first;
   ASSERT_TRUE(std::getline(ss, first));
-  EXPECT_EQ(first, "# ddmc-tuner-results v2 cols=13");
+  EXPECT_EQ(first, "# ddmc-tuner-results v3 cols=8");
 }
 
 TEST(ResultsIo, RejectsCorruptInput) {
@@ -301,13 +307,19 @@ TEST(ResultsIo, RejectsCorruptInput) {
   }
   {
     std::stringstream ss;
-    ss << kSchemaLine << kHeaderLine << "HD7970,mini,8,1,1\n";  // truncated
+    ss << kSchemaLine << kHeaderLine << "HD7970,mini,8,-,1\n";  // truncated
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
   {
     std::stringstream ss;
     ss << kSchemaLine << kHeaderLine
-       << "HD7970,mini,eight,1,1,1,1,0,1,1.0,1.0,1.0,5\n";  // non-numeric dms
+       << "HD7970,mini,eight,-,1.0,1.0,1.0,5\n";  // non-numeric dms
+    EXPECT_THROW(load_results(ss), invalid_argument);
+  }
+  {
+    std::stringstream ss;
+    ss << kSchemaLine << kHeaderLine
+       << "HD7970,mini,8,wi_time:8,1.0,1.0,1.0,5\n";  // malformed config
     EXPECT_THROW(load_results(ss), invalid_argument);
   }
 }
@@ -316,7 +328,7 @@ TEST(ResultsIo, DiagnosesAPreSchemaFileClearly) {
   // A file written before the schema line existed starts straight with the
   // column header; the error must say so rather than "unexpected header".
   std::stringstream ss;
-  ss << kHeaderLine << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n";
+  ss << kHeaderLine << "K20,Apertif,64,wi_time=32,123.4,0.01,3.2,900\n";
   const std::string msg = error_of(ss);
   EXPECT_NE(msg.find("no schema line"), std::string::npos) << msg;
   EXPECT_NE(msg.find("re-run the sweep"), std::string::npos) << msg;
@@ -331,27 +343,57 @@ TEST(ResultsIo, DiagnosesVersionAndColumnMismatches) {
   }
   {
     std::stringstream ss;
-    ss << "# ddmc-tuner-results v2 cols=11\n";
+    ss << "# ddmc-tuner-results v3 cols=11\n";
     const std::string msg = error_of(ss);
     EXPECT_NE(msg.find("11 columns"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expects 8"), std::string::npos) << msg;
+  }
+  {
+    // A v2 schema line must still declare v2's 13 columns.
+    std::stringstream ss;
+    ss << "# ddmc-tuner-results v2 cols=8\n";
+    const std::string msg = error_of(ss);
+    EXPECT_NE(msg.find("8 columns"), std::string::npos) << msg;
     EXPECT_NE(msg.find("expects 13"), std::string::npos) << msg;
   }
   {
-    // Schema line ok, but the header row lost two columns (hand-edited).
+    // Schema line ok, but the header row lost a column (hand-edited).
     std::stringstream ss;
     ss << kSchemaLine
-       << "device,observation,dms,wi_time,wi_dm,elem_time,elem_dm,"
-          "gflops,seconds,snr,evaluated\n";
+       << "device,observation,dms,gflops,seconds,snr,evaluated\n";
     const std::string msg = error_of(ss);
-    EXPECT_NE(msg.find("11 columns"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("7 columns"), std::string::npos) << msg;
   }
   {
     // Row with the wrong column count names the counts.
     std::stringstream ss;
-    ss << kSchemaLine << kHeaderLine << "K20,Apertif,64,32,4\n";
+    ss << kSchemaLine << kHeaderLine << "K20,Apertif,64,-,1.0\n";
     const std::string msg = error_of(ss);
     EXPECT_NE(msg.find("5 columns"), std::string::npos) << msg;
   }
+}
+
+TEST(ResultsIo, MigratesV2KernelAxisRowsIntoEngineConfigs) {
+  // A results file written by the previous schema (one column per kernel
+  // axis) still loads: the six axis columns become the kernel axes of an
+  // engine-native config.
+  std::stringstream ss;
+  ss << kLegacySchemaLine << kLegacyHeaderLine
+     << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n"
+     << "HD7970,mini,8,1,1,1,1,0,1,1.0,1.0,1.0,5\n";
+  const std::vector<ResultRow> rows = load_results(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].config,
+            engine::encode_kernel_config(KernelConfig{32, 4, 5, 2, 128, 2}));
+  EXPECT_EQ(rows[0].gflops, 123.4);
+  EXPECT_EQ(rows[0].evaluated, 900u);
+  // A legacy untuned 1×1 row migrates to the *empty* config — valid for
+  // every engine, not just the tiled ones.
+  EXPECT_TRUE(rows[1].config.empty());
+  // Migrated rows re-save in the current schema and round-trip.
+  std::stringstream resaved;
+  save_results(resaved, rows);
+  EXPECT_EQ(load_results(resaved), rows);
 }
 
 // ----------------------------------------------- host-execution dedup --
@@ -443,7 +485,11 @@ class SyntheticEvaluator : public ConfigEvaluator {
     return s;
   }
 
-  Measurement measure(const KernelConfig& cfg,
+  double true_seconds(const engine::EngineConfig& cfg) const {
+    return true_seconds(engine::decode_kernel_config(cfg));
+  }
+
+  Measurement measure(const engine::EngineConfig& cfg,
                       double incumbent_seconds) override {
     ++calls_;
     const double t = true_seconds(cfg);
@@ -470,12 +516,28 @@ class SyntheticEvaluator : public ConfigEvaluator {
   std::size_t calls_ = 0;
 };
 
+/// The host sweep's KernelConfig candidates re-expressed in the
+/// engine-native currency the strategies now speak, plus the declared axes
+/// CoordinateDescent walks.
+std::vector<engine::EngineConfig> engine_candidates(
+    const std::vector<KernelConfig>& configs) {
+  std::vector<engine::EngineConfig> out;
+  out.reserve(configs.size());
+  for (const KernelConfig& cfg : configs) {
+    out.push_back(engine::encode_kernel_config(cfg));
+  }
+  return out;
+}
+
 TEST(Strategies, ExhaustiveFindsTheGlobalSyntheticOptimum) {
   const Plan plan = mini_plan(8, 64);
-  const auto candidates = host_sweep_candidates(plan);
-  ASSERT_GT(candidates.size(), 10u);
+  const auto kernel_candidates = host_sweep_candidates(plan);
+  ASSERT_GT(kernel_candidates.size(), 10u);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   SyntheticEvaluator eval(plan);
-  const StrategyResult r = ExhaustiveSearch().search(plan, candidates, eval);
+  const StrategyResult r =
+      ExhaustiveSearch().search(plan, axes, candidates, eval);
   EXPECT_EQ(r.evaluated, candidates.size());
   EXPECT_EQ(r.timings.size(), candidates.size());
   double best = std::numeric_limits<double>::infinity();
@@ -492,14 +554,16 @@ TEST(Strategies, DifferentialCoordinateDescentNearsTheOptimumCheaply) {
   // landscape CoordinateDescent must land within 10% of the exhaustive
   // optimum while evaluating a fraction of the space.
   const Plan plan = mini_plan(8, 64);
-  const auto candidates = host_sweep_candidates(plan);
+  const auto kernel_candidates = host_sweep_candidates(plan);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   SyntheticEvaluator ex_eval(plan);
   const StrategyResult ex =
-      ExhaustiveSearch().search(plan, candidates, ex_eval);
+      ExhaustiveSearch().search(plan, axes, candidates, ex_eval);
 
   SyntheticEvaluator cd_eval(plan);
   const StrategyResult cd =
-      CoordinateDescent(7).search(plan, candidates, cd_eval);
+      CoordinateDescent(7).search(plan, axes, candidates, cd_eval);
   EXPECT_GE(cd.best.gflops, 0.9 * ex.best.gflops);
   EXPECT_LE(cd.evaluated, candidates.size() / 2);
   EXPECT_LE(cd.timings.size() + cd.aborted, cd_eval.calls());
@@ -507,14 +571,16 @@ TEST(Strategies, DifferentialCoordinateDescentNearsTheOptimumCheaply) {
 
 TEST(Strategies, DifferentialRandomSearchIsBoundedlyWorse) {
   const Plan plan = mini_plan(8, 64);
-  const auto candidates = host_sweep_candidates(plan);
+  const auto kernel_candidates = host_sweep_candidates(plan);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   SyntheticEvaluator ex_eval(plan);
   const StrategyResult ex =
-      ExhaustiveSearch().search(plan, candidates, ex_eval);
+      ExhaustiveSearch().search(plan, axes, candidates, ex_eval);
 
   SyntheticEvaluator rs_eval(plan);
   const StrategyResult rs =
-      RandomSearch(24, 7).search(plan, candidates, rs_eval);
+      RandomSearch(24, 7).search(plan, axes, candidates, rs_eval);
   EXPECT_EQ(rs.evaluated, std::min<std::size_t>(24, candidates.size()));
   // The landscape's dynamic range is small (smooth penalties), so even a
   // thin sample lands within a bounded factor of the optimum.
@@ -526,26 +592,33 @@ TEST(Strategies, DifferentialRandomSearchIsBoundedlyWorse) {
 
 TEST(Strategies, SeededSearchesAreDeterministic) {
   const Plan plan = mini_plan(8, 64);
-  const auto candidates = host_sweep_candidates(plan);
+  const auto kernel_candidates = host_sweep_candidates(plan);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   for (int run = 0; run < 2; ++run) {
     SyntheticEvaluator e1(plan), e2(plan);
     const StrategyResult a =
-        CoordinateDescent(99).search(plan, candidates, e1);
+        CoordinateDescent(99).search(plan, axes, candidates, e1);
     const StrategyResult b =
-        CoordinateDescent(99).search(plan, candidates, e2);
+        CoordinateDescent(99).search(plan, axes, candidates, e2);
     EXPECT_EQ(a.best.config, b.best.config);
     EXPECT_EQ(a.evaluated, b.evaluated);
-    const StrategyResult r1 = RandomSearch(16, 5).search(plan, candidates, e1);
-    const StrategyResult r2 = RandomSearch(16, 5).search(plan, candidates, e2);
+    const StrategyResult r1 =
+        RandomSearch(16, 5).search(plan, axes, candidates, e1);
+    const StrategyResult r2 =
+        RandomSearch(16, 5).search(plan, axes, candidates, e2);
     EXPECT_EQ(r1.best.config, r2.best.config);
   }
 }
 
 TEST(Strategies, CoordinateDescentUsesEarlyAbort) {
   const Plan plan = mini_plan(8, 64);
-  const auto candidates = host_sweep_candidates(plan);
+  const auto kernel_candidates = host_sweep_candidates(plan);
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   SyntheticEvaluator eval(plan, /*support_abort=*/true);
-  const StrategyResult r = CoordinateDescent(7).search(plan, candidates, eval);
+  const StrategyResult r =
+      CoordinateDescent(7).search(plan, axes, candidates, eval);
   // Hopeless neighbors are abandoned mid-measurement…
   EXPECT_GT(r.aborted, 0u);
   // …and every completed timing is a full (exact) measurement — aborted
@@ -555,7 +628,7 @@ TEST(Strategies, CoordinateDescentUsesEarlyAbort) {
   }
   SyntheticEvaluator plain(plan);
   const StrategyResult no_abort =
-      CoordinateDescent(7).search(plan, candidates, plain);
+      CoordinateDescent(7).search(plan, axes, candidates, plain);
   // Early abort must not change the answer, only its cost.
   EXPECT_EQ(r.best.config, no_abort.best.config);
 }
@@ -568,11 +641,13 @@ TEST(Strategies, RealMeasurementSmoke) {
   opt.repetitions = 1;
   opt.warmup_runs = 0;
   opt.threads = 1;
-  const auto candidates = host_sweep_candidates(plan, opt);
-  ASSERT_FALSE(candidates.empty());
+  const auto kernel_candidates = host_sweep_candidates(plan, opt);
+  ASSERT_FALSE(kernel_candidates.empty());
+  const auto axes = engine::kernel_config_axes(kernel_candidates);
+  const auto candidates = engine_candidates(kernel_candidates);
   HostKernelEvaluator eval(plan, opt);
   const StrategyResult cd =
-      CoordinateDescent(3, 2, 4, 0).search(plan, candidates, eval);
+      CoordinateDescent(3, 2, 4, 0).search(plan, axes, candidates, eval);
   EXPECT_GT(cd.best.gflops, 0.0);
   EXPECT_LE(cd.evaluated, candidates.size());
   // Without restarts the threshold only tightens, so every evaluator call
@@ -643,7 +718,7 @@ TEST(TuningCacheTest, HostileObservationNamesCannotCorruptTheCache) {
     CacheEntry entry;
     entry.host = HostSignature::of({});
     entry.plan = sig;
-    entry.config = KernelConfig{8, 1, 1, 1};
+    entry.config = engine::encode_kernel_config(KernelConfig{8, 1, 1, 1});
     entry.gflops = 1.0;
     cache.store(entry);
   }
@@ -665,26 +740,44 @@ TEST(TuningCacheTest, PlanDistanceIsMetricLike) {
   EXPECT_LT(plan_distance(a, b), plan_distance(a, c));  // 2x nearer than 8x
 }
 
-TEST(TuningCacheTest, NearestNeighborSkipsNonValidatingConfigs) {
+TEST(TuningCacheTest, NearestNeighborSkipsConfigsTheEngineRejects) {
   TuningCache cache;
-  dedisp::CpuKernelOptions engine;
-  const HostSignature host = HostSignature::of(engine);
+  dedisp::CpuKernelOptions engine_options;
+  const HostSignature host = HostSignature::of(engine_options);
 
   // Closest entry's config has tile_dm = 16, which cannot divide the
   // 8-trial target plan; the farther entry's config runs everywhere.
   CacheEntry close;
   close.host = host;
   close.plan = PlanSignature::of(mini_plan(16, 64));
-  close.config = KernelConfig{8, 16, 1, 1};
+  close.config = engine::encode_kernel_config(KernelConfig{8, 16, 1, 1});
   CacheEntry far;
   far.host = host;
   far.plan = PlanSignature::of(mini_plan(64, 64));
-  far.config = KernelConfig{8, 1, 1, 1};
+  far.config = engine::encode_kernel_config(KernelConfig{8, 1, 1, 1});
   cache.store(close);
   cache.store(far);
 
   const Plan target = mini_plan(8, 64);
-  const auto found = cache.find_nearest(host, target);
+  // The cache cannot judge a config's validity itself — only the engine
+  // that declares the axes can. Without a predicate, proximity decides.
+  const auto blind = cache.find_nearest(host, target);
+  ASSERT_TRUE(blind.has_value());
+  EXPECT_EQ(blind->config, close.config);
+
+  // With the engine's validate_config as the usable predicate, the
+  // non-dividing config is skipped and the farther entry transfers.
+  const auto tiled = engine::make_engine(host.engine_id);
+  const auto usable = [&](const engine::EngineConfig& config) {
+    try {
+      tiled->validate_config(target, config);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  const auto found = cache.find_nearest(
+      host, target, TuningCache::kDefaultMaxTransferDistance, usable);
   ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->config, far.config);
 
@@ -738,7 +831,9 @@ TEST(TuningCacheTest, MissTransfersFromTheNearestPlan) {
   EXPECT_EQ(moved.source, GuidedTuningOutcome::Source::kTransfer);
   EXPECT_EQ(moved.configs_evaluated, 0u);
   EXPECT_EQ(moved.config, cold.config);
-  EXPECT_NO_THROW(moved.config.validate(grown));
+  EXPECT_NO_THROW(
+      engine::make_engine(moved.engine_id)->validate_config(grown,
+                                                            moved.config));
   ASSERT_TRUE(moved.transfer_distance.has_value());
   EXPECT_GT(*moved.transfer_distance, 0.0);
   EXPECT_EQ(cache.size(), 1u);  // transfers are not stored as measurements
@@ -766,7 +861,7 @@ TEST(TuningCacheTest, PersistsAcrossProcessesViaResultsIo) {
   opt.strategy = StrategyKind::kRandom;
   opt.random_samples = 3;
 
-  KernelConfig tuned;
+  engine::EngineConfig tuned;
   {
     TuningCache cache(path);
     EXPECT_EQ(cache.size(), 0u);
@@ -787,6 +882,79 @@ TEST(TuningCacheTest, PersistsAcrossProcessesViaResultsIo) {
   std::remove(path.c_str());
 }
 
+TEST(TuningCacheTest, RaceRanksEnginesBySecondsNotGflops) {
+  // Regression: cache entries credit flops differently per engine (the
+  // subband engine saves work, the u8 engine moves fewer bytes), so a
+  // flashy GFLOP/s figure can belong to the *slower* engine. The
+  // multi-engine race must rank by measured wall seconds; GFLOP/s rides
+  // along for display only.
+  const Plan plan = mini_plan(8, 64);
+  TuningCache cache;
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 2;
+  for (const char* id : {"cpu_tiled", "cpu_baseline"}) {
+    GuidedTuningOptions seed = opt;
+    seed.engines = {id};
+    tune_guided(plan, cache, seed);
+  }
+  ASSERT_EQ(cache.size(), 2u);
+  // Pin the stored figures so the two orderings *disagree*: cpu_tiled
+  // claims 1000 GFLOP/s yet a full second, cpu_baseline 1 GFLOP/s at 1 µs.
+  for (CacheEntry entry : cache.entries()) {
+    const bool tiled = entry.host.engine_id == "cpu_tiled";
+    entry.gflops = tiled ? 1000.0 : 1.0;
+    entry.seconds = tiled ? 1.0 : 1e-6;
+    cache.store(entry);
+  }
+  GuidedTuningOptions race = opt;
+  race.engines = {"cpu_tiled", "cpu_baseline"};
+  const GuidedTuningOutcome raced = tune_guided(plan, cache, race);
+  EXPECT_EQ(raced.source, GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(raced.configs_evaluated, 0u);  // both engines answer warm
+  EXPECT_EQ(raced.engine_id, "cpu_baseline");
+  EXPECT_DOUBLE_EQ(raced.seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(raced.gflops, 1.0);  // the winner's own display figure
+}
+
+TEST(TuningCacheTest, WarmRaceRoundTripsTheEngineAxisThroughTheFile) {
+  // The v3 cache rows carry the engine id inside the host signature: a
+  // warm rerun of a multi-engine race in a fresh process measures nothing
+  // and returns the same engine and config as the cold race.
+  const std::string path =
+      ::testing::TempDir() + "ddmc_engine_race_cache_test.csv";
+  std::remove(path.c_str());
+  const Plan plan = mini_plan(8, 64);
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 2;
+  opt.engines = {"cpu_tiled", "cpu_baseline"};
+  GuidedTuningOutcome cold;
+  {
+    TuningCache cache(path);
+    cold = tune_guided(plan, cache, opt);
+    EXPECT_EQ(cold.source, GuidedTuningOutcome::Source::kSearch);
+    EXPECT_GT(cold.configs_evaluated, 0u);
+    EXPECT_EQ(cache.size(), 2u);  // one entry per raced engine
+  }
+  {
+    TuningCache cache(path);
+    EXPECT_EQ(cache.size(), 2u);
+    const GuidedTuningOutcome warm = tune_guided(plan, cache, opt);
+    EXPECT_EQ(warm.source, GuidedTuningOutcome::Source::kCacheHit);
+    EXPECT_EQ(warm.configs_evaluated, 0u);
+    EXPECT_EQ(warm.engine_id, cold.engine_id);
+    EXPECT_EQ(warm.config, cold.config);
+  }
+  std::remove(path.c_str());
+}
+
 namespace {
 
 /// Distinct, decodable cache entry for worker \p worker, op \p op.
@@ -796,7 +964,7 @@ CacheEntry synthetic_entry(std::size_t worker, std::size_t op) {
   engine.threads = worker + 1;  // distinct host signature per worker
   entry.host = HostSignature::of(engine);
   entry.plan = PlanSignature::of(mini_plan(8 << (op % 4), 64));
-  entry.config = KernelConfig{8, 1, 1, 1};
+  entry.config = engine::encode_kernel_config(KernelConfig{8, 1, 1, 1});
   entry.gflops = static_cast<double>(worker * 100 + op + 1);  // never 0
   entry.seconds = 1.0 / entry.gflops;
   entry.evaluated = op;
@@ -902,12 +1070,18 @@ TEST(ResultsIoFuzzSlowTier, RandomPopulationsSurviveSaveLoadBitwise) {
       row.device = random_text();
       row.observation = random_text();
       row.dms = rng.next_below(1u << 20);
-      row.config.wi_time = 1 + rng.next_below(1024);
-      row.config.wi_dm = 1 + rng.next_below(32);
-      row.config.elem_time = 1 + rng.next_below(64);
-      row.config.elem_dm = 1 + rng.next_below(8);
-      row.config.channel_block = rng.next_below(4096);
-      row.config.unroll = 1 + rng.next_below(8);
+      KernelConfig kernel;
+      kernel.wi_time = 1 + rng.next_below(1024);
+      kernel.wi_dm = 1 + rng.next_below(32);
+      kernel.elem_time = 1 + rng.next_below(64);
+      kernel.elem_dm = 1 + rng.next_below(8);
+      kernel.channel_block = rng.next_below(4096);
+      kernel.unroll = 1 + rng.next_below(8);
+      row.config = engine::encode_kernel_config(kernel);
+      // The config cell is engine-native: non-kernel axes round-trip too.
+      if (rng.next_below(2)) {
+        row.config.set("subbands", 1 + rng.next_below(64));
+      }
       row.gflops = random_double();
       row.seconds = random_double();
       row.snr = random_double();
@@ -934,7 +1108,8 @@ TEST(ResultsIoFuzzSlowTier, RandomCorruptionsAreDiagnosedPrecisely) {
     rows[i].device = "dev" + std::to_string(i);
     rows[i].observation = "obs";
     rows[i].dms = 8;
-    rows[i].config = KernelConfig{8, 1, 2, 1, 0, 2};
+    rows[i].config =
+        engine::encode_kernel_config(KernelConfig{8, 1, 2, 1, 0, 2});
     rows[i].gflops = 1.5;
     rows[i].seconds = 0.25;
     rows[i].snr = 3.0;
@@ -1002,11 +1177,14 @@ TEST(ResultsIoFuzzSlowTier, RandomCorruptionsAreDiagnosedPrecisely) {
 TEST(ResultsIo, SkipsBlankLines) {
   std::stringstream ss;
   ss << kSchemaLine << kHeaderLine << "\n"
-     << "K20,Apertif,64,32,4,5,2,128,2,123.4,0.01,3.2,900\n";
+     << "K20,Apertif,64,"
+        "channel_block=128;elem_dm=2;elem_time=5;unroll=2;wi_dm=4;wi_time=32,"
+        "123.4,0.01,3.2,900\n";
   const auto rows = load_results(ss);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].device, "K20");
-  EXPECT_EQ(rows[0].config, (dedisp::KernelConfig{32, 4, 5, 2, 128, 2}));
+  EXPECT_EQ(rows[0].config,
+            engine::encode_kernel_config(KernelConfig{32, 4, 5, 2, 128, 2}));
   EXPECT_EQ(rows[0].evaluated, 900u);
 }
 
