@@ -12,12 +12,20 @@
 /// Bitwise-exact engines are differentially checked against the reference
 /// output before timing.
 ///
+/// A second act sweeps the trial count to locate the brute-force ↔
+/// Fourier-domain crossover: the fdmt engine's asymptotic win only pays
+/// above some number of DM trials, and that crossover is a property of
+/// this machine worth recording next to the single-scenario matrix.
+///
 ///   ./bench_engine_matrix [--dms 64] [--out-samples 10000] [--reps 3]
-///                         [--json out.json]
+///                         [--sweep-dms 16,64,256,1024] [--json out.json]
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <limits>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +36,7 @@
 #include "common/simd.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "dedisp/fdmt.hpp"
 #include "dedisp/quantize.hpp"
 #include "dedisp/subband.hpp"
 #include "engine/registry.hpp"
@@ -43,7 +52,7 @@ struct EngineResult {
   std::string id;
   std::string variant;
   engine::EngineCapabilities caps;
-  dedisp::KernelConfig config;
+  std::string config;  ///< the executed EngineConfig, engine-native axes
   double seconds = 0.0;
   double gflops = 0.0;
   double bytes = 0.0;  ///< per-run bytes moved as stamped by execute()
@@ -51,6 +60,52 @@ struct EngineResult {
   double modeled_gflops = 0.0;
   std::string modeled_note;
 };
+
+/// One trial-count point of the brute-force ↔ Fourier-domain sweep.
+struct SweepPoint {
+  std::size_t dms = 0;
+  double cpu_tiled_seconds = 0.0;
+  double fdmt_seconds = 0.0;
+  const char* winner() const {
+    return fdmt_seconds < cpu_tiled_seconds ? "fdmt" : "cpu_tiled";
+  }
+};
+
+/// "16,64,256" -> {16, 64, 256}; empty string -> empty list (sweep off).
+std::vector<std::size_t> parse_dm_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  return out;
+}
+
+/// The fdmt engine's native configuration for this bench: the default
+/// split with the cache-blocking knob at its default, gcd-adapted so any
+/// plan size runs.
+engine::EngineConfig fdmt_native_config(const dedisp::Plan& plan,
+                                        const engine::DedispEngine& eng) {
+  engine::EngineConfig cfg;
+  cfg.set("subbands", 32).set("coarse_step", 16).set("block", 2048);
+  return eng.adapt_config(plan, cfg);
+}
+
+/// Best-of-\p reps wall seconds of \p eng on \p config (best-of, not mean:
+/// the sweep compares two engines per point and minimum time is the
+/// noise-robust comparator on a shared container host).
+double best_of(const engine::DedispEngine& eng, const dedisp::Plan& plan,
+               const engine::EngineConfig& config, ConstView2D<float> in,
+               View2D<float> out, std::size_t reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    Stopwatch clock;
+    eng.execute(plan, config, in, out);
+    best = std::min(best, clock.seconds());
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -60,6 +115,10 @@ int main(int argc, char** argv) {
   cli.add_option("dms", "number of trial DMs", "64");
   cli.add_option("out-samples", "output samples per trial", "10000");
   cli.add_option("reps", "timed repetitions", "3");
+  cli.add_option("sweep-dms",
+                 "comma-separated trial counts for the brute-force/fdmt "
+                 "crossover sweep (empty: skip)",
+                 "16,64,256,1024");
   cli.add_option("json", "write machine-readable results to this path", "");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -117,13 +176,28 @@ int main(int argc, char** argv) {
     res.caps = eng->capabilities();
     // Tunable engines and the device simulator (whose *model* estimate is
     // config-sensitive even though its execution ignores nothing) run the
-    // tuned shape; the rest take the always-valid 1×1 point.
-    res.config = res.caps.tunable || id == "ocl_sim" ? tuned : untuned;
-    if (id == "cpu_tiled_u8") res.config = tuned_u8;
+    // tuned shape; the rest take the always-valid 1×1 point. The fdmt
+    // engine does not speak the kernel axes at all — it runs its own
+    // native split/block configuration.
+    engine::EngineConfig native;
+    if (id == "fdmt") {
+      native = fdmt_native_config(plan, *eng);
+    } else {
+      dedisp::KernelConfig shape =
+          res.caps.tunable || id == "ocl_sim" ? tuned : untuned;
+      if (id == "cpu_tiled_u8") shape = tuned_u8;
+      // Keep only the axes the engine declares: the tiled engines get the
+      // full six-axis shape, everyone else degrades to their defaults
+      // instead of displaying a foreign config they ignore.
+      native = engine::restrict_to_axes(engine::encode_kernel_config(shape),
+                                        eng->config_axes(plan));
+      if (id == "ocl_sim") native = engine::encode_kernel_config(shape);
+    }
+    res.config = native.to_string();
 
     Array2D<float> out(plan.dms(), plan.out_samples());
     const engine::EngineRun warmup =
-        eng->execute(plan, res.config, input.cview(), out.view());
+        eng->execute(plan, native, input.cview(), out.view());
     res.bytes = warmup.bytes;  // element-size-aware analytic/counter bytes
     if (res.caps.bitwise_exact) {
       for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
@@ -144,11 +218,24 @@ int main(int argc, char** argv) {
                            "' exceeded its quantization error bound");
         }
       }
+    } else if (id == "fdmt") {
+      // Not bitwise either, but the transform's error bound is documented
+      // — enforce it differentially like the quantized engine's.
+      const double bound =
+          dedisp::fdmt_error_bound(plan, eng->options().subband,
+                                   /*max_abs=*/1.0);
+      for (std::size_t dm = 0; dm < plan.dms(); ++dm) {
+        for (std::size_t t = 0; t < plan.out_samples(); ++t) {
+          DDMC_REQUIRE(std::abs(out(dm, t) - reference_out(dm, t)) <= bound,
+                       "engine '" + id +
+                           "' exceeded its documented error bound");
+        }
+      }
     }
     double total = 0.0;
     for (std::size_t r = 0; r < reps; ++r) {
       Stopwatch clock;
-      eng->execute(plan, res.config, input.cview(), out.view());
+      eng->execute(plan, native, input.cview(), out.view());
       total += clock.seconds();
     }
     res.seconds = total / static_cast<double>(reps);
@@ -160,7 +247,9 @@ int main(int argc, char** argv) {
       // transferable number is the device model's estimate for this config.
       ocl::PlanAnalysis analysis(plan);
       res.modeled_gflops =
-          ocl::estimate_performance(sim_device, analysis, res.config).gflops;
+          ocl::estimate_performance(sim_device, analysis,
+                                    engine::decode_kernel_config(native))
+              .gflops;
       res.modeled_note = sim_device.name + " device model";
     } else if (id == "subband") {
       // The §V-D CPU model scaled by the two-stage flop reduction (the
@@ -172,6 +261,16 @@ int main(int argc, char** argv) {
                      plan, eng->options().subband.adapted_to(plan));
       res.modeled_gflops = cpu_model_gflops * ratio;
       res.modeled_note = cpu_model.name + " model x two-stage flop ratio";
+    } else if (id == "fdmt") {
+      // Same idea for the transform: the CPU model scaled by how many
+      // fewer operations the Fourier path performs than brute force on
+      // this plan (a ratio < 1 at low trial counts — the transform's
+      // fixed FFT cost — and > 1 once the rotation savings dominate).
+      const dedisp::FdmtConfig cfg{eng->options().subband.adapted_to(plan),
+                                   2048};
+      const double ratio = flop / dedisp::fdmt_flop(plan, cfg);
+      res.modeled_gflops = cpu_model_gflops * ratio;
+      res.modeled_note = cpu_model.name + " model x transform flop ratio";
     } else {
       res.modeled_gflops = cpu_model_gflops;
       res.modeled_note = cpu_model.name + " cpu-baseline model";
@@ -194,7 +293,7 @@ int main(int argc, char** argv) {
     caps += r.caps.bitwise_exact ? 'B' : '-';
     caps += r.caps.tunable ? 'T' : '-';
     caps += r.caps.input_element_bytes == 1 ? 'q' : '-';
-    table.add_row({r.id, r.variant, caps, r.config.to_string(),
+    table.add_row({r.id, r.variant, caps, r.config,
                    TextTable::num(r.seconds * 1e3, 1),
                    TextTable::num(r.gflops, 2),
                    TextTable::num(r.bytes * 1e-6, 1),
@@ -207,6 +306,69 @@ int main(int argc, char** argv) {
                "brute-force FLOPs, so the approximate subband and\n "
                "quantized engines score their wall-time win; bytes moved "
                "follow each engine's\n declared input element size)\n";
+
+  // ------------------------------------------------- DM-count crossover --
+  // Race the tuned brute-force engine against the Fourier-domain engine
+  // over a ladder of trial counts: fdmt pays a fixed FFT cost but its
+  // per-trial rotation work is asymptotically smaller, so it overtakes
+  // cpu_tiled somewhere along the ladder — the crossover a deployment
+  // would use to pick the engine per survey size.
+  const std::vector<std::size_t> sweep_dms =
+      parse_dm_list(cli.get("sweep-dms"));
+  std::vector<SweepPoint> sweep;
+  if (!sweep_dms.empty()) {
+    const auto tiled_eng = engine::make_engine("cpu_tiled");
+    const auto fdmt_eng = engine::make_engine("fdmt");
+    for (const std::size_t n : sweep_dms) {
+      const dedisp::Plan sweep_plan =
+          dedisp::Plan::with_output_samples(obs, n, out_samples);
+      dedisp::KernelConfig shape = tuned;
+      if (!shape.divides(sweep_plan)) {
+        shape = dedisp::KernelConfig{1, 1, 1, 1, 32, 4};
+      }
+      Array2D<float> in(sweep_plan.channels(), sweep_plan.in_samples());
+      Rng sweep_rng(7 + n);
+      for (std::size_t ch = 0; ch < in.rows(); ++ch) {
+        for (auto& v : in.row(ch)) v = sweep_rng.next_float(-1.0f, 1.0f);
+      }
+      Array2D<float> out(sweep_plan.dms(), sweep_plan.out_samples());
+      SweepPoint point;
+      point.dms = n;
+      point.cpu_tiled_seconds =
+          best_of(*tiled_eng, sweep_plan, engine::encode_kernel_config(shape),
+                  in.cview(), out.view(), reps);
+      point.fdmt_seconds =
+          best_of(*fdmt_eng, sweep_plan, fdmt_native_config(sweep_plan, *fdmt_eng),
+                  in.cview(), out.view(), reps);
+      sweep.push_back(point);
+    }
+
+    // Smallest swept trial count where the transform wins; 0 = never.
+    std::size_t crossover = 0;
+    for (const SweepPoint& p : sweep) {
+      if (p.fdmt_seconds < p.cpu_tiled_seconds) {
+        crossover = p.dms;
+        break;
+      }
+    }
+
+    std::cout << "\n== brute-force vs Fourier-domain, " << out_samples
+              << " samples, best of " << reps << " ==\n\n";
+    TextTable sweep_table({"DMs", "cpu_tiled ms", "fdmt ms", "winner"});
+    for (const SweepPoint& p : sweep) {
+      sweep_table.add_row({std::to_string(p.dms),
+                           TextTable::num(p.cpu_tiled_seconds * 1e3, 1),
+                           TextTable::num(p.fdmt_seconds * 1e3, 1),
+                           p.winner()});
+    }
+    sweep_table.print(std::cout);
+    if (crossover > 0) {
+      std::cout << "\n(fdmt overtakes cpu_tiled at " << crossover
+                << " trials on this host)\n";
+    } else {
+      std::cout << "\n(fdmt never overtakes cpu_tiled on this ladder)\n";
+    }
+  }
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
@@ -221,7 +383,7 @@ int main(int argc, char** argv) {
                   .set("tunable", r.caps.tunable)
                   .set("input_padding", r.caps.input_padding)
                   .set("input_element_bytes", r.caps.input_element_bytes)
-                  .set("config", r.config.to_string())
+                  .set("config", r.config)
                   .set("seconds", r.seconds)
                   .set("gflops", r.gflops)
                   .set("bytes_moved", r.bytes)
@@ -241,6 +403,22 @@ int main(int argc, char** argv) {
                              .set("max_delay", plan.max_delay())
                              .dump())
         .set_raw("engines", arr.dump());
+    if (!sweep.empty()) {
+      bench::JsonArray sweep_arr;
+      std::size_t crossover = 0;
+      for (const SweepPoint& p : sweep) {
+        if (crossover == 0 && p.fdmt_seconds < p.cpu_tiled_seconds) {
+          crossover = p.dms;
+        }
+        sweep_arr.add(bench::JsonObject()
+                          .set("dms", p.dms)
+                          .set("cpu_tiled_seconds", p.cpu_tiled_seconds)
+                          .set("fdmt_seconds", p.fdmt_seconds)
+                          .set("winner", p.winner()));
+      }
+      root.set_raw("dm_sweep", sweep_arr.dump())
+          .set("crossover_dms", crossover);
+    }
     bench::write_json_file(json_path, root);
     std::cout << "\nwrote " << json_path << "\n";
   }

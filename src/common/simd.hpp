@@ -63,6 +63,7 @@ inline vfloat vload_aligned(const float* p) { return {_mm256_load_ps(p)}; }
 inline void vstore(float* p, vfloat a) { _mm256_storeu_ps(p, a.v); }
 inline void vstore_aligned(float* p, vfloat a) { _mm256_store_ps(p, a.v); }
 inline vfloat vadd(vfloat a, vfloat b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline vfloat vsub(vfloat a, vfloat b) { return {_mm256_sub_ps(a.v, b.v)}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {_mm256_mul_ps(a.v, b.v)}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
 #if defined(__FMA__)
@@ -97,6 +98,7 @@ inline vfloat vload_aligned(const float* p) { return {_mm_load_ps(p)}; }
 inline void vstore(float* p, vfloat a) { _mm_storeu_ps(p, a.v); }
 inline void vstore_aligned(float* p, vfloat a) { _mm_store_ps(p, a.v); }
 inline vfloat vadd(vfloat a, vfloat b) { return {_mm_add_ps(a.v, b.v)}; }
+inline vfloat vsub(vfloat a, vfloat b) { return {_mm_sub_ps(a.v, b.v)}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {_mm_mul_ps(a.v, b.v)}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
   return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
@@ -127,6 +129,7 @@ inline vfloat vload_aligned(const float* p) { return {vld1q_f32(p)}; }
 inline void vstore(float* p, vfloat a) { vst1q_f32(p, a.v); }
 inline void vstore_aligned(float* p, vfloat a) { vst1q_f32(p, a.v); }
 inline vfloat vadd(vfloat a, vfloat b) { return {vaddq_f32(a.v, b.v)}; }
+inline vfloat vsub(vfloat a, vfloat b) { return {vsubq_f32(a.v, b.v)}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {vmulq_f32(a.v, b.v)}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) {
   return {vfmaq_f32(c.v, a.v, b.v)};
@@ -156,6 +159,7 @@ inline vfloat vload_aligned(const float* p) { return {*p}; }
 inline void vstore(float* p, vfloat a) { *p = a.v; }
 inline void vstore_aligned(float* p, vfloat a) { *p = a.v; }
 inline vfloat vadd(vfloat a, vfloat b) { return {a.v + b.v}; }
+inline vfloat vsub(vfloat a, vfloat b) { return {a.v - b.v}; }
 inline vfloat vmul(vfloat a, vfloat b) { return {a.v * b.v}; }
 inline vfloat vfma(vfloat a, vfloat b, vfloat c) { return {a.v * b.v + c.v}; }
 inline vfloat vload_u8(const std::uint8_t* p) {

@@ -1,10 +1,10 @@
 /// \file builtin_engines.cpp
-/// \brief The six built-in execution paths, wrapped as DedispEngines.
+/// \brief The built-in execution paths, wrapped as DedispEngines.
 ///
 /// This file is deliberately the only place in the library that calls the
 /// concrete kernels (dedisperse_cpu, dedisperse_cpu_u8,
 /// dedisperse_cpu_baseline, dedisperse_reference, dedisperse_subband,
-/// simulate_dedisp): every
+/// dedisperse_fdmt, simulate_dedisp): every
 /// consumer above it dispatches through the DedispEngine interface, so a
 /// grep for those symbols outside src/engine/ and src/dedisp/ should come
 /// back empty — that is the refactor's invariant.
@@ -27,6 +27,7 @@
 #include "dedisp/cpu_baseline.hpp"
 #include "dedisp/cpu_kernel.hpp"
 #include "dedisp/cpu_kernel_u8.hpp"
+#include "dedisp/fdmt.hpp"
 #include "dedisp/quantize.hpp"
 #include "dedisp/reference.hpp"
 #include "dedisp/subband.hpp"
@@ -552,6 +553,167 @@ class SubbandEngine final : public EngineBase {
   }
 };
 
+// ------------------------------------------------------------------- fdmt --
+
+/// Fourier-domain dedispersion (dedisp/fdmt.hpp): forward-FFT every
+/// channel once, accumulate phase-rotated spectra through the subband
+/// factorization, inverse-FFT once per trial. Its axes are the split the
+/// factorization shares with the time-domain subband engine (`subbands`,
+/// `coarse_step` — same divisibility, same smearing budget in the search
+/// space) plus `block`, the frequency-accumulation block size in bins.
+///
+/// bitwise_exact is false: the composed integer shifts smear fine trials
+/// by at most fdmt_max_delay_error samples, and the float transforms add
+/// roundoff — both captured by dedisp::fdmt_error_bound, the documented
+/// tolerance the equivalence tests enforce. Sharding is supported: a
+/// shard plan's sliced DelayTable yields the shard's own phase tables, so
+/// every shard's rows match a single run within the same bound. Streaming
+/// stays unsupported (supports_streaming = false, named in the error)
+/// until chunk-overlap semantics for the transform are worked out.
+///
+/// The engine stamps its *algorithmic* FLOPs into EngineRun::flop — an
+/// asymptotically cheaper transform credited with the plan's canonical
+/// brute-force count would fake a GFLOP/s number — which is exactly why
+/// tune_guided races rank by measured wall seconds, never by throughput.
+class FdmtEngine final : public EngineBase {
+ public:
+  explicit FdmtEngine(EngineOptions options)
+      : EngineBase("fdmt",
+                   EngineCapabilities{.supports_sharding = true,
+                                      .tunable = true},
+                   std::move(options)) {}
+
+  std::string variant() const override { return simd::backend_name(); }
+
+  std::vector<AxisSpec> config_axes(
+      const dedisp::Plan& plan) const override {
+    const dedisp::FdmtConfig def = default_config().adapted_to(plan);
+    AxisSpec subbands;
+    subbands.name = "subbands";
+    subbands.values = divisor_ladder(plan.channels(), 8);
+    subbands.default_value = static_cast<std::int64_t>(def.split.subbands);
+    AxisSpec coarse;
+    coarse.name = "coarse_step";
+    coarse.values = divisor_ladder(plan.dms(), 8);
+    coarse.default_value = static_cast<std::int64_t>(def.split.coarse_step);
+    AxisSpec block;
+    block.name = "block";
+    block.values = {512, 2048, 8192};
+    block.default_value = static_cast<std::int64_t>(def.block);
+    return {std::move(subbands), std::move(coarse), std::move(block)};
+  }
+
+  std::vector<EngineConfig> config_space(
+      const dedisp::Plan& plan) const override {
+    const std::vector<AxisSpec> axes = config_axes(plan);
+    const dedisp::FdmtConfig def = default_config().adapted_to(plan);
+    const std::int64_t budget =
+        dedisp::fdmt_max_delay_error(plan, def.split);
+    std::vector<EngineConfig> space;
+    for (const std::int64_t sb : axes[0].values) {
+      for (const std::int64_t cs : axes[1].values) {
+        const dedisp::SubbandConfig split{static_cast<std::size_t>(sb),
+                                          static_cast<std::size_t>(cs)};
+        // Same smearing-budget filter as the subband engine: tuning may
+        // trade throughput within the accuracy the caller configured,
+        // never loosen it silently.
+        if (dedisp::fdmt_max_delay_error(plan, split) > budget) continue;
+        for (const std::int64_t blk : axes[2].values) {
+          EngineConfig cfg;
+          cfg.set("subbands", sb).set("coarse_step", cs).set("block", blk);
+          space.push_back(std::move(cfg));
+        }
+      }
+    }
+    return space;
+  }
+
+  void validate_config(const dedisp::Plan& plan,
+                       const EngineConfig& config) const override {
+    for (const auto& [name, value] : config.axes) {
+      if (name != "subbands" && name != "coarse_step" && name != "block") {
+        throw config_error("engine 'fdmt' declares no config axis '" +
+                           name + "'");
+      }
+      if (value < 1) {
+        throw config_error("engine 'fdmt': axis '" + name +
+                           "' must be >= 1");
+      }
+    }
+    if (config.has("subbands") &&
+        plan.channels() %
+                static_cast<std::size_t>(config.get("subbands", 1)) !=
+            0) {
+      throw config_error(
+          "engine 'fdmt': axis 'subbands' must divide the channel count " +
+          std::to_string(plan.channels()));
+    }
+    if (config.has("coarse_step") &&
+        plan.dms() %
+                static_cast<std::size_t>(config.get("coarse_step", 1)) !=
+            0) {
+      throw config_error(
+          "engine 'fdmt': axis 'coarse_step' must divide the trial count " +
+          std::to_string(plan.dms()));
+    }
+  }
+
+  EngineConfig adapt_config(const dedisp::Plan& plan,
+                            const EngineConfig& config) const override {
+    const dedisp::FdmtConfig cfg = config_of(config).adapted_to(plan);
+    EngineConfig adapted;
+    adapted.set("subbands", static_cast<std::int64_t>(cfg.split.subbands));
+    adapted.set("coarse_step",
+                static_cast<std::int64_t>(cfg.split.coarse_step));
+    adapted.set("block", static_cast<std::int64_t>(cfg.block));
+    return adapted;
+  }
+
+  std::string config_key(const dedisp::Plan& plan,
+                         const EngineConfig& config) const override {
+    // gcd adaptation collapses off-plan splits, so two configs that adapt
+    // onto the same effective execution are one measurement.
+    return adapt_config(plan, config).encode();
+  }
+
+  EngineRun execute_impl(const dedisp::Plan& plan, const EngineConfig& config,
+                         ConstView2D<float> in,
+                         View2D<float> out) const override {
+    check_shapes(plan, in, out);
+    const dedisp::FdmtConfig cfg = config_of(config).adapted_to(plan);
+    dedisp::dedisperse_fdmt(plan, cfg, in, out);
+    EngineRun run;
+    run.flop = dedisp::fdmt_flop(plan, cfg);
+    return run;
+  }
+
+ private:
+  dedisp::FdmtConfig default_config() const {
+    dedisp::FdmtConfig cfg;
+    cfg.split = options_.subband;
+    return cfg;
+  }
+  /// The config a point selects: its axes where present, the engine's
+  /// configured defaults where absent — the empty config (and any
+  /// kernel-shaped config another engine tuned) runs the defaults.
+  dedisp::FdmtConfig config_of(const EngineConfig& config) const {
+    dedisp::FdmtConfig cfg = default_config();
+    if (config.has("subbands")) {
+      cfg.split.subbands = static_cast<std::size_t>(
+          std::max<std::int64_t>(config.get("subbands", 1), 1));
+    }
+    if (config.has("coarse_step")) {
+      cfg.split.coarse_step = static_cast<std::size_t>(
+          std::max<std::int64_t>(config.get("coarse_step", 1), 1));
+    }
+    if (config.has("block")) {
+      cfg.block = static_cast<std::size_t>(
+          std::max<std::int64_t>(config.get("block", 1), 1));
+    }
+    return cfg;
+  }
+};
+
 // ---------------------------------------------------------------- ocl_sim --
 
 class OclSimEngine final : public KernelAxesEngine {
@@ -604,6 +766,9 @@ void register_builtin_engines(EngineRegistry& registry) {
   });
   registry.add("subband", [](const EngineOptions& options) {
     return std::make_shared<const SubbandEngine>(options);
+  });
+  registry.add("fdmt", [](const EngineOptions& options) {
+    return std::make_shared<const FdmtEngine>(options);
   });
   registry.add("ocl_sim", [](const EngineOptions& options) {
     return std::make_shared<const OclSimEngine>(options);

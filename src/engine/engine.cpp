@@ -123,7 +123,11 @@ EngineRun DedispEngine::execute(const dedisp::Plan& plan,
   Stopwatch watch;
   EngineRun run = execute_impl(plan, config, in, out);
   run.seconds = watch.seconds();
-  run.flop = run_flop(plan, run.counters);
+  // An engine that stamped its own algorithmic FLOP count (the fdmt
+  // transform does — its operation count is not the plan's canonical
+  // brute-force credit) keeps it; otherwise the wrapper fills in the
+  // simulator counters or the plan's analytic model.
+  if (run.flop <= 0.0) run.flop = run_flop(plan, run.counters);
   run.bytes =
       run_bytes(plan, run.counters, capabilities().input_element_bytes);
 

@@ -95,9 +95,11 @@ struct EngineOptions {
   /// Host-execution knobs (staging, SIMD-vs-scalar, worker threads) of the
   /// cpu engines; threads also drives the cpu_baseline pool.
   dedisp::CpuKernelOptions cpu;
-  /// Two-stage split of the subband engine. The engine adapts both fields
-  /// to a plan by gcd (subbands must divide the channel count, coarse_step
-  /// the trial count), so any plan runs.
+  /// Two-stage split of the subband engine, and the default channel-split
+  /// / coarse-step factorization of the fdmt engine (same divisibility
+  /// rules, same smearing semantics). Engines adapt both fields to a plan
+  /// by gcd (subbands must divide the channel count, coarse_step the
+  /// trial count), so any plan runs.
   dedisp::SubbandConfig subband;
   /// Device model of the ocl_sim engine (default: the AMD HD7970 preset).
   std::optional<ocl::DeviceModel> device;
@@ -117,9 +119,13 @@ struct EngineRun {
   /// the sharded and streaming consumers aggregate per-session traffic.
   double seconds = 0.0;
   /// FLOP and global-memory bytes of this execution, stamped by execute():
-  /// the simulator's exact counters where available, the analytic model
-  /// otherwise — with input bytes scaled by the engine's declared
-  /// input_element_bytes, so a quantized engine reports its real traffic.
+  /// an execute_impl that knows its *algorithmic* operation count may
+  /// pre-stamp flop (the fdmt engine reports its transform FLOPs, not the
+  /// plan's canonical brute-force credit) and the wrapper preserves it;
+  /// otherwise the simulator's exact counters where available, the
+  /// analytic model elsewhere — with input bytes scaled by the engine's
+  /// declared input_element_bytes, so a quantized engine reports its real
+  /// traffic.
   double flop = 0.0;
   double bytes = 0.0;
 };

@@ -16,6 +16,7 @@
 #include "common/array2d.hpp"
 #include "common/cli.hpp"
 #include "common/expect.hpp"
+#include "common/fft.hpp"
 #include "common/random.hpp"
 #include "common/statistics.hpp"
 #include "common/table.hpp"
@@ -491,6 +492,95 @@ TEST(Expect, MessageCarriesLocationAndReason) {
     EXPECT_NE(msg.find("1 == 2"), std::string::npos);
     EXPECT_NE(msg.find("custom-reason"), std::string::npos);
     EXPECT_NE(msg.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------------- fft --
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(fft::next_pow2(0), 1u);
+  EXPECT_EQ(fft::next_pow2(1), 1u);
+  EXPECT_EQ(fft::next_pow2(2), 2u);
+  EXPECT_EQ(fft::next_pow2(3), 4u);
+  EXPECT_EQ(fft::next_pow2(1024), 1024u);
+  EXPECT_EQ(fft::next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(fft::Fft(0), invalid_argument);
+  EXPECT_THROW(fft::Fft(12), invalid_argument);
+  EXPECT_THROW(fft::RealFft(96), invalid_argument);
+}
+
+TEST(Fft, LengthOneSeriesIsItsOwnSpectrum) {
+  // The degenerate transform: one sample, one bin, identity both ways.
+  fft::RealFft rf(1);
+  EXPECT_EQ(fft::rfft_bins(1), 1u);
+  const float x = 3.25f;
+  std::complex<float> bin;
+  rf.forward(&x, 1, &bin);
+  EXPECT_FLOAT_EQ(bin.real(), x);
+  EXPECT_FLOAT_EQ(bin.imag(), 0.0f);
+  float back = 0.0f;
+  rf.inverse(&bin, &back);
+  EXPECT_FLOAT_EQ(back, x);
+}
+
+TEST(Fft, NonPowerOfTwoInputRoundTripsThroughPadding) {
+  // A 97-sample series transformed at the next power of two (128) must
+  // come back as the original followed by exact zeros: zero-padding is
+  // the contract that lets the dedispersion engine pick its FFT size
+  // independently of the plan's sample counts.
+  const std::size_t n_in = 97;
+  const std::size_t n = fft::next_pow2(n_in);
+  ASSERT_EQ(n, 128u);
+  Rng rng(42);
+  std::vector<float> x(n_in);
+  for (auto& v : x) v = rng.next_float(-1.0f, 1.0f);
+
+  fft::RealFft rf(n);
+  std::vector<std::complex<float>> bins(fft::rfft_bins(n));
+  rf.forward(x.data(), n_in, bins.data());
+  std::vector<float> back(n);
+  rf.inverse(bins.data(), back.data());
+
+  for (std::size_t t = 0; t < n_in; ++t) {
+    EXPECT_NEAR(back[t], x[t], 1e-5f) << "t=" << t;
+  }
+  for (std::size_t t = n_in; t < n; ++t) {
+    EXPECT_NEAR(back[t], 0.0f, 1e-5f) << "padded tail t=" << t;
+  }
+}
+
+TEST(Fft, MatchesTheNaiveDftOnRandomizedSeries) {
+  // Property check against the O(n^2) definition, across every size the
+  // radix-2 recursion exercises distinctly (1 hits the degenerate real
+  // packing, 2 the identity half transform, larger ones full butterflies).
+  Rng rng(7);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}, std::size_t{32},
+                              std::size_t{128}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<float> x(n);
+    for (auto& v : x) v = rng.next_float(-1.0f, 1.0f);
+
+    fft::RealFft rf(n);
+    std::vector<std::complex<float>> bins(fft::rfft_bins(n));
+    rf.forward(x.data(), n, bins.data());
+
+    const double tau = 6.283185307179586476925286766559;
+    for (std::size_t k = 0; k < bins.size(); ++k) {
+      double re = 0.0, im = 0.0;  // negative-exponent DFT definition
+      for (std::size_t t = 0; t < n; ++t) {
+        const double a = -tau * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n);
+        re += x[t] * std::cos(a);
+        im += x[t] * std::sin(a);
+      }
+      const double tol = 1e-4 * std::max<double>(1.0, std::sqrt(n));
+      EXPECT_NEAR(bins[k].real(), re, tol) << "k=" << k;
+      EXPECT_NEAR(bins[k].imag(), im, tol) << "k=" << k;
+    }
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/expect.hpp"
+#include "dedisp/fdmt.hpp"
 #include "ocl/device_presets.hpp"
 #include "pipeline/dedisperser.hpp"
 #include "pipeline/survey.hpp"
@@ -184,6 +185,52 @@ TEST(Dedisperser, TuneCachedAdoptsTheRaceWinner) {
   Dedisperser ref = small("reference");
   const Array2D<float> in = random_input(ref.plan());
   expect_same_matrix(ref.dedisperse(in.cview()), dd.dedisperse(in.cview()));
+}
+
+TEST(Dedisperser, TuneCachedAdoptsAFdmtRaceWinnerEndToEnd) {
+  // The Fourier-domain engine participates in cross-engine adoption like
+  // any other: when its cached row wins the race, the session switches to
+  // it and subsequent dedisperse() calls run the transform path. fdmt is
+  // not bitwise-exact, so the adopted output is checked against its
+  // documented error bound rather than bit-for-bit.
+  tuner::TuningCache cache;
+  for (const char* id : {"cpu_tiled", "fdmt"}) {
+    Dedisperser dd = small(id);
+    dd.tune_cached(cache, race_options({id}));
+  }
+  pin_cached_seconds(cache, "fdmt", 1e-9);
+  pin_cached_seconds(cache, "cpu_tiled", 1.0);
+
+  Dedisperser dd = small("cpu_tiled");
+  const tuner::GuidedTuningOutcome o =
+      dd.tune_cached(cache, race_options({"cpu_tiled", "fdmt"}));
+  EXPECT_EQ(o.engine_id, "fdmt");
+  EXPECT_EQ(dd.engine_id(), "fdmt");
+  EXPECT_EQ(o.source, tuner::GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(o.configs_evaluated, 0u);
+
+  // Recover the adopted split from the winning config's native axes to
+  // evaluate the bound the engine documents for it.
+  dedisp::SubbandConfig split;
+  const auto sb = o.config.axes.find("subbands");
+  if (sb != o.config.axes.end()) split.subbands = static_cast<std::size_t>(sb->second);
+  const auto cs = o.config.axes.find("coarse_step");
+  if (cs != o.config.axes.end()) split.coarse_step = static_cast<std::size_t>(cs->second);
+
+  Dedisperser ref = small("reference");
+  const Array2D<float> in = random_input(ref.plan());
+  const Array2D<float> expected = ref.dedisperse(in.cview());
+  const Array2D<float> got = dd.dedisperse(in.cview());
+  const double bound =
+      dedisp::fdmt_error_bound(dd.plan(), split, /*max_abs=*/1.0);
+  ASSERT_EQ(expected.rows(), got.rows());
+  ASSERT_EQ(expected.cols(), got.cols());
+  for (std::size_t r = 0; r < expected.rows(); ++r) {
+    for (std::size_t c = 0; c < expected.cols(); ++c) {
+      ASSERT_NEAR(expected(r, c), got(r, c), bound)
+          << "outside the fdmt bound at (" << r << ", " << c << ")";
+    }
+  }
 }
 
 TEST(Dedisperser, ShardedExecutionRejectsANonShardingRaceWinner) {

@@ -955,6 +955,51 @@ TEST(TuningCacheTest, WarmRaceRoundTripsTheEngineAxisThroughTheFile) {
   std::remove(path.c_str());
 }
 
+TEST(TuningCacheTest, ThreeWayRaceWithFdmtResolvesWarmAndRanksBySeconds) {
+  // The Fourier-domain engine races the brute-force and subband engines
+  // on equal footing: a cold race measures all three ladders, the warm
+  // rerun answers the whole comparison with zero measurements, and the
+  // ranking is by measured wall seconds. fdmt makes the seconds-vs-GFLOP/s
+  // distinction structural — its cache rows credit the transform's
+  // asymptotically smaller operation count, so its display GFLOP/s is low
+  // even when its wall time wins — which the pinned rerank pins down.
+  const Plan plan = mini_plan(8, 64);
+  TuningCache cache;
+  GuidedTuningOptions opt;
+  opt.host.repetitions = 1;
+  opt.host.warmup_runs = 0;
+  opt.host.threads = 1;
+  opt.strategy = StrategyKind::kRandom;
+  opt.random_samples = 2;
+  opt.engines = {"cpu_tiled", "subband", "fdmt"};
+
+  const GuidedTuningOutcome cold = tune_guided(plan, cache, opt);
+  EXPECT_EQ(cold.source, GuidedTuningOutcome::Source::kSearch);
+  EXPECT_GT(cold.configs_evaluated, 0u);
+  EXPECT_EQ(cache.size(), 3u);  // one entry per raced engine
+
+  const GuidedTuningOutcome warm = tune_guided(plan, cache, opt);
+  EXPECT_EQ(warm.source, GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(warm.configs_evaluated, 0u);
+  EXPECT_EQ(warm.engine_id, cold.engine_id);
+  EXPECT_EQ(warm.config, cold.config);
+
+  // Pin the stored figures so the orderings disagree: fdmt reports the
+  // lowest GFLOP/s of the field yet the fastest wall time. Seconds win.
+  for (CacheEntry entry : cache.entries()) {
+    const bool is_fdmt = entry.host.engine_id == "fdmt";
+    entry.gflops = is_fdmt ? 0.5 : 500.0;
+    entry.seconds = is_fdmt ? 1e-6 : 1.0;
+    cache.store(entry);
+  }
+  const GuidedTuningOutcome reranked = tune_guided(plan, cache, opt);
+  EXPECT_EQ(reranked.source, GuidedTuningOutcome::Source::kCacheHit);
+  EXPECT_EQ(reranked.configs_evaluated, 0u);
+  EXPECT_EQ(reranked.engine_id, "fdmt");
+  EXPECT_DOUBLE_EQ(reranked.seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(reranked.gflops, 0.5);  // the winner's display figure
+}
+
 namespace {
 
 /// Distinct, decodable cache entry for worker \p worker, op \p op.
